@@ -1,0 +1,92 @@
+//! Microbenchmarks of the geometry substrate: the primitives on the
+//! per-point hot path (orientation predicate, point location, tangents,
+//! static hulls, calipers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::{calipers, hull, locate, predicates, tangent, ConvexPolygon, Point2, Vec2};
+
+fn regular_ngon(n: usize, radius: f64) -> ConvexPolygon {
+    let verts: Vec<Point2> = (0..n)
+        .map(|i| {
+            let t = core::f64::consts::TAU * i as f64 / n as f64;
+            Point2::new(radius * t.cos(), radius * t.sin())
+        })
+        .collect();
+    ConvexPolygon::from_ccw(verts).unwrap()
+}
+
+fn lcg_points(seed: u64, n: usize) -> Vec<Point2> {
+    let mut s = seed;
+    let mut next = move || {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| Point2::new(next() * 10.0 - 5.0, next() * 10.0 - 5.0))
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // orient2d: generic (filter path) and degenerate (exact path).
+    c.bench_function("orient2d/filter_path", |b| {
+        let (p, q, r) = (
+            Point2::new(0.1, 0.7),
+            Point2::new(-3.0, 2.5),
+            Point2::new(1.5, -0.25),
+        );
+        b.iter(|| predicates::orient2d_sign(p, q, r))
+    });
+    c.bench_function("orient2d/exact_path", |b| {
+        let a = Point2::new(12.0, 12.0);
+        let q = Point2::new(24.0, 24.0);
+        let r = Point2::new(0.5, 0.5);
+        b.iter(|| predicates::orient2d_sign(a, q, r))
+    });
+
+    for n in [16usize, 256, 4096] {
+        let poly = regular_ngon(n, 2.0);
+        c.bench_with_input(BenchmarkId::new("contains_log", n), &poly, |b, poly| {
+            let q = Point2::new(0.3, 0.4);
+            b.iter(|| locate::contains(poly, q))
+        });
+        c.bench_with_input(BenchmarkId::new("extreme_vertex", n), &poly, |b, poly| {
+            let d = Vec2::from_angle(1.234);
+            b.iter(|| locate::extreme_vertex(poly, d))
+        });
+        c.bench_with_input(BenchmarkId::new("visible_chain", n), &poly, |b, poly| {
+            let q = Point2::new(5.0, 1.0);
+            b.iter(|| tangent::visible_chain(poly, q))
+        });
+        c.bench_with_input(
+            BenchmarkId::new("diameter_calipers", n),
+            &poly,
+            |b, poly| b.iter(|| calipers::diameter(poly)),
+        );
+        c.bench_with_input(BenchmarkId::new("width_calipers", n), &poly, |b, poly| {
+            b.iter(|| calipers::width(poly))
+        });
+    }
+
+    for n in [1_000usize, 100_000] {
+        let pts = lcg_points(77, n);
+        c.bench_with_input(BenchmarkId::new("monotone_chain", n), &pts, |b, pts| {
+            b.iter(|| hull::monotone_chain(pts))
+        });
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_kernels
+}
+criterion_main!(benches);

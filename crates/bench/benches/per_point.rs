@@ -1,0 +1,103 @@
+//! Per-point processing cost of every summary as a function of `r`
+//! (paper §3.1 and §5.3: `O(r)` naive, `O(log r)` amortized for the
+//! searchable uniform hull and the adaptive hull).
+
+use adaptive_hull::{
+    AdaptiveHull, ExactHull, FixedBudgetAdaptiveHull, HullSummary, NaiveUniformHull, RadialHull,
+    UniformHull,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use geom::Point2;
+use streamgen::{Disk, Ellipse, Spiral};
+
+fn workload(name: &str, n: usize) -> Vec<Point2> {
+    match name {
+        "disk" => Disk::new(11, n, 1.0).collect(),
+        "ellipse" => Ellipse::new(12, n, 16.0, 0.1).collect(),
+        "spiral" => Spiral::new(n, 1.0, 0.001).collect(),
+        _ => unreachable!(),
+    }
+}
+
+fn bench_summaries(c: &mut Criterion) {
+    let n = 50_000;
+    for wname in ["disk", "ellipse", "spiral"] {
+        let pts = workload(wname, n);
+        let mut group = c.benchmark_group(format!("per_point/{wname}"));
+        group.throughput(Throughput::Elements(n as u64));
+
+        for r in [16u32, 64, 256] {
+            group.bench_with_input(BenchmarkId::new("uniform_naive", r), &r, |b, &r| {
+                b.iter(|| {
+                    let mut h = NaiveUniformHull::new(r);
+                    for &p in &pts {
+                        h.insert(p);
+                    }
+                    h.points_seen()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("uniform_searchable", r), &r, |b, &r| {
+                b.iter(|| {
+                    let mut h = UniformHull::new(r);
+                    for &p in &pts {
+                        h.insert(p);
+                    }
+                    h.points_seen()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("adaptive", r), &r, |b, &r| {
+                b.iter(|| {
+                    let mut h = AdaptiveHull::with_r(r);
+                    for &p in &pts {
+                        h.insert(p);
+                    }
+                    h.points_seen()
+                })
+            });
+            group.bench_with_input(BenchmarkId::new("radial", r), &r, |b, &r| {
+                b.iter(|| {
+                    let mut h = RadialHull::new(r);
+                    for &p in &pts {
+                        h.insert(p);
+                    }
+                    h.points_seen()
+                })
+            });
+        }
+        // Fixed-budget adaptive is heavier (global rebalance); bench at one r.
+        group.sample_size(10);
+        group.bench_function("adaptive_fixed_budget/16", |b| {
+            b.iter(|| {
+                let mut h = FixedBudgetAdaptiveHull::new(16);
+                for &p in &pts {
+                    h.insert(p);
+                }
+                h.points_seen()
+            })
+        });
+        group.bench_function("exact", |b| {
+            b.iter(|| {
+                let mut h = ExactHull::new();
+                for &p in &pts {
+                    h.insert(p);
+                }
+                h.points_seen()
+            })
+        });
+        group.finish();
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_summaries
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation of the design knobs the paper calls out:
+//!
+//! * **tree height limit `k`** (§5.1: "the tree height parameter can be
+//!   used to control the degree of adaptive sampling" — `k = 0` is uniform
+//!   sampling, `k = log2 r` is the recommended maximum);
+//! * **unrefinement queue** (§5.3: exact heap vs Matias' power-of-two
+//!   buckets) — here measured for *accuracy* (the bucket queue unrefines
+//!   early); speed is covered by the `queue_ablation` Criterion bench.
+//!
+//! Usage: `cargo run -p sh-bench --release --bin ablation [n]`
+
+use adaptive_hull::adaptive::{AdaptiveHullConfig, QueueKind};
+use adaptive_hull::{AdaptiveHull, ExactHull, HullSummary};
+use bench_harness::write_output;
+use geom::Point2;
+use streamgen::Ellipse;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let r = 32u32;
+    let pts: Vec<Point2> = Ellipse::new(4242, n, 16.0, 0.12).collect();
+    let mut exact = ExactHull::new();
+    for &p in &pts {
+        exact.insert(p);
+    }
+    let truth = exact.hull();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation on aspect-16 ellipse (rot 0.12), n = {n}, r = {r}\n\n\
+         ## Tree height limit k (k = 0 is uniform sampling; paper recommends log2 r = {})\n",
+        r.trailing_zeros()
+    ));
+    out.push_str(&format!(
+        "{:>4} {:>14} {:>10} {:>14}\n",
+        "k", "hausdorff err", "samples", "adaptive dirs"
+    ));
+    for k in 0..=r.trailing_zeros() + 2 {
+        let mut a = AdaptiveHull::new(AdaptiveHullConfig::new(r).with_depth(k.min(32)));
+        for &p in &pts {
+            a.insert(p);
+        }
+        let err = a.hull().directed_hausdorff_from(&truth);
+        out.push_str(&format!(
+            "{k:>4} {err:>14.6e} {:>10} {:>14}\n",
+            a.sample_size(),
+            a.adaptive_direction_count()
+        ));
+    }
+
+    out.push_str("\n## Unrefinement queue (accuracy; speed in `cargo bench queue_ablation`)\n");
+    out.push_str(&format!(
+        "{:>8} {:>14} {:>10}\n",
+        "queue", "hausdorff err", "samples"
+    ));
+    for (name, kind) in [("heap", QueueKind::Heap), ("bucket", QueueKind::Bucket)] {
+        let mut a = AdaptiveHull::new(AdaptiveHullConfig::new(r).with_queue(kind));
+        for &p in &pts {
+            a.insert(p);
+        }
+        let err = a.hull().directed_hausdorff_from(&truth);
+        out.push_str(&format!("{name:>8} {err:>14.6e} {:>10}\n", a.sample_size()));
+    }
+    out.push_str(
+        "\nExpectations: error drops steeply from k = 0 and plateaus around\n\
+         k = log2 r (deeper trees cannot help once every edge's weight is <= 1);\n\
+         the bucket queue's early unrefinement costs at most a small constant\n\
+         in error while making queue operations O(1).\n",
+    );
+    println!("{out}");
+    let path = write_output("ablation.txt", &out);
+    eprintln!("written to {}", path.display());
+}

@@ -1,0 +1,75 @@
+//! Regenerates the **headline error-scaling comparison** (Theorem 5.4 vs
+//! Lemma 3.2, and Lemma 3.1): Hausdorff error against the exact hull as a
+//! function of `r` for the uniform (`O(D/r)`), radial (`O(D/r)`) and
+//! adaptive (`O(D/r²)`) summaries, plus the uniform hull's *diameter*
+//! error, which is `O(D/r²)` even though its hull error is `O(D/r)`
+//! (Lemma 3.1). Emits CSV series suitable for plotting.
+//!
+//! Usage: `cargo run -p sh-bench --release --bin error_scaling [n]`
+
+use adaptive_hull::metrics::{diameter_error, hausdorff_error};
+use adaptive_hull::{AdaptiveHull, ExactHull, HullSummary, NaiveUniformHull, RadialHull};
+use bench_harness::write_output;
+use geom::Point2;
+use streamgen::{Disk, Ellipse};
+
+fn run_series(name: &str, pts: &[Point2], out: &mut String) {
+    let mut exact = ExactHull::new();
+    for &p in pts {
+        exact.insert(p);
+    }
+    let truth = exact.hull();
+    let d = geom::calipers::diameter(&truth)
+        .map(|(_, _, d)| d)
+        .unwrap_or(1.0);
+
+    out.push_str(&format!(
+        "# workload: {name}, n = {}, D = {d:.4}\n",
+        pts.len()
+    ));
+    out.push_str(
+        "workload,r,uniform_err,radial_err,adaptive_err,uniform_diam_rel_err,adaptive_samples\n",
+    );
+    for r in [8u32, 16, 32, 64, 128, 256] {
+        let mut uni = NaiveUniformHull::new(r);
+        let mut rad = RadialHull::new(r);
+        let mut ada = AdaptiveHull::with_r(r);
+        for &p in pts {
+            uni.insert(p);
+            rad.insert(p);
+            ada.insert(p);
+        }
+        let eu = hausdorff_error(&uni.hull(), &truth);
+        let er = hausdorff_error(&rad.hull(), &truth);
+        let ea = hausdorff_error(&ada.hull(), &truth);
+        let du = diameter_error(&uni.hull(), &truth);
+        out.push_str(&format!(
+            "{name},{r},{eu:.6e},{er:.6e},{ea:.6e},{du:.6e},{}\n",
+            ada.sample_size()
+        ));
+    }
+    out.push('\n');
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let mut out = String::new();
+    out.push_str(
+        "Error scaling: directed Hausdorff error (exact hull -> summary hull) vs r.\n\
+         Expect uniform_err ~ c/r, adaptive_err ~ c/r^2 (slope -1 vs -2 in log-log),\n\
+         and uniform_diam_rel_err ~ c/r^2 (Lemma 3.1).\n\n",
+    );
+    let disk: Vec<Point2> = Disk::new(7, n, 1.0).collect();
+    run_series("disk", &disk, &mut out);
+    let ell: Vec<Point2> = Ellipse::new(8, n, 16.0, 0.1).collect();
+    run_series("ellipse16_rot0.1", &ell, &mut out);
+    let ring: Vec<Point2> = streamgen::Annulus::new(9, n, 0.95, 1.0).collect();
+    run_series("annulus", &ring, &mut out);
+
+    println!("{out}");
+    let path = write_output("error_scaling.csv", &out);
+    eprintln!("written to {}", path.display());
+}

@@ -1,0 +1,83 @@
+//! Regenerates the paper's illustrative figures as SVG files:
+//!
+//! * **Fig. 10** — adaptive vs uniform sample hulls for the "ellipse
+//!   rotated by θ0/4" workload, with sample-direction spokes and the
+//!   uncertainty triangles drawn solid over the data points;
+//! * **Fig. 1/3 style** — a small uniformly sampled hull with its ring of
+//!   uncertainty triangles;
+//! * **Fig. 9 style** — the lower-bound circle construction.
+//!
+//! Usage: `cargo run -p sh-bench --release --bin figures`
+
+use adaptive_hull::metrics::naive_uniform_uncertainty_triangles;
+use adaptive_hull::viz::hull_figure;
+use adaptive_hull::{FixedBudgetAdaptiveHull, HullSummary, NaiveUniformHull};
+use bench_harness::{write_output, TABLE1_R, TABLE1_SEED};
+use geom::Point2;
+use streamgen::{CirclePoints, Disk, Ellipse};
+
+fn main() {
+    let n = 100_000;
+    let theta0 = core::f64::consts::TAU / TABLE1_R as f64;
+    let pts: Vec<Point2> = Ellipse::new(TABLE1_SEED ^ 0xe1, n, 16.0, theta0 / 4.0).collect();
+    // Thin the raw data for drawing (100k circles make a 40 MB SVG).
+    let drawn: Vec<Point2> = pts.iter().copied().step_by(50).collect();
+
+    // Fig. 10 top: adaptive hull (r = 16, budget 2r).
+    let mut ada = FixedBudgetAdaptiveHull::new(TABLE1_R / 2);
+    for &p in &pts {
+        ada.insert(p);
+    }
+    let svg = hull_figure(
+        &drawn,
+        &ada.hull(),
+        &ada.uncertainty_triangles(),
+        "Fig. 10 (top): adaptive hull, r = 16, ellipse rotated theta0/4",
+    );
+    let p1 = write_output("fig10_adaptive.svg", &svg);
+
+    // Fig. 10 bottom: uniform hull (2r = 32 directions).
+    let mut uni = NaiveUniformHull::new(TABLE1_R);
+    for &p in &pts {
+        uni.insert(p);
+    }
+    let svg = hull_figure(
+        &drawn,
+        &uni.hull(),
+        &naive_uniform_uncertainty_triangles(&uni),
+        "Fig. 10 (bottom): uniform hull, 2r = 32, ellipse rotated theta0/4",
+    );
+    let p2 = write_output("fig10_uniform.svg", &svg);
+
+    // Fig. 1/3 style: small disk stream, uniform hull + triangle ring.
+    let small: Vec<Point2> = Disk::new(5, 500, 1.0).collect();
+    let mut u8dirs = NaiveUniformHull::new(8);
+    for &p in &small {
+        u8dirs.insert(p);
+    }
+    let svg = hull_figure(
+        &small,
+        &u8dirs.hull(),
+        &naive_uniform_uncertainty_triangles(&u8dirs),
+        "Fig. 1/3 style: uniformly sampled hull (r = 8) and its uncertainty ring",
+    );
+    let p3 = write_output("fig3_uniform_ring.svg", &svg);
+
+    // Fig. 9 style: the lower-bound construction (2r circle points,
+    // every other one sampled).
+    let r = 16usize;
+    let circle: Vec<Point2> = CirclePoints::new(2 * r, 1.0).collect();
+    let sample: Vec<Point2> = circle.iter().copied().step_by(2).collect();
+    let hull = geom::ConvexPolygon::hull_of(&sample);
+    let svg = hull_figure(
+        &circle,
+        &hull,
+        &[],
+        "Fig. 9 style: 2r circle points, r sampled - dropped points sit Omega(D/r^2) outside",
+    );
+    let p4 = write_output("fig9_lower_bound.svg", &svg);
+
+    for p in [p1, p2, p3, p4] {
+        println!("wrote {}", p.display());
+    }
+}

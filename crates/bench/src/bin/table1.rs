@@ -1,0 +1,55 @@
+//! Regenerates **Table 1** of the paper: uniform sampling with `2r = 32`
+//! directions vs the (fixed-budget) adaptive scheme with `r = 16`, both
+//! keeping `2r` samples, over 10⁵-point streams drawn from a disk, rotated
+//! squares, rotated aspect-16 ellipses, and the changing-ellipse stream
+//! (where the left column is the "partially adaptive" train-then-freeze
+//! scheme instead of uniform).
+//!
+//! Usage: `cargo run -p sh-bench --release --bin table1 [n]`
+
+use bench_harness::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(TABLE1_N);
+    let r = TABLE1_R / 2; // adaptive parameter; uniform gets 2r = TABLE1_R
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1 reproduction: n = {n}, uniform r = {}, adaptive r = {r}, seed = {}\n\n",
+        TABLE1_R, TABLE1_SEED
+    ));
+
+    let mut rows = Vec::new();
+    for (label, pts) in table1_workloads(n, TABLE1_SEED) {
+        let (left, right) = compare_uniform_adaptive(&pts, r);
+        eprintln!("done: {label}");
+        rows.push(Table1Row { label, left, right });
+    }
+    out.push_str(&format_table(
+        "Parts 1-3: uniform (2r dirs) vs adaptive (r, fixed budget 2r)",
+        &rows,
+        "uni",
+        "ada",
+    ));
+    out.push('\n');
+
+    let mut rows = Vec::new();
+    for (label, pts) in changing_workloads(n, TABLE1_SEED) {
+        let (left, right) = compare_partial_adaptive(&pts, r);
+        eprintln!("done: {label}");
+        rows.push(Table1Row { label, left, right });
+    }
+    out.push_str(&format_table(
+        "Part 4: partially adaptive (train on first half, freeze) vs adaptive",
+        &rows,
+        "par",
+        "ada",
+    ));
+
+    println!("{out}");
+    let path = write_output("table1.txt", &out);
+    eprintln!("written to {}", path.display());
+}

@@ -1,0 +1,458 @@
+//! The fixed-budget adaptive variant used in the paper's experiments (§7).
+//!
+//! For a fair comparison against a uniform hull with `2r` directions, the
+//! paper modifies the adaptive algorithm to maintain *exactly* `2r` sample
+//! directions: it refines maximum-weight edges even when their weight is
+//! below the threshold, and unrefines minimum-weight refinements when over
+//! budget. This module implements that variant as a self-contained
+//! structure (a flat, cyclic list of dyadic leaf edges rebalanced greedily
+//! after every insertion), independent of the threshold-driven
+//! [`AdaptiveHull`](crate::adaptive::stream::AdaptiveHull) — which also
+//! makes it a useful cross-check of the tree-based implementation.
+
+use crate::adaptive::weight::{slant, uncertainty, weight};
+use crate::summary::HullSummary;
+use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
+use core::f64::consts::TAU;
+use geom::dyadic::{DirGrid, DirRange};
+use geom::{ConvexPolygon, Point2, UncertaintyTriangle, Vec2};
+
+/// A leaf edge of the flattened refinement forest.
+#[derive(Clone, Copy, Debug)]
+struct Leaf {
+    range: DirRange,
+    a: Point2,
+    b: Point2,
+}
+
+/// Adaptive hull with a hard budget of `2r` sample directions
+/// (`r` uniform + `r` adaptive), per §7's experimental setup.
+#[derive(Clone, Debug)]
+pub struct FixedBudgetAdaptiveHull {
+    grid: DirGrid,
+    uniform: UniformHull,
+    /// Cyclic tiling of the direction circle by leaf edges, ordered by
+    /// `range.lo`. Empty until the first point.
+    leaves: Vec<Leaf>,
+    /// Target number of *extra* (adaptive) directions; total budget is
+    /// `r + extra_budget`.
+    extra_budget: usize,
+}
+
+impl FixedBudgetAdaptiveHull {
+    /// Creates the summary with `r` uniform directions and `r` adaptive
+    /// ones (total `2r`, the paper's experimental configuration).
+    pub fn new(r: u32) -> Self {
+        Self::with_budget(r, r as usize)
+    }
+
+    /// Creates the summary with an explicit adaptive-direction budget.
+    pub fn with_budget(r: u32, extra: usize) -> Self {
+        let grid = DirGrid::with_default_depth(r);
+        FixedBudgetAdaptiveHull {
+            grid,
+            uniform: UniformHull::new(r),
+            leaves: Vec::new(),
+            extra_budget: extra,
+        }
+    }
+
+    /// Number of uniform directions.
+    pub fn r(&self) -> u32 {
+        self.grid.r()
+    }
+
+    /// Number of currently active adaptive directions.
+    pub fn adaptive_direction_count(&self) -> usize {
+        self.leaves.len().saturating_sub(self.grid.r() as usize)
+    }
+
+    /// All active sample directions with their stored extrema (used to
+    /// build a [`FrozenHull`](crate::frozen::FrozenHull) for the "partially
+    /// adaptive" comparison).
+    pub fn directions(&self) -> Vec<(Vec2, Point2)> {
+        self.leaves
+            .iter()
+            .map(|leaf| (self.grid.unit(leaf.range.lo), leaf.a))
+            .collect()
+    }
+
+    /// Uncertainty triangles of the non-degenerate edges.
+    pub fn uncertainty_triangles(&self) -> Vec<UncertaintyTriangle> {
+        self.leaves
+            .iter()
+            .filter(|l| l.a != l.b)
+            .map(|l| uncertainty(&self.grid, &l.range, l.a, l.b))
+            .collect()
+    }
+
+    /// Distinct stored sample points in direction order.
+    pub fn sample_points(&self) -> Vec<Point2> {
+        let mut pts: Vec<Point2> = Vec::new();
+        for leaf in &self.leaves {
+            for p in [leaf.a, leaf.b] {
+                if pts.last() != Some(&p) {
+                    pts.push(p);
+                }
+            }
+        }
+        while pts.len() > 1 && pts.first() == pts.last() {
+            pts.pop();
+        }
+        pts
+    }
+
+    fn leaf_weight(&self, leaf: &Leaf) -> f64 {
+        weight(
+            slant(&self.grid, &leaf.range, leaf.a, leaf.b),
+            leaf.range.depth,
+            self.grid.r(),
+            self.uniform.perimeter(),
+        )
+    }
+
+    /// Weight the merged parent of leaves `i` and `i+1` would have, if they
+    /// are dyadic siblings; `None` otherwise.
+    fn merge_weight(&self, i: usize) -> Option<f64> {
+        let l1 = self.leaves[i];
+        let l2 = self.leaves[(i + 1) % self.leaves.len()];
+        if l1.range.depth != l2.range.depth || l1.range.depth == 0 || l1.range.hi != l2.range.lo {
+            return None;
+        }
+        // Sibling check: l1 must be the left child of their common parent,
+        // i.e. its offset within the sector is aligned to the parent span.
+        let span = l1.range.span(&self.grid);
+        let offset = l1.range.lo.0 % self.grid.sector_steps();
+        if !offset.is_multiple_of(2 * span) {
+            return None;
+        }
+        let parent = DirRange {
+            lo: l1.range.lo,
+            hi: l2.range.hi,
+            depth: l1.range.depth - 1,
+        };
+        Some(weight(
+            slant(&self.grid, &parent, l1.a, l2.b),
+            parent.depth,
+            self.grid.r(),
+            self.uniform.perimeter(),
+        ))
+    }
+
+    fn split_leaf(&mut self, i: usize) {
+        let leaf = self.leaves[i];
+        let mid = leaf.range.mid(&self.grid);
+        let um = self.grid.unit(mid);
+        let t = if leaf.a.dot(um) >= leaf.b.dot(um) {
+            leaf.a
+        } else {
+            leaf.b
+        };
+        let (lr, rr) = leaf.range.bisect(&self.grid);
+        self.leaves[i] = Leaf {
+            range: lr,
+            a: leaf.a,
+            b: t,
+        };
+        self.leaves.insert(
+            i + 1,
+            Leaf {
+                range: rr,
+                a: t,
+                b: leaf.b,
+            },
+        );
+    }
+
+    fn merge_pair(&mut self, i: usize) {
+        let n = self.leaves.len();
+        let l1 = self.leaves[i];
+        let l2 = self.leaves[(i + 1) % n];
+        let parent = DirRange {
+            lo: l1.range.lo,
+            hi: l2.range.hi,
+            depth: l1.range.depth - 1,
+        };
+        self.leaves[i] = Leaf {
+            range: parent,
+            a: l1.a,
+            b: l2.b,
+        };
+        self.leaves.remove((i + 1) % n);
+    }
+
+    /// Greedy rebalance toward the budget: split the max-weight bisectable
+    /// leaf while under budget; merge the min-weight sibling pair while
+    /// over; then perform strictly improving swaps.
+    fn rebalance(&mut self) {
+        let best_split = |this: &Self| -> Option<(usize, f64)> {
+            this.leaves
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.a != l.b && l.range.bisectable(&this.grid))
+                .map(|(i, l)| (i, this.leaf_weight(l)))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        };
+        let best_merge = |this: &Self| -> Option<(usize, f64)> {
+            (0..this.leaves.len())
+                .filter_map(|i| this.merge_weight(i).map(|w| (i, w)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        };
+
+        // Reach the budget.
+        while self.adaptive_direction_count() < self.extra_budget {
+            match best_split(self) {
+                Some((i, w)) if w > f64::NEG_INFINITY => self.split_leaf(i),
+                _ => break, // everything degenerate or at the depth cap
+            }
+        }
+        while self.adaptive_direction_count() > self.extra_budget {
+            match best_merge(self) {
+                Some((i, _)) => self.merge_pair(i),
+                None => break,
+            }
+        }
+        // Improving swaps: move budget from low-value refinements to
+        // high-value ones (this is what lets the sample directions migrate
+        // when the distribution changes, §7 "changing ellipse").
+        for _ in 0..(2 * self.grid.r() as usize) {
+            let (Some((mi, mw)), Some((si, sw))) = (best_merge(self), best_split(self)) else {
+                break;
+            };
+            // Strict improvement with hysteresis so we never oscillate.
+            if sw <= mw + 1e-9 {
+                break;
+            }
+            // Merging shifts indices; merge first, then re-find the split
+            // candidate (cheap and simple).
+            self.merge_pair(mi);
+            let _ = si;
+            if let Some((i, _)) = best_split(self) {
+                self.split_leaf(i);
+            }
+        }
+    }
+
+    fn update_leaves(&mut self, q: Point2, arc: &BeatenArc) {
+        const PAD: f64 = 1e-9;
+        let b_span = (arc.end - arc.start).rem_euclid(TAU);
+        let grid = self.grid;
+        for leaf in &mut self.leaves {
+            let a_start = grid.angle(leaf.range.lo);
+            let a_span = leaf.range.width(&grid);
+            let contains =
+                |s: f64, span: f64, x: f64| ((x - s).rem_euclid(TAU)) <= span + 2.0 * PAD;
+            let overlaps = contains(a_start - PAD, a_span, arc.start)
+                || contains(arc.start - PAD, b_span, a_start);
+            if !overlaps {
+                continue;
+            }
+            let ul = grid.unit(leaf.range.lo);
+            let ur = grid.unit(leaf.range.hi);
+            if q.dot(ul) > leaf.a.dot(ul) {
+                leaf.a = q;
+            }
+            if q.dot(ur) > leaf.b.dot(ur) {
+                leaf.b = q;
+            }
+        }
+    }
+}
+
+impl HullSummary for FixedBudgetAdaptiveHull {
+    fn insert(&mut self, q: Point2) {
+        match self.uniform.insert_detailed(q) {
+            UniformEffect::First => {
+                self.leaves = (0..self.grid.r())
+                    .map(|j| Leaf {
+                        range: DirRange::sector(&self.grid, j),
+                        a: q,
+                        b: q,
+                    })
+                    .collect();
+            }
+            UniformEffect::Interior => {}
+            UniformEffect::Outside { arc, .. } => {
+                self.update_leaves(q, &arc);
+                self.rebalance();
+            }
+        }
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.sample_points())
+    }
+
+    fn sample_size(&self) -> usize {
+        let mut pts = self.sample_points();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.uniform.points_seen()
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-2r"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ellipse_pts(seed: u64, n: usize, aspect: f64, rot: f64) -> Vec<Point2> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let (x, y) = loop {
+                    let x = next() * 2.0 - 1.0;
+                    let y = next() * 2.0 - 1.0;
+                    if x * x + y * y <= 1.0 {
+                        break (x, y);
+                    }
+                };
+                Point2::ORIGIN + geom::Vec2::new(x * aspect, y).rotate(rot)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut h = FixedBudgetAdaptiveHull::new(16);
+        for q in ellipse_pts(1, 3000, 16.0, 0.1) {
+            h.insert(q);
+            assert!(
+                h.adaptive_direction_count() <= 16,
+                "budget exceeded: {}",
+                h.adaptive_direction_count()
+            );
+        }
+        // With an aspect-16 ellipse the budget should be fully used.
+        assert_eq!(h.adaptive_direction_count(), 16);
+        assert_eq!(h.leaves.len(), 32);
+    }
+
+    #[test]
+    fn leaves_always_tile_the_circle() {
+        let mut h = FixedBudgetAdaptiveHull::new(8);
+        for (i, q) in ellipse_pts(2, 1000, 8.0, 0.3).into_iter().enumerate() {
+            h.insert(q);
+            if i % 19 != 0 || h.leaves.is_empty() {
+                continue;
+            }
+            let mut expected = geom::dyadic::Dir(0);
+            for leaf in &h.leaves {
+                assert_eq!(leaf.range.lo, expected, "gap at insertion {i}");
+                expected = leaf.range.hi;
+            }
+            assert_eq!(expected, geom::dyadic::Dir(0), "tiling must close");
+            // Shared endpoints.
+            for w in h.leaves.windows(2) {
+                assert_eq!(w[0].b, w[1].a, "endpoint mismatch at insertion {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_uniform_2r_on_disk_roughly() {
+        use crate::exact::ExactHull;
+        use crate::uniform::NaiveUniformHull;
+        // On a disk, adaptive-r and uniform-2r should be comparable
+        // (paper Table 1 row 1: adaptive at most ~25% worse).
+        let pts = ellipse_pts(3, 20000, 1.0, 0.0); // aspect 1 = disk
+        let mut ada = FixedBudgetAdaptiveHull::new(16);
+        let mut uni = NaiveUniformHull::new(32);
+        let mut ex = ExactHull::new();
+        for &q in &pts {
+            ada.insert(q);
+            uni.insert(q);
+            ex.insert(q);
+        }
+        let truth = ex.hull();
+        let ae = ada.hull().directed_hausdorff_from(&truth);
+        let ue = uni.hull().directed_hausdorff_from(&truth);
+        assert!(
+            ae < ue * 3.0,
+            "adaptive {ae} vs uniform {ue}: should be comparable"
+        );
+    }
+
+    #[test]
+    fn beats_uniform_on_rotated_ellipse() {
+        use crate::exact::ExactHull;
+        use crate::uniform::NaiveUniformHull;
+        let rot = TAU / 32.0 / 4.0;
+        let pts = ellipse_pts(4, 20000, 16.0, rot);
+        let mut ada = FixedBudgetAdaptiveHull::new(16);
+        let mut uni = NaiveUniformHull::new(32);
+        let mut ex = ExactHull::new();
+        for &q in &pts {
+            ada.insert(q);
+            uni.insert(q);
+            ex.insert(q);
+        }
+        let truth = ex.hull();
+        let ae = ada.hull().directed_hausdorff_from(&truth);
+        let ue = uni.hull().directed_hausdorff_from(&truth);
+        assert!(
+            ae < ue,
+            "adaptive {ae} should beat uniform {ue} on the ellipse"
+        );
+    }
+
+    #[test]
+    fn directions_migrate_on_changing_distribution() {
+        // First a vertical ellipse, then a containing horizontal one: the
+        // adaptive directions should end up concentrated near the x axis.
+        let mut h = FixedBudgetAdaptiveHull::new(16);
+        for q in ellipse_pts(5, 2000, 4.0, core::f64::consts::FRAC_PI_2) {
+            h.insert(q);
+        }
+        for q in ellipse_pts(6, 2000, 16.0, 0.0)
+            .into_iter()
+            .map(|p| Point2::new(p.x, p.y * 5.0 / 3.0))
+        {
+            h.insert(q);
+        }
+        // For a long horizontal ellipse the *flat* top and bottom produce
+        // the long hull edges, so refinement concentrates on directions
+        // near ±y. Count adaptive (depth > 0) leaves within 45° of ±y.
+        let near_y = h
+            .leaves
+            .iter()
+            .filter(|l| l.range.depth > 0)
+            .filter(|l| {
+                let ang = h.grid.angle(l.range.lo);
+                (ang - TAU / 4.0).abs() < TAU / 8.0 || (ang - 3.0 * TAU / 4.0).abs() < TAU / 8.0
+            })
+            .count();
+        let total_adaptive = h.leaves.iter().filter(|l| l.range.depth > 0).count();
+        assert!(
+            near_y * 2 >= total_adaptive,
+            "directions should migrate to the flat ±y sides: {near_y}/{total_adaptive}"
+        );
+    }
+
+    #[test]
+    fn degenerate_streams() {
+        let mut h = FixedBudgetAdaptiveHull::new(8);
+        for _ in 0..10 {
+            h.insert(Point2::new(2.0, 2.0));
+        }
+        assert_eq!(h.sample_size(), 1);
+        let mut h2 = FixedBudgetAdaptiveHull::new(8);
+        for i in 0..100 {
+            h2.insert(Point2::new(i as f64, 0.0));
+        }
+        assert_eq!(h2.hull().len(), 2);
+    }
+}

@@ -1,0 +1,246 @@
+//! Unrefinement threshold queues (paper §5.2 step 4 and §5.3).
+//!
+//! Every internal refinement-tree node carries a perimeter threshold
+//! `Thresh(e) = r·ℓ̃(e)/(1 + d(e))`: once the uniform-hull perimeter `P`
+//! grows past it, the node's sample weight has dropped to `w(e) <= 1` and it
+//! should be unrefined. The queue stores `(threshold, node id)` pairs and
+//! pops everything at or below the current `P`; entries are *lazy* — stale
+//! ids (nodes already rebuilt or collapsed) are filtered by the caller via
+//! the generational arena.
+//!
+//! Two implementations, compared by the `queue_ablation` bench:
+//!
+//! * [`HeapQueue`] — a plain binary min-heap, `O(log n)` per operation;
+//! * [`BucketQueue`] — Matias' power-of-two bucketing: thresholds are
+//!   rounded down to `2^⌊log2⌋`, making every operation `O(1)` at the cost
+//!   of unrefining slightly early (the error stays `O(D/r²)`, §5.3).
+
+use crate::adaptive::arena::NodeId;
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Common interface of the unrefinement queues.
+pub trait UnrefineQueue {
+    /// Registers (or re-registers) a node with its threshold.
+    fn push(&mut self, threshold: f64, id: NodeId);
+
+    /// Pops one entry whose threshold is `<= p`, if any.
+    fn pop_due(&mut self, p: f64) -> Option<(f64, NodeId)>;
+
+    /// Number of queued entries (including stale ones).
+    fn len(&self) -> usize;
+
+    /// `true` iff no entries are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Min-heap entry ordered by threshold.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    threshold: f64,
+    id: NodeId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.threshold == other.threshold
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest threshold.
+        other
+            .threshold
+            .partial_cmp(&self.threshold)
+            .expect("non-finite threshold in unrefinement queue")
+    }
+}
+
+/// Standard binary-heap threshold queue (`PriQ(r) = O(log r)`).
+#[derive(Debug, Default, Clone)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Entry>,
+}
+
+impl HeapQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl UnrefineQueue for HeapQueue {
+    fn push(&mut self, threshold: f64, id: NodeId) {
+        self.heap.push(Entry { threshold, id });
+    }
+
+    fn pop_due(&mut self, p: f64) -> Option<(f64, NodeId)> {
+        if self.heap.peek().map(|e| e.threshold <= p)? {
+            let e = self.heap.pop().unwrap();
+            Some((e.threshold, e.id))
+        } else {
+            None
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// Power-of-two bucket queue (`PriQ(r) = O(1)`, §5.3).
+///
+/// Thresholds are bucketed by binary exponent (`f64::log2` floor via the
+/// exponent bits). A node in bucket `e` becomes due when `P >= 2^e`, which
+/// is at most a factor 2 earlier than its exact threshold — the "unrefine
+/// slightly too early" relaxation the paper proves harmless.
+#[derive(Debug, Default, Clone)]
+pub struct BucketQueue {
+    /// Sparse buckets: (exponent, entries). Kept sorted by exponent.
+    buckets: Vec<(i16, Vec<NodeId>)>,
+    len: usize,
+}
+
+impl BucketQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn exponent(threshold: f64) -> i16 {
+        debug_assert!(threshold.is_finite());
+        if threshold <= 0.0 {
+            return i16::MIN;
+        }
+        // floor(log2(threshold)): IEEE exponent of the rounded-down power.
+        threshold.log2().floor() as i16
+    }
+}
+
+impl UnrefineQueue for BucketQueue {
+    fn push(&mut self, threshold: f64, id: NodeId) {
+        let e = Self::exponent(threshold);
+        self.len += 1;
+        match self.buckets.binary_search_by_key(&e, |(k, _)| *k) {
+            Ok(i) => self.buckets[i].1.push(id),
+            Err(i) => self.buckets.insert(i, (e, vec![id])),
+        }
+    }
+
+    fn pop_due(&mut self, p: f64) -> Option<(f64, NodeId)> {
+        let (e, bucket) = self.buckets.first_mut()?;
+        // Bucket e holds thresholds in [2^e, 2^(e+1)); it is due when
+        // P >= 2^e (the early-unrefinement relaxation).
+        let floor = if *e == i16::MIN {
+            0.0
+        } else {
+            (*e as f64).exp2()
+        };
+        if p < floor {
+            return None;
+        }
+        let id = bucket.pop()?;
+        self.len -= 1;
+        if bucket.is_empty() {
+            self.buckets.remove(0);
+        }
+        Some((floor, id))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::arena::Arena;
+
+    fn ids(n: usize) -> Vec<NodeId> {
+        let mut a = Arena::new();
+        (0..n).map(|i| a.insert(i)).collect()
+    }
+
+    #[test]
+    fn heap_pops_in_threshold_order() {
+        let ids = ids(3);
+        let mut q = HeapQueue::new();
+        q.push(5.0, ids[0]);
+        q.push(1.0, ids[1]);
+        q.push(3.0, ids[2]);
+        assert_eq!(q.pop_due(0.5), None, "nothing due below the minimum");
+        assert_eq!(q.pop_due(4.0).map(|(t, _)| t), Some(1.0));
+        assert_eq!(q.pop_due(4.0).map(|(t, _)| t), Some(3.0));
+        assert_eq!(q.pop_due(4.0), None, "5.0 not yet due");
+        assert_eq!(q.pop_due(5.0).map(|(t, _)| t), Some(5.0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucket_pops_everything_due_possibly_early() {
+        let ids = ids(4);
+        let mut q = BucketQueue::new();
+        q.push(5.0, ids[0]); // bucket 2 -> due at P >= 4
+        q.push(1.5, ids[1]); // bucket 0 -> due at P >= 1
+        q.push(3.0, ids[2]); // bucket 1 -> due at P >= 2
+        q.push(100.0, ids[3]); // bucket 6 -> due at P >= 64
+        assert_eq!(q.len(), 4);
+        let mut popped = Vec::new();
+        while let Some((_, id)) = q.pop_due(4.0) {
+            popped.push(id);
+        }
+        // Everything with true threshold <= 4 must pop; 5.0 may pop early
+        // (bucket floor 4 <= 4); 100.0 must not.
+        assert!(popped.contains(&ids[1]));
+        assert!(popped.contains(&ids[2]));
+        assert!(
+            popped.contains(&ids[0]),
+            "5.0 pops early at P = 4 (factor-2 rule)"
+        );
+        assert!(!popped.contains(&ids[3]));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn bucket_never_pops_more_than_factor_two_early() {
+        let ids = ids(1);
+        let mut q = BucketQueue::new();
+        q.push(7.9, ids[0]); // bucket 2, floor 4.0
+        assert_eq!(q.pop_due(3.9), None, "below half the threshold: never due");
+        assert!(q.pop_due(4.0).is_some());
+    }
+
+    #[test]
+    fn zero_and_tiny_thresholds() {
+        let ids = ids(2);
+        let mut q = BucketQueue::new();
+        q.push(0.0, ids[0]);
+        q.push(1e-300, ids[1]);
+        assert!(q.pop_due(0.0).is_some(), "zero threshold immediately due");
+        assert!(q.pop_due(1e-299).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_handles_duplicate_thresholds() {
+        let ids = ids(3);
+        let mut q = HeapQueue::new();
+        for &id in &ids {
+            q.push(2.0, id);
+        }
+        let mut n = 0;
+        while q.pop_due(2.0).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 3);
+    }
+}

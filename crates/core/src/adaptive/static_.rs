@@ -1,0 +1,283 @@
+//! The static (offline) adaptive sampling scheme of paper §4.
+//!
+//! For a fixed point set: take the extrema in `r` uniform directions, then
+//! repeatedly refine any hull edge whose sample weight exceeds 1 by
+//! bisecting its angular range and adding the extremum in the bisecting
+//! direction — this time with the *whole set* available (unlike the
+//! streaming version, which only has its stored samples). Lemma 4.2 bounds
+//! the extra extrema by `r + 1`; Lemma 4.3 bounds every uncertainty
+//! triangle height by `O(D/r²)`.
+
+use crate::adaptive::weight::{slant, uncertainty, weight};
+use geom::dyadic::{DirGrid, DirRange};
+use geom::{ConvexPolygon, Point2, UncertaintyTriangle};
+
+/// Output of the static adaptive sampling scheme.
+#[derive(Clone, Debug)]
+pub struct StaticSample {
+    /// The sampled points in direction order (deduplicated, cyclic).
+    pub points: Vec<Point2>,
+    /// The final edges: dyadic range plus the two endpoint extrema.
+    pub edges: Vec<(DirRange, Point2, Point2)>,
+    /// Perimeter `P` of the uniformly sampled hull (the weight normaliser).
+    pub perimeter: f64,
+    /// Number of adaptive refinements performed.
+    pub refinements: usize,
+    grid: DirGrid,
+}
+
+impl StaticSample {
+    /// Convex hull of the sample.
+    pub fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.points)
+    }
+
+    /// Number of distinct sample points.
+    pub fn sample_size(&self) -> usize {
+        let mut pts = self.points.clone();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    /// Uncertainty triangles of the non-degenerate edges.
+    pub fn uncertainty_triangles(&self) -> Vec<UncertaintyTriangle> {
+        self.edges
+            .iter()
+            .filter(|(_, a, b)| a != b)
+            .map(|(range, a, b)| uncertainty(&self.grid, range, *a, *b))
+            .collect()
+    }
+}
+
+/// Runs static adaptive sampling on `points` with `r` uniform directions
+/// and tree height limit `depth` (`None` = the paper's `log2 r`).
+///
+/// Returns `None` for an empty input.
+pub fn adaptive_sample_static(
+    points: &[Point2],
+    r: u32,
+    depth: Option<u32>,
+) -> Option<StaticSample> {
+    if points.is_empty() {
+        return None;
+    }
+    let depth = depth.unwrap_or_else(|| r.trailing_zeros());
+    let grid = DirGrid::new(r, depth);
+
+    // Extremum over the whole set in an arbitrary grid direction.
+    let extremum = |d: geom::dyadic::Dir| -> Point2 {
+        let u = grid.unit(d);
+        *points
+            .iter()
+            .max_by(|a, b| a.dot(u).partial_cmp(&b.dot(u)).unwrap())
+            .unwrap()
+    };
+
+    // Uniform extrema and the weight normaliser P.
+    let uniform: Vec<Point2> = (0..r).map(|j| extremum(grid.uniform_dir(j))).collect();
+    let perimeter = ConvexPolygon::hull_of(&uniform).perimeter();
+
+    let mut edges: Vec<(DirRange, Point2, Point2)> = Vec::new();
+    let mut refinements = 0usize;
+
+    // Depth-first refinement; recursion depth bounded by `depth`.
+    #[allow(clippy::too_many_arguments)]
+    fn refine(
+        grid: &DirGrid,
+        extremum: &dyn Fn(geom::dyadic::Dir) -> Point2,
+        range: DirRange,
+        a: Point2,
+        b: Point2,
+        perimeter: f64,
+        edges: &mut Vec<(DirRange, Point2, Point2)>,
+        refinements: &mut usize,
+    ) {
+        let needs = a != b
+            && range.bisectable(grid)
+            && weight(slant(grid, &range, a, b), range.depth, grid.r(), perimeter) > 1.0;
+        if !needs {
+            edges.push((range, a, b));
+            return;
+        }
+        *refinements += 1;
+        let mid = range.mid(grid);
+        let t = extremum(mid);
+        let (lr, rr) = range.bisect(grid);
+        refine(grid, extremum, lr, a, t, perimeter, edges, refinements);
+        refine(grid, extremum, rr, t, b, perimeter, edges, refinements);
+    }
+
+    for j in 0..r {
+        let range = DirRange::sector(&grid, j);
+        let a = uniform[j as usize];
+        let b = uniform[((j + 1) % r) as usize];
+        refine(
+            &grid,
+            &extremum,
+            range,
+            a,
+            b,
+            perimeter,
+            &mut edges,
+            &mut refinements,
+        );
+    }
+
+    // Collect the cyclic point sequence.
+    let mut pts: Vec<Point2> = Vec::new();
+    for (_, a, b) in &edges {
+        for p in [*a, *b] {
+            if pts.last() != Some(&p) {
+                pts.push(p);
+            }
+        }
+    }
+    while pts.len() > 1 && pts.first() == pts.last() {
+        pts.pop();
+    }
+
+    Some(StaticSample {
+        points: pts,
+        edges,
+        perimeter,
+        refinements,
+        grid,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::hull::monotone_chain;
+
+    fn circle_points(n: usize, radius: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                Point2::new(radius * t.cos(), radius * t.sin())
+            })
+            .collect()
+    }
+
+    fn ellipse_points(n: usize, aspect: f64, rot: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                let v = geom::Vec2::new(aspect * t.cos(), t.sin()).rotate(rot);
+                Point2::ORIGIN + v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sample_budget_matches_lemma_4_2() {
+        // At most r uniform extrema + r + 1 adaptive ones.
+        for r in [8u32, 16, 32, 64] {
+            let pts = ellipse_points(5000, 16.0, 0.1);
+            let s = adaptive_sample_static(&pts, r, None).unwrap();
+            assert!(
+                s.sample_size() <= (2 * r + 1) as usize,
+                "r={r}: {} samples",
+                s.sample_size()
+            );
+            assert!(
+                s.refinements <= (2 * r + 2) as usize,
+                "r={r}: {} refinements (Lemma 4.1 allows ~r+1 weight-reducing ones, \
+                 each split counts once here)",
+                s.refinements
+            );
+        }
+    }
+
+    #[test]
+    fn error_bound_matches_lemma_4_3() {
+        // Every uncertainty triangle height is O(D/r²); the paper's constant
+        // works out below 2πP/r² ≤ 2π²D/r² for the worst k.
+        for r in [16u32, 32, 64] {
+            let pts = circle_points(10000, 5.0);
+            let s = adaptive_sample_static(&pts, r, None).unwrap();
+            let d = 10.0;
+            let bound =
+                4.0 * core::f64::consts::PI * core::f64::consts::PI * d / (r as f64 * r as f64);
+            for t in s.uncertainty_triangles() {
+                assert!(
+                    t.height() <= bound,
+                    "r={r}: triangle height {} > bound {bound}",
+                    t.height()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quadratic_error_decay() {
+        // On a circle every uniform edge sits right at the refinement
+        // threshold (w ≈ 1), so the constant in h·r² jitters between
+        // adjacent r values depending on whether the extremal edge got one
+        // more refinement. The robust quadratic-decay statements are:
+        // (a) heights never increase with r, and (b) across the whole sweep
+        // 16 -> 128 the total decay is the quadratic (8² = 64) up to a
+        // constant-factor allowance.
+        let pts = circle_points(20000, 1.0);
+        let heights: Vec<f64> = [16u32, 32, 64, 128]
+            .iter()
+            .map(|&r| {
+                adaptive_sample_static(&pts, r, None)
+                    .unwrap()
+                    .uncertainty_triangles()
+                    .iter()
+                    .map(|t| t.height())
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+        for w in heights.windows(2) {
+            assert!(
+                w[1] <= w[0] * 1.01,
+                "heights must not grow with r: {heights:?}"
+            );
+        }
+        let total = heights[0] / heights[3];
+        assert!(
+            total >= 64.0 / 8.0,
+            "8x r should give ~64x less error (allowing 8x constant drift): {heights:?}"
+        );
+        // And h·r² stays bounded (the O(D/r²) constant).
+        for (h, r) in heights.iter().zip([16.0f64, 32.0, 64.0, 128.0]) {
+            assert!(h * r * r <= 16.0, "h·r² = {} too large", h * r * r);
+        }
+    }
+
+    #[test]
+    fn all_samples_are_input_points_and_hull_is_inside() {
+        let pts = ellipse_points(3000, 8.0, 0.37);
+        let s = adaptive_sample_static(&pts, 16, None).unwrap();
+        for p in &s.points {
+            assert!(pts.contains(p));
+        }
+        let truth = monotone_chain(&pts);
+        let truth_poly = geom::ConvexPolygon::from_ccw_unchecked(truth);
+        for &v in s.hull().vertices() {
+            assert!(truth_poly.contains_linear(v));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(adaptive_sample_static(&[], 16, None).is_none());
+        let one = adaptive_sample_static(&[Point2::new(1.0, 2.0)], 16, None).unwrap();
+        assert_eq!(one.sample_size(), 1);
+        let seg: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let s = adaptive_sample_static(&seg, 16, None).unwrap();
+        assert!(s.sample_size() <= 4, "collinear set needs few samples");
+        assert_eq!(s.hull().len(), 2);
+    }
+
+    #[test]
+    fn depth_zero_reduces_to_uniform() {
+        let pts = ellipse_points(1000, 16.0, 0.2);
+        let s = adaptive_sample_static(&pts, 16, Some(0)).unwrap();
+        assert_eq!(s.refinements, 0);
+        assert!(s.sample_size() <= 16);
+    }
+}

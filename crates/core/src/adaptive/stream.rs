@@ -1,0 +1,964 @@
+//! The streaming adaptive hull — the paper's main result (§5, Theorem 5.4).
+//!
+//! # Structure
+//!
+//! A [`UniformHull`] maintains the extrema in the `r` uniform directions,
+//! the hull `A` of those extrema, and its perimeter `P`. On top of it, one
+//! *refinement tree* per uniform sector `[jθ0, (j+1)θ0]` records adaptively
+//! chosen bisection directions (§5.1). A tree node covers a dyadic
+//! direction range and stores, at its leaves, the extrema at the range
+//! boundaries; an internal node's bisecting direction is an *active
+//! adaptive sample direction* whose extremum is the shared endpoint of its
+//! children.
+//!
+//! # Per-point update (Algorithm AdaptiveHull, §5.2)
+//!
+//! 1. If `q` is inside `A` it cannot beat any active direction (every
+//!    stored extremum dominates `A`'s support at its own direction):
+//!    discard after one `O(log r)` point location. This implements step 1 —
+//!    the "ring of uncertainty triangles" is exactly the intersection of
+//!    the supporting half-planes at all active directions.
+//! 2. Otherwise [`UniformHull::insert_detailed`] reports the *beaten arc*:
+//!    the continuous range of directions in which `q` beats the stored
+//!    support. Only sectors intersecting the arc can contain affected
+//!    refinement-tree nodes (the arc is computed against `A ⊆ A'`, hence a
+//!    superset of the directions beaten against the adaptive hull `A'`).
+//! 3. Each affected tree is updated recursively: leaves merge `q` into
+//!    beaten endpoints and re-refine while `w(e) > 1` (bounded by the depth
+//!    cap `k`); internal nodes whose subtree changed refresh their
+//!    unrefinement threshold or collapse immediately when `w(e) <= 1`
+//!    (steps 3/5).
+//! 4. Since `P` may have grown, due entries are drained from the
+//!    unrefinement queue (step 4). With the power-of-two
+//!    [`crate::adaptive::queue::BucketQueue`] this may
+//!    unrefine up to a factor 2 early, as §5.3 allows.
+
+use crate::adaptive::arena::{Arena, NodeId};
+use crate::adaptive::queue::{BucketQueue, HeapQueue, UnrefineQueue};
+use crate::adaptive::weight::{slant, unrefine_threshold, weight};
+use crate::summary::HullSummary;
+use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
+use core::f64::consts::TAU;
+use geom::dyadic::{DirGrid, DirRange};
+use geom::{ConvexPolygon, Point2, UncertaintyTriangle};
+
+/// Which unrefinement queue the adaptive hull uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Binary min-heap: exact thresholds, `O(log r)` per operation.
+    #[default]
+    Heap,
+    /// Power-of-two buckets: `O(1)` per operation, unrefines up to a factor
+    /// of two early (§5.3; error stays `O(D/r²)`).
+    Bucket,
+}
+
+#[derive(Debug, Clone)]
+enum QueueImpl {
+    Heap(HeapQueue),
+    Bucket(BucketQueue),
+}
+
+impl QueueImpl {
+    fn push(&mut self, threshold: f64, id: NodeId) {
+        match self {
+            QueueImpl::Heap(q) => q.push(threshold, id),
+            QueueImpl::Bucket(q) => q.push(threshold, id),
+        }
+    }
+    fn pop_due(&mut self, p: f64) -> Option<(f64, NodeId)> {
+        match self {
+            QueueImpl::Heap(q) => q.pop_due(p),
+            QueueImpl::Bucket(q) => q.pop_due(p),
+        }
+    }
+    /// Is a node with (recomputed) threshold `t` due at perimeter `p` under
+    /// this queue's rounding discipline?
+    fn due(&self, t: f64, p: f64) -> bool {
+        match self {
+            QueueImpl::Heap(_) => t <= p,
+            QueueImpl::Bucket(_) => {
+                if t <= 0.0 {
+                    true
+                } else {
+                    t.log2().floor().exp2() <= p
+                }
+            }
+        }
+    }
+    fn len(&self) -> usize {
+        match self {
+            QueueImpl::Heap(q) => q.len(),
+            QueueImpl::Bucket(q) => q.len(),
+        }
+    }
+}
+
+/// Configuration for [`AdaptiveHull`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveHullConfig {
+    /// Number of uniform sample directions (power of two, `>= 8`).
+    pub r: u32,
+    /// Refinement-tree height limit `k` (`None` = the paper's `log2 r`).
+    pub depth: Option<u32>,
+    /// Unrefinement queue implementation.
+    pub queue: QueueKind,
+}
+
+impl AdaptiveHullConfig {
+    /// Default configuration for a given `r`.
+    pub fn new(r: u32) -> Self {
+        AdaptiveHullConfig {
+            r,
+            depth: None,
+            queue: QueueKind::Heap,
+        }
+    }
+
+    /// Sets the tree height limit.
+    pub fn with_depth(mut self, k: u32) -> Self {
+        self.depth = Some(k);
+        self
+    }
+
+    /// Selects the unrefinement queue.
+    pub fn with_queue(mut self, q: QueueKind) -> Self {
+        self.queue = q;
+        self
+    }
+}
+
+/// A refinement-tree node.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    range: DirRange,
+    kind: NodeKind,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum NodeKind {
+    /// Hull edge: `a` is the stored extremum at `range.lo`, `b` at
+    /// `range.hi`. A *vertex node* (paper Fig. 7) is the degenerate case
+    /// `a == b`.
+    Leaf { a: Point2, b: Point2 },
+    /// Refined edge; the bisecting direction `range.mid()` is an active
+    /// sample direction whose extremum is the children's shared endpoint.
+    Internal { left: NodeId, right: NodeId },
+}
+
+/// The streaming adaptive-sampling convex hull summary (Theorem 5.4).
+///
+/// Keeps at most `2r + 1` stream points; the hull of the sample is within
+/// `O(D/r²)` of the true convex hull at all times.
+///
+/// # Example
+/// ```
+/// use adaptive_hull::{AdaptiveHull, AdaptiveHullConfig, HullSummary};
+/// use geom::Point2;
+///
+/// let mut hull = AdaptiveHull::new(AdaptiveHullConfig::new(16));
+/// for i in 0..1000 {
+///     let t = i as f64 * 0.1;
+///     hull.insert(Point2::new(t.cos() * 10.0, t.sin() * 3.0));
+/// }
+/// assert!(hull.sample_size() <= 2 * 16 + 1);
+/// let poly = hull.hull();
+/// assert!(poly.len() >= 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaptiveHull {
+    grid: DirGrid,
+    uniform: UniformHull,
+    arena: Arena<Node>,
+    /// Root node per uniform sector; empty until the first point.
+    roots: Vec<NodeId>,
+    queue: QueueImpl,
+    internal_count: usize,
+}
+
+impl AdaptiveHull {
+    /// Creates the summary.
+    pub fn new(config: AdaptiveHullConfig) -> Self {
+        let depth = config.depth.unwrap_or_else(|| config.r.trailing_zeros());
+        let grid = DirGrid::new(config.r, depth);
+        AdaptiveHull {
+            grid,
+            uniform: UniformHull::new(config.r),
+            arena: Arena::new(),
+            roots: Vec::new(),
+            queue: match config.queue {
+                QueueKind::Heap => QueueImpl::Heap(HeapQueue::new()),
+                QueueKind::Bucket => QueueImpl::Bucket(BucketQueue::new()),
+            },
+            internal_count: 0,
+        }
+    }
+
+    /// Convenience constructor with defaults.
+    pub fn with_r(r: u32) -> Self {
+        Self::new(AdaptiveHullConfig::new(r))
+    }
+
+    /// Number of uniform directions `r`.
+    pub fn r(&self) -> u32 {
+        self.grid.r()
+    }
+
+    /// The direction grid in use.
+    pub fn grid(&self) -> &DirGrid {
+        &self.grid
+    }
+
+    /// Number of active adaptive sample directions (= internal tree nodes).
+    pub fn adaptive_direction_count(&self) -> usize {
+        self.internal_count
+    }
+
+    /// The underlying uniform structure (perimeter `P`, uniform extrema).
+    pub fn uniform(&self) -> &UniformHull {
+        &self.uniform
+    }
+
+    /// Queue length (diagnostics; includes stale lazy entries).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Absorbs another summary built over a *different* part of the same
+    /// logical stream (distributed aggregation: each sensor gateway keeps
+    /// its own `AdaptiveHull` and a collector merges them).
+    ///
+    /// Every sample point of `other` — each an actual stream point — is
+    /// re-inserted here, and the seen-count is carried over. The merged
+    /// hull's error against the union stream is at most the sum of the two
+    /// parts' errors plus this summary's own `O(D/r²)` (each part's true
+    /// hull is within its error of its sample, and the samples are then
+    /// summarised once more).
+    pub fn merge_from(&mut self, other: &AdaptiveHull) {
+        let pts = other.sample_points();
+        let carried = other.points_seen().saturating_sub(pts.len() as u64);
+        for p in pts {
+            self.insert(p);
+        }
+        self.uniform.add_seen(carried);
+    }
+
+    // ------------------------------------------------------------------
+    // Tree plumbing
+    // ------------------------------------------------------------------
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.arena
+            .get(id)
+            .expect("dangling refinement-tree node id")
+    }
+
+    /// Stored extremum at the left boundary of `id`'s range.
+    fn leftmost(&self, id: NodeId) -> Point2 {
+        let mut cur = id;
+        loop {
+            match self.node(cur).kind {
+                NodeKind::Leaf { a, .. } => return a,
+                NodeKind::Internal { left, .. } => cur = left,
+            }
+        }
+    }
+
+    /// Stored extremum at the right boundary of `id`'s range.
+    fn rightmost(&self, id: NodeId) -> Point2 {
+        let mut cur = id;
+        loop {
+            match self.node(cur).kind {
+                NodeKind::Leaf { b, .. } => return b,
+                NodeKind::Internal { right, .. } => cur = right,
+            }
+        }
+    }
+
+    fn endpoints(&self, id: NodeId) -> (Point2, Point2) {
+        (self.leftmost(id), self.rightmost(id))
+    }
+
+    /// Frees a whole subtree, decrementing the active-direction count for
+    /// every internal node removed.
+    fn free_subtree(&mut self, id: NodeId) {
+        if let Some(node) = self.arena.remove(id) {
+            if let NodeKind::Internal { left, right } = node.kind {
+                self.internal_count -= 1;
+                self.free_subtree(left);
+                self.free_subtree(right);
+            }
+        }
+    }
+
+    /// Collapses an internal node back into a leaf (unrefinement).
+    fn collapse(&mut self, id: NodeId) {
+        let (a, b) = self.endpoints(id);
+        let node = self.node(id);
+        let NodeKind::Internal { left, right } = node.kind else {
+            return;
+        };
+        self.internal_count -= 1;
+        // Free children (their own Internal descendants decrement too).
+        if let Some(n) = self.arena.remove(left) {
+            if let NodeKind::Internal {
+                left: l2,
+                right: r2,
+            } = n.kind
+            {
+                self.internal_count -= 1;
+                self.free_subtree(l2);
+                self.free_subtree(r2);
+            }
+        }
+        if let Some(n) = self.arena.remove(right) {
+            if let NodeKind::Internal {
+                left: l2,
+                right: r2,
+            } = n.kind
+            {
+                self.internal_count -= 1;
+                self.free_subtree(l2);
+                self.free_subtree(r2);
+            }
+        }
+        let node = self.arena.get_mut(id).unwrap();
+        node.kind = NodeKind::Leaf { a, b };
+    }
+
+    /// Refines a leaf while its weight exceeds 1 (depth-capped). The mid
+    /// extremum is chosen among the stored endpoints — exactly the
+    /// information available in a single pass (§5.2 step 5).
+    fn try_refine(&mut self, id: NodeId) {
+        let node = *self.node(id);
+        let NodeKind::Leaf { a, b } = node.kind else {
+            return;
+        };
+        if a == b || !node.range.bisectable(&self.grid) {
+            return;
+        }
+        let p = self.uniform.perimeter();
+        let s = slant(&self.grid, &node.range, a, b);
+        if weight(s, node.range.depth, self.grid.r(), p) <= 1.0 {
+            return;
+        }
+        let mid = node.range.mid(&self.grid);
+        let um = self.grid.unit(mid);
+        let t = if a.dot(um) >= b.dot(um) { a } else { b };
+        let (lr, rr) = node.range.bisect(&self.grid);
+        let left = self.arena.insert(Node {
+            range: lr,
+            kind: NodeKind::Leaf { a, b: t },
+        });
+        let right = self.arena.insert(Node {
+            range: rr,
+            kind: NodeKind::Leaf { a: t, b },
+        });
+        let n = self.arena.get_mut(id).unwrap();
+        n.kind = NodeKind::Internal { left, right };
+        self.internal_count += 1;
+        self.queue
+            .push(unrefine_threshold(s, node.range.depth, self.grid.r()), id);
+        self.try_refine(left);
+        self.try_refine(right);
+    }
+
+    /// Does the node's angular range intersect the (padded) beaten arc?
+    fn range_overlaps_arc(&self, range: &DirRange, arc: &BeatenArc) -> bool {
+        const PAD: f64 = 1e-9;
+        let a_start = self.grid.angle(range.lo);
+        let a_span = range.width(&self.grid);
+        let b_start = arc.start;
+        let b_span = (arc.end - arc.start).rem_euclid(TAU);
+        let contains = |s: f64, span: f64, x: f64| ((x - s).rem_euclid(TAU)) <= span + 2.0 * PAD;
+        contains(a_start - PAD, a_span, b_start) || contains(b_start - PAD, b_span, a_start)
+    }
+
+    /// Recursive update of a tree with a new point `q`. Returns `true` iff
+    /// anything under `id` changed.
+    fn update_node(&mut self, id: NodeId, q: Point2, arc: &BeatenArc) -> bool {
+        let node = *self.node(id);
+        if !self.range_overlaps_arc(&node.range, arc) {
+            return false;
+        }
+        match node.kind {
+            NodeKind::Leaf { a, b } => {
+                let ul = self.grid.unit(node.range.lo);
+                let ur = self.grid.unit(node.range.hi);
+                let beats_l = q.dot(ul) > a.dot(ul);
+                let beats_r = q.dot(ur) > b.dot(ur);
+                if !beats_l && !beats_r {
+                    return false;
+                }
+                let n = self.arena.get_mut(id).unwrap();
+                n.kind = NodeKind::Leaf {
+                    a: if beats_l { q } else { a },
+                    b: if beats_r { q } else { b },
+                };
+                self.try_refine(id);
+                true
+            }
+            NodeKind::Internal { left, right } => {
+                let cl = self.update_node(left, q, arc);
+                let cr = self.update_node(right, q, arc);
+                if !(cl || cr) {
+                    return false;
+                }
+                // Endpoints may have moved: re-evaluate this node.
+                let (a, b) = self.endpoints(id);
+                let s = slant(&self.grid, &node.range, a, b);
+                let p = self.uniform.perimeter();
+                if weight(s, node.range.depth, self.grid.r(), p) <= 1.0 {
+                    self.collapse(id);
+                    // A collapsed edge may immediately need re-refinement
+                    // with the new endpoints (weights are not monotone in
+                    // endpoint moves); keep the leaf invariant.
+                    self.try_refine(id);
+                } else {
+                    self.queue
+                        .push(unrefine_threshold(s, node.range.depth, self.grid.r()), id);
+                }
+                true
+            }
+        }
+    }
+
+    /// Step 4: unrefine everything whose threshold the grown perimeter has
+    /// passed.
+    fn drain_queue(&mut self) {
+        let p = self.uniform.perimeter();
+        while let Some((_, id)) = self.queue.pop_due(p) {
+            let Some(node) = self.arena.get(id) else {
+                continue; // stale id
+            };
+            let node = *node;
+            let NodeKind::Internal { .. } = node.kind else {
+                continue; // node was collapsed and is a leaf now
+            };
+            let (a, b) = self.endpoints(id);
+            let s = slant(&self.grid, &node.range, a, b);
+            let t = unrefine_threshold(s, node.range.depth, self.grid.r());
+            if self.queue.due(t, p) {
+                self.collapse(id);
+            } else {
+                self.queue.push(t, id);
+            }
+        }
+    }
+
+    /// Circular range of sector indices whose trees the arc may touch
+    /// (padded one sector each side for floating-point safety).
+    fn sectors_for_arc(&self, arc: &BeatenArc) -> (u32, u32) {
+        let r = self.grid.r();
+        let theta0 = TAU / r as f64;
+        let s_start = (arc.start / theta0).floor() as i64;
+        let span = (arc.end - arc.start).rem_euclid(TAU);
+        let sectors_spanned = (span / theta0).ceil() as i64 + 1;
+        let first = (s_start - 1).rem_euclid(r as i64) as u32;
+        let count = (sectors_spanned + 2).min(r as i64) as u32;
+        (first, count)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection used by metrics, tests, and visualisation
+    // ------------------------------------------------------------------
+
+    /// In-order leaves (range, a, b) across all sectors.
+    pub(crate) fn leaves(&self) -> Vec<(DirRange, Point2, Point2)> {
+        let mut out = Vec::new();
+        for &root in &self.roots {
+            self.collect_leaves(root, &mut out);
+        }
+        out
+    }
+
+    fn collect_leaves(&self, id: NodeId, out: &mut Vec<(DirRange, Point2, Point2)>) {
+        let node = self.node(id);
+        match node.kind {
+            NodeKind::Leaf { a, b } => out.push((node.range, a, b)),
+            NodeKind::Internal { left, right } => {
+                self.collect_leaves(left, out);
+                self.collect_leaves(right, out);
+            }
+        }
+    }
+
+    /// The uncertainty triangles of the current adaptive hull's
+    /// (non-degenerate) edges — the paper's per-edge error certificates.
+    pub fn uncertainty_triangles(&self) -> Vec<UncertaintyTriangle> {
+        self.leaves()
+            .into_iter()
+            .filter(|(_, a, b)| a != b)
+            .map(|(range, a, b)| crate::adaptive::weight::uncertainty(&self.grid, &range, a, b))
+            .collect()
+    }
+
+    /// Distinct stored sample points, in direction order.
+    pub fn sample_points(&self) -> Vec<Point2> {
+        let mut pts = Vec::new();
+        for (_, a, b) in self.leaves() {
+            for p in [a, b] {
+                if pts.last() != Some(&p) {
+                    pts.push(p);
+                }
+            }
+        }
+        // Cross-sector duplicates and the wrap-around duplicate.
+        let mut dedup: Vec<Point2> = Vec::with_capacity(pts.len());
+        for p in pts {
+            if dedup.last() == Some(&p) {
+                continue;
+            }
+            dedup.push(p);
+        }
+        while dedup.len() > 1 && dedup.first() == dedup.last() {
+            dedup.pop();
+        }
+        dedup
+    }
+
+    /// Verifies the structural invariants (used heavily in tests):
+    /// adjacent leaves share endpoints, sector boundaries agree with the
+    /// uniform extrema, and every internal node still deserves to exist
+    /// (`w > 1`, up to the queue's factor-2 rounding).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.roots.is_empty() {
+            return Ok(());
+        }
+        let r = self.grid.r();
+        if self.roots.len() != r as usize {
+            return Err(format!("{} roots for r = {r}", self.roots.len()));
+        }
+        let leaves = self.leaves();
+        // 1. Leaf ranges tile the circle in order.
+        let mut expected = geom::dyadic::Dir(0);
+        for (range, _, _) in &leaves {
+            if range.lo != expected {
+                return Err(format!(
+                    "leaf range gap at {:?}, expected lo {:?}",
+                    range, expected
+                ));
+            }
+            expected = range.hi;
+        }
+        if expected != geom::dyadic::Dir(0) {
+            return Err("leaf ranges do not close the circle".into());
+        }
+        // 2. Adjacent leaves share their boundary extremum.
+        for w in leaves.windows(2) {
+            let (_, _, b0) = w[0];
+            let (_, a1, _) = w[1];
+            if b0 != a1 {
+                return Err(format!("adjacent leaves disagree: {b0:?} vs {a1:?}"));
+            }
+        }
+        let (_, first_a, _) = leaves[0];
+        let (_, _, last_b) = leaves[leaves.len() - 1];
+        if first_a != last_b {
+            return Err("wrap-around leaves disagree".into());
+        }
+        // 3. Sector boundary extrema match the uniform structure.
+        for (range, a, _) in &leaves {
+            if range.lo.0 % self.grid.sector_steps() == 0 {
+                let j = self.grid.sector_of(range.lo);
+                let e = self.uniform.extremum(j).expect("uniform initialised");
+                let u = self.uniform.unit(j);
+                if (e.dot(u) - a.dot(u)).abs() > 1e-9 * e.dot(u).abs().max(1.0) {
+                    return Err(format!(
+                        "sector {j} boundary extremum mismatch: tree {a:?} vs uniform {e:?}"
+                    ));
+                }
+            }
+        }
+        // 4. Every internal node has weight > 1 after draining.
+        let p = self.uniform.perimeter();
+        for &root in &self.roots {
+            self.check_internal_weights(root, p)?
+        }
+        Ok(())
+    }
+
+    fn check_internal_weights(&self, id: NodeId, p: f64) -> Result<(), String> {
+        let node = self.node(id);
+        if let NodeKind::Internal { left, right } = node.kind {
+            let (a, b) = self.endpoints(id);
+            let s = slant(&self.grid, &node.range, a, b);
+            let w = weight(s, node.range.depth, self.grid.r(), p);
+            if w <= 1.0 - 1e-9 {
+                return Err(format!(
+                    "internal node {:?} has weight {w} <= 1 (should have unrefined)",
+                    node.range
+                ));
+            }
+            self.check_internal_weights(left, p)?;
+            self.check_internal_weights(right, p)?;
+        }
+        Ok(())
+    }
+}
+
+impl HullSummary for AdaptiveHull {
+    fn insert(&mut self, q: Point2) {
+        match self.uniform.insert_detailed(q) {
+            UniformEffect::First => {
+                let r = self.grid.r();
+                self.roots = (0..r)
+                    .map(|j| {
+                        self.arena.insert(Node {
+                            range: DirRange::sector(&self.grid, j),
+                            kind: NodeKind::Leaf { a: q, b: q },
+                        })
+                    })
+                    .collect();
+            }
+            UniformEffect::Interior => {}
+            UniformEffect::Outside { arc, .. } => {
+                let (first, count) = self.sectors_for_arc(&arc);
+                let r = self.grid.r();
+                for i in 0..count {
+                    let s = (first + i) % r;
+                    let root = self.roots[s as usize];
+                    self.update_node(root, q, &arc);
+                }
+                self.drain_queue();
+            }
+        }
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.sample_points())
+    }
+
+    fn sample_size(&self) -> usize {
+        let mut pts = self.sample_points();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.uniform.points_seen()
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn lcg_points(seed: u64, n: usize, sx: f64, sy: f64) -> Vec<Point2> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| p((next() - 0.5) * sx, (next() - 0.5) * sy))
+            .collect()
+    }
+
+    fn feed(hull: &mut AdaptiveHull, pts: &[Point2], check_every: usize) {
+        for (i, &q) in pts.iter().enumerate() {
+            hull.insert(q);
+            if check_every > 0 && i % check_every == 0 {
+                hull.check_invariants()
+                    .unwrap_or_else(|e| panic!("after point {i}: {e}"));
+            }
+        }
+        hull.check_invariants().expect("final invariants");
+    }
+
+    #[test]
+    fn single_point_stream() {
+        let mut h = AdaptiveHull::with_r(8);
+        h.insert(p(3.0, 4.0));
+        h.check_invariants().unwrap();
+        assert_eq!(h.sample_size(), 1);
+        assert_eq!(h.hull().len(), 1);
+        assert_eq!(h.adaptive_direction_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_points_stay_degenerate() {
+        let mut h = AdaptiveHull::with_r(8);
+        for _ in 0..100 {
+            h.insert(p(1.0, 1.0));
+        }
+        assert_eq!(h.sample_size(), 1);
+        assert_eq!(h.points_seen(), 100);
+    }
+
+    #[test]
+    fn collinear_stream() {
+        let mut h = AdaptiveHull::with_r(16);
+        let pts: Vec<Point2> = (0..200)
+            .map(|i| p(i as f64 * 0.1, i as f64 * 0.2))
+            .collect();
+        feed(&mut h, &pts, 7);
+        let hull = h.hull();
+        assert_eq!(hull.len(), 2, "collinear stream has a segment hull");
+        let d = geom::calipers::diameter(&hull).unwrap().2;
+        let expect = p(0.0, 0.0).distance(p(19.9, 39.8));
+        assert!((d - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_cloud_invariants_and_budget() {
+        for r in [8u32, 16, 32] {
+            let mut h = AdaptiveHull::with_r(r);
+            let pts = lcg_points(42 + r as u64, 3000, 20.0, 20.0);
+            feed(&mut h, &pts, 31);
+            assert!(
+                h.sample_size() <= (2 * r + 1) as usize,
+                "r={r}: sample {} exceeds 2r+1",
+                h.sample_size()
+            );
+            assert!(
+                h.adaptive_direction_count() <= (r + 1) as usize,
+                "r={r}: {} adaptive directions exceeds r+1",
+                h.adaptive_direction_count()
+            );
+        }
+    }
+
+    #[test]
+    fn skinny_ellipse_budget_and_invariants() {
+        // The adaptive scheme's home turf: aspect-16 ellipse.
+        let mut s = 7u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..5000)
+            .map(|_| {
+                let (x, y) = loop {
+                    let x = next() * 2.0 - 1.0;
+                    let y = next() * 2.0 - 1.0;
+                    if x * x + y * y <= 1.0 {
+                        break (x, y);
+                    }
+                };
+                let v = geom::Vec2::new(x * 16.0, y).rotate(0.13);
+                Point2::ORIGIN + v
+            })
+            .collect();
+        let r = 16u32;
+        let mut h = AdaptiveHull::with_r(r);
+        feed(&mut h, &pts, 53);
+        assert!(
+            h.sample_size() <= (2 * r + 1) as usize,
+            "sample {}",
+            h.sample_size()
+        );
+        assert!(
+            h.adaptive_direction_count() > 0,
+            "ellipse must trigger refinement"
+        );
+    }
+
+    #[test]
+    fn approx_hull_is_inside_exact_hull() {
+        use crate::exact::ExactHull;
+        let pts = lcg_points(5, 2000, 30.0, 10.0);
+        let mut a = AdaptiveHull::with_r(16);
+        let mut e = ExactHull::new();
+        for &q in &pts {
+            a.insert(q);
+            e.insert(q);
+        }
+        let exact = e.hull();
+        for &v in a.hull().vertices() {
+            assert!(
+                exact.contains_linear(v),
+                "adaptive hull vertex {v:?} outside the exact hull"
+            );
+        }
+        // Every sample is an actual input point.
+        for s in a.sample_points() {
+            assert!(pts.contains(&s), "sample {s:?} is not an input point");
+        }
+    }
+
+    #[test]
+    fn error_bound_on_circle_stream() {
+        use crate::exact::ExactHull;
+        // Points on a circle of radius R: D = 2R. The adaptive error must be
+        // O(D/r²) with a modest constant (16π P / r² is the paper's d_∞).
+        let pts: Vec<Point2> = (0..4000)
+            .map(|i| {
+                let t = TAU * (i as f64) * 0.618033988749895;
+                p(5.0 * t.cos(), 5.0 * t.sin())
+            })
+            .collect();
+        for r in [16u32, 32, 64] {
+            let mut a = AdaptiveHull::with_r(r);
+            let mut e = ExactHull::new();
+            for &q in &pts {
+                a.insert(q);
+                e.insert(q);
+            }
+            let err = a.hull().directed_hausdorff_from(&e.hull());
+            let d = 10.0;
+            let bound =
+                16.0 * core::f64::consts::PI * core::f64::consts::PI * d / (r as f64 * r as f64);
+            assert!(err <= bound, "r={r}: error {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn adaptive_beats_uniform_on_rotated_ellipse() {
+        use crate::exact::ExactHull;
+        use crate::uniform::NaiveUniformHull;
+        let mut s = 11u64;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rot = TAU / 32.0 / 4.0; // θ0/4 for r = 32
+        let pts: Vec<Point2> = (0..20000)
+            .map(|_| {
+                let (x, y) = loop {
+                    let x = next() * 2.0 - 1.0;
+                    let y = next() * 2.0 - 1.0;
+                    if x * x + y * y <= 1.0 {
+                        break (x, y);
+                    }
+                };
+                let v = geom::Vec2::new(x * 16.0, y).rotate(rot);
+                Point2::ORIGIN + v
+            })
+            .collect();
+        // Equal sample budget: uniform with 2r directions vs adaptive r.
+        let mut uni = NaiveUniformHull::new(32);
+        let mut ada = AdaptiveHull::with_r(16);
+        let mut exact = ExactHull::new();
+        for &q in &pts {
+            uni.insert(q);
+            ada.insert(q);
+            exact.insert(q);
+        }
+        let truth = exact.hull();
+        let ue = uni.hull().directed_hausdorff_from(&truth);
+        let ae = ada.hull().directed_hausdorff_from(&truth);
+        assert!(
+            ae < ue,
+            "adaptive ({ae}) should beat uniform ({ue}) on the rotated ellipse"
+        );
+    }
+
+    #[test]
+    fn spiral_stress_with_bucket_queue() {
+        for kind in [QueueKind::Heap, QueueKind::Bucket] {
+            let mut h = AdaptiveHull::new(AdaptiveHullConfig::new(16).with_queue(kind));
+            let pts: Vec<Point2> = (0..2000)
+                .map(|i| {
+                    let t = 2.399963229728653 * i as f64;
+                    let rad = 1.0 + 0.01 * i as f64;
+                    p(rad * t.cos(), rad * t.sin())
+                })
+                .collect();
+            feed(&mut h, &pts, 101);
+            assert!(
+                h.sample_size() <= 33,
+                "{kind:?}: sample {}",
+                h.sample_size()
+            );
+            // The final hull approximates a disk of radius ~21.
+            let d = geom::calipers::diameter(&h.hull()).unwrap().2;
+            assert!(d > 38.0 && d < 42.5, "{kind:?}: diameter {d}");
+        }
+    }
+
+    #[test]
+    fn merge_from_preserves_error_bound() {
+        use crate::exact::ExactHull;
+        // Two gateways each see half the stream; the collector merges.
+        let all = lcg_points(99, 4000, 30.0, 10.0);
+        let (first, second) = all.split_at(2000);
+        let r = 16u32;
+        let mut g1 = AdaptiveHull::with_r(r);
+        let mut g2 = AdaptiveHull::with_r(r);
+        for &p in first {
+            g1.insert(p);
+        }
+        for &p in second {
+            g2.insert(p);
+        }
+        let mut merged = g1.clone();
+        merged.merge_from(&g2);
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.points_seen(), 4000);
+        assert!(merged.sample_size() <= (2 * r + 1) as usize);
+
+        let mut exact = ExactHull::new();
+        for &p in &all {
+            exact.insert(p);
+        }
+        let err = merged.hull().directed_hausdorff_from(&exact.hull());
+        // Sum of three O(D/r²) terms with the paper constant is generous.
+        let bound = 3.0 * 16.0 * core::f64::consts::PI * merged.uniform().perimeter()
+            / (r as f64 * r as f64);
+        assert!(err <= bound, "merged error {err} > {bound}");
+        // Merge must dominate neither direction: merged hull contains both
+        // parts' hulls up to their own error (sanity: vertices inside exact).
+        for &v in merged.hull().vertices() {
+            assert!(exact.hull().contains_linear(v));
+        }
+    }
+
+    #[test]
+    fn depth_zero_is_uniform_sampling() {
+        // k = 0 disables refinement: behaves like the uniform hull (§5.1).
+        let pts = lcg_points(13, 1000, 10.0, 3.0);
+        let mut h = AdaptiveHull::new(AdaptiveHullConfig::new(16).with_depth(0));
+        let mut u = UniformHull::new(16);
+        for &q in &pts {
+            h.insert(q);
+            u.insert(q);
+        }
+        assert_eq!(h.adaptive_direction_count(), 0);
+        assert_eq!(h.hull().vertices(), u.hull().vertices());
+    }
+
+    #[test]
+    fn uncertainty_triangles_cover_all_points() {
+        // Invariant behind step 1: every stream point is inside the union
+        // of the adaptive hull and its uncertainty triangles, *at the time
+        // it arrives*. We verify a weaker but testable form: at the end, every
+        // point is within the max triangle height of the hull.
+        let pts = lcg_points(17, 1500, 12.0, 12.0);
+        let mut h = AdaptiveHull::with_r(16);
+        for &q in &pts {
+            h.insert(q);
+        }
+        let hull = h.hull();
+        let max_h = h
+            .uncertainty_triangles()
+            .iter()
+            .map(|t| t.height())
+            .fold(0.0f64, f64::max);
+        // Lemma 5.1/Corollary 5.2: discarded points may additionally sit up
+        // to d_∞ = 16πP/r² beyond the current supporting lines.
+        let slack = 16.0 * core::f64::consts::PI * h.uniform().perimeter() / (16.0f64 * 16.0);
+        for &q in &pts {
+            let d = hull.distance_to_point(q);
+            assert!(
+                d <= max_h + slack,
+                "point {q:?} lies {d} outside, max uncertainty {max_h} + slack {slack}"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! A static Dudley-style ε-kernel (the technique behind the core-set
+//! algorithms of Agarwal–Har-Peled–Varadarajan and Chan, §1.2), included as
+//! a comparison point for the static adaptive scheme of §4.
+//!
+//! Dudley's construction: place `m` evenly spaced anchor points on a circle
+//! of radius `2·radius(S)` around the set, and for each anchor keep its
+//! nearest neighbour in `S` (we use the nearest *hull vertex*, which is
+//! equivalent for extent purposes). The resulting subset has Hausdorff
+//! error `O(D/m²)` — the same asymptotics as adaptive sampling, but as a
+//! global, offline technique with a larger constant and no streaming story,
+//! which is exactly the contrast the paper draws.
+
+use core::f64::consts::TAU;
+use geom::{ConvexPolygon, Point2, Vec2};
+
+/// Result of the Dudley construction.
+#[derive(Clone, Debug)]
+pub struct DudleyKernel {
+    /// The selected subset (distinct hull vertices of the input).
+    pub points: Vec<Point2>,
+    /// The anchors used (for visualisation/diagnostics).
+    pub anchors: Vec<Point2>,
+}
+
+impl DudleyKernel {
+    /// Convex hull of the kernel.
+    pub fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.points)
+    }
+
+    /// Number of distinct kernel points.
+    pub fn sample_size(&self) -> usize {
+        self.points.len()
+    }
+}
+
+/// Computes a Dudley kernel of `points` with `m` anchors.
+///
+/// Returns `None` on empty input. Degenerate inputs (all points equal or
+/// collinear) return their exact hull vertices.
+pub fn dudley_kernel(points: &[Point2], m: u32) -> Option<DudleyKernel> {
+    if points.is_empty() {
+        return None;
+    }
+    let hull = ConvexPolygon::hull_of(points);
+    if hull.len() <= 2 {
+        return Some(DudleyKernel {
+            points: hull.vertices().to_vec(),
+            anchors: Vec::new(),
+        });
+    }
+    let c = hull.centroid().expect("non-degenerate hull has a centroid");
+    let radius = hull
+        .vertices()
+        .iter()
+        .map(|&v| c.distance(v))
+        .fold(0.0f64, f64::max);
+    let anchor_radius = 2.0 * radius.max(f64::MIN_POSITIVE);
+
+    let mut selected: Vec<Point2> = Vec::with_capacity(m as usize);
+    let mut anchors = Vec::with_capacity(m as usize);
+    for i in 0..m {
+        let theta = TAU * i as f64 / m as f64;
+        let anchor = c + Vec2::from_angle(theta) * anchor_radius;
+        anchors.push(anchor);
+        let nearest = hull
+            .vertices()
+            .iter()
+            .copied()
+            .min_by(|a, b| {
+                anchor
+                    .distance_sq(*a)
+                    .partial_cmp(&anchor.distance_sq(*b))
+                    .unwrap()
+            })
+            .unwrap();
+        selected.push(nearest);
+    }
+    selected.sort_by(|a, b| a.lex_cmp(*b));
+    selected.dedup();
+    Some(DudleyKernel {
+        points: selected,
+        anchors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circle(n: usize, r: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = TAU * i as f64 / n as f64;
+                Point2::new(r * t.cos(), r * t.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_is_subset_with_bounded_error() {
+        let pts = circle(5000, 3.0);
+        let truth = ConvexPolygon::hull_of(&pts);
+        let k = dudley_kernel(&pts, 64).unwrap();
+        assert!(k.sample_size() <= 64);
+        for p in &k.points {
+            assert!(pts.contains(p));
+        }
+        let err = k.hull().directed_hausdorff_from(&truth);
+        let d = 6.0;
+        assert!(
+            err <= 8.0 * d / (64.0 * 64.0) * 20.0,
+            "error {err} too large"
+        );
+    }
+
+    #[test]
+    fn quadratic_decay() {
+        let pts = circle(20000, 1.0);
+        let truth = ConvexPolygon::hull_of(&pts);
+        let errs: Vec<f64> = [16u32, 32, 64, 128]
+            .iter()
+            .map(|&m| {
+                dudley_kernel(&pts, m)
+                    .unwrap()
+                    .hull()
+                    .directed_hausdorff_from(&truth)
+            })
+            .collect();
+        for w in errs.windows(2) {
+            assert!(w[0] / w[1] > 2.0, "expected ~quadratic decay, got {errs:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(dudley_kernel(&[], 16).is_none());
+        let one = dudley_kernel(&[Point2::new(1.0, 1.0)], 16).unwrap();
+        assert_eq!(one.sample_size(), 1);
+        let seg: Vec<Point2> = (0..9).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let k = dudley_kernel(&seg, 16).unwrap();
+        assert_eq!(k.sample_size(), 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Exact insert-only convex hull in `O(log n)` amortized time per point.
+//!
+//! This is the evaluation substrate: experiments measure approximate
+//! summaries against this ground truth. It maintains the upper and lower
+//! hull chains in ordered maps keyed by `x`; each insertion does two map
+//! searches plus amortized `O(1)` deletions (every point enters and leaves
+//! a chain at most once).
+//!
+//! Note this is **not** a small-space summary — it stores every hull vertex
+//! (possibly all `n` points). The paper's point is precisely that one can
+//! do with `2r + 1` points instead; see [`crate::adaptive`].
+
+use crate::summary::HullSummary;
+use core::cmp::Ordering;
+use geom::predicates::orient2d_sign;
+use geom::{ConvexPolygon, Point2};
+use std::collections::BTreeMap;
+
+/// Totally ordered `f64` key (finite values only).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct FiniteF64(f64);
+
+impl Eq for FiniteF64 {}
+impl PartialOrd for FiniteF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FiniteF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .partial_cmp(&other.0)
+            .expect("non-finite coordinate in ExactHull")
+    }
+}
+
+/// Which chain a [`Chain`] instance maintains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Side {
+    Upper,
+    Lower,
+}
+
+/// One monotone hull chain (upper or lower), keyed by `x`.
+#[derive(Clone, Debug)]
+struct Chain {
+    side: Side,
+    pts: BTreeMap<FiniteF64, f64>,
+}
+
+impl Chain {
+    fn new(side: Side) -> Self {
+        Chain {
+            side,
+            pts: BTreeMap::new(),
+        }
+    }
+
+    #[inline]
+    fn better(&self, candidate: f64, incumbent: f64) -> bool {
+        match self.side {
+            Side::Upper => candidate > incumbent,
+            Side::Lower => candidate < incumbent,
+        }
+    }
+
+    /// `true` iff walking left-to-right the triple `(a, b, c)` keeps `b` on
+    /// the strict chain (upper chains turn clockwise, lower chains turn
+    /// counterclockwise).
+    #[inline]
+    fn keeps(&self, a: Point2, b: Point2, c: Point2) -> bool {
+        let want = match self.side {
+            Side::Upper => Ordering::Less,
+            Side::Lower => Ordering::Greater,
+        };
+        orient2d_sign(a, b, c) == want
+    }
+
+    fn prev(&self, x: f64) -> Option<Point2> {
+        self.pts
+            .range(..FiniteF64(x))
+            .next_back()
+            .map(|(k, &v)| Point2::new(k.0, v))
+    }
+
+    fn next(&self, x: f64) -> Option<Point2> {
+        use core::ops::Bound::*;
+        self.pts
+            .range((Excluded(FiniteF64(x)), Unbounded))
+            .next()
+            .map(|(k, &v)| Point2::new(k.0, v))
+    }
+
+    /// Inserts `p`, restoring strict convexity. Returns `true` if the chain
+    /// changed.
+    fn insert(&mut self, p: Point2) -> bool {
+        // Same-x handling: keep only the better y.
+        if let Some(&y) = self.pts.get(&FiniteF64(p.x)) {
+            if !self.better(p.y, y) {
+                return false;
+            }
+            self.pts.remove(&FiniteF64(p.x));
+        }
+        let pred = self.prev(p.x);
+        let succ = self.next(p.x);
+        if let (Some(a), Some(b)) = (pred, succ) {
+            // Interior insertion: p must beat the segment a..b strictly.
+            if !self.keeps(a, p, b) {
+                return false;
+            }
+        }
+        self.pts.insert(FiniteF64(p.x), p.y);
+
+        // Fix convexity to the right of p.
+        while let Some(n1) = self.next(p.x) {
+            let Some(n2) = self.next(n1.x) else { break };
+            if self.keeps(p, n1, n2) {
+                break;
+            }
+            self.pts.remove(&FiniteF64(n1.x));
+        }
+        // Fix convexity to the left of p.
+        while let Some(p1) = self.prev(p.x) {
+            let Some(p2) = self.prev(p1.x) else { break };
+            if self.keeps(p2, p1, p) {
+                break;
+            }
+            self.pts.remove(&FiniteF64(p1.x));
+        }
+        true
+    }
+
+    fn iter(&self) -> impl DoubleEndedIterator<Item = Point2> + '_ {
+        self.pts.iter().map(|(k, &v)| Point2::new(k.0, v))
+    }
+
+    fn len(&self) -> usize {
+        self.pts.len()
+    }
+}
+
+/// Exact, insert-only convex hull of a point stream.
+///
+/// # Example
+/// ```
+/// use adaptive_hull::{ExactHull, HullSummary};
+/// use geom::Point2;
+///
+/// let mut hull = ExactHull::new();
+/// for p in [(0.0, 0.0), (4.0, 0.0), (2.0, 3.0), (2.0, 1.0)] {
+///     hull.insert(Point2::new(p.0, p.1));
+/// }
+/// assert_eq!(hull.hull().len(), 3); // (2,1) is interior
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExactHull {
+    upper: Chain,
+    lower: Chain,
+    seen: u64,
+}
+
+impl Default for ExactHull {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactHull {
+    /// Creates an empty exact hull.
+    pub fn new() -> Self {
+        ExactHull {
+            upper: Chain::new(Side::Upper),
+            lower: Chain::new(Side::Lower),
+            seen: 0,
+        }
+    }
+
+    /// Inserts a point; returns `true` iff the hull changed.
+    pub fn insert_point(&mut self, p: Point2) -> bool {
+        assert!(p.is_finite(), "ExactHull requires finite coordinates");
+        self.seen += 1;
+        let u = self.upper.insert(p);
+        let l = self.lower.insert(p);
+        u || l
+    }
+
+    /// Exact containment test against the current hull.
+    pub fn contains(&self, p: Point2) -> bool {
+        geom::locate::contains(&self.hull(), p)
+    }
+
+    /// Number of vertices currently on the hull.
+    pub fn hull_size(&self) -> usize {
+        let u = self.upper.len();
+        let l = self.lower.len();
+        if l <= 2 && u <= 2 {
+            // Degenerate: count distinct points.
+            return self.hull().len();
+        }
+        // Endpoints shared between the chains are counted once.
+        u + l - 2
+    }
+}
+
+impl HullSummary for ExactHull {
+    fn insert(&mut self, p: Point2) {
+        self.insert_point(p);
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        // ccw cycle: lower chain left-to-right, then upper chain
+        // right-to-left, dropping the shared endpoints from the upper pass.
+        let lower: Vec<Point2> = self.lower.iter().collect();
+        if lower.is_empty() {
+            return ConvexPolygon::empty();
+        }
+        let mut cycle = lower;
+        let first_x = cycle[0].x;
+        let last_x = cycle[cycle.len() - 1].x;
+        for p in self.upper.iter().rev() {
+            if p.x == last_x || p.x == first_x {
+                // Chain endpoints: already represented unless the extreme
+                // column has two distinct hull points (upper != lower y).
+                let twin = if p.x == last_x {
+                    cycle[cycle.len() - 1]
+                } else {
+                    cycle[0]
+                };
+                if p == twin {
+                    continue;
+                }
+            }
+            cycle.push(p);
+        }
+        // Remove a possible duplicate when the left column contributed the
+        // same point twice.
+        if cycle.len() > 1 && cycle[cycle.len() - 1] == cycle[0] {
+            cycle.pop();
+        }
+        geom::hull::canonicalize_ccw(&mut cycle);
+        if cycle.len() <= 2 {
+            cycle.dedup();
+            return ConvexPolygon::from_ccw_unchecked(cycle);
+        }
+        ConvexPolygon::from_ccw_unchecked(cycle)
+    }
+
+    fn sample_size(&self) -> usize {
+        self.hull_size()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::hull::monotone_chain;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn check_matches_batch(pts: &[Point2]) {
+        let mut h = ExactHull::new();
+        for &q in pts {
+            h.insert_point(q);
+        }
+        let want = monotone_chain(pts);
+        let got = h.hull();
+        assert_eq!(
+            got.vertices(),
+            want.as_slice(),
+            "batch mismatch for {} pts",
+            pts.len()
+        );
+    }
+
+    #[test]
+    fn simple_cases() {
+        check_matches_batch(&[]);
+        check_matches_batch(&[p(1.0, 1.0)]);
+        check_matches_batch(&[p(1.0, 1.0), p(1.0, 1.0)]);
+        check_matches_batch(&[p(0.0, 0.0), p(2.0, 0.0)]);
+        check_matches_batch(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 1.0)]);
+        check_matches_batch(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 0.0)]); // collinear
+    }
+
+    #[test]
+    fn vertical_line_points() {
+        check_matches_batch(&[p(1.0, 0.0), p(1.0, 5.0), p(1.0, 2.0), p(1.0, -3.0)]);
+    }
+
+    #[test]
+    fn square_with_interior() {
+        check_matches_batch(&[
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 4.0),
+            p(0.0, 4.0),
+            p(2.0, 2.0),
+            p(2.0, 0.0),
+            p(0.0, 2.0),
+        ]);
+    }
+
+    #[test]
+    fn insert_reports_change() {
+        let mut h = ExactHull::new();
+        assert!(h.insert_point(p(0.0, 0.0)));
+        assert!(h.insert_point(p(2.0, 0.0)));
+        assert!(h.insert_point(p(1.0, 2.0)));
+        assert!(
+            !h.insert_point(p(1.0, 0.5)),
+            "interior point changes nothing"
+        );
+        assert!(
+            !h.insert_point(p(1.0, 0.0)),
+            "boundary point changes nothing"
+        );
+        assert!(h.insert_point(p(1.0, -2.0)));
+        assert_eq!(h.points_seen(), 6);
+    }
+
+    #[test]
+    fn pseudorandom_stream_matches_batch_at_checkpoints() {
+        let mut seed = 0xabcdefu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..800)
+            .map(|_| p(next() * 20.0 - 10.0, next() * 6.0))
+            .collect();
+        let mut h = ExactHull::new();
+        for (i, &q) in pts.iter().enumerate() {
+            h.insert_point(q);
+            if i % 97 == 0 || i + 1 == pts.len() {
+                let want = monotone_chain(&pts[..=i]);
+                assert_eq!(h.hull().vertices(), want.as_slice(), "at point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_collinear_heavy_stream() {
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(p(i as f64, 0.0)); // bottom line
+            pts.push(p(i as f64, 10.0)); // top line
+            pts.push(p(25.0, i as f64 / 5.0)); // interior column
+            pts.push(p(i as f64, 0.0)); // duplicates
+        }
+        check_matches_batch(&pts);
+    }
+
+    #[test]
+    fn circle_keeps_every_point() {
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / 100.0;
+                p(t.cos(), t.sin())
+            })
+            .collect();
+        let mut h = ExactHull::new();
+        for &q in &pts {
+            h.insert_point(q);
+        }
+        assert_eq!(h.hull_size(), 100);
+        assert_eq!(h.hull().len(), 100);
+    }
+
+    #[test]
+    fn contains_query() {
+        let mut h = ExactHull::new();
+        for &q in &[p(0.0, 0.0), p(4.0, 0.0), p(4.0, 4.0), p(0.0, 4.0)] {
+            h.insert_point(q);
+        }
+        assert!(h.contains(p(2.0, 2.0)));
+        assert!(h.contains(p(0.0, 0.0)));
+        assert!(!h.contains(p(5.0, 2.0)));
+    }
+
+    #[test]
+    fn adversarial_spiral_matches_batch() {
+        let pts: Vec<Point2> = (0..300)
+            .map(|i| {
+                let t = 2.399963229728653 * i as f64;
+                let r = 1.0 + 0.01 * i as f64;
+                p(r * t.cos(), r * t.sin())
+            })
+            .collect();
+        check_matches_batch(&pts);
+    }
+}

@@ -1,0 +1,152 @@
+//! The "partially adaptive" hull of the paper's fourth experiment
+//! (Table 1, "Changing ellipse"): adaptive sample directions are chosen on
+//! a training prefix, then *frozen* — the extrema keep updating but the
+//! directions never change. The paper uses it as a cautionary baseline:
+//! a direction set tuned to the wrong distribution performs roughly as
+//! poorly as plain uniform sampling.
+
+use crate::summary::HullSummary;
+use geom::{ConvexPolygon, Point2, Vec2};
+
+/// A hull summary with an arbitrary *fixed* set of sample directions.
+#[derive(Clone, Debug)]
+pub struct FrozenHull {
+    dirs: Vec<Vec2>,
+    extrema: Vec<Point2>,
+    seen: u64,
+}
+
+impl FrozenHull {
+    /// Creates a frozen hull from `(direction, initial extremum)` pairs —
+    /// typically the output of
+    /// [`FixedBudgetAdaptiveHull::directions`](crate::adaptive::fixed_budget::FixedBudgetAdaptiveHull::directions)
+    /// after a training phase.
+    pub fn from_directions(pairs: Vec<(Vec2, Point2)>) -> Self {
+        let (dirs, extrema): (Vec<Vec2>, Vec<Point2>) = pairs.into_iter().unzip();
+        FrozenHull {
+            dirs,
+            extrema,
+            seen: 0,
+        }
+    }
+
+    /// Creates a frozen hull with the given directions and no extrema yet
+    /// (the first point will own all of them).
+    pub fn from_units(dirs: Vec<Vec2>) -> Self {
+        FrozenHull {
+            dirs,
+            extrema: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Number of fixed directions.
+    pub fn direction_count(&self) -> usize {
+        self.dirs.len()
+    }
+
+    /// The extremum for direction `i` (`None` before the first point when
+    /// constructed via [`FrozenHull::from_units`]).
+    pub fn extremum(&self, i: usize) -> Option<Point2> {
+        self.extrema.get(i).copied()
+    }
+
+    /// The `i`-th fixed direction.
+    pub fn direction(&self, i: usize) -> Option<Vec2> {
+        self.dirs.get(i).copied()
+    }
+}
+
+impl HullSummary for FrozenHull {
+    fn insert(&mut self, p: Point2) {
+        self.seen += 1;
+        if self.extrema.is_empty() {
+            self.extrema = vec![p; self.dirs.len()];
+            return;
+        }
+        for (e, u) in self.extrema.iter_mut().zip(&self.dirs) {
+            if p.dot(*u) > e.dot(*u) {
+                *e = p;
+            }
+        }
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.extrema)
+    }
+
+    fn sample_size(&self) -> usize {
+        let mut pts = self.extrema.clone();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "partial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::fixed_budget::FixedBudgetAdaptiveHull;
+
+    #[test]
+    fn tracks_extrema_in_its_directions() {
+        let dirs = vec![
+            Vec2::new(1.0, 0.0),
+            Vec2::new(0.0, 1.0),
+            Vec2::new(-1.0, 0.0),
+        ];
+        let mut f = FrozenHull::from_units(dirs);
+        f.insert(Point2::new(0.0, 0.0));
+        f.insert(Point2::new(5.0, 1.0));
+        f.insert(Point2::new(-2.0, 7.0));
+        assert_eq!(f.extremum(0), Some(Point2::new(5.0, 1.0)));
+        assert_eq!(f.extremum(1), Some(Point2::new(-2.0, 7.0)));
+        assert_eq!(f.extremum(2), Some(Point2::new(-2.0, 7.0)));
+        assert_eq!(f.points_seen(), 3);
+    }
+
+    #[test]
+    fn freeze_after_training() {
+        // Train a fixed-budget hull on a vertical segment cloud, freeze,
+        // then feed a horizontal one: the frozen hull should describe the
+        // horizontal extent poorly (that is its entire point).
+        let mut trainer = FixedBudgetAdaptiveHull::new(8);
+        for i in 0..500 {
+            let t = i as f64 / 500.0;
+            trainer.insert(Point2::new((t * 37.0).sin() * 0.1, t * 20.0 - 10.0));
+        }
+        let mut frozen = FrozenHull::from_directions(trainer.directions());
+        let n_dirs = frozen.direction_count();
+        assert!(n_dirs >= 8);
+        for i in 0..500 {
+            let t = i as f64 / 500.0;
+            frozen.insert(Point2::new(t * 40.0 - 20.0, (t * 57.0).sin() * 0.1));
+        }
+        assert_eq!(frozen.direction_count(), n_dirs, "directions never change");
+        // It still sees the x extremes (some direction has positive x
+        // component), so the hull diameter is roughly right...
+        let d = geom::calipers::diameter(&frozen.hull()).unwrap().2;
+        assert!(d > 30.0);
+    }
+
+    #[test]
+    fn sample_size_deduplicates() {
+        let mut f = FrozenHull::from_units(vec![
+            Vec2::new(1.0, 0.0),
+            Vec2::new(1.0, 0.1),
+            Vec2::new(1.0, -0.1),
+        ]);
+        f.insert(Point2::new(0.0, 0.0));
+        f.insert(Point2::new(10.0, 0.0));
+        // One point owns all three directions.
+        assert_eq!(f.sample_size(), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # sh-core — adaptive sampling convex-hull summaries
+//!
+//! Rust implementation of Hershberger & Suri, *"Adaptive sampling for
+//! geometric problems over data streams"* (PODS 2004 / Computational
+//! Geometry 39 (2008)).
+//!
+//! The flagship type is [`AdaptiveHull`]: a single-pass summary keeping at
+//! most `2r + 1` stream points whose convex hull is within `O(D/r²)` of the
+//! true hull (`D` = diameter), with `O(log r)`-flavoured per-point cost.
+//! Baselines and substrates:
+//!
+//! * [`ExactHull`] — exact insert-only hull (ground truth, not small-space);
+//! * [`NaiveUniformHull`] / [`UniformHull`] — `O(D/r)` uniform direction
+//!   sampling (§3, the FKZ baseline);
+//! * [`RadialHull`] — Cormode–Muthukrishnan radial histogram baseline;
+//! * [`FrozenHull`] — fixed direction set ("partially adaptive", Table 1);
+//! * [`adaptive`] — the static and streaming adaptive schemes (§4, §5);
+//! * [`queries`] — diameter/width/extent/separation/containment/overlap
+//!   (§6) plus a multi-stream tracker;
+//! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
+//!   points-outside, Hausdorff error vs the exact hull);
+//! * [`viz`] — SVG rendering of hulls, sample directions and uncertainty
+//!   triangles (Fig. 10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod cluster;
+pub mod dudley;
+pub mod exact;
+pub mod frozen;
+pub mod metrics;
+pub mod queries;
+pub mod radial;
+pub mod summary;
+pub mod uniform;
+pub mod viz;
+
+pub use adaptive::{AdaptiveHull, AdaptiveHullConfig, FixedBudgetAdaptiveHull};
+pub use cluster::{ClusterHull, ClusterHullConfig};
+pub use exact::ExactHull;
+pub use frozen::FrozenHull;
+pub use radial::RadialHull;
+pub use summary::HullSummary;
+pub use uniform::{NaiveUniformHull, UniformHull};

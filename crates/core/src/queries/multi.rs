@@ -1,0 +1,257 @@
+//! Multi-stream tracking (paper §1: "track the minimum distance between the
+//! convex hulls of two data streams", "report when datasets A and B are no
+//! longer linearly separable", "report when points of data stream A become
+//! completely surrounded by points of data stream B" — extended to any
+//! number of streams).
+//!
+//! Each named stream is summarised by an [`AdaptiveHull`]; after every
+//! batch of insertions the tracker re-evaluates all pairs and emits
+//! [`PairEvent`]s on state transitions.
+
+use crate::adaptive::stream::{AdaptiveHull, AdaptiveHullConfig};
+use crate::summary::HullSummary;
+use geom::{distance, ConvexPolygon, Point2};
+use std::collections::BTreeMap;
+
+/// Relationship between an ordered pair of streams.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PairState {
+    /// At least one stream is still empty.
+    Undefined,
+    /// Hulls are disjoint; carries the current minimum distance.
+    Separated(f64),
+    /// Hulls intersect but neither contains the other.
+    Intersecting,
+    /// The first stream's hull contains the second's.
+    Contains,
+    /// The second stream's hull contains the first's.
+    ContainedBy,
+}
+
+impl PairState {
+    fn same_kind(&self, other: &PairState) -> bool {
+        use PairState::*;
+        matches!(
+            (self, other),
+            (Undefined, Undefined)
+                | (Separated(_), Separated(_))
+                | (Intersecting, Intersecting)
+                | (Contains, Contains)
+                | (ContainedBy, ContainedBy)
+        )
+    }
+}
+
+/// A state transition between two streams, reported by
+/// [`MultiStreamTracker::refresh`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct PairEvent {
+    /// First stream name (lexicographically smaller).
+    pub a: String,
+    /// Second stream name.
+    pub b: String,
+    /// State before the transition.
+    pub from: PairState,
+    /// State after the transition.
+    pub to: PairState,
+    /// Stream position (total points across all streams) at the event.
+    pub at: u64,
+}
+
+/// Tracks any number of named point streams and their pairwise geometric
+/// relationships.
+#[derive(Debug)]
+pub struct MultiStreamTracker {
+    config: AdaptiveHullConfig,
+    streams: BTreeMap<String, AdaptiveHull>,
+    states: BTreeMap<(String, String), PairState>,
+    total: u64,
+}
+
+impl MultiStreamTracker {
+    /// Creates a tracker; every stream gets an adaptive summary with this
+    /// configuration.
+    pub fn new(config: AdaptiveHullConfig) -> Self {
+        MultiStreamTracker {
+            config,
+            streams: BTreeMap::new(),
+            states: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Registers a stream (idempotent).
+    pub fn add_stream(&mut self, name: &str) {
+        self.streams
+            .entry(name.to_string())
+            .or_insert_with(|| AdaptiveHull::new(self.config));
+    }
+
+    /// Feeds one point into a stream (registering it if new).
+    pub fn insert(&mut self, name: &str, p: Point2) {
+        self.add_stream(name);
+        self.streams.get_mut(name).unwrap().insert(p);
+        self.total += 1;
+    }
+
+    /// Current hull of a stream.
+    pub fn hull(&self, name: &str) -> Option<ConvexPolygon> {
+        self.streams.get(name).map(|s| s.hull())
+    }
+
+    /// Stream names.
+    pub fn names(&self) -> Vec<&str> {
+        self.streams.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Current state of a pair (computed fresh).
+    pub fn pair_state(&self, a: &str, b: &str) -> PairState {
+        let (Some(sa), Some(sb)) = (self.streams.get(a), self.streams.get(b)) else {
+            return PairState::Undefined;
+        };
+        let (ha, hb) = (sa.hull(), sb.hull());
+        if ha.is_empty() || hb.is_empty() {
+            return PairState::Undefined;
+        }
+        match distance::separation(&ha, &hb) {
+            None => PairState::Undefined,
+            Some(distance::Separation::Separated { distance, .. }) => {
+                PairState::Separated(distance)
+            }
+            Some(distance::Separation::Intersecting { .. }) => {
+                if distance::contains_polygon(&ha, &hb) {
+                    PairState::Contains
+                } else if distance::contains_polygon(&hb, &ha) {
+                    PairState::ContainedBy
+                } else {
+                    PairState::Intersecting
+                }
+            }
+        }
+    }
+
+    /// Re-evaluates all pairs, returning events for every state-kind
+    /// transition since the previous refresh. (Distance changes within the
+    /// `Separated` state update the stored value but do not emit events.)
+    pub fn refresh(&mut self) -> Vec<PairEvent> {
+        let names: Vec<String> = self.streams.keys().cloned().collect();
+        let mut events = Vec::new();
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                let key = (names[i].clone(), names[j].clone());
+                let new = self.pair_state(&key.0, &key.1);
+                let old = self
+                    .states
+                    .get(&key)
+                    .copied()
+                    .unwrap_or(PairState::Undefined);
+                if !old.same_kind(&new) {
+                    events.push(PairEvent {
+                        a: key.0.clone(),
+                        b: key.1.clone(),
+                        from: old,
+                        to: new,
+                        at: self.total,
+                    });
+                }
+                self.states.insert(key, new);
+            }
+        }
+        events
+    }
+
+    /// Total points consumed across all streams.
+    pub fn total_points(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> MultiStreamTracker {
+        MultiStreamTracker::new(AdaptiveHullConfig::new(16))
+    }
+
+    fn ring(n: usize, cx: f64, cy: f64, r: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * (i as f64) * 0.618033988749895;
+                Point2::new(cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separation_lost_event() {
+        let mut tr = tracker();
+        for p in ring(500, -5.0, 0.0, 1.0) {
+            tr.insert("a", p);
+        }
+        for p in ring(500, 5.0, 0.0, 1.0) {
+            tr.insert("b", p);
+        }
+        let ev = tr.refresh();
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(ev[0].to, PairState::Separated(d) if (d - 8.0).abs() < 0.1));
+
+        // Stream a drifts right until the hulls meet.
+        for p in ring(500, 2.0, 0.0, 4.0) {
+            tr.insert("a", p);
+        }
+        let ev = tr.refresh();
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].to, PairState::Intersecting);
+        assert!(matches!(ev[0].from, PairState::Separated(_)));
+        assert!(tr.refresh().is_empty(), "no transition without change");
+    }
+
+    #[test]
+    fn containment_event() {
+        let mut tr = tracker();
+        for p in ring(500, 0.0, 0.0, 1.0) {
+            tr.insert("inner", p);
+        }
+        for p in ring(500, 0.0, 0.0, 10.0) {
+            tr.insert("outer", p);
+        }
+        tr.refresh();
+        assert_eq!(tr.pair_state("outer", "inner"), PairState::Contains);
+        assert_eq!(tr.pair_state("inner", "outer"), PairState::ContainedBy);
+    }
+
+    #[test]
+    fn three_streams_pairwise() {
+        let mut tr = tracker();
+        for p in ring(300, 0.0, 0.0, 1.0) {
+            tr.insert("a", p);
+        }
+        for p in ring(300, 10.0, 0.0, 1.0) {
+            tr.insert("b", p);
+        }
+        for p in ring(300, 5.0, 8.0, 1.0) {
+            tr.insert("c", p);
+        }
+        let ev = tr.refresh();
+        assert_eq!(ev.len(), 3, "three pairs all transition from Undefined");
+        for e in &ev {
+            assert!(matches!(e.to, PairState::Separated(_)));
+        }
+        assert_eq!(tr.names(), vec!["a", "b", "c"]);
+        assert_eq!(tr.total_points(), 900);
+    }
+
+    #[test]
+    fn undefined_before_points() {
+        let mut tr = tracker();
+        tr.add_stream("x");
+        tr.add_stream("y");
+        assert_eq!(tr.pair_state("x", "y"), PairState::Undefined);
+        assert!(
+            tr.refresh().is_empty(),
+            "Undefined -> Undefined is no event"
+        );
+        assert_eq!(tr.pair_state("x", "nosuch"), PairState::Undefined);
+    }
+}

@@ -1,0 +1,163 @@
+//! Radial histogram hull — the Cormode–Muthukrishnan baseline (§1.2).
+//!
+//! The plane is divided into `r` angular sectors around a fixed origin (the
+//! first stream point); each sector keeps the point farthest from the
+//! origin. The hull of the kept points approximates the convex hull with
+//! error `O(D/r)`, like uniform direction sampling but with a different
+//! failure mode (it is sensitive to where the origin lands).
+
+use crate::summary::HullSummary;
+use core::f64::consts::TAU;
+use geom::{ConvexPolygon, Point2};
+
+/// Radial-histogram convex hull summary.
+#[derive(Clone, Debug)]
+pub struct RadialHull {
+    r: u32,
+    origin: Option<Point2>,
+    /// Farthest point per sector (`None` = sector empty so far).
+    buckets: Vec<Option<(f64, Point2)>>,
+    seen: u64,
+}
+
+impl RadialHull {
+    /// Creates the summary with `r >= 4` angular sectors.
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 4, "need at least 4 sectors, got {r}");
+        RadialHull {
+            r,
+            origin: None,
+            buckets: vec![None; r as usize],
+            seen: 0,
+        }
+    }
+
+    /// Number of sectors.
+    pub fn r(&self) -> u32 {
+        self.r
+    }
+
+    /// The origin (first stream point), if any input has been seen.
+    pub fn origin(&self) -> Option<Point2> {
+        self.origin
+    }
+
+    fn sector(&self, p: Point2, origin: Point2) -> usize {
+        let v = p - origin;
+        let ang = v.angle().rem_euclid(TAU);
+        let idx = (ang / TAU * self.r as f64).floor() as usize;
+        idx.min(self.r as usize - 1)
+    }
+}
+
+impl HullSummary for RadialHull {
+    fn insert(&mut self, p: Point2) {
+        self.seen += 1;
+        let origin = match self.origin {
+            None => {
+                self.origin = Some(p);
+                return;
+            }
+            Some(o) => o,
+        };
+        let d2 = origin.distance_sq(p);
+        if d2 == 0.0 {
+            return;
+        }
+        let s = self.sector(p, origin);
+        match &mut self.buckets[s] {
+            slot @ None => *slot = Some((d2, p)),
+            Some((best, q)) => {
+                if d2 > *best {
+                    *best = d2;
+                    *q = p;
+                }
+            }
+        }
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        let mut pts: Vec<Point2> = self.buckets.iter().flatten().map(|&(_, p)| p).collect();
+        if let Some(o) = self.origin {
+            pts.push(o);
+        }
+        ConvexPolygon::hull_of(&pts)
+    }
+
+    fn sample_size(&self) -> usize {
+        let occupied = self.buckets.iter().flatten().count();
+        occupied + usize::from(self.origin.is_some())
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "radial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_farthest_per_sector() {
+        let mut h = RadialHull::new(4);
+        h.insert(Point2::new(0.0, 0.0)); // origin
+        h.insert(Point2::new(1.0, 0.1));
+        h.insert(Point2::new(3.0, 0.1)); // same sector, farther
+        h.insert(Point2::new(2.0, 0.1)); // same sector, nearer: ignored
+        assert_eq!(h.sample_size(), 2);
+        let hull = h.hull();
+        assert!(hull.vertices().contains(&Point2::new(3.0, 0.1)));
+        assert!(!hull.vertices().contains(&Point2::new(2.0, 0.1)));
+    }
+
+    #[test]
+    fn error_is_bounded_on_circle() {
+        use crate::exact::ExactHull;
+        let pts: Vec<Point2> = (0..2000)
+            .map(|i| {
+                let t = TAU * (i as f64) * 0.618033988749895;
+                Point2::new(4.0 * t.cos(), 4.0 * t.sin())
+            })
+            .collect();
+        let mut h = RadialHull::new(32);
+        let mut e = ExactHull::new();
+        // Seed the origin near the centre for a fair radial run.
+        h.insert(Point2::new(0.1, 0.0));
+        e.insert(Point2::new(0.1, 0.0));
+        for &q in &pts {
+            h.insert(q);
+            e.insert(q);
+        }
+        let err = h.hull().directed_hausdorff_from(&e.hull());
+        let d = 8.0;
+        assert!(err <= TAU * d / 32.0, "radial error {err} too large");
+        assert!(h.sample_size() <= 33);
+    }
+
+    #[test]
+    fn degenerate_streams() {
+        let mut h = RadialHull::new(8);
+        for _ in 0..5 {
+            h.insert(Point2::new(1.0, 1.0));
+        }
+        assert_eq!(h.sample_size(), 1);
+        assert_eq!(h.hull().len(), 1);
+        assert_eq!(h.points_seen(), 5);
+    }
+
+    #[test]
+    fn collinear_stream() {
+        let mut h = RadialHull::new(8);
+        for i in 0..100 {
+            h.insert(Point2::new(i as f64, 0.0));
+        }
+        let hull = h.hull();
+        assert_eq!(hull.len(), 2);
+        assert!((geom::calipers::diameter(&hull).unwrap().2 - 99.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,37 @@
+//! The [`HullSummary`] trait: the common interface of every single-pass
+//! convex-hull summary in this crate (exact, uniform, adaptive, radial,
+//! frozen). Experiment harnesses and queries are written against it.
+
+use geom::{ConvexPolygon, Point2};
+
+/// A single-pass summary of a 2-D point stream that can report (an
+/// approximation of) the convex hull of everything it has seen.
+pub trait HullSummary {
+    /// Feeds one stream point into the summary.
+    fn insert(&mut self, p: Point2);
+
+    /// The current (approximate) convex hull. For approximate summaries the
+    /// returned polygon's vertices are actual input points, so the polygon
+    /// is always *contained in* the true convex hull.
+    fn hull(&self) -> ConvexPolygon;
+
+    /// Number of points currently stored by the summary (the paper's
+    /// "sample size"; at most `2r + 1` for the adaptive scheme).
+    fn sample_size(&self) -> usize;
+
+    /// Total number of stream points consumed so far.
+    fn points_seen(&self) -> u64;
+
+    /// Short human-readable name for tables and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Feeds a whole stream (convenience).
+    fn extend_from<I: IntoIterator<Item = Point2>>(&mut self, it: I)
+    where
+        Self: Sized,
+    {
+        for p in it {
+            self.insert(p);
+        }
+    }
+}

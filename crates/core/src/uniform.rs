@@ -1,0 +1,709 @@
+//! The uniformly sampled hull (paper §3).
+//!
+//! Maintains the extrema of the stream in `r` fixed, evenly spaced
+//! directions `jθ0`, `θ0 = 2π/r`. Two implementations:
+//!
+//! * [`NaiveUniformHull`] — the `O(r)`-per-point scheme of Feigenbaum,
+//!   Kannan & Zhang: one dot product against every direction. Simple,
+//!   branch-light, and the reference the fancier structure is tested
+//!   against.
+//! * [`UniformHull`] — the searchable structure of §3.1: points inside the
+//!   current hull of extrema are discarded after an `O(log r)` point
+//!   location; only points that actually beat some direction pay more. It
+//!   also reports the *beaten arc* of directions, which is exactly what the
+//!   adaptive layer (§5) needs to know which refinement trees to touch.
+//!
+//! Both maintain the invariant that the stored extremum for direction `j`
+//! is the maximum-dot point of the whole prefix (under `f64` dot
+//! comparison), which tests verify against brute-force replay.
+
+use crate::summary::HullSummary;
+use core::f64::consts::TAU;
+use geom::tangent::visible_chain;
+use geom::{ConvexPolygon, Point2, Vec2};
+
+/// The naive `O(r)`-per-point uniformly sampled hull (FKZ baseline).
+#[derive(Clone, Debug)]
+pub struct NaiveUniformHull {
+    units: Vec<Vec2>,
+    extrema: Vec<Point2>,
+    seen: u64,
+}
+
+impl NaiveUniformHull {
+    /// Creates the summary with `r >= 4` sample directions.
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 4, "need at least 4 directions, got {r}");
+        let units = (0..r)
+            .map(|j| Vec2::from_angle(TAU * j as f64 / r as f64))
+            .collect();
+        NaiveUniformHull {
+            units,
+            extrema: Vec::new(),
+            seen: 0,
+        }
+    }
+
+    /// Number of sample directions.
+    pub fn r(&self) -> u32 {
+        self.units.len() as u32
+    }
+
+    /// The stored extremum for direction index `j` (`None` before the first
+    /// point).
+    pub fn extremum(&self, j: u32) -> Option<Point2> {
+        self.extrema.get(j as usize).copied()
+    }
+
+    /// Unit vector of direction `j`.
+    pub fn unit(&self, j: u32) -> Vec2 {
+        self.units[j as usize]
+    }
+}
+
+impl HullSummary for NaiveUniformHull {
+    fn insert(&mut self, p: Point2) {
+        self.seen += 1;
+        if self.extrema.is_empty() {
+            self.extrema = vec![p; self.units.len()];
+            return;
+        }
+        for (e, u) in self.extrema.iter_mut().zip(&self.units) {
+            if p.dot(*u) > e.dot(*u) {
+                *e = p;
+            }
+        }
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        ConvexPolygon::hull_of(&self.extrema)
+    }
+
+    fn sample_size(&self) -> usize {
+        let mut pts = self.extrema.clone();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-naive"
+    }
+}
+
+/// A maximal run of consecutive directions owned by one extremum point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DirRun {
+    /// Owning extremum (an input point).
+    pub point: Point2,
+    /// First owned direction index.
+    pub lo: u32,
+    /// Last owned direction index (inclusive; `lo <= hi`, runs never wrap —
+    /// a wrapping run is stored as two).
+    pub hi: u32,
+}
+
+/// The counterclockwise angular arc of directions a new point beats,
+/// reported by [`UniformHull::insert_detailed`]. Angles in radians,
+/// normalised to `[0, 2π)`; the arc runs ccw from `start` to `end` and its
+/// width is at most `π`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BeatenArc {
+    /// Arc start angle (exclusive boundary).
+    pub start: f64,
+    /// Arc end angle (exclusive boundary).
+    pub end: f64,
+}
+
+/// Outcome of feeding one point to [`UniformHull`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum UniformEffect {
+    /// This was the first stream point: it now owns every direction.
+    First,
+    /// The point was inside the hull of the current extrema; it cannot beat
+    /// any direction (uniform *or* adaptive) and was discarded.
+    Interior,
+    /// The point was outside the hull of the extrema.
+    Outside {
+        /// Inclusive circular range `[first, last]` of beaten uniform
+        /// direction indices, or `None` if the point pokes out strictly
+        /// between sample directions.
+        beaten: Option<(u32, u32)>,
+        /// The continuous arc of directions in which the point beats the
+        /// support of the stored extrema (superset of any adaptive
+        /// directions it can beat).
+        arc: BeatenArc,
+    },
+}
+
+/// The searchable uniformly sampled hull (§3.1).
+#[derive(Clone, Debug)]
+pub struct UniformHull {
+    r: u32,
+    theta0: f64,
+    units: Vec<Vec2>,
+    /// Direction ownership runs, sorted by `lo`, partitioning `0..r`.
+    runs: Vec<DirRun>,
+    /// Strict convex hull of the extrema (cached).
+    hull: ConvexPolygon,
+    /// Perimeter of `hull` (the paper's `P`; `2·len` for a segment).
+    perimeter: f64,
+    seen: u64,
+}
+
+impl UniformHull {
+    /// Creates the summary with `r >= 4` sample directions.
+    pub fn new(r: u32) -> Self {
+        assert!(r >= 4, "need at least 4 directions, got {r}");
+        let units = (0..r)
+            .map(|j| Vec2::from_angle(TAU * j as f64 / r as f64))
+            .collect();
+        UniformHull {
+            r,
+            theta0: TAU / r as f64,
+            units,
+            runs: Vec::new(),
+            hull: ConvexPolygon::empty(),
+            perimeter: 0.0,
+            seen: 0,
+        }
+    }
+
+    /// Number of sample directions.
+    pub fn r(&self) -> u32 {
+        self.r
+    }
+
+    /// Unit vector of direction `j`.
+    pub fn unit(&self, j: u32) -> Vec2 {
+        self.units[(j % self.r) as usize]
+    }
+
+    /// Perimeter `P` of the hull of the extrema (paper §4/§5).
+    pub fn perimeter(&self) -> f64 {
+        self.perimeter
+    }
+
+    /// The stored extremum for direction `j` (`None` before any input).
+    pub fn extremum(&self, j: u32) -> Option<Point2> {
+        let j = j % self.r;
+        if self.runs.is_empty() {
+            return None;
+        }
+        // Binary search the run containing j.
+        let idx = match self.runs.binary_search_by(|run| run.lo.cmp(&j)) {
+            Ok(i) => i,
+            Err(0) => self.runs.len() - 1, // j before first lo: wrapping tail run
+            Err(i) => i - 1,
+        };
+        let run = self.runs[idx];
+        debug_assert!(
+            run.lo <= j && j <= run.hi,
+            "run lookup failed: j={j}, runs={:?}",
+            self.runs
+        );
+        Some(run.point)
+    }
+
+    /// `true` iff `q` strictly beats the stored extremum in direction `j`.
+    #[inline]
+    fn beats(&self, q: Point2, j: u32) -> bool {
+        let u = self.unit(j);
+        match self.extremum(j) {
+            None => true,
+            Some(e) => q.dot(u) > e.dot(u),
+        }
+    }
+
+    /// Ownership runs (testing/inspection).
+    pub fn runs(&self) -> &[DirRun] {
+        &self.runs
+    }
+
+    /// Adds to the seen-points counter without inserting geometry (used by
+    /// summary merging, where the absorbed points were already counted by
+    /// the other summary).
+    pub(crate) fn add_seen(&mut self, n: u64) {
+        self.seen += n;
+    }
+
+    /// Feeds a point and reports exactly what it affected.
+    pub fn insert_detailed(&mut self, q: Point2) -> UniformEffect {
+        assert!(q.is_finite(), "UniformHull requires finite coordinates");
+        self.seen += 1;
+        if self.runs.is_empty() {
+            self.runs.push(DirRun {
+                point: q,
+                lo: 0,
+                hi: self.r - 1,
+            });
+            self.hull = ConvexPolygon::hull_of(&[q]);
+            self.perimeter = 0.0;
+            return UniformEffect::First;
+        }
+
+        // Fast reject: inside the hull of the extrema => beats nothing.
+        if geom::locate::contains(&self.hull, q) {
+            return UniformEffect::Interior;
+        }
+
+        let arc = match self.beaten_arc(q) {
+            Some(arc) => arc,
+            None => return UniformEffect::Interior, // weakly on the boundary
+        };
+
+        // Candidate uniform directions inside the arc, then verify/adjust by
+        // exact dot tests (the arc itself is floating point).
+        let beaten = self.verified_beaten_range(q, &arc);
+        if let Some((first, last)) = beaten {
+            self.apply_beaten(q, first, last);
+        }
+        UniformEffect::Outside { beaten, arc }
+    }
+
+    /// Computes the continuous arc of directions in which `q` beats the
+    /// support of the stored extrema. `q` must be outside their hull;
+    /// returns `None` in the razor's-edge case where `q` is (weakly) on the
+    /// boundary.
+    fn beaten_arc(&self, q: Point2) -> Option<BeatenArc> {
+        let h = &self.hull;
+        // Outward normal angle of directed edge a->b of a ccw polygon.
+        let outward = |a: Point2, b: Point2| -> f64 {
+            let d = b - a;
+            Vec2::new(d.y, -d.x).angle().rem_euclid(TAU)
+        };
+        match h.len() {
+            0 => None,
+            1 => {
+                let v = h.vertex(0);
+                if v == q {
+                    return None;
+                }
+                let phi = (q - v).angle();
+                Some(BeatenArc {
+                    start: (phi - core::f64::consts::FRAC_PI_2).rem_euclid(TAU),
+                    end: (phi + core::f64::consts::FRAC_PI_2).rem_euclid(TAU),
+                })
+            }
+            2 => {
+                // Build the tiny hull of {a, b, q} and read q's normal cone
+                // from its edges; degenerate (collinear) falls back to the
+                // half-circle around the direction from the nearer endpoint.
+                let (a, b) = (h.vertex(0), h.vertex(1));
+                let t = ConvexPolygon::hull_of(&[a, b, q]);
+                if t.len() == 3 {
+                    let idx = (0..3).find(|&i| t.vertex(i) == q)?;
+                    let prev = t.vertex((idx + 2) % 3);
+                    let next = t.vertex((idx + 1) % 3);
+                    Some(BeatenArc {
+                        start: outward(prev, q),
+                        end: outward(q, next),
+                    })
+                } else {
+                    // Collinear: q beyond one endpoint (or between: interior).
+                    let e = if (q - a).dot(b - a) < 0.0 {
+                        a
+                    } else if (q - b).dot(a - b) < 0.0 {
+                        b
+                    } else {
+                        return None; // on the segment
+                    };
+                    let phi = (q - e).angle();
+                    Some(BeatenArc {
+                        start: (phi - core::f64::consts::FRAC_PI_2).rem_euclid(TAU),
+                        end: (phi + core::f64::consts::FRAC_PI_2).rem_euclid(TAU),
+                    })
+                }
+            }
+            _ => {
+                let chain = visible_chain(h, q)?;
+                let vs = h.vertex(chain.start);
+                let ve = h.vertex(chain.end);
+                Some(BeatenArc {
+                    start: outward(vs, q),
+                    end: outward(q, ve),
+                })
+            }
+        }
+    }
+
+    /// Seeds the candidate index range from the arc, then shrinks/expands it
+    /// with exact dot tests so the result is independent of arc rounding.
+    fn verified_beaten_range(&self, q: Point2, arc: &BeatenArc) -> Option<(u32, u32)> {
+        let r = self.r;
+        let span = (arc.end - arc.start).rem_euclid(TAU);
+        let mut first = ((arc.start / self.theta0).ceil() as i64).rem_euclid(r as i64) as u32;
+        let mut count = (span / self.theta0).floor() as i64 + 1;
+        if count > r as i64 {
+            count = r as i64;
+        }
+        let mut last = (first as i64 + count - 1).rem_euclid(r as i64) as u32;
+
+        // Shrink from the front while the candidate is not actually beaten.
+        let mut len = count;
+        while len > 0 && !self.beats(q, first) {
+            first = (first + 1) % r;
+            len -= 1;
+        }
+        while len > 0 && !self.beats(q, last) {
+            last = (last + r - 1) % r;
+            len -= 1;
+        }
+        if len == 0 {
+            // Seed missed; probe the two boundary neighbours before giving
+            // up (covers arcs narrower than one sector).
+            let probe = (arc.start + span * 0.5).rem_euclid(TAU);
+            let j = ((probe / self.theta0).round() as i64).rem_euclid(r as i64) as u32;
+            for cand in [j, (j + r - 1) % r, (j + 1) % r] {
+                if self.beats(q, cand) {
+                    first = cand;
+                    last = cand;
+                    len = 1;
+                    break;
+                }
+            }
+            if len == 0 {
+                return None;
+            }
+        }
+        // Expand outwards in case the seed was too narrow (bounded by r).
+        let mut total = ((last + r - first) % r + 1) as i64;
+        while total < r as i64 && self.beats(q, (first + r - 1) % r) {
+            first = (first + r - 1) % r;
+            total += 1;
+        }
+        while total < r as i64 && self.beats(q, (last + 1) % r) {
+            last = (last + 1) % r;
+            total += 1;
+        }
+        Some((first, last))
+    }
+
+    /// Rewrites the ownership runs so `q` owns the circular inclusive range
+    /// `[first, last]`, then refreshes the cached hull and perimeter.
+    fn apply_beaten(&mut self, q: Point2, first: u32, last: u32) {
+        let r = self.r;
+        let in_beaten = |j: u32| -> bool { (j + r - first) % r <= (last + r - first) % r };
+        let mut out: Vec<DirRun> = Vec::with_capacity(self.runs.len() + 2);
+        for run in &self.runs {
+            // Split the (non-wrapping) run into maximal sub-runs that
+            // survive outside the beaten set.
+            let mut j = run.lo;
+            while j <= run.hi {
+                if in_beaten(j) {
+                    j += 1;
+                    continue;
+                }
+                let start = j;
+                while j <= run.hi && !in_beaten(j) {
+                    j += 1;
+                }
+                out.push(DirRun {
+                    point: run.point,
+                    lo: start,
+                    hi: j - 1,
+                });
+            }
+        }
+        // Insert q's run (split at the wrap point if needed).
+        if first <= last {
+            out.push(DirRun {
+                point: q,
+                lo: first,
+                hi: last,
+            });
+        } else {
+            out.push(DirRun {
+                point: q,
+                lo: first,
+                hi: r - 1,
+            });
+            out.push(DirRun {
+                point: q,
+                lo: 0,
+                hi: last,
+            });
+        }
+        out.sort_by_key(|run| run.lo);
+        // Merge adjacent runs owned by the same point.
+        let mut merged: Vec<DirRun> = Vec::with_capacity(out.len());
+        for run in out {
+            if let Some(prev) = merged.last_mut() {
+                if prev.point == run.point && prev.hi + 1 == run.lo {
+                    prev.hi = run.hi;
+                    continue;
+                }
+            }
+            merged.push(run);
+        }
+        self.runs = merged;
+        debug_assert!(self.runs_partition_all());
+
+        let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
+        self.hull = ConvexPolygon::hull_of(&pts);
+        self.perimeter = self.hull.perimeter();
+    }
+
+    fn runs_partition_all(&self) -> bool {
+        let mut covered = 0u64;
+        let mut prev_hi: Option<u32> = None;
+        for run in &self.runs {
+            if run.lo > run.hi {
+                return false;
+            }
+            if let Some(ph) = prev_hi {
+                if run.lo != ph + 1 {
+                    return false;
+                }
+            } else if run.lo != 0 {
+                return false;
+            }
+            covered += (run.hi - run.lo + 1) as u64;
+            prev_hi = Some(run.hi);
+        }
+        covered == self.r as u64
+    }
+}
+
+impl HullSummary for UniformHull {
+    fn insert(&mut self, p: Point2) {
+        let _ = self.insert_detailed(p);
+    }
+
+    fn hull(&self) -> ConvexPolygon {
+        self.hull.clone()
+    }
+
+    fn sample_size(&self) -> usize {
+        let mut pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
+        pts.sort_by(|a, b| a.lex_cmp(*b));
+        pts.dedup();
+        pts.len()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn lcg_points(seed: u64, n: usize, scale: f64) -> Vec<Point2> {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| p((next() - 0.5) * scale, (next() - 0.5) * scale))
+            .collect()
+    }
+
+    /// The central equivalence test: the searchable structure must make the
+    /// same per-direction decisions as the naive scan.
+    fn assert_equivalent(points: &[Point2], r: u32) {
+        let mut naive = NaiveUniformHull::new(r);
+        let mut fancy = UniformHull::new(r);
+        for (i, &q) in points.iter().enumerate() {
+            naive.insert(q);
+            fancy.insert(q);
+            for j in 0..r {
+                let (a, b) = (naive.extremum(j).unwrap(), fancy.extremum(j).unwrap());
+                let u = naive.unit(j);
+                assert!(
+                    (a.dot(u) - b.dot(u)).abs() <= 1e-12 * a.dot(u).abs().max(1.0),
+                    "direction {j} diverged after point {i} ({q:?}): naive {a:?} fancy {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_on_random_cloud() {
+        assert_equivalent(&lcg_points(1, 500, 10.0), 16);
+        assert_equivalent(&lcg_points(2, 500, 10.0), 8);
+        assert_equivalent(&lcg_points(3, 300, 2.0), 64);
+    }
+
+    #[test]
+    fn equivalence_on_adversarial_streams() {
+        // Spiral: every point beats something.
+        let spiral: Vec<Point2> = (0..300)
+            .map(|i| {
+                let t = 2.399963229728653 * i as f64;
+                let rad = 1.0 + 0.01 * i as f64;
+                p(rad * t.cos(), rad * t.sin())
+            })
+            .collect();
+        assert_equivalent(&spiral, 32);
+
+        // Collinear prefix, then 2-D points.
+        let mut col: Vec<Point2> = (0..40).map(|i| p(i as f64, 2.0 * i as f64)).collect();
+        col.extend(lcg_points(9, 100, 30.0));
+        assert_equivalent(&col, 16);
+
+        // Duplicates everywhere.
+        let mut dup = lcg_points(10, 50, 5.0);
+        let copy = dup.clone();
+        dup.extend(copy);
+        assert_equivalent(&dup, 16);
+    }
+
+    #[test]
+    fn extrema_are_true_maxima() {
+        let pts = lcg_points(4, 400, 6.0);
+        let mut u = UniformHull::new(16);
+        for &q in &pts {
+            u.insert(q);
+        }
+        for j in 0..16 {
+            let dir = u.unit(j);
+            let stored = u.extremum(j).unwrap().dot(dir);
+            let best = pts
+                .iter()
+                .map(|q| q.dot(dir))
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!(
+                (stored - best).abs() <= 1e-12 * best.abs().max(1.0),
+                "direction {j}: stored {stored}, true max {best}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_point_owns_everything() {
+        let mut u = UniformHull::new(8);
+        assert_eq!(u.insert_detailed(p(1.0, 2.0)), UniformEffect::First);
+        assert_eq!(u.runs().len(), 1);
+        for j in 0..8 {
+            assert_eq!(u.extremum(j), Some(p(1.0, 2.0)));
+        }
+    }
+
+    #[test]
+    fn interior_point_reports_interior() {
+        let mut u = UniformHull::new(8);
+        for &q in &[p(0.0, 0.0), p(10.0, 0.0), p(10.0, 10.0), p(0.0, 10.0)] {
+            u.insert(q);
+        }
+        assert_eq!(u.insert_detailed(p(5.0, 5.0)), UniformEffect::Interior);
+        assert_eq!(u.points_seen(), 5);
+    }
+
+    #[test]
+    fn outside_point_reports_beaten_range() {
+        let mut u = UniformHull::new(8);
+        for &q in &[p(-1.0, -1.0), p(1.0, -1.0), p(1.0, 1.0), p(-1.0, 1.0)] {
+            u.insert(q);
+        }
+        // Far to the +x: must at least beat direction 0.
+        match u.insert_detailed(p(100.0, 0.0)) {
+            UniformEffect::Outside {
+                beaten: Some((first, last)),
+                ..
+            } => {
+                let covered: Vec<u32> = {
+                    let r = 8;
+                    let len = (last + r - first) % r + 1;
+                    (0..len).map(|i| (first + i) % r).collect()
+                };
+                assert!(covered.contains(&0), "direction 0 beaten, got {covered:?}");
+                assert!(!covered.contains(&4), "direction pi not beaten");
+            }
+            other => panic!("expected Outside with beats, got {other:?}"),
+        }
+        assert_eq!(u.extremum(0), Some(p(100.0, 0.0)));
+    }
+
+    #[test]
+    fn poke_out_between_directions() {
+        // r = 4: directions at 0, 90, 180, 270 degrees. A point at 45°
+        // just outside the hull may beat nothing.
+        let mut u = UniformHull::new(4);
+        let big = 10.0;
+        for &q in &[p(big, 0.0), p(0.0, big), p(-big, 0.0), p(0.0, -big)] {
+            u.insert(q);
+        }
+        // (5.2, 5.2) is outside the diamond hull (x+y = 10 edge) but beats
+        // none of the four axis directions.
+        match u.insert_detailed(p(5.2, 5.2)) {
+            UniformEffect::Outside { beaten, .. } => assert_eq!(beaten, None),
+            other => panic!("expected Outside without beats, got {other:?}"),
+        }
+        assert_eq!(u.extremum(0), Some(p(big, 0.0)), "extrema unchanged");
+    }
+
+    #[test]
+    fn perimeter_tracks_hull() {
+        let mut u = UniformHull::new(16);
+        for &q in &[p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(0.0, 3.0)] {
+            u.insert(q);
+        }
+        assert!((u.perimeter() - 14.0).abs() < 1e-12);
+        u.insert(p(2.0, 1.0)); // interior: unchanged
+        assert!((u.perimeter() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_error_is_bounded_by_d_over_r() {
+        // Lemma 3.2: uncertainty height O(D/r); test the directed Hausdorff
+        // distance from the true hull to the uniform hull.
+        use crate::exact::ExactHull;
+        let pts: Vec<Point2> = (0..2000)
+            .map(|i| {
+                let t = core::f64::consts::TAU * (i as f64) * 0.618033988749;
+                p(t.cos() * 5.0, t.sin() * 5.0)
+            })
+            .collect();
+        for r in [16u32, 32, 64] {
+            let mut u = UniformHull::new(r);
+            let mut ex = ExactHull::new();
+            for &q in &pts {
+                u.insert(q);
+                ex.insert(q);
+            }
+            let err = u.hull().directed_hausdorff_from(&ex.hull());
+            let d = 10.0;
+            let bound = core::f64::consts::PI * d / r as f64;
+            assert!(err <= bound, "r={r}: err {err} > πD/r = {bound}");
+            assert!(err > 0.0, "approximation is not exact for a circle");
+        }
+    }
+
+    #[test]
+    fn runs_partition_is_maintained() {
+        let pts = lcg_points(5, 300, 8.0);
+        let mut u = UniformHull::new(32);
+        for &q in &pts {
+            u.insert(q);
+            assert!(u.runs_partition_all(), "runs must always partition 0..r");
+        }
+    }
+
+    #[test]
+    fn sample_size_bounded_by_r() {
+        let pts = lcg_points(6, 1000, 8.0);
+        let mut u = UniformHull::new(16);
+        for &q in &pts {
+            u.insert(q);
+        }
+        assert!(u.sample_size() <= 16);
+        assert!(u.sample_size() >= 3);
+    }
+}

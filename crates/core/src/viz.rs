@@ -1,0 +1,350 @@
+//! SVG rendering of hulls, sample directions and uncertainty triangles —
+//! enough to regenerate the paper's Fig. 10 (adaptive vs uniform hulls of
+//! the rotated ellipse, with radial sample directions and solid uncertainty
+//! triangles over the data).
+//!
+//! No drawing dependencies: the scene renders to a plain SVG string.
+
+use geom::{ConvexPolygon, Point2, Segment, UncertaintyTriangle};
+use std::fmt::Write as _;
+
+/// A drawable item.
+#[derive(Clone, Debug)]
+enum Item {
+    Points {
+        pts: Vec<Point2>,
+        radius: f64,
+        color: String,
+    },
+    Polygon {
+        poly: ConvexPolygon,
+        stroke: String,
+        fill: String,
+        width: f64,
+    },
+    Segments {
+        segs: Vec<Segment>,
+        color: String,
+        width: f64,
+    },
+    Triangles {
+        tris: Vec<UncertaintyTriangle>,
+        fill: String,
+    },
+    Label {
+        at: Point2,
+        text: String,
+        size: f64,
+    },
+}
+
+/// An SVG scene in data coordinates; the viewport is fitted automatically.
+#[derive(Clone, Debug, Default)]
+pub struct Scene {
+    items: Vec<Item>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a point cloud.
+    pub fn points(&mut self, pts: &[Point2], radius: f64, color: &str) -> &mut Self {
+        self.items.push(Item::Points {
+            pts: pts.to_vec(),
+            radius,
+            color: color.into(),
+        });
+        self
+    }
+
+    /// Adds a polygon outline (pass `"none"` for no fill).
+    pub fn polygon(
+        &mut self,
+        poly: &ConvexPolygon,
+        stroke: &str,
+        fill: &str,
+        width: f64,
+    ) -> &mut Self {
+        self.items.push(Item::Polygon {
+            poly: poly.clone(),
+            stroke: stroke.into(),
+            fill: fill.into(),
+            width,
+        });
+        self
+    }
+
+    /// Adds line segments (e.g. radial sample directions).
+    pub fn segments(&mut self, segs: &[Segment], color: &str, width: f64) -> &mut Self {
+        self.items.push(Item::Segments {
+            segs: segs.to_vec(),
+            color: color.into(),
+            width,
+        });
+        self
+    }
+
+    /// Adds filled uncertainty triangles.
+    pub fn triangles(&mut self, tris: &[UncertaintyTriangle], fill: &str) -> &mut Self {
+        self.items.push(Item::Triangles {
+            tris: tris.to_vec(),
+            fill: fill.into(),
+        });
+        self
+    }
+
+    /// Adds a text label at a data coordinate.
+    pub fn label(&mut self, at: Point2, text: &str, size: f64) -> &mut Self {
+        self.items.push(Item::Label {
+            at,
+            text: text.into(),
+            size,
+        });
+        self
+    }
+
+    fn bounds(&self) -> Option<(Point2, Point2)> {
+        let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        let mut any = false;
+        let mut upd = |p: Point2| {
+            any = true;
+            min.x = min.x.min(p.x);
+            min.y = min.y.min(p.y);
+            max.x = max.x.max(p.x);
+            max.y = max.y.max(p.y);
+        };
+        for item in &self.items {
+            match item {
+                Item::Points { pts, .. } => pts.iter().copied().for_each(&mut upd),
+                Item::Polygon { poly, .. } => poly.vertices().iter().copied().for_each(&mut upd),
+                Item::Segments { segs, .. } => segs.iter().for_each(|s| {
+                    upd(s.a);
+                    upd(s.b);
+                }),
+                Item::Triangles { tris, .. } => tris.iter().for_each(|t| {
+                    upd(t.base.a);
+                    upd(t.base.b);
+                    if let Some(x) = t.apex {
+                        upd(x);
+                    }
+                }),
+                Item::Label { at, .. } => upd(*at),
+            }
+        }
+        any.then_some((min, max))
+    }
+
+    /// Renders the scene to an SVG string with the given pixel width.
+    pub fn to_svg(&self, px_width: f64) -> String {
+        let (min, max) = match self.bounds() {
+            Some(b) => b,
+            None => {
+                return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"10\" height=\"10\"/>"
+                    .to_string()
+            }
+        };
+        let w = (max.x - min.x).max(1e-9);
+        let h = (max.y - min.y).max(1e-9);
+        let margin = 0.05 * w.max(h);
+        let scale = px_width / (w + 2.0 * margin);
+        let px_height = (h + 2.0 * margin) * scale;
+        // SVG y grows downward: flip.
+        let tx = |p: Point2| -> (f64, f64) {
+            (
+                ((p.x - min.x) + margin) * scale,
+                px_height - ((p.y - min.y) + margin) * scale,
+            )
+        };
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.1}\" height=\"{:.1}\" \
+             viewBox=\"0 0 {:.1} {:.1}\">",
+            px_width, px_height, px_width, px_height
+        );
+        let _ = writeln!(out, "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>");
+        for item in &self.items {
+            match item {
+                Item::Points { pts, radius, color } => {
+                    let _ = writeln!(out, "<g fill=\"{color}\">");
+                    for &p in pts {
+                        let (x, y) = tx(p);
+                        let _ = writeln!(
+                            out,
+                            "<circle cx=\"{x:.2}\" cy=\"{y:.2}\" r=\"{:.2}\"/>",
+                            radius * scale
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
+                Item::Polygon {
+                    poly,
+                    stroke,
+                    fill,
+                    width,
+                } => {
+                    if poly.is_empty() {
+                        continue;
+                    }
+                    let pts: Vec<String> = poly
+                        .vertices()
+                        .iter()
+                        .map(|&p| {
+                            let (x, y) = tx(p);
+                            format!("{x:.2},{y:.2}")
+                        })
+                        .collect();
+                    let _ = writeln!(
+                        out,
+                        "<polygon points=\"{}\" fill=\"{fill}\" stroke=\"{stroke}\" \
+                         stroke-width=\"{:.2}\"/>",
+                        pts.join(" "),
+                        width * scale
+                    );
+                }
+                Item::Segments { segs, color, width } => {
+                    let _ = writeln!(
+                        out,
+                        "<g stroke=\"{color}\" stroke-width=\"{:.2}\">",
+                        width * scale
+                    );
+                    for s in segs {
+                        let (x1, y1) = tx(s.a);
+                        let (x2, y2) = tx(s.b);
+                        let _ = writeln!(
+                            out,
+                            "<line x1=\"{x1:.2}\" y1=\"{y1:.2}\" x2=\"{x2:.2}\" y2=\"{y2:.2}\"/>"
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
+                Item::Triangles { tris, fill } => {
+                    let _ = writeln!(out, "<g fill=\"{fill}\">");
+                    for t in tris {
+                        let Some(apex) = t.apex else { continue };
+                        let (x1, y1) = tx(t.base.a);
+                        let (x2, y2) = tx(t.base.b);
+                        let (x3, y3) = tx(apex);
+                        let _ = writeln!(
+                            out,
+                            "<polygon points=\"{x1:.2},{y1:.2} {x2:.2},{y2:.2} {x3:.2},{y3:.2}\"/>"
+                        );
+                    }
+                    let _ = writeln!(out, "</g>");
+                }
+                Item::Label { at, text, size } => {
+                    let (x, y) = tx(*at);
+                    let _ = writeln!(
+                        out,
+                        "<text x=\"{x:.1}\" y=\"{y:.1}\" font-size=\"{:.1}\" \
+                         font-family=\"sans-serif\">{text}</text>",
+                        size * scale
+                    );
+                }
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+/// Renders the Fig.-10-style comparison for a summary: data points,
+/// approximate hull, radial sample directions, and uncertainty triangles.
+pub fn hull_figure(
+    data: &[Point2],
+    hull: &ConvexPolygon,
+    triangles: &[UncertaintyTriangle],
+    title: &str,
+) -> String {
+    let mut scene = Scene::new();
+    scene.points(data, 0.002 * figure_extent(data), "#9db8d9");
+    scene.triangles(triangles, "rgba(200,60,60,0.55)");
+    scene.polygon(hull, "#203050", "none", 0.003 * figure_extent(data));
+    if let Some(c) = hull.centroid() {
+        // Radial "sample direction" spokes from the centroid to each vertex.
+        let segs: Vec<Segment> = hull
+            .vertices()
+            .iter()
+            .map(|&v| Segment::new(c, v))
+            .collect();
+        scene.segments(&segs, "#b0b0b0", 0.0015 * figure_extent(data));
+    }
+    if let Some((min, _)) = scene.bounds() {
+        scene.label(min, title, 0.03 * figure_extent(data));
+    }
+    scene.to_svg(900.0)
+}
+
+fn figure_extent(data: &[Point2]) -> f64 {
+    let mut min = Point2::new(f64::INFINITY, f64::INFINITY);
+    let mut max = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &p in data {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    ((max.x - min.x).max(max.y - min.y)).max(1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Vec2;
+
+    #[test]
+    fn empty_scene_renders() {
+        let svg = Scene::new().to_svg(100.0);
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn scene_contains_expected_elements() {
+        let poly = ConvexPolygon::hull_of(&[
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 3.0),
+        ]);
+        let tri = UncertaintyTriangle::new(
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Vec2::from_angle(2.0),
+            Vec2::from_angle(1.0),
+        );
+        let mut s = Scene::new();
+        s.points(&[Point2::new(1.0, 1.0)], 0.05, "red")
+            .polygon(&poly, "black", "none", 0.02)
+            .segments(
+                &[Segment::new(Point2::ORIGIN, Point2::new(1.0, 0.0))],
+                "gray",
+                0.01,
+            )
+            .triangles(&[tri], "rgba(255,0,0,0.4)")
+            .label(Point2::new(0.0, 3.0), "hello", 0.2);
+        let svg = s.to_svg(400.0);
+        assert!(svg.contains("<circle"));
+        assert!(svg.matches("<polygon").count() >= 2);
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("hello"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn figure_helper_produces_svg() {
+        let data: Vec<Point2> = (0..100)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / 100.0;
+                Point2::new(3.0 * t.cos(), t.sin())
+            })
+            .collect();
+        let hull = ConvexPolygon::hull_of(&data);
+        let svg = hull_figure(&data, &hull, &[], "test figure");
+        assert!(svg.contains("test figure"));
+        assert!(svg.len() > 1000);
+    }
+}

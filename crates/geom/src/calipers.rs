@@ -1,0 +1,266 @@
+//! Rotating calipers on convex polygons: diameter, width, and antipodal
+//! pairs (paper §6, "Diameter" and "Width or Directional Extent").
+
+use crate::point::{Point2, Vec2};
+use crate::polygon::ConvexPolygon;
+
+/// Diameter of a convex polygon: the farthest pair of vertices and their
+/// distance, by rotating calipers in `O(n)`.
+///
+/// Returns `None` for polygons with fewer than 2 vertices.
+pub fn diameter(poly: &ConvexPolygon) -> Option<(Point2, Point2, f64)> {
+    let v = poly.vertices();
+    let n = v.len();
+    match n {
+        0 | 1 => None,
+        2 => Some((v[0], v[1], v[0].distance(v[1]))),
+        _ => {
+            let mut best = (v[0], v[1], 0.0f64);
+            let mut j = 1usize;
+            let area2 = |a: Point2, b: Point2, c: Point2| ((b - a).cross(c - a)).abs();
+            for i in 0..n {
+                let ni = (i + 1) % n;
+                // Advance j while the triangle on edge (i, i+1) keeps growing.
+                while area2(v[i], v[ni], v[(j + 1) % n]) > area2(v[i], v[ni], v[j]) {
+                    j = (j + 1) % n;
+                }
+                for &(a, b) in &[(v[i], v[j]), (v[ni], v[j])] {
+                    let d = a.distance(b);
+                    if d > best.2 {
+                        best = (a, b, d);
+                    }
+                }
+            }
+            Some(best)
+        }
+    }
+}
+
+/// Diameter by brute force over all vertex pairs, `O(n²)`. Reference
+/// implementation for tests.
+pub fn diameter_brute(poly: &ConvexPolygon) -> Option<f64> {
+    let v = poly.vertices();
+    if v.len() < 2 {
+        return None;
+    }
+    let mut best = 0.0f64;
+    for i in 0..v.len() {
+        for j in (i + 1)..v.len() {
+            best = best.max(v[i].distance(v[j]));
+        }
+    }
+    Some(best)
+}
+
+/// Width of a convex polygon: the minimum distance between two parallel
+/// supporting lines, by rotating calipers in `O(n)`.
+///
+/// Returns 0 for degenerate polygons (fewer than 3 vertices).
+pub fn width(poly: &ConvexPolygon) -> f64 {
+    let v = poly.vertices();
+    let n = v.len();
+    if n < 3 {
+        return 0.0;
+    }
+    // The width is attained with one supporting line flush with an edge.
+    // For each edge, find the farthest vertex (advanced monotonically).
+    let mut best = f64::INFINITY;
+    let mut j = 1usize;
+    let dist_to_edge_line = |i: usize, k: usize| -> f64 {
+        let a = v[i];
+        let b = v[(i + 1) % n];
+        let d = b - a;
+        let len = d.norm();
+        if len == 0.0 {
+            return 0.0;
+        }
+        (d.cross(v[k] - a)).abs() / len
+    };
+    for i in 0..n {
+        while dist_to_edge_line(i, (j + 1) % n) > dist_to_edge_line(i, j) {
+            j = (j + 1) % n;
+        }
+        best = best.min(dist_to_edge_line(i, j));
+    }
+    best
+}
+
+/// Width by brute force: for each edge direction, project all vertices,
+/// `O(n²)`. Reference implementation for tests.
+pub fn width_brute(poly: &ConvexPolygon) -> f64 {
+    let v = poly.vertices();
+    let n = v.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    for i in 0..n {
+        let d = v[(i + 1) % n] - v[i];
+        let normal = match d.perp().normalized() {
+            Some(u) => u,
+            None => continue,
+        };
+        let proj: Vec<f64> = v.iter().map(|&p| p.dot(normal)).collect();
+        let lo = proj.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = proj.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        best = best.min(hi - lo);
+    }
+    best
+}
+
+/// The farthest vertex of the polygon from a query point, `O(n)`.
+/// (The farthest point of a convex set from any point is a vertex.)
+pub fn farthest_vertex(poly: &ConvexPolygon, q: Point2) -> Option<Point2> {
+    poly.vertices()
+        .iter()
+        .copied()
+        .max_by(|a, b| q.distance_sq(*a).partial_cmp(&q.distance_sq(*b)).unwrap())
+}
+
+/// Smallest enclosing axis-aligned bounding box `(min, max)` of the
+/// polygon's vertices.
+pub fn bounding_box(poly: &ConvexPolygon) -> Option<(Point2, Point2)> {
+    let v = poly.vertices();
+    if v.is_empty() {
+        return None;
+    }
+    let mut min = v[0];
+    let mut max = v[0];
+    for &p in &v[1..] {
+        min.x = min.x.min(p.x);
+        min.y = min.y.min(p.y);
+        max.x = max.x.max(p.x);
+        max.y = max.y.max(p.y);
+    }
+    Some((min, max))
+}
+
+/// Direction of the diameter (unit vector from one attaining vertex to the
+/// other), if defined.
+pub fn diameter_direction(poly: &ConvexPolygon) -> Option<Vec2> {
+    let (a, b, _) = diameter(poly)?;
+    (b - a).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn regular_ngon(n: usize, radius: f64) -> ConvexPolygon {
+        let verts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                p(radius * t.cos(), radius * t.sin())
+            })
+            .collect();
+        ConvexPolygon::from_ccw(verts).unwrap()
+    }
+
+    #[test]
+    fn rectangle_diameter_and_width() {
+        let rect =
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(0.0, 3.0)])
+                .unwrap();
+        let (_, _, d) = diameter(&rect).unwrap();
+        assert!((d - 5.0).abs() < 1e-12);
+        assert!((width(&rect) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ngon_diameter_matches_brute() {
+        for n in [3usize, 4, 5, 6, 7, 12, 33, 100] {
+            let poly = regular_ngon(n, 2.5);
+            let fast = diameter(&poly).unwrap().2;
+            let brute = diameter_brute(&poly).unwrap();
+            assert!((fast - brute).abs() < 1e-12, "n = {n}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn ngon_width_matches_brute() {
+        for n in [3usize, 4, 5, 6, 7, 12, 33, 100] {
+            let poly = regular_ngon(n, 2.5);
+            let fast = width(&poly);
+            let brute = width_brute(&poly);
+            assert!((fast - brute).abs() < 1e-9, "n = {n}: {fast} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn random_hulls_match_brute() {
+        let mut seed = 7u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..50 {
+            let pts: Vec<Point2> = (0..40)
+                .map(|_| p(next() * 10.0 - 5.0, next() * 4.0 - 2.0))
+                .collect();
+            let poly = ConvexPolygon::hull_of(&pts);
+            if poly.len() < 3 {
+                continue;
+            }
+            let fd = diameter(&poly).unwrap().2;
+            let bd = diameter_brute(&poly).unwrap();
+            assert!((fd - bd).abs() < 1e-9, "trial {trial} diameter");
+            let fw = width(&poly);
+            let bw = width_brute(&poly);
+            assert!((fw - bw).abs() < 1e-9, "trial {trial} width {fw} vs {bw}");
+        }
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(diameter(&ConvexPolygon::empty()).is_none());
+        let one = ConvexPolygon::from_ccw(vec![p(1.0, 1.0)]).unwrap();
+        assert!(diameter(&one).is_none());
+        assert_eq!(width(&one), 0.0);
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(3.0, 4.0)]).unwrap();
+        let (_, _, d) = diameter(&seg).unwrap();
+        assert_eq!(d, 5.0);
+        assert_eq!(width(&seg), 0.0);
+    }
+
+    #[test]
+    fn skinny_ellipse_width_much_smaller_than_diameter() {
+        // The case the paper highlights: width << diameter.
+        let verts: Vec<Point2> = (0..64)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / 64.0;
+                p(16.0 * t.cos(), t.sin())
+            })
+            .collect();
+        let poly = ConvexPolygon::hull_of(&verts);
+        let d = diameter(&poly).unwrap().2;
+        let w = width(&poly);
+        assert!(d > 31.9);
+        assert!(w < 2.1);
+        assert!(d / w > 14.0);
+    }
+
+    #[test]
+    fn farthest_vertex_and_bbox() {
+        let rect =
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 3.0), p(0.0, 3.0)])
+                .unwrap();
+        assert_eq!(farthest_vertex(&rect, p(0.1, 0.1)), Some(p(4.0, 3.0)));
+        let (min, max) = bounding_box(&rect).unwrap();
+        assert_eq!(min, p(0.0, 0.0));
+        assert_eq!(max, p(4.0, 3.0));
+        assert!(bounding_box(&ConvexPolygon::empty()).is_none());
+    }
+
+    #[test]
+    fn diameter_direction_is_unit() {
+        let poly = regular_ngon(12, 3.0);
+        let d = diameter_direction(&poly).unwrap();
+        assert!((d.norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Minimum enclosing circle (Welzl's algorithm) — backing the paper's §6
+//! remark that "the smallest circle containing all the points" can be
+//! computed from the approximate convex hull.
+
+use crate::point::Point2;
+
+/// A circle given by centre and radius.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Circle {
+    /// Centre.
+    pub center: Point2,
+    /// Radius (non-negative).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// The degenerate circle around a single point.
+    pub fn point(p: Point2) -> Circle {
+        Circle {
+            center: p,
+            radius: 0.0,
+        }
+    }
+
+    /// Circle with the segment `a..b` as diameter.
+    pub fn from_diameter(a: Point2, b: Point2) -> Circle {
+        Circle {
+            center: a.midpoint(b),
+            radius: a.distance(b) / 2.0,
+        }
+    }
+
+    /// Circumscribed circle of three points; `None` when (nearly)
+    /// collinear.
+    pub fn circumscribed(a: Point2, b: Point2, c: Point2) -> Option<Circle> {
+        let (bx, by) = (b.x - a.x, b.y - a.y);
+        let (cx, cy) = (c.x - a.x, c.y - a.y);
+        let d = 2.0 * (bx * cy - by * cx);
+        if d.abs() < 1e-14 * (bx.hypot(by) * cx.hypot(cy)).max(1.0) {
+            return None;
+        }
+        let b2 = bx * bx + by * by;
+        let c2 = cx * cx + cy * cy;
+        let ux = (cy * b2 - by * c2) / d;
+        let uy = (bx * c2 - cx * b2) / d;
+        let center = Point2::new(a.x + ux, a.y + uy);
+        Some(Circle {
+            center,
+            radius: center.distance(a),
+        })
+    }
+
+    /// Containment with a relative tolerance (needed because the circle
+    /// itself is computed in floating point).
+    pub fn contains(&self, p: Point2, eps: f64) -> bool {
+        self.center.distance(p) <= self.radius * (1.0 + eps) + eps
+    }
+}
+
+/// Minimum enclosing circle of a point set, by Welzl's move-to-front
+/// algorithm (expected `O(n)` after the deterministic shuffle below).
+///
+/// Returns `None` for an empty input. For a hull summary, pass the sampled
+/// hull's vertices: the result is within `O(D/r²)` of the true smallest
+/// enclosing circle of the stream.
+pub fn min_enclosing_circle(points: &[Point2]) -> Option<Circle> {
+    let mut pts: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    if pts.is_empty() {
+        return None;
+    }
+    // Deterministic shuffle (splitmix-style) so worst-case inputs do not
+    // trigger the quadratic behaviour of a sorted order.
+    let mut state = 0x9e3779b97f4a7c15u64 ^ (pts.len() as u64);
+    for i in (1..pts.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let j = (state % (i as u64 + 1)) as usize;
+        pts.swap(i, j);
+    }
+
+    let mut c = Circle::point(pts[0]);
+    for i in 1..pts.len() {
+        if c.contains(pts[i], 1e-12) {
+            continue;
+        }
+        // pts[i] on the boundary.
+        c = Circle::point(pts[i]);
+        for j in 0..i {
+            if c.contains(pts[j], 1e-12) {
+                continue;
+            }
+            // pts[i], pts[j] on the boundary.
+            c = Circle::from_diameter(pts[i], pts[j]);
+            for k in 0..j {
+                if c.contains(pts[k], 1e-12) {
+                    continue;
+                }
+                // Three boundary points determine the circle.
+                c = Circle::circumscribed(pts[i], pts[j], pts[k])
+                    .unwrap_or_else(|| widest_of_three(pts[i], pts[j], pts[k]));
+            }
+        }
+    }
+    Some(c)
+}
+
+/// Fallback for (nearly) collinear triples: the diameter circle of the
+/// farthest pair.
+fn widest_of_three(a: Point2, b: Point2, c: Point2) -> Circle {
+    let mut best = Circle::from_diameter(a, b);
+    for (p, q) in [(a, c), (b, c)] {
+        let cand = Circle::from_diameter(p, q);
+        if cand.radius > best.radius {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_encloses(c: &Circle, pts: &[Point2]) {
+        for &p in pts {
+            assert!(
+                c.contains(p, 1e-9),
+                "{p:?} outside circle centre {:?} radius {}",
+                c.center,
+                c.radius
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert!(min_enclosing_circle(&[]).is_none());
+        let one = min_enclosing_circle(&[Point2::new(1.0, 2.0)]).unwrap();
+        assert_eq!(one.radius, 0.0);
+        let two = min_enclosing_circle(&[Point2::new(0.0, 0.0), Point2::new(4.0, 0.0)]).unwrap();
+        assert!((two.radius - 2.0).abs() < 1e-12);
+        assert!(two.center.distance(Point2::new(2.0, 0.0)) < 1e-12);
+    }
+
+    #[test]
+    fn equilateral_triangle() {
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, 3.0f64.sqrt() / 2.0),
+        ];
+        let c = min_enclosing_circle(&pts).unwrap();
+        // Circumradius of unit equilateral triangle = 1/sqrt(3).
+        assert!((c.radius - 1.0 / 3.0f64.sqrt()).abs() < 1e-9);
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn obtuse_triangle_uses_diameter() {
+        // For an obtuse triangle the MEC is the diameter circle of the
+        // longest side, not the circumcircle.
+        let pts = [
+            Point2::new(0.0, 0.0),
+            Point2::new(10.0, 0.0),
+            Point2::new(5.0, 0.5),
+        ];
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 5.0).abs() < 1e-9);
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn circle_points_recover_radius() {
+        let pts: Vec<Point2> = (0..100)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / 100.0;
+                Point2::new(3.0 + 2.0 * t.cos(), -1.0 + 2.0 * t.sin())
+            })
+            .collect();
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 2.0).abs() < 1e-9);
+        assert!(c.center.distance(Point2::new(3.0, -1.0)) < 1e-9);
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn collinear_points() {
+        let pts: Vec<Point2> = (0..20)
+            .map(|i| Point2::new(i as f64, 2.0 * i as f64))
+            .collect();
+        let c = min_enclosing_circle(&pts).unwrap();
+        let expect = pts[0].distance(pts[19]) / 2.0;
+        assert!((c.radius - expect).abs() < 1e-9);
+        assert_encloses(&c, &pts);
+    }
+
+    #[test]
+    fn random_points_minimality() {
+        // The MEC radius must match the brute-force minimum over all
+        // 2-point and 3-point candidate circles.
+        let mut seed = 77u64;
+        let mut next = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for trial in 0..10 {
+            let pts: Vec<Point2> = (0..14)
+                .map(|_| Point2::new(next() * 10.0, next() * 10.0))
+                .collect();
+            let c = min_enclosing_circle(&pts).unwrap();
+            assert_encloses(&c, &pts);
+            // Brute force.
+            let mut best = f64::INFINITY;
+            let n = pts.len();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let cand = Circle::from_diameter(pts[i], pts[j]);
+                    if pts.iter().all(|&p| cand.contains(p, 1e-9)) {
+                        best = best.min(cand.radius);
+                    }
+                    for k in (j + 1)..n {
+                        if let Some(cand) = Circle::circumscribed(pts[i], pts[j], pts[k]) {
+                            if pts.iter().all(|&p| cand.contains(p, 1e-9)) {
+                                best = best.min(cand.radius);
+                            }
+                        }
+                    }
+                }
+            }
+            assert!(
+                (c.radius - best).abs() <= 1e-6 * best,
+                "trial {trial}: welzl {} vs brute {best}",
+                c.radius
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_input() {
+        let mut pts = vec![Point2::new(1.0, 1.0); 50];
+        pts.push(Point2::new(5.0, 1.0));
+        let c = min_enclosing_circle(&pts).unwrap();
+        assert!((c.radius - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,278 @@
+//! Convex polygon intersection (Sutherland–Hodgman specialised to convex
+//! clippers), used by the "spatial overlap" queries of paper §6.
+
+use crate::point::Point2;
+use crate::polygon::ConvexPolygon;
+use crate::predicates::orient2d_sign;
+use core::cmp::Ordering;
+
+/// Intersection point of segment `a..b` with the line through `c..d`,
+/// assuming the segment genuinely crosses the line. Computed in `f64`;
+/// callers only use this for points certified to straddle by the exact
+/// predicate.
+fn line_intersection(a: Point2, b: Point2, c: Point2, d: Point2) -> Point2 {
+    let r = b - a;
+    let s = d - c;
+    let denom = r.cross(s);
+    if denom == 0.0 {
+        // Degenerate (collinear overlap certified impossible by callers);
+        // return the midpoint as a safe fallback.
+        return a.midpoint(b);
+    }
+    let t = (c - a).cross(s) / denom;
+    a + r * t.clamp(0.0, 1.0)
+}
+
+/// Intersection of two convex polygons.
+///
+/// Runs Sutherland–Hodgman clipping of `subject` against each edge of
+/// `clipper` (`O(n·m)`), then re-hulls the output to restore strict
+/// convexity after floating-point intersections. Degenerate inputs (fewer
+/// than 3 vertices) produce the correct degenerate output: clipping a point
+/// or segment against a polygon.
+pub fn intersect(subject: &ConvexPolygon, clipper: &ConvexPolygon) -> ConvexPolygon {
+    if subject.is_empty() || clipper.is_empty() {
+        return ConvexPolygon::empty();
+    }
+    // Degenerate clipper: intersect the other way around if it has a proper
+    // interior, else fall back to point/segment logic.
+    if clipper.len() < 3 {
+        if subject.len() >= 3 {
+            return intersect_degenerate(clipper, subject);
+        }
+        return intersect_degenerate_pair(subject, clipper);
+    }
+    if subject.len() < 3 {
+        return intersect_degenerate(subject, clipper);
+    }
+
+    let mut output: Vec<Point2> = subject.vertices().to_vec();
+    let cv = clipper.vertices();
+    let m = cv.len();
+    for i in 0..m {
+        if output.is_empty() {
+            break;
+        }
+        let (ca, cb) = (cv[i], cv[(i + 1) % m]);
+        let input = core::mem::take(&mut output);
+        let inside = |p: Point2| orient2d_sign(ca, cb, p) != Ordering::Less;
+        for j in 0..input.len() {
+            let cur = input[j];
+            let prev = input[(j + input.len() - 1) % input.len()];
+            let cur_in = inside(cur);
+            let prev_in = inside(prev);
+            if cur_in {
+                if !prev_in {
+                    output.push(line_intersection(prev, cur, ca, cb));
+                }
+                output.push(cur);
+            } else if prev_in {
+                output.push(line_intersection(prev, cur, ca, cb));
+            }
+        }
+    }
+    // Floating-point intersections can introduce duplicates / collinear
+    // slivers; rebuild the strict hull of the result.
+    ConvexPolygon::hull_of(&output)
+}
+
+/// Clips a degenerate polygon (point or segment) against a full polygon.
+fn intersect_degenerate(small: &ConvexPolygon, big: &ConvexPolygon) -> ConvexPolygon {
+    match small.len() {
+        0 => ConvexPolygon::empty(),
+        1 => {
+            if big.contains_linear(small.vertex(0)) {
+                small.clone()
+            } else {
+                ConvexPolygon::empty()
+            }
+        }
+        _ => {
+            // Segment: clip parametrically against every edge half-plane.
+            let (a, b) = (small.vertex(0), small.vertex(1));
+            let d = b - a;
+            let mut t0 = 0.0f64;
+            let mut t1 = 1.0f64;
+            for (ca, cb) in big.edges() {
+                let n = (cb - ca).perp(); // inward normal of ccw polygon
+                let denom = d.dot(n);
+                let num = (ca - a).dot(n);
+                if denom.abs() < f64::EPSILON * (d.norm() * n.norm()).max(1.0) {
+                    // Parallel: reject the whole segment if outside.
+                    if (a - ca).dot(n) < 0.0 {
+                        return ConvexPolygon::empty();
+                    }
+                } else {
+                    let t = num / denom;
+                    if denom > 0.0 {
+                        t0 = t0.max(t);
+                    } else {
+                        t1 = t1.min(t);
+                    }
+                }
+            }
+            if t0 > t1 {
+                return ConvexPolygon::empty();
+            }
+            let p0 = a + d * t0;
+            let p1 = a + d * t1;
+            if p0 == p1 {
+                ConvexPolygon::hull_of(&[p0])
+            } else {
+                ConvexPolygon::hull_of(&[p0, p1])
+            }
+        }
+    }
+}
+
+/// Both polygons degenerate: brute-force on the (tiny) vertex sets.
+fn intersect_degenerate_pair(a: &ConvexPolygon, b: &ConvexPolygon) -> ConvexPolygon {
+    let pts: Vec<Point2> = a
+        .vertices()
+        .iter()
+        .copied()
+        .filter(|&p| b.contains_linear(p))
+        .chain(
+            b.vertices()
+                .iter()
+                .copied()
+                .filter(|&p| a.contains_linear(p)),
+        )
+        .collect();
+    ConvexPolygon::hull_of(&pts)
+}
+
+/// Area of the intersection of two convex polygons.
+pub fn overlap_area(a: &ConvexPolygon, b: &ConvexPolygon) -> f64 {
+    intersect(a, b).area()
+}
+
+/// `true` iff the two convex polygons share at least one point.
+pub fn intersects(a: &ConvexPolygon, b: &ConvexPolygon) -> bool {
+    !intersect(a, b).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn square(x0: f64, y0: f64, s: f64) -> ConvexPolygon {
+        ConvexPolygon::from_ccw(vec![
+            p(x0, y0),
+            p(x0 + s, y0),
+            p(x0 + s, y0 + s),
+            p(x0, y0 + s),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn overlapping_squares() {
+        let a = square(0.0, 0.0, 2.0);
+        let b = square(1.0, 1.0, 2.0);
+        let i = intersect(&a, &b);
+        assert!((i.area() - 1.0).abs() < 1e-12);
+        assert!((overlap_area(&a, &b) - 1.0).abs() < 1e-12);
+        assert!(intersects(&a, &b));
+    }
+
+    #[test]
+    fn disjoint_squares() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(5.0, 5.0, 1.0);
+        assert!(intersect(&a, &b).is_empty());
+        assert_eq!(overlap_area(&a, &b), 0.0);
+        assert!(!intersects(&a, &b));
+    }
+
+    #[test]
+    fn nested_polygons() {
+        let outer = square(0.0, 0.0, 10.0);
+        let inner = square(3.0, 3.0, 2.0);
+        let i = intersect(&outer, &inner);
+        assert!((i.area() - inner.area()).abs() < 1e-12);
+        let j = intersect(&inner, &outer);
+        assert!((j.area() - inner.area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersection_is_commutative_in_area() {
+        let a = ConvexPolygon::hull_of(&[p(0.0, 0.0), p(4.0, 0.0), p(2.0, 3.0)]);
+        let b = ConvexPolygon::hull_of(&[p(0.0, 1.0), p(4.0, 1.0), p(2.0, -2.0)]);
+        let ab = overlap_area(&a, &b);
+        let ba = overlap_area(&b, &a);
+        assert!((ab - ba).abs() < 1e-9);
+        assert!(ab > 0.0);
+    }
+
+    #[test]
+    fn area_bounded_by_inputs() {
+        let mut seed = 99u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..40 {
+            let a = ConvexPolygon::hull_of(
+                &(0..10)
+                    .map(|_| p(next() * 4.0, next() * 4.0))
+                    .collect::<Vec<_>>(),
+            );
+            let b = ConvexPolygon::hull_of(
+                &(0..10)
+                    .map(|_| p(next() * 4.0 + 1.0, next() * 4.0 + 1.0))
+                    .collect::<Vec<_>>(),
+            );
+            let i = overlap_area(&a, &b);
+            assert!(i <= a.area() + 1e-9);
+            assert!(i <= b.area() + 1e-9);
+            assert!(i >= 0.0);
+        }
+    }
+
+    #[test]
+    fn touching_edges() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(1.0, 0.0, 1.0);
+        let i = intersect(&a, &b);
+        // Shared edge: intersection is a (degenerate) segment with area 0.
+        assert!(i.area().abs() < 1e-12);
+        assert!(intersects(&a, &b), "shared boundary still intersects");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let sq = square(0.0, 0.0, 2.0);
+        let pt_in = ConvexPolygon::hull_of(&[p(1.0, 1.0)]);
+        let pt_out = ConvexPolygon::hull_of(&[p(5.0, 5.0)]);
+        assert_eq!(intersect(&pt_in, &sq).len(), 1);
+        assert!(intersect(&pt_out, &sq).is_empty());
+        assert_eq!(intersect(&sq, &pt_in).len(), 1, "degenerate clipper");
+
+        let seg_cross = ConvexPolygon::hull_of(&[p(-1.0, 1.0), p(3.0, 1.0)]);
+        let clipped = intersect(&seg_cross, &sq);
+        assert_eq!(clipped.len(), 2);
+        let len = clipped.vertex(0).distance(clipped.vertex(1));
+        assert!((len - 2.0).abs() < 1e-12);
+
+        let seg_miss = ConvexPolygon::hull_of(&[p(-1.0, 5.0), p(3.0, 5.0)]);
+        assert!(intersect(&seg_miss, &sq).is_empty());
+
+        assert!(intersect(&ConvexPolygon::empty(), &sq).is_empty());
+    }
+
+    #[test]
+    fn triangle_square_known_area() {
+        let sq = square(0.0, 0.0, 2.0);
+        // Triangle covering the left half exactly.
+        let tri = ConvexPolygon::hull_of(&[p(0.0, 0.0), p(2.0, 0.0), p(0.0, 2.0)]);
+        let i = overlap_area(&sq, &tri);
+        assert!((i - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,272 @@
+//! Distance and separation between convex polygons (paper §6: "Linear
+//! Separation", "Containment").
+
+use crate::clip;
+use crate::line::{Line, Segment};
+use crate::point::{Point2, Vec2};
+use crate::polygon::ConvexPolygon;
+
+/// Result of a separation query between two convex polygons.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Separation {
+    /// The polygons are disjoint: minimum distance and a separating line
+    /// (all of `a` on the negative side, all of `b` on the positive side).
+    Separated {
+        /// Minimum distance between the two polygons.
+        distance: f64,
+        /// A separating line placed halfway between the closest features.
+        line: Line,
+    },
+    /// The polygons share at least one point; `witness` is a common point
+    /// (a certificate of non-separation, cf. paper §6).
+    Intersecting {
+        /// A point contained in both polygons.
+        witness: Point2,
+    },
+}
+
+impl Separation {
+    /// Minimum distance (0 when intersecting).
+    pub fn distance(&self) -> f64 {
+        match self {
+            Separation::Separated { distance, .. } => *distance,
+            Separation::Intersecting { .. } => 0.0,
+        }
+    }
+
+    /// `true` iff the polygons are linearly separable (disjoint).
+    pub fn is_separated(&self) -> bool {
+        matches!(self, Separation::Separated { .. })
+    }
+}
+
+/// Minimum distance between two convex polygons, `O(n·m)` over boundary
+/// feature pairs (plus an exact intersection test). The summaries keep
+/// `O(r)` vertices so this is plenty fast; an `O(n + m)` rotating-caliper
+/// variant would change nothing observable for the library's workloads.
+///
+/// Returns `None` when either polygon is empty.
+pub fn separation(a: &ConvexPolygon, b: &ConvexPolygon) -> Option<Separation> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    // Intersection (including containment and touching) first.
+    let common = clip::intersect(a, b);
+    if !common.is_empty() {
+        let witness = common.centroid().unwrap_or(common.vertex(0));
+        return Some(Separation::Intersecting { witness });
+    }
+
+    // Disjoint: the closest pair of points lies on the boundaries; scan
+    // segment pairs (degenerate polygons contribute their points/segments).
+    let segs = |p: &ConvexPolygon| -> Vec<Segment> {
+        match p.len() {
+            0 => vec![],
+            1 => vec![Segment::new(p.vertex(0), p.vertex(0))],
+            2 => vec![Segment::new(p.vertex(0), p.vertex(1))],
+            _ => p.edges().map(|(s, t)| Segment::new(s, t)).collect(),
+        }
+    };
+    let ea = segs(a);
+    let eb = segs(b);
+    let mut best = f64::INFINITY;
+    let mut pa = ea[0].a;
+    let mut pb = eb[0].a;
+    for sa in &ea {
+        for sb in &eb {
+            // Closest points between two segments via the four
+            // point-segment projections (segments are disjoint here).
+            for (p, s, a_side) in [
+                (sb.closest_point(sa.a), sa.a, true),
+                (sb.closest_point(sa.b), sa.b, true),
+                (sa.closest_point(sb.a), sb.a, false),
+                (sa.closest_point(sb.b), sb.b, false),
+            ] {
+                let d = p.distance(s);
+                if d < best {
+                    best = d;
+                    if a_side {
+                        pa = s;
+                        pb = p;
+                    } else {
+                        pa = p;
+                        pb = s;
+                    }
+                }
+            }
+        }
+    }
+    // Separating line: perpendicular bisector direction of the closest pair.
+    let dir = (pb - pa).normalized().unwrap_or(Vec2::new(1.0, 0.0));
+    let mid = pa.midpoint(pb);
+    Some(Separation::Separated {
+        distance: best,
+        line: Line::supporting(mid, dir),
+    })
+}
+
+/// Minimum distance between two convex polygons (0 when intersecting,
+/// infinite when either is empty).
+pub fn min_distance(a: &ConvexPolygon, b: &ConvexPolygon) -> f64 {
+    match separation(a, b) {
+        None => f64::INFINITY,
+        Some(s) => s.distance(),
+    }
+}
+
+/// `true` iff `inner` lies entirely inside `outer` (boundary allowed):
+/// the "surrounded by" predicate of the paper's introduction.
+pub fn contains_polygon(outer: &ConvexPolygon, inner: &ConvexPolygon) -> bool {
+    if inner.is_empty() {
+        return true;
+    }
+    inner
+        .vertices()
+        .iter()
+        .all(|&v| crate::locate::contains(outer, v))
+}
+
+/// How far `inner` sticks out of `outer`: the maximum distance from a vertex
+/// of `inner` to `outer` (0 when contained). This is the natural "containment
+/// margin" for approximate hulls with `O(D/r²)` error.
+pub fn containment_violation(outer: &ConvexPolygon, inner: &ConvexPolygon) -> f64 {
+    inner
+        .vertices()
+        .iter()
+        .map(|&v| outer.distance_to_point(v))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn square(x0: f64, y0: f64, s: f64) -> ConvexPolygon {
+        ConvexPolygon::from_ccw(vec![
+            p(x0, y0),
+            p(x0 + s, y0),
+            p(x0 + s, y0 + s),
+            p(x0, y0 + s),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_squares() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(3.0, 0.0, 1.0);
+        let s = separation(&a, &b).unwrap();
+        assert!(s.is_separated());
+        assert!((s.distance() - 2.0).abs() < 1e-12);
+        if let Separation::Separated { line, .. } = &s {
+            // All of a strictly negative side, all of b strictly positive.
+            for &v in a.vertices() {
+                assert!(line.signed_distance(v) < 0.0);
+            }
+            for &v in b.vertices() {
+                assert!(line.signed_distance(v) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn corner_to_corner() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(2.0, 2.0, 1.0);
+        let d = min_distance(&a, &b);
+        assert!((d - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intersecting_and_nested() {
+        let a = square(0.0, 0.0, 2.0);
+        let b = square(1.0, 1.0, 2.0);
+        let s = separation(&a, &b).unwrap();
+        assert!(!s.is_separated());
+        assert_eq!(s.distance(), 0.0);
+        if let Separation::Intersecting { witness } = s {
+            assert!(a.contains_linear(witness));
+            assert!(b.contains_linear(witness));
+        }
+        let inner = square(0.5, 0.5, 0.5);
+        assert_eq!(min_distance(&a, &inner), 0.0);
+    }
+
+    #[test]
+    fn touching_is_not_separated() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(1.0, 0.0, 1.0);
+        let s = separation(&a, &b).unwrap();
+        assert!(!s.is_separated(), "shared edge means no strict separation");
+    }
+
+    #[test]
+    fn point_and_segment_polygons() {
+        let a = ConvexPolygon::hull_of(&[p(0.0, 0.0)]);
+        let b = ConvexPolygon::hull_of(&[p(3.0, 4.0)]);
+        assert!((min_distance(&a, &b) - 5.0).abs() < 1e-12);
+        let seg = ConvexPolygon::hull_of(&[p(0.0, 1.0), p(10.0, 1.0)]);
+        assert!((min_distance(&a, &seg) - 1.0).abs() < 1e-12);
+        assert_eq!(min_distance(&ConvexPolygon::empty(), &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn containment_predicates() {
+        let outer = square(0.0, 0.0, 10.0);
+        let inner = square(2.0, 2.0, 3.0);
+        assert!(contains_polygon(&outer, &inner));
+        assert!(!contains_polygon(&inner, &outer));
+        assert_eq!(containment_violation(&outer, &inner), 0.0);
+        let poking = square(8.0, 8.0, 4.0);
+        assert!(!contains_polygon(&outer, &poking));
+        let v = containment_violation(&outer, &poking);
+        assert!(
+            (v - 2.0f64.sqrt() * 2.0).abs() < 1e-12,
+            "corner (12,12) is 2*sqrt2 out"
+        );
+        assert!(contains_polygon(&outer, &ConvexPolygon::empty()));
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let mut seed = 5u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..30 {
+            let a = ConvexPolygon::hull_of(
+                &(0..8)
+                    .map(|_| p(next() * 3.0, next() * 3.0))
+                    .collect::<Vec<_>>(),
+            );
+            let b = ConvexPolygon::hull_of(
+                &(0..8)
+                    .map(|_| p(next() * 3.0 + 5.0, next() * 3.0))
+                    .collect::<Vec<_>>(),
+            );
+            let dab = min_distance(&a, &b);
+            let dba = min_distance(&b, &a);
+            assert!((dab - dba).abs() < 1e-9);
+            assert!(dab > 0.0, "x-ranges are disjoint by construction");
+            // Sanity lower bound: gap between x-extents.
+            let ax = a
+                .vertices()
+                .iter()
+                .map(|v| v.x)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let bx = b
+                .vertices()
+                .iter()
+                .map(|v| v.x)
+                .fold(f64::INFINITY, f64::min);
+            assert!(dab >= (bx - ax) - 1e-9 || bx < ax);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Error-free floating-point expansion arithmetic.
+//!
+//! An *expansion* is a sum of `f64` components, ordered by increasing
+//! magnitude and non-overlapping in their bit ranges, that represents a real
+//! number exactly. The primitives here (`two_sum`, `two_product`,
+//! `grow_expansion`, `expansion_sum`, ...) are the classic building blocks
+//! from Shewchuk, "Adaptive Precision Floating-Point Arithmetic and Fast
+//! Robust Geometric Predicates" (1997). They let [`crate::predicates`]
+//! evaluate the orientation determinant exactly when the floating-point
+//! filter cannot certify a sign.
+//!
+//! Only what the predicates need is implemented — this is not a general
+//! arbitrary-precision library — but every primitive is exact for all finite
+//! inputs whose intermediate values do not overflow.
+
+/// Exact sum: returns `(hi, lo)` with `hi + lo == a + b` exactly and
+/// `hi == fl(a + b)`.
+///
+/// This is the branch-free "TwoSum" of Knuth; it does not require
+/// `|a| >= |b|`.
+#[inline]
+pub fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let hi = a + b;
+    let b_virtual = hi - a;
+    let a_virtual = hi - b_virtual;
+    let b_round = b - b_virtual;
+    let a_round = a - a_virtual;
+    (hi, a_round + b_round)
+}
+
+/// Exact sum under the precondition `|a| >= |b|` (or `a == 0`): "FastTwoSum".
+#[inline]
+pub fn fast_two_sum(a: f64, b: f64) -> (f64, f64) {
+    debug_assert!(a == 0.0 || a.abs() >= b.abs() || !a.is_finite() || !b.is_finite());
+    let hi = a + b;
+    let lo = b - (hi - a);
+    (hi, lo)
+}
+
+/// Exact difference: `(hi, lo)` with `hi + lo == a - b` exactly.
+#[inline]
+pub fn two_diff(a: f64, b: f64) -> (f64, f64) {
+    let hi = a - b;
+    let b_virtual = a - hi;
+    let a_virtual = hi + b_virtual;
+    let b_round = b_virtual - b;
+    let a_round = a - a_virtual;
+    (hi, a_round + b_round)
+}
+
+/// Exact product via fused multiply-add: `(hi, lo)` with
+/// `hi + lo == a * b` exactly and `hi == fl(a * b)`.
+#[inline]
+pub fn two_product(a: f64, b: f64) -> (f64, f64) {
+    let hi = a * b;
+    // fma(a, b, -hi) computes the rounding error of the product exactly.
+    let lo = f64::mul_add(a, b, -hi);
+    (hi, lo)
+}
+
+/// Adds a single `f64` to an expansion, producing a (possibly longer)
+/// expansion. `e` must be a valid nonoverlapping expansion in increasing
+/// magnitude order; the output written to `out` has the same property.
+///
+/// Returns the number of components written (`e.len() + 1` at most).
+pub fn grow_expansion(e: &[f64], b: f64, out: &mut [f64]) -> usize {
+    debug_assert!(out.len() > e.len());
+    let mut q = b;
+    let mut n = 0;
+    for &ei in e {
+        let (sum, err) = two_sum(q, ei);
+        if err != 0.0 {
+            out[n] = err;
+            n += 1;
+        }
+        q = sum;
+    }
+    if q != 0.0 || n == 0 {
+        out[n] = q;
+        n += 1;
+    }
+    n
+}
+
+/// Adds two expansions. Both inputs must be valid expansions; the result is
+/// a valid expansion. Returns the number of components written.
+pub fn expansion_sum(e: &[f64], f: &[f64], out: &mut [f64]) -> usize {
+    debug_assert!(out.len() >= e.len() + f.len());
+    // Simple repeated grow_expansion; fine for the tiny expansions (<= 16
+    // components) used by the predicates.
+    let mut tmp = [0.0f64; 32];
+    debug_assert!(e.len() + f.len() <= 32);
+    let mut n = e.len();
+    tmp[..n].copy_from_slice(e);
+    let mut buf = [0.0f64; 32];
+    for &fi in f {
+        let m = grow_expansion(&tmp[..n], fi, &mut buf);
+        tmp[..m].copy_from_slice(&buf[..m]);
+        n = m;
+    }
+    out[..n].copy_from_slice(&tmp[..n]);
+    n
+}
+
+/// Estimates the value of an expansion by summing components smallest first.
+/// The sign of the estimate equals the sign of the exact value when the
+/// expansion is valid (largest component dominates).
+#[inline]
+pub fn estimate(e: &[f64]) -> f64 {
+    let mut q = 0.0;
+    for &c in e {
+        q += c;
+    }
+    q
+}
+
+/// Sign of the exact value of a valid expansion: the sign of its largest
+/// (last nonzero) component.
+#[inline]
+pub fn expansion_sign(e: &[f64]) -> core::cmp::Ordering {
+    for &c in e.iter().rev() {
+        if c > 0.0 {
+            return core::cmp::Ordering::Greater;
+        }
+        if c < 0.0 {
+            return core::cmp::Ordering::Less;
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn two_sum_is_exact() {
+        // 1.0 + 2^-60: the low word must carry the bit that hi drops.
+        let a = 1.0;
+        let b = (2.0f64).powi(-60);
+        let (hi, lo) = two_sum(a, b);
+        assert_eq!(hi, 1.0);
+        assert_eq!(lo, b);
+        // Exactness: hi + lo reconstructs in extended precision.
+        assert_eq!(hi + lo, a + b); // same rounding, sanity only
+    }
+
+    #[test]
+    fn two_diff_is_exact() {
+        let a = 1.0 + (2.0f64).powi(-52);
+        let b = (2.0f64).powi(-53);
+        let (hi, lo) = two_diff(a, b);
+        // a - b is not representable; hi+lo must carry the full value.
+        // Verify via integer reasoning: multiply everything by 2^53.
+        let scale = (2.0f64).powi(53);
+        assert_eq!((hi * scale) + (lo * scale), (a * scale) - (b * scale));
+    }
+
+    #[test]
+    fn two_product_error_term() {
+        let a = 1.0 + (2.0f64).powi(-30);
+        let b = 1.0 + (2.0f64).powi(-30);
+        let (hi, lo) = two_product(a, b);
+        // Exact product is 1 + 2^-29 + 2^-60; hi misses the 2^-60 term.
+        assert_eq!(hi, 1.0 + (2.0f64).powi(-29));
+        assert_eq!(lo, (2.0f64).powi(-60));
+    }
+
+    /// Checks that expansion `e` exactly equals the sum of `parts` by
+    /// subtracting each part and testing the exact sign of the remainder.
+    fn assert_exactly_equals(e: &[f64], parts: &[f64]) {
+        let mut acc: Vec<f64> = e.to_vec();
+        let mut out = [0.0; 32];
+        for &p in parts {
+            let n = grow_expansion(&acc, -p, &mut out);
+            acc = out[..n].to_vec();
+        }
+        assert_eq!(expansion_sign(&acc), Ordering::Equal, "residual {acc:?}");
+    }
+
+    #[test]
+    fn grow_expansion_accumulates_exactly() {
+        // Build 1 + 2^-80 + 2^-40 by growing an expansion; the exact value
+        // must be carried in full even though no single f64 can hold it.
+        let mut out = [0.0; 4];
+        let e = [(2.0f64).powi(-80)];
+        let n = grow_expansion(&e, 1.0, &mut out);
+        let e2: Vec<f64> = out[..n].to_vec();
+        let mut out2 = [0.0; 4];
+        let n2 = grow_expansion(&e2, (2.0f64).powi(-40), &mut out2);
+        let total: Vec<f64> = out2[..n2].to_vec();
+        assert_exactly_equals(&total, &[1.0, (2.0f64).powi(-40), (2.0f64).powi(-80)]);
+    }
+
+    #[test]
+    fn expansion_sum_merges() {
+        let e = [(2.0f64).powi(-70), 1.0];
+        let f = [(2.0f64).powi(-90), 4.0];
+        let mut out = [0.0; 8];
+        let n = expansion_sum(&e, &f, &mut out);
+        let s = &out[..n];
+        assert_eq!(estimate(s), 5.0);
+        assert_eq!(expansion_sign(s), Ordering::Greater);
+        // The tiny terms must survive exactly.
+        assert_exactly_equals(s, &[5.0, (2.0f64).powi(-70), (2.0f64).powi(-90)]);
+    }
+
+    #[test]
+    fn expansion_sign_cases() {
+        assert_eq!(expansion_sign(&[]), Ordering::Equal);
+        assert_eq!(expansion_sign(&[0.0]), Ordering::Equal);
+        assert_eq!(expansion_sign(&[-1e-300, 1.0]), Ordering::Greater);
+        assert_eq!(expansion_sign(&[1e-300, -1.0]), Ordering::Less);
+    }
+
+    #[test]
+    fn cancellation_keeps_sign() {
+        // (a + tiny) - a must yield exactly tiny.
+        let a = 1e16;
+        let tiny = 1.0;
+        let (s1, e1) = two_sum(a, tiny);
+        let (s2, e2) = two_diff(s1, a);
+        // s2 + e2 + e1 == tiny exactly.
+        let mut out = [0.0; 4];
+        let n = grow_expansion(&[e1], s2, &mut out);
+        let mut out2 = [0.0; 8];
+        let m = grow_expansion(&out[..n], e2, &mut out2);
+        assert_eq!(estimate(&out2[..m]), tiny);
+    }
+}

@@ -1,0 +1,237 @@
+//! Static convex hull construction.
+//!
+//! Two classic algorithms — Andrew's monotone chain and Graham scan — both
+//! built on the exact [`orient2d`](crate::predicates::orient2d_sign)
+//! predicate. They produce *strictly* convex hulls (no collinear vertices,
+//! no duplicates), in counterclockwise order starting from the
+//! lexicographically smallest point. Having two independent implementations
+//! lets property tests cross-check them.
+
+use crate::point::Point2;
+use crate::predicates::orient2d_sign;
+use core::cmp::Ordering;
+
+/// Convex hull by Andrew's monotone chain, `O(n log n)`.
+///
+/// Returns the hull vertices in counterclockwise order, starting at the
+/// lexicographically smallest point. Duplicates and collinear points on the
+/// boundary are dropped. Degenerate inputs yield degenerate hulls:
+/// the empty set for no input, one vertex for coincident points, two for
+/// collinear sets.
+pub fn monotone_chain(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) != Ordering::Greater
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev().skip(1) {
+        while hull.len() >= lower_len
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) != Ordering::Greater
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point equals the first
+    if hull.len() == 2 && hull[0] == hull[1] {
+        hull.pop();
+    }
+    hull
+}
+
+/// Convex hull by Graham scan, `O(n log n)`.
+///
+/// Same output contract as [`monotone_chain`]; an independent implementation
+/// used to cross-validate in tests.
+pub fn graham_scan(points: &[Point2]) -> Vec<Point2> {
+    let mut pts: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts;
+    }
+    // Pivot: lowest y, then lowest x.
+    let pivot_idx = pts
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.y.partial_cmp(&b.y)
+                .unwrap()
+                .then(a.x.partial_cmp(&b.x).unwrap())
+        })
+        .map(|(i, _)| i)
+        .unwrap();
+    let pivot = pts.swap_remove(pivot_idx);
+
+    // Sort by polar angle around the pivot (exact comparisons), breaking
+    // angular ties by distance (nearer first so the farthest survives the
+    // scan's collinearity pruning).
+    pts.sort_by(|&a, &b| match orient2d_sign(pivot, a, b) {
+        Ordering::Greater => Ordering::Less,
+        Ordering::Less => Ordering::Greater,
+        Ordering::Equal => pivot
+            .distance_sq(a)
+            .partial_cmp(&pivot.distance_sq(b))
+            .unwrap(),
+    });
+
+    let mut hull = vec![pivot];
+    for &p in &pts {
+        while hull.len() >= 2
+            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) != Ordering::Greater
+        {
+            hull.pop();
+        }
+        hull.push(p);
+    }
+    if hull.len() == 2 && hull[0] == hull[1] {
+        hull.pop();
+    }
+    // Canonical start: lexicographically smallest vertex first.
+    canonicalize_ccw(&mut hull);
+    hull
+}
+
+/// Rotates a ccw vertex cycle so the lexicographically smallest vertex comes
+/// first. No-op for fewer than 2 vertices.
+pub fn canonicalize_ccw(hull: &mut [Point2]) {
+    if hull.len() < 2 {
+        return;
+    }
+    let start = hull
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.lex_cmp(**b))
+        .map(|(i, _)| i)
+        .unwrap();
+    hull.rotate_left(start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn empty_single_double() {
+        assert!(monotone_chain(&[]).is_empty());
+        assert_eq!(monotone_chain(&[p(1.0, 1.0)]), vec![p(1.0, 1.0)]);
+        assert_eq!(monotone_chain(&[p(1.0, 1.0); 5]), vec![p(1.0, 1.0)]);
+        let two = monotone_chain(&[p(2.0, 0.0), p(0.0, 0.0)]);
+        assert_eq!(two, vec![p(0.0, 0.0), p(2.0, 0.0)]);
+    }
+
+    #[test]
+    fn collinear_input_collapses_to_segment() {
+        let pts: Vec<Point2> = (0..7).map(|i| p(i as f64, 2.0 * i as f64)).collect();
+        let h = monotone_chain(&pts);
+        assert_eq!(h, vec![p(0.0, 0.0), p(6.0, 12.0)]);
+        assert_eq!(graham_scan(&pts), h);
+    }
+
+    #[test]
+    fn square_with_interior_and_edge_points() {
+        let pts = [
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(1.0, 1.0), // interior
+            p(1.0, 0.0), // on an edge: must be dropped (strict hull)
+            p(2.0, 1.0),
+            p(0.0, 0.0), // duplicate corner
+        ];
+        let h = monotone_chain(&pts);
+        assert_eq!(h, vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)]);
+    }
+
+    #[test]
+    fn ccw_orientation() {
+        let pts = [
+            p(0.0, 0.0),
+            p(4.0, 0.0),
+            p(4.0, 3.0),
+            p(0.0, 3.0),
+            p(2.0, 1.0),
+        ];
+        let h = monotone_chain(&pts);
+        // Every consecutive triple must turn left.
+        for i in 0..h.len() {
+            let a = h[i];
+            let b = h[(i + 1) % h.len()];
+            let c = h[(i + 2) % h.len()];
+            assert_eq!(orient2d_sign(a, b, c), Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn graham_matches_monotone_on_grid() {
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                pts.push(p(i as f64, j as f64));
+            }
+        }
+        let a = monotone_chain(&pts);
+        let b = graham_scan(&pts);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4, "grid hull is the four corners (strict)");
+    }
+
+    #[test]
+    fn all_points_inside_hull() {
+        use crate::predicates::orient2d_sign;
+        // Deterministic pseudo-random points.
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..300)
+            .map(|_| p(next() * 10.0 - 5.0, next() * 6.0 - 3.0))
+            .collect();
+        let h = monotone_chain(&pts);
+        assert!(h.len() >= 3);
+        for &q in &pts {
+            for i in 0..h.len() {
+                let a = h[i];
+                let b = h[(i + 1) % h.len()];
+                assert_ne!(
+                    orient2d_sign(a, b, q),
+                    Ordering::Less,
+                    "point {q:?} outside hull edge {a:?}->{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_start_vertex() {
+        let pts = [p(3.0, 3.0), p(0.0, 0.0), p(3.0, 0.0), p(0.0, 3.0)];
+        let h = monotone_chain(&pts);
+        assert_eq!(h[0], p(0.0, 0.0));
+        let g = graham_scan(&pts);
+        assert_eq!(g[0], p(0.0, 0.0));
+    }
+}

@@ -1,0 +1,42 @@
+//! # sh-geom — planar geometry substrate for `streamhull`
+//!
+//! Self-contained 2-D computational geometry with the exact pieces the
+//! Hershberger–Suri stream summaries need:
+//!
+//! * [`point`] — points and vectors;
+//! * [`predicates`] / [`expansion`] — exact orientation tests with a
+//!   floating-point filter and Shewchuk-style expansion fallback;
+//! * [`dyadic`] — exact integer arithmetic on bisection sample directions;
+//! * [`hull`] / [`polygon`] — static hulls and the validated
+//!   validated [`polygon::ConvexPolygon`] type;
+//! * [`locate`] / [`tangent`] — the `O(log n)` searches behind the paper's
+//!   per-point cost;
+//! * [`line`](mod@line) — segments, supporting lines, uncertainty triangles (§2);
+//! * [`calipers`] / [`clip`] / [`distance`] — the extremal queries (§6).
+//!
+//! Everything is deterministic and allocation-light; no external geometry
+//! crates are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calipers;
+pub mod circle;
+pub mod clip;
+pub mod distance;
+pub mod dyadic;
+pub mod expansion;
+pub mod hull;
+pub mod line;
+pub mod locate;
+pub mod point;
+pub mod polygon;
+pub mod predicates;
+pub mod tangent;
+
+pub use circle::{min_enclosing_circle, Circle};
+pub use dyadic::{Dir, DirGrid, DirRange};
+pub use line::{Line, Segment, UncertaintyTriangle};
+pub use point::{Point2, Vec2};
+pub use polygon::ConvexPolygon;
+pub use predicates::{orient2d, orient2d_sign, Orientation};

@@ -1,0 +1,265 @@
+//! Logarithmic-time searches on convex polygons.
+//!
+//! These are the primitives behind the paper's `O(log r)` per-point stream
+//! processing (§3.1): point-in-convex-polygon by fan binary search (exact,
+//! via the robust orientation predicate) and extreme-vertex location by the
+//! classic chain binary search.
+
+use crate::point::{Point2, Vec2};
+use crate::polygon::ConvexPolygon;
+use crate::predicates::{on_segment, orient2d_sign};
+use core::cmp::Ordering;
+
+/// Exact containment test (boundary inclusive) in `O(log n)`.
+///
+/// Agrees with [`ConvexPolygon::contains_linear`] on every input (tested by
+/// property tests).
+pub fn contains(poly: &ConvexPolygon, q: Point2) -> bool {
+    let v = poly.vertices();
+    let n = v.len();
+    match n {
+        0 => return false,
+        1 => return v[0] == q,
+        2 => return on_segment(v[0], v[1], q),
+        _ => {}
+    }
+    // Fan around v[0]. First handle the two boundary rays exactly.
+    match orient2d_sign(v[0], v[1], q) {
+        Ordering::Less => return false,
+        Ordering::Equal => return on_segment(v[0], v[1], q),
+        Ordering::Greater => {}
+    }
+    match orient2d_sign(v[0], v[n - 1], q) {
+        Ordering::Greater => return false,
+        Ordering::Equal => return on_segment(v[0], v[n - 1], q),
+        Ordering::Less => {}
+    }
+    // Invariant: q strictly left of ray v0->v[lo], strictly right of ray
+    // v0->v[hi].
+    let mut lo = 1usize;
+    let mut hi = n - 1;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if orient2d_sign(v[0], v[mid], q) != Ordering::Less {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    orient2d_sign(v[lo], v[hi], q) != Ordering::Less
+}
+
+/// Index of a vertex attaining the maximum dot product with `dir`, found by
+/// binary search on the two monotone chains (`O(log n)`).
+///
+/// Requires a strictly convex polygon with at least one vertex and a nonzero
+/// direction. Dot products are compared in plain `f64`; when several
+/// vertices tie to within rounding, any of the near-maximal vertices may be
+/// returned (their support values agree to machine precision, which is what
+/// the callers consume).
+pub fn extreme_vertex(poly: &ConvexPolygon, dir: Vec2) -> usize {
+    let v = poly.vertices();
+    let n = v.len();
+    assert!(n >= 1, "extreme_vertex on empty polygon");
+    if n <= 2 {
+        return if n == 2 && v[1].dot(dir) > v[0].dot(dir) {
+            1
+        } else {
+            0
+        };
+    }
+    let dot = |i: usize| v[i % n].dot(dir);
+    let sgn = |x: f64| -> i32 {
+        if x > 0.0 {
+            1
+        } else if x < 0.0 {
+            -1
+        } else {
+            0
+        }
+    };
+    // cmp(i, j) > 0 iff vertex j has strictly larger dot than vertex i.
+    let cmp = |i: usize, j: usize| sgn(dot(j) - dot(i));
+    // extr(i): dot increases strictly into i and does not increase out of it
+    // (the canonical "first maximum" condition).
+    let extr = |i: usize| cmp(i + 1, i) >= 0 && cmp(i, i + n - 1) < 0;
+
+    if extr(0) {
+        return 0;
+    }
+    let mut lo = 0usize;
+    let mut hi = n;
+    while lo + 1 < hi {
+        let m = (lo + hi) / 2;
+        if extr(m) {
+            return m;
+        }
+        let ls = cmp(lo + 1, lo);
+        let ms = cmp(m + 1, m);
+        let go_left = ls < ms || (ls == ms && ls == cmp(lo, m));
+        if go_left {
+            hi = m;
+        } else {
+            lo = m;
+        }
+    }
+    lo
+}
+
+/// The extent of the polygon in direction `dir`: the distance between the
+/// two supporting lines perpendicular to `dir` (in units of `|dir|`
+/// projections divided by `|dir|`, i.e. true Euclidean width along `dir`).
+///
+/// `O(log n)`. Returns 0 for polygons with fewer than 2 vertices.
+pub fn directional_extent(poly: &ConvexPolygon, dir: Vec2) -> f64 {
+    if poly.len() < 2 {
+        return 0.0;
+    }
+    let norm = dir.norm();
+    if norm == 0.0 {
+        return 0.0;
+    }
+    let hi = poly.vertex(extreme_vertex(poly, dir)).dot(dir);
+    let lo = poly.vertex(extreme_vertex(poly, -dir)).dot(dir);
+    (hi - lo) / norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn regular_ngon(n: usize, radius: f64) -> ConvexPolygon {
+        let verts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                p(radius * t.cos(), radius * t.sin())
+            })
+            .collect();
+        ConvexPolygon::from_ccw(verts).expect("regular n-gon is strictly convex")
+    }
+
+    #[test]
+    fn contains_matches_linear_on_ngon() {
+        let poly = regular_ngon(17, 3.0);
+        let mut seed = 123456789u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (seed >> 11) as f64 / (1u64 << 53) as f64 * 8.0 - 4.0
+        };
+        for _ in 0..2000 {
+            let q = p(next(), next());
+            assert_eq!(contains(&poly, q), poly.contains_linear(q), "q = {q:?}");
+        }
+    }
+
+    #[test]
+    fn contains_boundary_cases() {
+        let sq = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)])
+            .unwrap();
+        // Vertices, edge midpoints, just outside each edge.
+        for &v in sq.vertices() {
+            assert!(contains(&sq, v));
+        }
+        assert!(contains(&sq, p(1.0, 0.0)));
+        assert!(contains(&sq, p(2.0, 1.0)));
+        assert!(contains(&sq, p(1.0, 2.0)));
+        assert!(contains(&sq, p(0.0, 1.0)));
+        assert!(!contains(&sq, p(1.0, -1e-9)));
+        assert!(!contains(&sq, p(2.0 + 1e-9, 1.0)));
+        assert!(!contains(&sq, p(-1e-9, 1.0)));
+        // Collinear with the v0 fan rays but beyond the polygon.
+        assert!(!contains(&sq, p(3.0, 0.0)));
+        assert!(!contains(&sq, p(0.0, 3.0)));
+        assert!(!contains(&sq, p(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn contains_degenerate() {
+        assert!(!contains(&ConvexPolygon::empty(), p(0.0, 0.0)));
+        let pt = ConvexPolygon::from_ccw(vec![p(1.0, 1.0)]).unwrap();
+        assert!(contains(&pt, p(1.0, 1.0)));
+        assert!(!contains(&pt, p(1.0, 1.1)));
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(2.0, 2.0)]).unwrap();
+        assert!(contains(&seg, p(1.0, 1.0)));
+        assert!(!contains(&seg, p(1.0, 1.0 + 1e-12)));
+        assert!(!contains(&seg, p(3.0, 3.0)));
+    }
+
+    #[test]
+    fn extreme_vertex_matches_linear_scan() {
+        let poly = regular_ngon(23, 2.0);
+        for i in 0..360 {
+            let theta = core::f64::consts::TAU * i as f64 / 360.0;
+            let dir = Vec2::from_angle(theta);
+            let fast = poly.vertex(extreme_vertex(&poly, dir)).dot(dir);
+            let slow = poly.support(dir).unwrap();
+            assert!(
+                (fast - slow).abs() <= 1e-9 * slow.abs().max(1.0),
+                "dir angle {theta}: fast {fast} slow {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_vertex_on_small_polygons() {
+        let one = ConvexPolygon::from_ccw(vec![p(1.0, 2.0)]).unwrap();
+        assert_eq!(extreme_vertex(&one, Vec2::new(1.0, 0.0)), 0);
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(1.0, 1.0)]).unwrap();
+        assert_eq!(extreme_vertex(&seg, Vec2::new(1.0, 0.0)), 1);
+        assert_eq!(extreme_vertex(&seg, Vec2::new(-1.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn extreme_vertex_axis_aligned_square() {
+        let sq = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)])
+            .unwrap();
+        // Ties along edges: accept either endpoint, check support value.
+        for (dir, want) in [
+            (Vec2::new(1.0, 0.0), 2.0),
+            (Vec2::new(0.0, 1.0), 2.0),
+            (Vec2::new(-1.0, 0.0), 0.0),
+            (Vec2::new(0.0, -1.0), 0.0),
+            (Vec2::new(1.0, 1.0), 4.0),
+        ] {
+            let got = sq.vertex(extreme_vertex(&sq, dir)).dot(dir);
+            assert!((got - want).abs() < 1e-12, "dir {dir:?}");
+        }
+    }
+
+    #[test]
+    fn directional_extent_of_rectangle() {
+        let rect =
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(4.0, 0.0), p(4.0, 1.0), p(0.0, 1.0)])
+                .unwrap();
+        assert!((directional_extent(&rect, Vec2::new(1.0, 0.0)) - 4.0).abs() < 1e-12);
+        assert!((directional_extent(&rect, Vec2::new(0.0, 2.0)) - 1.0).abs() < 1e-12);
+        let diag = directional_extent(&rect, Vec2::new(1.0, 1.0));
+        assert!((diag - 5.0 / 2.0f64.sqrt()).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(
+            directional_extent(&ConvexPolygon::empty(), Vec2::new(1.0, 0.0)),
+            0.0
+        );
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(3.0, 0.0)]).unwrap();
+        assert!((directional_extent(&seg, Vec2::new(1.0, 0.0)) - 3.0).abs() < 1e-12);
+        assert_eq!(directional_extent(&seg, Vec2::new(0.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn extreme_vertex_stress_many_ngons() {
+        for n in [3usize, 4, 5, 8, 13, 64, 257] {
+            let poly = regular_ngon(n, 1.0);
+            for i in 0..4 * n {
+                let dir =
+                    Vec2::from_angle(0.123 + core::f64::consts::TAU * i as f64 / (4 * n) as f64);
+                let fast = poly.vertex(extreme_vertex(&poly, dir)).dot(dir);
+                let slow = poly.support(dir).unwrap();
+                assert!((fast - slow).abs() <= 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! Points and vectors in the plane.
+//!
+//! `Point2` is an affine position; `Vec2` is a displacement. Keeping the two
+//! apart catches a surprising number of bugs in hull code (e.g. adding two
+//! points makes no geometric sense, but adding a vector to a point does).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A point in the plane with `f64` coordinates.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+/// A displacement vector in the plane with `f64` coordinates.
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl fmt::Debug for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Debug for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+impl Point2 {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Displacement from `other` to `self`.
+    #[inline]
+    pub fn vector_from(self, other: Point2) -> Vec2 {
+        self - other
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(self, other: Point2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    #[inline]
+    pub fn distance_sq(self, other: Point2) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Dot product of the position vector with `v`; the support value of this
+    /// point in direction `v`.
+    #[inline]
+    pub fn dot(self, v: Vec2) -> f64 {
+        self.x * v.x + self.y * v.y
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+
+    /// Midpoint of `self` and `other`.
+    #[inline]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+
+    /// Returns `true` when both coordinates are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Lexicographic comparison (by `x`, then by `y`). Total when the
+    /// coordinates are non-NaN, which all streamhull structures require.
+    #[inline]
+    pub fn lex_cmp(self, other: Point2) -> core::cmp::Ordering {
+        debug_assert!(self.is_finite() && other.is_finite());
+        self.x
+            .partial_cmp(&other.x)
+            .unwrap()
+            .then(self.y.partial_cmp(&other.y).unwrap())
+    }
+}
+
+impl Vec2 {
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Unit vector at angle `theta` (radians, counterclockwise from +x).
+    #[inline]
+    pub fn from_angle(theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2 { x: c, y: s }
+    }
+
+    /// Angle of this vector in `(-pi, pi]` (via `atan2`).
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z-component of the 3-D cross product).
+    /// Positive when `other` is counterclockwise from `self`.
+    #[inline]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean length.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Rotates by 90 degrees counterclockwise.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2 {
+            x: -self.y,
+            y: self.x,
+        }
+    }
+
+    /// Rotates by `theta` radians counterclockwise.
+    #[inline]
+    pub fn rotate(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2 {
+            x: self.x * c - self.y * s,
+            y: self.x * s + self.y * c,
+        }
+    }
+
+    /// Returns the vector scaled to unit length, or `None` for the zero
+    /// vector (and anything so short that normalisation is meaningless).
+    #[inline]
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        if n > 0.0 && n.is_finite() {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl SubAssign<Vec2> for Point2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2 {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2 {
+            x: -self.x,
+            y: -self.y,
+        }
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2 {
+            x: self.x / rhs,
+            y: self.y / rhs,
+        }
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2 { x, y }
+    }
+}
+
+impl From<Point2> for (f64, f64) {
+    #[inline]
+    fn from(p: Point2) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn point_vector_arithmetic() {
+        let a = p(1.0, 2.0);
+        let b = p(4.0, 6.0);
+        let v = b - a;
+        assert_eq!(v, Vec2::new(3.0, 4.0));
+        assert_eq!(a + v, b);
+        assert_eq!(b - v, a);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn cross_sign_convention() {
+        let e1 = Vec2::new(1.0, 0.0);
+        let e2 = Vec2::new(0.0, 1.0);
+        assert_eq!(e1.cross(e2), 1.0, "ccw turn is positive");
+        assert_eq!(e2.cross(e1), -1.0, "cw turn is negative");
+        assert_eq!(e1.cross(e1), 0.0);
+    }
+
+    #[test]
+    fn perp_is_ccw_quarter_turn() {
+        let v = Vec2::new(3.0, 1.0);
+        let w = v.perp();
+        assert_eq!(v.dot(w), 0.0);
+        assert!(v.cross(w) > 0.0);
+        assert_eq!(w.norm_sq(), v.norm_sq());
+    }
+
+    #[test]
+    fn from_angle_and_rotate_agree() {
+        for i in 0..16 {
+            let theta = i as f64 * core::f64::consts::TAU / 16.0;
+            let a = Vec2::from_angle(theta);
+            let b = Vec2::new(1.0, 0.0).rotate(theta);
+            assert!((a - b).norm() < 1e-12, "theta={theta}: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn angle_roundtrip() {
+        for i in 1..32 {
+            let theta = -core::f64::consts::PI + i as f64 * core::f64::consts::TAU / 32.0;
+            let v = Vec2::from_angle(theta);
+            assert!((v.angle() - theta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lerp_and_midpoint() {
+        let a = p(0.0, 0.0);
+        let b = p(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.midpoint(b), p(1.0, 2.0));
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        assert!(Vec2::ZERO.normalized().is_none());
+        let v = Vec2::new(0.0, -7.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+        assert_eq!(v, Vec2::new(0.0, -1.0));
+    }
+
+    #[test]
+    fn lex_cmp_orders_by_x_then_y() {
+        use core::cmp::Ordering::*;
+        assert_eq!(p(0.0, 9.0).lex_cmp(p(1.0, 0.0)), Less);
+        assert_eq!(p(1.0, 0.0).lex_cmp(p(1.0, 2.0)), Less);
+        assert_eq!(p(1.0, 2.0).lex_cmp(p(1.0, 2.0)), Equal);
+        assert_eq!(p(2.0, 0.0).lex_cmp(p(1.0, 5.0)), Greater);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let v = Vec2::new(1.0, -2.0);
+        assert_eq!(v * 2.0, Vec2::new(2.0, -4.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(0.5, -1.0));
+        assert_eq!(-v, Vec2::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn support_dot() {
+        let p0 = p(3.0, 4.0);
+        let d = Vec2::from_angle(0.0);
+        assert!((p0.dot(d) - 3.0).abs() < 1e-15);
+    }
+}

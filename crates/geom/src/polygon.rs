@@ -1,0 +1,340 @@
+//! The [`ConvexPolygon`] type: an immutable, validated, counterclockwise
+//! convex vertex cycle. All hull summaries hand out their state as a
+//! `ConvexPolygon`, and all queries (§6 of the paper) consume them.
+
+use crate::hull::monotone_chain;
+use crate::point::{Point2, Vec2};
+use crate::predicates::{on_segment, orient2d_sign};
+use core::cmp::Ordering;
+
+/// A convex polygon with vertices in counterclockwise order.
+///
+/// Degenerate cases are first-class: zero vertices (empty), one (a point),
+/// two (a segment). With three or more vertices the polygon is *strictly*
+/// convex — no duplicate vertices, no collinear triples — which the binary
+/// searches in [`crate::locate`] and [`crate::tangent`] rely on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConvexPolygon {
+    verts: Vec<Point2>,
+}
+
+impl ConvexPolygon {
+    /// Builds the convex hull of arbitrary points (the safe constructor).
+    pub fn hull_of(points: &[Point2]) -> Self {
+        ConvexPolygon {
+            verts: monotone_chain(points),
+        }
+    }
+
+    /// Wraps a vertex list that is already a strictly convex ccw cycle.
+    ///
+    /// Returns `None` if validation fails. Use [`ConvexPolygon::hull_of`]
+    /// when unsure.
+    pub fn from_ccw(verts: Vec<Point2>) -> Option<Self> {
+        let p = ConvexPolygon { verts };
+        p.is_valid().then_some(p)
+    }
+
+    /// Wraps a vertex list without validation.
+    ///
+    /// The caller promises the list is a strictly convex ccw cycle (or a
+    /// degenerate 0/1/2-vertex case with distinct vertices). Violating this
+    /// breaks query correctness but not memory safety. Debug builds assert.
+    pub fn from_ccw_unchecked(verts: Vec<Point2>) -> Self {
+        let p = ConvexPolygon { verts };
+        debug_assert!(p.is_valid(), "from_ccw_unchecked given invalid cycle");
+        p
+    }
+
+    /// The empty polygon.
+    pub fn empty() -> Self {
+        ConvexPolygon { verts: Vec::new() }
+    }
+
+    fn is_valid(&self) -> bool {
+        let n = self.verts.len();
+        if !self.verts.iter().all(|v| v.is_finite()) {
+            return false;
+        }
+        match n {
+            0 | 1 => true,
+            2 => self.verts[0] != self.verts[1],
+            _ => (0..n).all(|i| {
+                orient2d_sign(
+                    self.verts[i],
+                    self.verts[(i + 1) % n],
+                    self.verts[(i + 2) % n],
+                ) == Ordering::Greater
+            }),
+        }
+    }
+
+    /// Vertices in counterclockwise order.
+    #[inline]
+    pub fn vertices(&self) -> &[Point2] {
+        &self.verts
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// `true` iff the polygon has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// Vertex by cyclic index (`i` may exceed `len`).
+    #[inline]
+    pub fn vertex(&self, i: usize) -> Point2 {
+        self.verts[i % self.verts.len()]
+    }
+
+    /// Iterator over directed edges `(v_i, v_{i+1})`. Empty for fewer than
+    /// 2 vertices; a 2-vertex polygon yields both directed copies.
+    pub fn edges(&self) -> impl Iterator<Item = (Point2, Point2)> + '_ {
+        let n = self.verts.len();
+        let count = if n < 2 { 0 } else { n };
+        (0..count).map(move |i| (self.verts[i], self.verts[(i + 1) % n]))
+    }
+
+    /// Perimeter (0 for <2 vertices; `2·|ab|` for a segment, matching the
+    /// boundary-length convention used for the paper's perimeter `P`).
+    pub fn perimeter(&self) -> f64 {
+        match self.verts.len() {
+            0 | 1 => 0.0,
+            2 => 2.0 * self.verts[0].distance(self.verts[1]),
+            _ => self.edges().map(|(a, b)| a.distance(b)).sum(),
+        }
+    }
+
+    /// Area by the shoelace formula (0 for degenerate polygons).
+    pub fn area(&self) -> f64 {
+        if self.verts.len() < 3 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (a, b) in self.edges() {
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc * 0.5
+    }
+
+    /// Centroid. `None` when empty. Degenerate polygons use the vertex mean.
+    pub fn centroid(&self) -> Option<Point2> {
+        match self.verts.len() {
+            0 => None,
+            1 => Some(self.verts[0]),
+            2 => Some(self.verts[0].midpoint(self.verts[1])),
+            _ => {
+                let a = self.area();
+                if a <= f64::EPSILON {
+                    // Nearly degenerate: fall back to vertex mean.
+                    let n = self.verts.len() as f64;
+                    let (sx, sy) = self
+                        .verts
+                        .iter()
+                        .fold((0.0, 0.0), |(sx, sy), v| (sx + v.x, sy + v.y));
+                    return Some(Point2::new(sx / n, sy / n));
+                }
+                let mut cx = 0.0;
+                let mut cy = 0.0;
+                for (p, q) in self.edges() {
+                    let w = p.x * q.y - q.x * p.y;
+                    cx += (p.x + q.x) * w;
+                    cy += (p.y + q.y) * w;
+                }
+                Some(Point2::new(cx / (6.0 * a), cy / (6.0 * a)))
+            }
+        }
+    }
+
+    /// Exact containment test (boundary counts as inside), `O(n)`.
+    ///
+    /// For the `O(log n)` version used in hot paths see
+    /// [`crate::locate::contains`].
+    pub fn contains_linear(&self, p: Point2) -> bool {
+        match self.verts.len() {
+            0 => false,
+            1 => self.verts[0] == p,
+            2 => on_segment(self.verts[0], self.verts[1], p),
+            n => (0..n).all(|i| {
+                orient2d_sign(self.verts[i], self.verts[(i + 1) % n], p) != Ordering::Less
+            }),
+        }
+    }
+
+    /// Support value `max_v v·dir` over the vertices. `None` when empty.
+    pub fn support(&self, dir: Vec2) -> Option<f64> {
+        self.verts
+            .iter()
+            .map(|v| v.dot(dir))
+            .fold(None, |acc, d| match acc {
+                None => Some(d),
+                Some(m) => Some(m.max(d)),
+            })
+    }
+
+    /// Extreme vertex in direction `dir` by linear scan (`O(n)`); for the
+    /// binary-search version see [`crate::locate::extreme_vertex`].
+    pub fn extreme_linear(&self, dir: Vec2) -> Option<Point2> {
+        self.verts
+            .iter()
+            .copied()
+            .max_by(|a, b| a.dot(dir).partial_cmp(&b.dot(dir)).unwrap())
+    }
+
+    /// Euclidean distance from `p` to the polygon (0 if inside), `O(n)`.
+    pub fn distance_to_point(&self, p: Point2) -> f64 {
+        match self.verts.len() {
+            0 => f64::INFINITY,
+            1 => self.verts[0].distance(p),
+            2 => crate::line::Segment::new(self.verts[0], self.verts[1]).distance_to_point(p),
+            _ => {
+                if self.contains_linear(p) {
+                    return 0.0;
+                }
+                self.edges()
+                    .map(|(a, b)| crate::line::Segment::new(a, b).distance_to_point(p))
+                    .fold(f64::INFINITY, f64::min)
+            }
+        }
+    }
+
+    /// Directed Hausdorff distance from `other`'s vertices to this polygon:
+    /// `max_{v in other} dist(v, self)`. This is exactly the paper's error
+    /// measure "distance between the true hull and the sample hull" when
+    /// `other` is the true hull and `self` the approximation (the maximum is
+    /// attained at a vertex of the true hull).
+    pub fn directed_hausdorff_from(&self, other: &ConvexPolygon) -> f64 {
+        other
+            .vertices()
+            .iter()
+            .map(|&v| self.distance_to_point(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Consumes the polygon, returning its vertices.
+    pub fn into_vertices(self) -> Vec<Point2> {
+        self.verts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn unit_square() -> ConvexPolygon {
+        ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ConvexPolygon::from_ccw(vec![]).is_some());
+        assert!(ConvexPolygon::from_ccw(vec![p(0.0, 0.0)]).is_some());
+        assert!(ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(1.0, 0.0)]).is_some());
+        assert!(ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(0.0, 0.0)]).is_none());
+        // Clockwise square rejected.
+        assert!(
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(0.0, 1.0), p(1.0, 1.0), p(1.0, 0.0)])
+                .is_none()
+        );
+        // Collinear triple rejected (not strictly convex).
+        assert!(
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(1.0, 0.0), p(2.0, 0.0), p(1.0, 1.0)])
+                .is_none()
+        );
+    }
+
+    #[test]
+    fn area_perimeter_centroid() {
+        let sq = unit_square();
+        assert!((sq.area() - 1.0).abs() < 1e-15);
+        assert!((sq.perimeter() - 4.0).abs() < 1e-15);
+        assert_eq!(sq.centroid().unwrap(), p(0.5, 0.5));
+        // Segment conventions.
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(3.0, 0.0)]).unwrap();
+        assert_eq!(seg.area(), 0.0);
+        assert_eq!(seg.perimeter(), 6.0);
+        assert_eq!(seg.centroid().unwrap(), p(1.5, 0.0));
+    }
+
+    #[test]
+    fn containment() {
+        let sq = unit_square();
+        assert!(sq.contains_linear(p(0.5, 0.5)));
+        assert!(sq.contains_linear(p(0.0, 0.0)), "vertices are inside");
+        assert!(sq.contains_linear(p(0.5, 0.0)), "edges are inside");
+        assert!(!sq.contains_linear(p(1.5, 0.5)));
+        assert!(!sq.contains_linear(p(0.5, -1e-12)));
+    }
+
+    #[test]
+    fn support_and_extreme() {
+        let sq = unit_square();
+        let d = Vec2::new(1.0, 2.0);
+        assert_eq!(sq.support(d), Some(3.0));
+        assert_eq!(sq.extreme_linear(d), Some(p(1.0, 1.0)));
+        assert_eq!(ConvexPolygon::empty().support(d), None);
+    }
+
+    #[test]
+    fn point_distance() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to_point(p(0.5, 0.5)), 0.0);
+        assert!((sq.distance_to_point(p(2.0, 0.5)) - 1.0).abs() < 1e-15);
+        assert!((sq.distance_to_point(p(2.0, 2.0)) - 2.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hausdorff_between_nested_squares() {
+        let outer =
+            ConvexPolygon::from_ccw(vec![p(-1.0, -1.0), p(2.0, -1.0), p(2.0, 2.0), p(-1.0, 2.0)])
+                .unwrap();
+        let inner = unit_square();
+        assert_eq!(
+            outer.directed_hausdorff_from(&inner),
+            0.0,
+            "inner inside outer"
+        );
+        let d = inner.directed_hausdorff_from(&outer);
+        assert!(
+            (d - 2.0f64.sqrt()).abs() < 1e-12,
+            "corner of outer to inner corner"
+        );
+    }
+
+    #[test]
+    fn hull_of_filters_and_orders() {
+        let poly = ConvexPolygon::hull_of(&[
+            p(1.0, 1.0),
+            p(0.0, 0.0),
+            p(2.0, 0.0),
+            p(1.0, 2.0),
+            p(1.0, 0.5),
+        ]);
+        assert_eq!(poly.len(), 3);
+        assert!(poly.contains_linear(p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn edges_iterator_conventions() {
+        assert_eq!(ConvexPolygon::empty().edges().count(), 0);
+        let one = ConvexPolygon::from_ccw(vec![p(0.0, 0.0)]).unwrap();
+        assert_eq!(one.edges().count(), 0);
+        let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(1.0, 0.0)]).unwrap();
+        let e: Vec<_> = seg.edges().collect();
+        assert_eq!(
+            e,
+            vec![(p(0.0, 0.0), p(1.0, 0.0)), (p(1.0, 0.0), p(0.0, 0.0))]
+        );
+        assert_eq!(unit_square().edges().count(), 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Robust geometric predicates.
+//!
+//! The workhorse is [`orient2d`]: the sign of the area of triangle `(a, b, c)`.
+//! It is evaluated with a cheap floating-point filter first; when the filter
+//! cannot certify the sign, an exact evaluation using
+//! [expansion arithmetic](crate::expansion) decides it. The result is the
+//! *exact* sign for all finite inputs, which is what keeps hull construction,
+//! point location, and tangent searches from ever producing a non-convex
+//! "convex" polygon.
+
+use crate::expansion::{expansion_sign, expansion_sum, two_diff, two_product};
+use crate::point::Point2;
+use core::cmp::Ordering;
+
+/// Which side of the directed line `a -> b` the point `c` lies on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// `c` is strictly to the left of `a -> b` (counterclockwise turn).
+    CounterClockwise,
+    /// `c` is strictly to the right of `a -> b` (clockwise turn).
+    Clockwise,
+    /// `a`, `b`, `c` are exactly collinear.
+    Collinear,
+}
+
+impl Orientation {
+    /// Converts a sign `Ordering` (of the orientation determinant) into an
+    /// `Orientation`.
+    #[inline]
+    pub fn from_sign(sign: Ordering) -> Self {
+        match sign {
+            Ordering::Greater => Orientation::CounterClockwise,
+            Ordering::Less => Orientation::Clockwise,
+            Ordering::Equal => Orientation::Collinear,
+        }
+    }
+
+    /// The opposite orientation (collinear maps to itself).
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            Orientation::CounterClockwise => Orientation::Clockwise,
+            Orientation::Clockwise => Orientation::CounterClockwise,
+            Orientation::Collinear => Orientation::Collinear,
+        }
+    }
+}
+
+/// Error bound coefficient for the orientation filter, from Shewchuk:
+/// `(3 + 16 * eps) * eps` with `eps = 2^-53` (half an ulp of 1.0).
+const ORIENT2D_FILTER: f64 = {
+    let eps = f64::EPSILON * 0.5;
+    (3.0 + 16.0 * eps) * eps
+};
+
+/// Exact sign of the orientation determinant
+/// `(b.x - a.x)(c.y - a.y) - (b.y - a.y)(c.x - a.x)`.
+///
+/// Positive = `c` left of `a -> b`; negative = right; zero = collinear.
+#[inline]
+pub fn orient2d_sign(a: Point2, b: Point2, c: Point2) -> Ordering {
+    let detleft = (b.x - a.x) * (c.y - a.y);
+    let detright = (b.y - a.y) * (c.x - a.x);
+    let det = detleft - detright;
+
+    // Fast path: the filter certifies the sign when |det| is comfortably
+    // larger than the worst-case rounding error of the expression.
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return Ordering::Greater;
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return Ordering::Less;
+        }
+        -detleft - detright
+    } else {
+        // detleft == 0: sign is the sign of -detright, already exact
+        // (a product of two exact differences? No — the differences round,
+        // so fall through to exact evaluation unless detright is zero too).
+        if detright == 0.0 {
+            return Ordering::Equal;
+        }
+        return orient2d_exact(a, b, c);
+    };
+
+    let errbound = ORIENT2D_FILTER * detsum;
+    if det > errbound {
+        Ordering::Greater
+    } else if det < -errbound {
+        Ordering::Less
+    } else {
+        orient2d_exact(a, b, c)
+    }
+}
+
+/// Exact (slow path) evaluation of the orientation determinant sign using
+/// expansion arithmetic. The full determinant expanded over the coordinate
+/// differences has 16 product terms; we compute it as an exact expansion of
+/// at most 16 components.
+#[cold]
+fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> Ordering {
+    // det = (bx*cy - bx*ay - ax*cy) - (by*cx - by*ax - ay*cx)
+    //     + (ax*ay - ay*ax)   [zero, omitted]
+    // Use the standard exact formulation:
+    // det = (b.x - a.x)(c.y - a.y) - (b.y - a.y)(c.x - a.x)
+    // with exact differences and exact products.
+    let (bx_ax, e_bx_ax) = two_diff(b.x, a.x);
+    let (cy_ay, e_cy_ay) = two_diff(c.y, a.y);
+    let (by_ay, e_by_ay) = two_diff(b.y, a.y);
+    let (cx_ax, e_cx_ax) = two_diff(c.x, a.x);
+
+    // Each factor is an exact 2-component expansion (err, main).
+    // Product of two 2-expansions = sum of four exact products
+    // = expansion with <= 8 components. Difference of two such products
+    // <= 16 components.
+    let left = mul_expansion2(e_bx_ax, bx_ax, e_cy_ay, cy_ay);
+    let right = mul_expansion2(e_by_ay, by_ay, e_cx_ax, cx_ax);
+    let neg_right: Vec<f64> = right.iter().map(|&x| -x).collect();
+    let mut out = [0.0f64; 32];
+    let n = expansion_sum(&left, &neg_right, &mut out);
+    expansion_sign(&out[..n])
+}
+
+/// Multiplies two exact 2-component expansions `(e0 + e1) * (f0 + f1)`
+/// (each given as low component then high component), returning an exact
+/// expansion.
+fn mul_expansion2(e0: f64, e1: f64, f0: f64, f1: f64) -> Vec<f64> {
+    let mut acc: Vec<f64> = Vec::with_capacity(8);
+    let mut out = [0.0f64; 32];
+    for &(x, y) in &[(e0, f0), (e0, f1), (e1, f0), (e1, f1)] {
+        let (hi, lo) = two_product(x, y);
+        for term in [lo, hi] {
+            if term != 0.0 || acc.is_empty() {
+                let n = crate::expansion::grow_expansion(&acc, term, &mut out);
+                acc.clear();
+                acc.extend_from_slice(&out[..n]);
+            }
+        }
+    }
+    acc
+}
+
+/// Orientation of the triple `(a, b, c)`.
+#[inline]
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> Orientation {
+    Orientation::from_sign(orient2d_sign(a, b, c))
+}
+
+/// `true` iff `c` lies strictly to the left of the directed line `a -> b`.
+#[inline]
+pub fn is_left(a: Point2, b: Point2, c: Point2) -> bool {
+    orient2d_sign(a, b, c) == Ordering::Greater
+}
+
+/// `true` iff `c` lies strictly to the right of the directed line `a -> b`.
+#[inline]
+pub fn is_right(a: Point2, b: Point2, c: Point2) -> bool {
+    orient2d_sign(a, b, c) == Ordering::Less
+}
+
+/// `true` iff the three points are exactly collinear.
+#[inline]
+pub fn collinear(a: Point2, b: Point2, c: Point2) -> bool {
+    orient2d_sign(a, b, c) == Ordering::Equal
+}
+
+/// `true` iff point `p` lies on the closed segment `a..b` (exact).
+pub fn on_segment(a: Point2, b: Point2, p: Point2) -> bool {
+    if !collinear(a, b, p) {
+        return false;
+    }
+    // Collinear: check the box.
+    let (minx, maxx) = if a.x <= b.x { (a.x, b.x) } else { (b.x, a.x) };
+    let (miny, maxy) = if a.y <= b.y { (a.y, b.y) } else { (b.y, a.y) };
+    minx <= p.x && p.x <= maxx && miny <= p.y && p.y <= maxy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn basic_orientations() {
+        let a = p(0.0, 0.0);
+        let b = p(1.0, 0.0);
+        assert_eq!(orient2d(a, b, p(0.5, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, b, p(0.5, -1.0)), Orientation::Clockwise);
+        assert_eq!(orient2d(a, b, p(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn reversal_flips() {
+        let a = p(0.0, 0.0);
+        let b = p(1.0, 1.0);
+        let c = p(0.0, 1.0);
+        assert_eq!(orient2d(a, b, c), orient2d(b, a, c).reversed());
+    }
+
+    #[test]
+    fn near_degenerate_is_exact() {
+        // Classic filter-buster: points nearly on the line y = x, offset by
+        // one ulp. Naive evaluation returns 0 or the wrong sign for some of
+        // these; the exact predicate must be consistent.
+        let a = p(12.0, 12.0);
+        let b = p(24.0, 24.0);
+        let ulp = f64::EPSILON;
+        let above = p(0.5, 0.5 + 0.5 * ulp);
+        let below = p(0.5, 0.5 - 0.5 * ulp);
+        let on = p(0.5, 0.5);
+        assert_eq!(orient2d(a, b, above), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, b, below), Orientation::Clockwise);
+        assert_eq!(orient2d(a, b, on), Orientation::Collinear);
+    }
+
+    #[test]
+    fn tiny_perturbation_grid() {
+        // Shewchuk's classic stress test: c = (0.5 + i*eps, 0.5 + j*eps)
+        // against the line through (12,12)-(24,24). The sign must equal the
+        // sign of (j - i) computed in exact arithmetic.
+        let a = p(12.0, 12.0);
+        let b = p(24.0, 24.0);
+        let eps = f64::EPSILON;
+        for i in -4i32..=4 {
+            for j in -4i32..=4 {
+                let c = p(0.5 + i as f64 * eps, 0.5 + j as f64 * eps);
+                let expect = match (j - i).cmp(&0) {
+                    Ordering::Greater => Orientation::CounterClockwise,
+                    Ordering::Less => Orientation::Clockwise,
+                    Ordering::Equal => Orientation::Collinear,
+                };
+                assert_eq!(orient2d(a, b, c), expect, "i={i} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn consistency_under_cyclic_permutation() {
+        let a = p(0.1, 0.7);
+        let b = p(-3.0, 2.5);
+        let c = p(1.5, -0.25);
+        let o = orient2d(a, b, c);
+        assert_eq!(orient2d(b, c, a), o);
+        assert_eq!(orient2d(c, a, b), o);
+    }
+
+    #[test]
+    fn on_segment_cases() {
+        let a = p(0.0, 0.0);
+        let b = p(4.0, 2.0);
+        assert!(on_segment(a, b, p(2.0, 1.0)));
+        assert!(on_segment(a, b, a));
+        assert!(on_segment(a, b, b));
+        assert!(!on_segment(a, b, p(6.0, 3.0)), "collinear but outside");
+        assert!(!on_segment(a, b, p(2.0, 1.1)));
+    }
+
+    #[test]
+    fn large_coordinates() {
+        // Coordinates near 2^50: products overflow 53-bit precision but not
+        // the exponent range; exact path must still decide correctly.
+        let s = (2.0f64).powi(50);
+        let a = p(s, s);
+        let b = p(s + 2.0, s + 2.0);
+        let c_above = p(s + 1.0, s + 1.0 + (2.0f64).powi(-2));
+        let c_on = p(s + 1.0, s + 1.0);
+        assert_eq!(orient2d(a, b, c_above), Orientation::CounterClockwise);
+        assert_eq!(orient2d(a, b, c_on), Orientation::Collinear);
+    }
+}

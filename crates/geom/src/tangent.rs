@@ -1,0 +1,391 @@
+//! Tangents from an exterior point to a convex polygon, and the *visible
+//! chain* they delimit.
+//!
+//! When a new stream point `q` falls outside the current sampled hull, the
+//! hull update replaces the chain of vertices visible from `q` by `q`
+//! itself (paper §3.1, Fig. 5). [`visible_chain`] computes that chain in
+//! `O(log n)` expected (fan point-location + galloping + two binary
+//! searches), with an `O(n)` reference implementation
+//! ([`visible_chain_linear`]) used for cross-validation and as a safety
+//! fallback in pathological wrap-around cases.
+
+use crate::point::Point2;
+use crate::polygon::ConvexPolygon;
+use crate::predicates::orient2d_sign;
+use core::cmp::Ordering;
+
+/// The contiguous run of edges of a convex polygon visible from an exterior
+/// point `q`, described by its bounding vertices.
+///
+/// Walking counterclockwise, the visible run starts at vertex `start` and
+/// ends at vertex `end`: edges `start, start+1, ..., end-1` (cyclic indices)
+/// are *weakly visible* from `q` (i.e. `q` is not strictly left of them),
+/// and inserting `q` into the hull replaces the open chain strictly between
+/// `start` and `end` with `q`. `start` and `end` are the tangent vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VisibleChain {
+    /// First tangent vertex (kept in the new hull).
+    pub start: usize,
+    /// Second tangent vertex (kept in the new hull).
+    pub end: usize,
+}
+
+#[inline]
+fn weakly_visible(v: &[Point2], i: usize, q: Point2) -> bool {
+    let n = v.len();
+    orient2d_sign(v[i % n], v[(i + 1) % n], q) != Ordering::Greater
+}
+
+#[inline]
+fn strictly_visible(v: &[Point2], i: usize, q: Point2) -> bool {
+    let n = v.len();
+    orient2d_sign(v[i % n], v[(i + 1) % n], q) == Ordering::Less
+}
+
+/// Reference `O(n)` implementation of [`visible_chain`].
+///
+/// Returns `None` when `q` is (weakly) inside the polygon, when the polygon
+/// has fewer than 3 vertices, or when no edge is strictly visible (which
+/// cannot happen for a strictly exterior point and a valid polygon).
+pub fn visible_chain_linear(poly: &ConvexPolygon, q: Point2) -> Option<VisibleChain> {
+    let v = poly.vertices();
+    let n = v.len();
+    if n < 3 || poly.contains_linear(q) {
+        return None;
+    }
+    // Find a strictly visible edge, then expand to the weakly visible run.
+    let m = (0..n).find(|&i| strictly_visible(v, i, q))?;
+    let mut start = m;
+    while weakly_visible(v, (start + n - 1) % n, q) {
+        start = (start + n - 1) % n;
+        debug_assert_ne!(start, m, "all edges visible — invalid polygon");
+    }
+    let mut last = m;
+    while weakly_visible(v, (last + 1) % n, q) {
+        last = (last + 1) % n;
+    }
+    Some(VisibleChain {
+        start,
+        end: (last + 1) % n,
+    })
+}
+
+/// Visible chain from exterior point `q`, `O(log n)` expected.
+///
+/// Same contract as [`visible_chain_linear`] (and tested equal to it).
+pub fn visible_chain(poly: &ConvexPolygon, q: Point2) -> Option<VisibleChain> {
+    let v = poly.vertices();
+    let n = v.len();
+    if n < 3 {
+        return None;
+    }
+
+    // --- Locate a strictly visible edge (or detect containment) by fan
+    // binary search around v[0]. ---
+    let m: usize = match orient2d_sign(v[0], v[1], q) {
+        Ordering::Less => 0, // edge (v0, v1) strictly visible
+        Ordering::Equal => {
+            if crate::predicates::on_segment(v[0], v[1], q) {
+                return None; // on the boundary counts as inside
+            }
+            // Collinear beyond edge 0: one of the neighbouring edges must be
+            // strictly visible.
+            if strictly_visible(v, n - 1, q) {
+                n - 1
+            } else if strictly_visible(v, 1, q) {
+                1
+            } else {
+                return None;
+            }
+        }
+        Ordering::Greater => match orient2d_sign(v[0], v[n - 1], q) {
+            Ordering::Greater => n - 1, // edge (v_{n-1}, v0) strictly visible
+            Ordering::Equal => {
+                if crate::predicates::on_segment(v[0], v[n - 1], q) {
+                    return None;
+                }
+                if strictly_visible(v, n - 2, q) {
+                    n - 2
+                } else if strictly_visible(v, 0, q) {
+                    0
+                } else {
+                    return None;
+                }
+            }
+            Ordering::Less => {
+                // q inside the fan: binary search its wedge.
+                let mut lo = 1usize;
+                let mut hi = n - 1;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    if orient2d_sign(v[0], v[mid], q) != Ordering::Less {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                if orient2d_sign(v[lo], v[hi], q) != Ordering::Less {
+                    return None; // inside the polygon
+                }
+                lo
+            }
+        },
+    };
+    debug_assert!(strictly_visible(v, m, q));
+
+    // --- Find an invisible edge by galloping forward from m. The weakly
+    // visible edges form one contiguous cyclic run containing m, so the
+    // first invisible probe bounds it; if galloping wraps without finding
+    // one (possible only when the invisible run is very short), fall back to
+    // the linear reference. ---
+    let mut step = 1usize;
+    let mut u = None;
+    while step < 2 * n {
+        let cand = (m + step) % n;
+        if !weakly_visible(v, cand, q) {
+            u = Some(cand);
+            break;
+        }
+        step *= 2;
+    }
+    let u = match u {
+        Some(u) => u,
+        None => return visible_chain_linear(poly, q),
+    };
+
+    // --- Binary search the two visibility boundaries. Walking ccw from m
+    // towards u, edges go visible -> invisible exactly once; walking ccw
+    // from u towards m (+n), they go invisible -> visible exactly once. ---
+    let dist = |a: usize, b: usize| (b + n - a) % n; // ccw steps a -> b
+
+    // Last weakly visible edge in [m, u): binary search on t in
+    // [0, dist(m, u)) where pred(t) = visible(m + t).
+    let (mut lo, mut hi) = (0usize, dist(m, u));
+    // invariant: visible(m + lo), !visible(m + hi)
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if weakly_visible(v, (m + mid) % n, q) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let last_visible = (m + lo) % n;
+
+    // First weakly visible edge in (u, m]: binary search on t in
+    // (0, dist(u, m)] where pred(t) = visible(u + t); find smallest true.
+    let (mut lo2, mut hi2) = (0usize, dist(u, m));
+    // invariant: !visible(u + lo2), visible(u + hi2)
+    while hi2 - lo2 > 1 {
+        let mid = (lo2 + hi2) / 2;
+        if weakly_visible(v, (u + mid) % n, q) {
+            hi2 = mid;
+        } else {
+            lo2 = mid;
+        }
+    }
+    let first_visible = (u + hi2) % n;
+
+    Some(VisibleChain {
+        start: first_visible,
+        end: (last_visible + 1) % n,
+    })
+}
+
+/// Tangent vertices from exterior `q`: `(right, left)` such that the whole
+/// polygon lies left of `q -> right` and right of `q -> left`. Thin wrapper
+/// over [`visible_chain`]; `None` when `q` is inside or the polygon is
+/// degenerate.
+pub fn tangent_vertices(poly: &ConvexPolygon, q: Point2) -> Option<(usize, usize)> {
+    visible_chain(poly, q).map(|c| (c.start, c.end))
+}
+
+/// Inserts `q` into the hull represented by `poly`, returning the new hull.
+/// Falls back to a full hull computation for degenerate polygons. Intended
+/// for moderate sizes (the summaries keep `O(r)` vertices).
+pub fn insert_point(poly: &ConvexPolygon, q: Point2) -> ConvexPolygon {
+    let v = poly.vertices();
+    let n = v.len();
+    if n < 3 {
+        let mut pts = v.to_vec();
+        pts.push(q);
+        return ConvexPolygon::hull_of(&pts);
+    }
+    match visible_chain(poly, q) {
+        None => poly.clone(),
+        Some(VisibleChain { start, end }) => {
+            // Keep v[end], ..., v[start] (ccw through the invisible side),
+            // then q.
+            let mut out = Vec::with_capacity(n + 1);
+            let mut i = end;
+            loop {
+                out.push(v[i]);
+                if i == start {
+                    break;
+                }
+                i = (i + 1) % n;
+            }
+            out.push(q);
+            crate::hull::canonicalize_ccw(&mut out);
+            ConvexPolygon::from_ccw_unchecked(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Vec2;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn regular_ngon(n: usize, radius: f64) -> ConvexPolygon {
+        let verts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                p(radius * t.cos(), radius * t.sin())
+            })
+            .collect();
+        ConvexPolygon::from_ccw(verts).unwrap()
+    }
+
+    #[test]
+    fn square_cardinal_directions() {
+        let sq = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)])
+            .unwrap();
+        // Point to the right: sees edge 1 only; tangents at v1=(2,0), v2=(2,2).
+        let c = visible_chain(&sq, p(5.0, 1.0)).unwrap();
+        assert_eq!(c, VisibleChain { start: 1, end: 2 });
+        // Point below: sees edge 0.
+        let c = visible_chain(&sq, p(1.0, -3.0)).unwrap();
+        assert_eq!(c, VisibleChain { start: 0, end: 1 });
+        // Corner region: sees edges 1 and 2.
+        let c = visible_chain(&sq, p(5.0, 5.0)).unwrap();
+        assert_eq!(c, VisibleChain { start: 1, end: 3 });
+        // Inside: none.
+        assert_eq!(visible_chain(&sq, p(1.0, 1.0)), None);
+        // On boundary: none.
+        assert_eq!(visible_chain(&sq, p(1.0, 0.0)), None);
+        assert_eq!(visible_chain(&sq, p(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn collinear_beyond_edge() {
+        let sq = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)])
+            .unwrap();
+        // q collinear with bottom edge, beyond v1: bottom edge is weakly
+        // visible, right edge strictly visible.
+        let c = visible_chain(&sq, p(5.0, 0.0)).unwrap();
+        assert_eq!(c, VisibleChain { start: 0, end: 2 });
+        let lin = visible_chain_linear(&sq, p(5.0, 0.0)).unwrap();
+        assert_eq!(c, lin);
+        // Beyond v0 going the other way.
+        let c = visible_chain(&sq, p(-5.0, 0.0)).unwrap();
+        let lin = visible_chain_linear(&sq, p(-5.0, 0.0)).unwrap();
+        assert_eq!(c, lin);
+    }
+
+    #[test]
+    fn fast_matches_linear_on_random_points() {
+        let mut seed = 0xdeadbeefu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for &n in &[3usize, 4, 5, 7, 16, 33, 128] {
+            let poly = regular_ngon(n, 1.0);
+            for _ in 0..500 {
+                let q = p(next() * 6.0 - 3.0, next() * 6.0 - 3.0);
+                let fast = visible_chain(&poly, q);
+                let lin = visible_chain_linear(&poly, q);
+                assert_eq!(fast, lin, "n={n} q={q:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tangent_lines_have_polygon_on_one_side() {
+        let poly = regular_ngon(31, 2.0);
+        for k in 0..64 {
+            let theta = core::f64::consts::TAU * k as f64 / 64.0;
+            let q = Point2::ORIGIN + Vec2::from_angle(theta) * 5.0;
+            let (start, end) = tangent_vertices(&poly, q).unwrap();
+            let vs = poly.vertex(start);
+            let ve = poly.vertex(end);
+            // The whole polygon lies weakly right of q->v_start and weakly
+            // left of q->v_end (start/end delimit the visible chain walking
+            // ccw).
+            for &w in poly.vertices() {
+                assert_ne!(
+                    orient2d_sign(q, vs, w),
+                    Ordering::Greater,
+                    "start tangent, w={w:?}"
+                );
+                assert_ne!(
+                    orient2d_sign(q, ve, w),
+                    Ordering::Less,
+                    "end tangent, w={w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_point_grows_hull_correctly() {
+        let mut poly = ConvexPolygon::hull_of(&[p(0.0, 0.0), p(1.0, 0.0), p(0.5, 1.0)]);
+        let stream = [
+            p(2.0, 0.5),
+            p(-1.0, 0.5),
+            p(0.5, -1.0),
+            p(0.5, 2.0),
+            p(0.5, 0.5), // interior, no-op
+            p(3.0, 3.0),
+        ];
+        let mut all: Vec<Point2> = poly.vertices().to_vec();
+        for &q in &stream {
+            poly = insert_point(&poly, q);
+            all.push(q);
+            let want = ConvexPolygon::hull_of(&all);
+            assert_eq!(poly.vertices(), want.vertices(), "after inserting {q:?}");
+        }
+    }
+
+    #[test]
+    fn insert_into_degenerate() {
+        let empty = ConvexPolygon::empty();
+        let one = insert_point(&empty, p(0.0, 0.0));
+        assert_eq!(one.len(), 1);
+        let seg = insert_point(&one, p(1.0, 0.0));
+        assert_eq!(seg.len(), 2);
+        let dup = insert_point(&seg, p(0.5, 0.0));
+        assert_eq!(dup.len(), 2, "collinear point does not grow the hull");
+        let tri = insert_point(&seg, p(0.0, 1.0));
+        assert_eq!(tri.len(), 3);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_pseudorandom_stream() {
+        let mut seed = 42u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point2> = (0..400).map(|_| p(next() * 10.0, next() * 10.0)).collect();
+        let mut poly = ConvexPolygon::empty();
+        for (i, &q) in pts.iter().enumerate() {
+            poly = insert_point(&poly, q);
+            if i % 37 == 0 {
+                let want = ConvexPolygon::hull_of(&pts[..=i]);
+                assert_eq!(poly.vertices(), want.vertices(), "after {} points", i + 1);
+            }
+        }
+        let want = ConvexPolygon::hull_of(&pts);
+        assert_eq!(poly.vertices(), want.vertices());
+    }
+}

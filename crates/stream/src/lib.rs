@@ -1,0 +1,71 @@
+//! # sh-stream — synthetic geometric point streams
+//!
+//! Workload generators for evaluating stream summaries, reproducing every
+//! distribution used in the paper's experiments (§7) plus the lower-bound
+//! construction (§5.4) and a few adversarial extras:
+//!
+//! * uniform **disk**, **square**, and **ellipse** (with aspect ratio and
+//!   rotation — the Table 1 workloads);
+//! * the **changing distribution** (near-vertical ellipse followed by a
+//!   containing near-horizontal ellipse — Table 1, part 4);
+//! * **evenly spaced circle points** (the `Ω(D/r²)` lower bound of
+//!   Theorem 5.5);
+//! * Gaussian clouds, annuli, segments and outward spirals (adversarial for
+//!   incremental hulls: every point is a new hull vertex).
+//!
+//! All generators are deterministic given a seed, implement
+//! [`Iterator<Item = Point2>`], and can be composed with the adapters in
+//! [`transform`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod shapes;
+pub mod transform;
+
+use geom::Point2;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use shapes::{
+    Annulus, Changing, CirclePoints, Disk, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
+};
+pub use transform::{Rotate, Scale, Translate};
+
+/// A finite, seeded stream of points. Blanket-implemented for every
+/// `Iterator<Item = Point2>`; exists so generic harness code can name the
+/// bound tersely.
+pub trait PointStream: Iterator<Item = Point2> {}
+impl<T: Iterator<Item = Point2>> PointStream for T {}
+
+/// Creates the deterministic RNG used by all generators for a given seed.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Collects a stream into a vector (convenience for tests and experiments).
+pub fn collect<S: PointStream>(stream: S) -> Vec<Point2> {
+    stream.collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_across_calls() {
+        let a: Vec<Point2> = Disk::new(7, 100, 1.0).collect();
+        let b: Vec<Point2> = Disk::new(7, 100, 1.0).collect();
+        assert_eq!(a, b);
+        let c: Vec<Point2> = Disk::new(8, 100, 1.0).collect();
+        assert_ne!(a, c, "different seeds differ");
+    }
+
+    #[test]
+    fn lengths_are_exact() {
+        assert_eq!(Disk::new(1, 123, 2.0).count(), 123);
+        assert_eq!(Square::new(1, 45, 1.0).count(), 45);
+        assert_eq!(Ellipse::new(1, 10, 16.0, 0.0).count(), 10);
+        assert_eq!(CirclePoints::new(32, 1.0).count(), 32);
+    }
+}

@@ -1,0 +1,172 @@
+//! Stream adapters: rotate, scale, translate, interleave, and clamp
+//! arbitrary point streams. These compose with any
+//! [`PointStream`](crate::PointStream).
+
+use geom::{Point2, Vec2};
+
+/// Rotates every point of the inner stream about the origin.
+#[derive(Debug)]
+pub struct Rotate<S> {
+    inner: S,
+    cos: f64,
+    sin: f64,
+}
+
+impl<S> Rotate<S> {
+    /// Rotation by `theta` radians counterclockwise.
+    pub fn new(inner: S, theta: f64) -> Self {
+        let (sin, cos) = theta.sin_cos();
+        Rotate { inner, cos, sin }
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for Rotate<S> {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        let p = self.inner.next()?;
+        Some(Point2::new(
+            p.x * self.cos - p.y * self.sin,
+            p.x * self.sin + p.y * self.cos,
+        ))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Scales every point of the inner stream (anisotropic allowed).
+#[derive(Debug)]
+pub struct Scale<S> {
+    inner: S,
+    sx: f64,
+    sy: f64,
+}
+
+impl<S> Scale<S> {
+    /// Independent x/y scaling.
+    pub fn new(inner: S, sx: f64, sy: f64) -> Self {
+        Scale { inner, sx, sy }
+    }
+
+    /// Uniform scaling.
+    pub fn uniform(inner: S, s: f64) -> Self {
+        Scale {
+            inner,
+            sx: s,
+            sy: s,
+        }
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for Scale<S> {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        let p = self.inner.next()?;
+        Some(Point2::new(p.x * self.sx, p.y * self.sy))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Translates every point of the inner stream.
+#[derive(Debug)]
+pub struct Translate<S> {
+    inner: S,
+    offset: Vec2,
+}
+
+impl<S> Translate<S> {
+    /// Translation by `offset`.
+    pub fn new(inner: S, offset: Vec2) -> Self {
+        Translate { inner, offset }
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for Translate<S> {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        Some(self.inner.next()? + self.offset)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Interleaves two streams round-robin (models two sensors reporting into
+/// one channel); ends when both are exhausted.
+#[derive(Debug)]
+pub struct Interleave<A, B> {
+    a: A,
+    b: B,
+    turn_a: bool,
+}
+
+impl<A, B> Interleave<A, B> {
+    /// Round-robin interleaving starting with `a`.
+    pub fn new(a: A, b: B) -> Self {
+        Interleave { a, b, turn_a: true }
+    }
+}
+
+impl<A, B> Iterator for Interleave<A, B>
+where
+    A: Iterator<Item = Point2>,
+    B: Iterator<Item = Point2>,
+{
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        if self.turn_a {
+            self.turn_a = false;
+            self.a.next().or_else(|| self.b.next())
+        } else {
+            self.turn_a = true;
+            self.b.next().or_else(|| self.a.next())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{CirclePoints, Square};
+    use core::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn rotate_quarter_turn() {
+        let pts: Vec<Point2> = Rotate::new(CirclePoints::new(4, 1.0), FRAC_PI_2).collect();
+        // First circle point (1,0) becomes (0,1).
+        assert!(pts[0].distance(Point2::new(0.0, 1.0)) < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norms() {
+        let orig: Vec<Point2> = Square::new(1, 200, 1.0).collect();
+        let rot: Vec<Point2> = Rotate::new(Square::new(1, 200, 1.0), 0.7).collect();
+        for (a, b) in orig.iter().zip(&rot) {
+            assert!((a.distance(Point2::ORIGIN) - b.distance(Point2::ORIGIN)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scale_and_translate() {
+        let pts: Vec<Point2> = Translate::new(
+            Scale::new(CirclePoints::new(1, 1.0), 2.0, 3.0),
+            Vec2::new(10.0, 20.0),
+        )
+        .collect();
+        assert!(pts[0].distance(Point2::new(12.0, 20.0)) < 1e-12);
+    }
+
+    #[test]
+    fn interleave_alternates_and_drains() {
+        let a = CirclePoints::new(3, 1.0);
+        let b = CirclePoints::new(1, 2.0);
+        let pts: Vec<Point2> = Interleave::new(a, b).collect();
+        assert_eq!(pts.len(), 4);
+        // Second element comes from b (radius 2).
+        assert!((pts[1].distance(Point2::ORIGIN) - 2.0).abs() < 1e-12);
+        // Remaining a-points drain after b is exhausted.
+        assert!((pts[3].distance(Point2::ORIGIN) - 1.0).abs() < 1e-12);
+    }
+}

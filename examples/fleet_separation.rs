@@ -1,0 +1,99 @@
+//! Multi-stream monitoring from the paper's introduction: "track the
+//! minimum distance between the convex hulls of two data streams", "report
+//! when datasets A and B are no longer linearly separable", "report when
+//! points of data stream A become completely surrounded by points of data
+//! stream B."
+//!
+//! Two vehicle fleets (blue and red) report GPS positions; a third
+//! surveillance drone swarm surrounds the area. The tracker summarises each
+//! stream with an adaptive hull and emits events on every pairwise state
+//! change.
+//!
+//! Run: `cargo run --release --example fleet_separation`
+
+use streamhull::prelude::*;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn jitter(&mut self, scale: f64) -> Vec2 {
+        Vec2::new(
+            (self.next_f64() - 0.5) * scale,
+            (self.next_f64() - 0.5) * scale,
+        )
+    }
+}
+
+fn main() {
+    let mut rng = Lcg(7);
+    let mut tracker = MultiStreamTracker::new(AdaptiveHullConfig::new(16));
+
+    // The drone swarm patrols a big ring around everything from the start.
+    for i in 0..600 {
+        let t = core::f64::consts::TAU * i as f64 / 600.0;
+        tracker.insert(
+            "drones",
+            Point2::new(40.0 * t.cos(), 40.0 * t.sin()) + rng.jitter(2.0),
+        );
+    }
+
+    // Blue starts west, red starts east; they advance toward each other.
+    let steps = 60usize;
+    for step in 0..steps {
+        let advance = step as f64 * 0.45;
+        for _ in 0..40 {
+            tracker.insert("blue", Point2::new(-15.0 + advance, 0.0) + rng.jitter(6.0));
+            tracker.insert("red", Point2::new(15.0 - advance, 2.0) + rng.jitter(6.0));
+        }
+        for ev in tracker.refresh() {
+            let when = tracker.total_points();
+            match ev.to {
+                PairState::Separated(d) => {
+                    println!(
+                        "[{when:>6}] {} / {}: separated, min distance {d:.2}",
+                        ev.a, ev.b
+                    )
+                }
+                PairState::Intersecting => {
+                    println!(
+                        "[{when:>6}] {} / {}: NO LONGER LINEARLY SEPARABLE (from {:?})",
+                        ev.a, ev.b, ev.from
+                    )
+                }
+                PairState::Contains => {
+                    println!("[{when:>6}] {} now completely surrounds {}", ev.a, ev.b)
+                }
+                PairState::ContainedBy => {
+                    println!(
+                        "[{when:>6}] {} is now completely surrounded by {}",
+                        ev.a, ev.b
+                    )
+                }
+                PairState::Undefined => {}
+            }
+        }
+    }
+
+    // Final report.
+    println!("\nfinal pairwise states:");
+    for (a, b) in [("blue", "red"), ("blue", "drones"), ("drones", "red")] {
+        println!("  {a:>6} / {b:<6}: {:?}", tracker.pair_state(a, b));
+    }
+    let blue = tracker.hull("blue").unwrap();
+    let red = tracker.hull("red").unwrap();
+    println!(
+        "\noverlap area of blue and red operating regions: {:.1}",
+        streamhull::queries::overlap_area(&blue, &red)
+    );
+    assert_eq!(
+        tracker.pair_state("blue", "drones"),
+        PairState::ContainedBy,
+        "the drone ring should surround the blue fleet"
+    );
+}

@@ -1,0 +1,83 @@
+//! Spatial-database scenario (paper §1: terabyte-scale surveys like the
+//! Sloan Digital Sky Survey force single-pass algorithms): stream a large
+//! synthetic catalogue once and keep live estimates of its spatial extent,
+//! comparing the 2r+1-point adaptive summary against the exact hull and
+//! against uniform sampling at equal memory.
+//!
+//! Run: `cargo run --release --example sky_survey_extent`
+
+use streamhull::metrics;
+use streamhull::prelude::*;
+use streamhull::queries;
+
+fn main() {
+    let n = 1_000_000usize;
+    let r = 32u32;
+
+    // Synthetic "survey stripe": a long, slightly curved band of objects
+    // (like a scan stripe on the celestial sphere), plus sparse outliers.
+    let mut seed = 20081117u64;
+    let mut next = move || {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (seed >> 11) as f64 / (1u64 << 53) as f64
+    };
+
+    let mut adaptive = AdaptiveHull::with_r(r);
+    let mut uniform = NaiveUniformHull::new(2 * r); // same memory budget
+    let mut exact = ExactHull::new(); // unbounded memory baseline
+
+    for i in 0..n {
+        let t = next() * 100.0;
+        let band = Point2::new(t, 0.002 * t * t - 0.1 * t + (next() - 0.5) * 0.8);
+        let p = if i % 50_000 == 17 {
+            // A rare outlier (e.g. a mislabeled object far off the stripe).
+            Point2::new(t, band.y + 20.0 * (next() - 0.5))
+        } else {
+            band
+        };
+        adaptive.insert(p);
+        uniform.insert(p);
+        exact.insert(p);
+    }
+
+    let (ah, uh, eh) = (adaptive.hull(), uniform.hull(), exact.hull());
+    let d_exact = queries::diameter(&eh).unwrap().2;
+
+    println!("objects streamed      : {n}");
+    println!(
+        "memory                : exact keeps {} hull vertices; adaptive keeps {} points; \
+         uniform keeps {}",
+        exact.sample_size(),
+        adaptive.sample_size(),
+        uniform.sample_size()
+    );
+    println!("true diameter         : {d_exact:.4}");
+    println!(
+        "adaptive diameter     : {:.4}  (rel err {:.2e})",
+        queries::diameter(&ah).unwrap().2,
+        metrics::diameter_error(&ah, &eh)
+    );
+    println!(
+        "uniform  diameter     : {:.4}  (rel err {:.2e})",
+        queries::diameter(&uh).unwrap().2,
+        metrics::diameter_error(&uh, &eh)
+    );
+    println!(
+        "hull error (Hausdorff): adaptive {:.4}, uniform {:.4}, bound 16πP/r² = {:.4}",
+        metrics::hausdorff_error(&ah, &eh),
+        metrics::hausdorff_error(&uh, &eh),
+        16.0 * core::f64::consts::PI * adaptive.uniform().perimeter() / (r as f64 * r as f64),
+    );
+    for angle_deg in [0.0, 30.0, 60.0, 90.0] {
+        let dir = Vec2::from_angle(angle_deg * core::f64::consts::PI / 180.0);
+        println!(
+            "extent @ {angle_deg:>4.0}°        : exact {:>8.4}  adaptive {:>8.4}",
+            queries::directional_extent(&eh, dir),
+            queries::directional_extent(&ah, dir),
+        );
+    }
+
+    assert!(metrics::hausdorff_error(&ah, &eh) <= metrics::hausdorff_error(&uh, &eh) * 2.0);
+}

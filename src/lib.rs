@@ -1,0 +1,62 @@
+//! # streamhull
+//!
+//! A single-pass, small-space summary library for two-dimensional point
+//! streams, implementing Hershberger & Suri, *"Adaptive sampling for
+//! geometric problems over data streams"* (PODS 2004 / Computational
+//! Geometry 39 (2008) 191–208).
+//!
+//! The headline structure is [`AdaptiveHull`]: it retains at most `2r + 1`
+//! stream points yet keeps its convex hull within `O(D/r²)` of the true
+//! convex hull of *everything seen*, where `D` is the diameter — provably
+//! optimal, and an order of magnitude better than uniform direction
+//! sampling at equal space. Updates cost `O(log r)` amortized for typical
+//! streams.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let mut hull = AdaptiveHull::with_r(32);
+//! for i in 0..10_000 {
+//!     let t = i as f64 * 0.01;
+//!     hull.insert(Point2::new(16.0 * t.cos(), t.sin()));
+//! }
+//!
+//! // ≤ 2r + 1 points stored, answers extremal queries about the stream:
+//! assert!(hull.sample_size() <= 65);
+//! let poly = hull.hull();
+//! let (_, _, diameter) = streamhull::queries::diameter(&poly).unwrap();
+//! assert!((diameter - 32.0).abs() < 0.05);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`geom`] — planar geometry substrate (robust predicates, hulls,
+//!   calipers, tangent searches, polygon clipping);
+//! * [`streamgen`] — synthetic stream workloads (the paper's disk / square
+//!   / ellipse / changing-distribution experiments, plus adversarial ones);
+//! * [`adaptive_hull`] — the summaries: exact, uniform, radial, frozen,
+//!   and the static/streaming/fixed-budget adaptive samplers, with the §6
+//!   query layer and error metrics.
+
+pub use adaptive_hull;
+pub use geom;
+pub use streamgen;
+
+pub use adaptive_hull::{metrics, queries, viz};
+pub use adaptive_hull::{
+    AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ExactHull,
+    FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, RadialHull, UniformHull,
+};
+pub use geom::{ConvexPolygon, Point2, Vec2};
+
+/// Everything most applications need.
+pub mod prelude {
+    pub use crate::{
+        AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ConvexPolygon, ExactHull,
+        FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, Point2, RadialHull,
+        UniformHull, Vec2,
+    };
+    pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
+}

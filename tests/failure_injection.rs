@@ -1,0 +1,114 @@
+//! Failure injection: the library's contract is that non-finite
+//! coordinates are rejected loudly at the insertion boundary (a silent NaN
+//! would poison every downstream comparison), and that extreme-but-finite
+//! inputs do not break invariants.
+
+use streamhull::prelude::*;
+
+#[test]
+#[should_panic(expected = "finite")]
+fn adaptive_rejects_nan() {
+    let mut h = AdaptiveHull::with_r(8);
+    h.insert(Point2::new(f64::NAN, 0.0));
+}
+
+#[test]
+#[should_panic(expected = "finite")]
+fn adaptive_rejects_infinity() {
+    let mut h = AdaptiveHull::with_r(8);
+    h.insert(Point2::new(1.0, f64::INFINITY));
+}
+
+#[test]
+#[should_panic(expected = "finite")]
+fn exact_rejects_nan() {
+    let mut h = ExactHull::new();
+    h.insert(Point2::new(0.0, f64::NAN));
+}
+
+#[test]
+#[should_panic(expected = "finite")]
+fn cluster_rejects_nan() {
+    let mut ch = ClusterHull::new(ClusterHullConfig::new(2));
+    ch.insert(Point2::new(f64::NAN, f64::NAN));
+}
+
+#[test]
+fn huge_coordinates_keep_invariants() {
+    // Coordinates near 2^400: squared distances overflow to infinity, but
+    // the summaries only compare dot products and distances of like
+    // magnitude; invariants must survive.
+    let s = (2.0f64).powi(400);
+    let mut h = AdaptiveHull::with_r(8);
+    for i in 0..100 {
+        let t = i as f64 * 0.7;
+        h.insert(Point2::new(s * t.cos(), s * t.sin()));
+    }
+    h.check_invariants().unwrap();
+    assert!(h.sample_size() <= 17);
+    let hull = h.hull();
+    assert!(hull.len() >= 3);
+    for &v in hull.vertices() {
+        assert!(v.is_finite());
+    }
+}
+
+#[test]
+fn tiny_coordinates_keep_invariants() {
+    let s = (2.0f64).powi(-400);
+    let mut h = AdaptiveHull::with_r(8);
+    for i in 0..100 {
+        let t = i as f64 * 0.7;
+        h.insert(Point2::new(s * t.cos(), s * t.sin()));
+    }
+    h.check_invariants().unwrap();
+    assert!(h.sample_size() <= 17);
+}
+
+#[test]
+fn mixed_scale_stream() {
+    // A stream that jumps across 12 orders of magnitude: the summary must
+    // keep the extreme points and discard the (relatively) microscopic
+    // structure without violating its budget.
+    let mut h = AdaptiveHull::with_r(16);
+    let mut e = ExactHull::new();
+    for i in 0..1000 {
+        let t = i as f64 * 0.31;
+        let scale = if i % 3 == 0 {
+            1e-6
+        } else if i % 3 == 1 {
+            1.0
+        } else {
+            1e6
+        };
+        let p = Point2::new(scale * t.cos(), scale * t.sin());
+        h.insert(p);
+        e.insert(p);
+    }
+    h.check_invariants().unwrap();
+    assert!(h.sample_size() <= 33);
+    let err = h.hull().directed_hausdorff_from(&e.hull());
+    let bound = 16.0 * std::f64::consts::PI * h.uniform().perimeter() / 256.0;
+    assert!(err <= bound, "error {err} > {bound}");
+}
+
+#[test]
+fn zero_area_then_expansion() {
+    // Long degenerate prefix (all collinear), then the stream opens up:
+    // the structure must transition from segment hulls to real polygons.
+    let mut h = AdaptiveHull::with_r(16);
+    for i in 0..500 {
+        h.insert(Point2::new(i as f64, i as f64));
+    }
+    assert_eq!(h.hull().len(), 2);
+    for i in 0..500 {
+        let t = i as f64 * 0.13;
+        h.insert(Point2::new(
+            250.0 + 300.0 * t.cos(),
+            250.0 + 300.0 * t.sin(),
+        ));
+    }
+    h.check_invariants().unwrap();
+    assert!(h.hull().len() >= 8, "hull should have opened up");
+    assert!(h.sample_size() <= 33);
+}

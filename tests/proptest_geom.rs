@@ -1,0 +1,200 @@
+//! Property-based tests for the geometry substrate.
+
+use geom::hull::{graham_scan, monotone_chain};
+use geom::predicates::{orient2d_sign, Orientation};
+use geom::tangent::{visible_chain, visible_chain_linear};
+use geom::{calipers, clip, locate, ConvexPolygon, Point2, Vec2};
+use proptest::prelude::*;
+
+fn pt_strategy() -> impl Strategy<Value = Point2> {
+    // Mix of smooth coordinates and a coarse grid (provokes collinear and
+    // duplicate configurations).
+    prop_oneof![
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point2::new(x, y)),
+        (-5i32..5, -5i32..5).prop_map(|(x, y)| Point2::new(x as f64, y as f64)),
+    ]
+}
+
+fn points_strategy(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(pt_strategy(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hull_contains_all_points(pts in points_strategy(60)) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        for &p in &pts {
+            prop_assert!(hull.contains_linear(p), "{p:?} outside its own hull");
+        }
+    }
+
+    #[test]
+    fn hull_is_idempotent(pts in points_strategy(60)) {
+        let h1 = monotone_chain(&pts);
+        let h2 = monotone_chain(&h1);
+        prop_assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn monotone_chain_equals_graham(pts in points_strategy(60)) {
+        prop_assert_eq!(monotone_chain(&pts), graham_scan(&pts));
+    }
+
+    #[test]
+    fn hull_vertices_strictly_convex(pts in points_strategy(60)) {
+        let h = monotone_chain(&pts);
+        let n = h.len();
+        if n >= 3 {
+            for i in 0..n {
+                prop_assert_eq!(
+                    orient2d_sign(h[i], h[(i + 1) % n], h[(i + 2) % n]),
+                    core::cmp::Ordering::Greater
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_antisymmetry(a in pt_strategy(), b in pt_strategy(), c in pt_strategy()) {
+        let o1 = geom::orient2d(a, b, c);
+        let o2 = geom::orient2d(a, c, b);
+        match o1 {
+            Orientation::Collinear => prop_assert_eq!(o2, Orientation::Collinear),
+            _ => prop_assert_eq!(o2, o1.reversed()),
+        }
+        // Cyclic invariance.
+        prop_assert_eq!(geom::orient2d(b, c, a), o1);
+    }
+
+    #[test]
+    fn contains_log_matches_linear(pts in points_strategy(40), q in pt_strategy()) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        prop_assert_eq!(locate::contains(&hull, q), hull.contains_linear(q));
+    }
+
+    #[test]
+    fn extreme_vertex_is_maximal(pts in points_strategy(40), angle in 0.0f64..core::f64::consts::TAU) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        if !hull.is_empty() {
+            let dir = Vec2::from_angle(angle);
+            let fast = hull.vertex(locate::extreme_vertex(&hull, dir)).dot(dir);
+            let slow = hull.support(dir).unwrap();
+            let scale = slow.abs().max(1.0);
+            prop_assert!((fast - slow).abs() <= 1e-9 * scale, "{fast} vs {slow}");
+        }
+    }
+
+    #[test]
+    fn visible_chain_fast_matches_linear(pts in points_strategy(40), q in pt_strategy()) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        if hull.len() >= 3 {
+            prop_assert_eq!(visible_chain(&hull, q), visible_chain_linear(&hull, q));
+        }
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch(pts in points_strategy(40)) {
+        let mut poly = ConvexPolygon::empty();
+        for (i, &q) in pts.iter().enumerate() {
+            poly = geom::tangent::insert_point(&poly, q);
+            let want = ConvexPolygon::hull_of(&pts[..=i]);
+            prop_assert_eq!(poly.vertices(), want.vertices());
+        }
+    }
+
+    #[test]
+    fn diameter_calipers_matches_brute(pts in points_strategy(50)) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        if hull.len() >= 2 {
+            let fast = calipers::diameter(&hull).unwrap().2;
+            let brute = calipers::diameter_brute(&hull).unwrap();
+            prop_assert!((fast - brute).abs() <= 1e-9 * brute.max(1.0));
+        }
+    }
+
+    #[test]
+    fn width_calipers_matches_brute(pts in points_strategy(50)) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        if hull.len() >= 3 {
+            let fast = calipers::width(&hull);
+            let brute = calipers::width_brute(&hull);
+            prop_assert!((fast - brute).abs() <= 1e-9 * brute.max(1.0));
+        }
+    }
+
+    #[test]
+    fn width_never_exceeds_diameter(pts in points_strategy(50)) {
+        let hull = ConvexPolygon::hull_of(&pts);
+        if hull.len() >= 3 {
+            let d = calipers::diameter(&hull).unwrap().2;
+            prop_assert!(calipers::width(&hull) <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn clip_area_bounded_and_symmetric(a in points_strategy(30), b in points_strategy(30)) {
+        let pa = ConvexPolygon::hull_of(&a);
+        let pb = ConvexPolygon::hull_of(&b);
+        let ab = clip::overlap_area(&pa, &pb);
+        let ba = clip::overlap_area(&pb, &pa);
+        let scale = pa.area().max(pb.area()).max(1.0);
+        prop_assert!((ab - ba).abs() <= 1e-6 * scale, "{ab} vs {ba}");
+        prop_assert!(ab <= pa.area() + 1e-6 * scale);
+        prop_assert!(ab <= pb.area() + 1e-6 * scale);
+        prop_assert!(ab >= -1e-12);
+    }
+
+    #[test]
+    fn clip_with_self_is_identity_area(a in points_strategy(30)) {
+        let pa = ConvexPolygon::hull_of(&a);
+        let i = clip::overlap_area(&pa, &pa);
+        prop_assert!((i - pa.area()).abs() <= 1e-6 * pa.area().max(1.0));
+    }
+
+    #[test]
+    fn separation_distance_consistent(a in points_strategy(25), b in points_strategy(25)) {
+        let pa = ConvexPolygon::hull_of(&a);
+        let pb = ConvexPolygon::hull_of(&b);
+        if pa.is_empty() || pb.is_empty() {
+            return Ok(());
+        }
+        let d = geom::distance::min_distance(&pa, &pb);
+        // Distance is at most any vertex-pair distance.
+        for &va in pa.vertices() {
+            for &vb in pb.vertices() {
+                prop_assert!(d <= va.distance(vb) + 1e-9);
+            }
+        }
+        // Intersecting iff distance 0.
+        let inter = clip::intersects(&pa, &pb);
+        if inter {
+            prop_assert!(d == 0.0);
+        } else {
+            prop_assert!(d > 0.0);
+        }
+    }
+
+    #[test]
+    fn directional_extent_rotation_consistency(pts in points_strategy(40), angle in 0.0f64..1.5) {
+        // Extent in direction d of rotated points == extent in rotated
+        // direction of original points.
+        let hull = ConvexPolygon::hull_of(&pts);
+        if hull.len() >= 2 {
+            let rotated: Vec<Point2> = pts
+                .iter()
+                .map(|p| {
+                    let v = Vec2::new(p.x, p.y).rotate(angle);
+                    Point2::new(v.x, v.y)
+                })
+                .collect();
+            let rhull = ConvexPolygon::hull_of(&rotated);
+            let dir = Vec2::from_angle(0.4);
+            let e1 = locate::directional_extent(&rhull, dir);
+            let e2 = locate::directional_extent(&hull, dir.rotate(-angle));
+            let scale = e1.abs().max(1.0);
+            prop_assert!((e1 - e2).abs() <= 1e-6 * scale, "{e1} vs {e2}");
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests on the stream summaries: the searchable uniform
+//! hull is equivalent to the naive one, the adaptive hull maintains its
+//! structural invariants and budget on arbitrary streams, and every
+//! summary's hull stays inside the exact hull.
+
+use proptest::prelude::*;
+use streamhull::prelude::*;
+
+fn pt_strategy() -> impl Strategy<Value = Point2> {
+    prop_oneof![
+        (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)),
+        (-4i32..4, -4i32..4).prop_map(|(x, y)| Point2::new(x as f64, y as f64)),
+        // Skinny band: stresses adaptive refinement.
+        (-50.0f64..50.0, -0.5f64..0.5).prop_map(|(x, y)| Point2::new(x, y)),
+    ]
+}
+
+fn stream_strategy(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(pt_strategy(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn uniform_searchable_equals_naive(pts in stream_strategy(200), rexp in 2u32..6) {
+        let r = 1u32 << rexp; // 4..32
+        let mut naive = NaiveUniformHull::new(r);
+        let mut fancy = UniformHull::new(r);
+        for &q in &pts {
+            naive.insert(q);
+            fancy.insert(q);
+            for j in 0..r {
+                let u = naive.unit(j);
+                let a = naive.extremum(j).unwrap().dot(u);
+                let b = fancy.extremum(j).unwrap().dot(u);
+                prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                    "direction {j} diverged: naive {a} fancy {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_hull_matches_batch(pts in stream_strategy(200)) {
+        let mut e = ExactHull::new();
+        for &q in &pts {
+            e.insert(q);
+        }
+        let want = geom::hull::monotone_chain(&pts);
+        let got = e.hull();
+        prop_assert_eq!(got.vertices(), want.as_slice());
+    }
+
+    #[test]
+    fn adaptive_invariants_on_arbitrary_streams(pts in stream_strategy(300), rexp in 3u32..6) {
+        let r = 1u32 << rexp; // 8..32
+        let mut a = AdaptiveHull::with_r(r);
+        for &q in &pts {
+            a.insert(q);
+        }
+        a.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert!(a.sample_size() <= (2 * r + 1) as usize,
+            "budget: {} > 2r+1", a.sample_size());
+        prop_assert!(a.adaptive_direction_count() <= (r + 1) as usize,
+            "adaptive dirs: {} > r+1", a.adaptive_direction_count());
+    }
+
+    #[test]
+    fn approximate_hulls_inside_exact(pts in stream_strategy(250)) {
+        let mut exact = ExactHull::new();
+        let mut ada = AdaptiveHull::with_r(8);
+        let mut uni = UniformHull::new(8);
+        let mut fb = FixedBudgetAdaptiveHull::new(8);
+        for &q in &pts {
+            exact.insert(q);
+            ada.insert(q);
+            uni.insert(q);
+            fb.insert(q);
+        }
+        let truth = exact.hull();
+        for (name, hull) in [("adaptive", ada.hull()), ("uniform", uni.hull()), ("fixed", fb.hull())] {
+            for &v in hull.vertices() {
+                prop_assert!(truth.contains_linear(v), "{name}: {v:?} escapes");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_error_within_paper_bound(pts in stream_strategy(300)) {
+        let r = 16u32;
+        let mut exact = ExactHull::new();
+        let mut ada = AdaptiveHull::with_r(r);
+        for &q in &pts {
+            exact.insert(q);
+            ada.insert(q);
+        }
+        let err = ada.hull().directed_hausdorff_from(&exact.hull());
+        let bound = 16.0 * std::f64::consts::PI * ada.uniform().perimeter()
+            / (r as f64 * r as f64);
+        prop_assert!(err <= bound + 1e-9, "error {err} > bound {bound}");
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_uniform_extrema(pts in stream_strategy(80)) {
+        // The uniform extrema are order-independent (max per direction).
+        let r = 16u32;
+        let mut fwd = NaiveUniformHull::new(r);
+        let mut rev = NaiveUniformHull::new(r);
+        for &q in &pts {
+            fwd.insert(q);
+        }
+        for &q in pts.iter().rev() {
+            rev.insert(q);
+        }
+        for j in 0..r {
+            let u = fwd.unit(j);
+            let a = fwd.extremum(j).unwrap().dot(u);
+            let b = rev.extremum(j).unwrap().dot(u);
+            prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn adaptive_hull_error_order_independentish(pts in stream_strategy(120)) {
+        // The adaptive hull itself is order-dependent, but both orders must
+        // satisfy the same error bound against the same exact hull.
+        let r = 8u32;
+        let mut exact = ExactHull::new();
+        for &q in &pts {
+            exact.insert(q);
+        }
+        let truth = exact.hull();
+        for order in [false, true] {
+            let mut a = AdaptiveHull::with_r(r);
+            if order {
+                for &q in pts.iter().rev() {
+                    a.insert(q);
+                }
+            } else {
+                for &q in &pts {
+                    a.insert(q);
+                }
+            }
+            let err = a.hull().directed_hausdorff_from(&truth);
+            let bound = 16.0 * std::f64::consts::PI * a.uniform().perimeter()
+                / (r as f64 * r as f64);
+            prop_assert!(err <= bound + 1e-9, "order rev={order}: {err} > {bound}");
+        }
+    }
+
+    #[test]
+    fn radial_and_frozen_budgets(pts in stream_strategy(200)) {
+        let mut rad = RadialHull::new(16);
+        for &q in &pts {
+            rad.insert(q);
+        }
+        prop_assert!(rad.sample_size() <= 17);
+        let dirs: Vec<geom::Vec2> = (0..8)
+            .map(|j| geom::Vec2::from_angle(std::f64::consts::TAU * j as f64 / 8.0))
+            .collect();
+        let mut fr = FrozenHull::from_units(dirs);
+        for &q in &pts {
+            fr.insert(q);
+        }
+        prop_assert!(fr.sample_size() <= 8);
+        // Frozen extrema really are maxima in their directions.
+        for j in 0..8 {
+            let u = fr.direction(j).unwrap();
+            let e = fr.extremum(j).unwrap().dot(u);
+            let best = pts.iter().map(|p| p.dot(u)).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!((e - best).abs() <= 1e-9 * best.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! End-to-end tests of the §6 query layer on *approximate* summaries:
+//! the answers computed from 2r+1-point adaptive samples must agree with
+//! the answers computed from the exact hulls up to the paper's error
+//! bounds.
+
+use streamgen::{Disk, Ellipse, Translate};
+use streamhull::prelude::*;
+use streamhull::queries;
+
+fn build(seed: u64, n: usize, aspect: f64, dx: f64) -> (AdaptiveHull, ExactHull) {
+    let mut a = AdaptiveHull::with_r(32);
+    let mut e = ExactHull::new();
+    for p in Translate::new(Ellipse::new(seed, n, aspect, 0.25), Vec2::new(dx, 0.0)) {
+        a.insert(p);
+        e.insert(p);
+    }
+    (a, e)
+}
+
+#[test]
+fn diameter_and_width_track_exact_within_bound() {
+    let (a, e) = build(101, 50_000, 8.0, 0.0);
+    let (ah, eh) = (a.hull(), e.hull());
+    let bound = 2.0 * 16.0 * std::f64::consts::PI * a.uniform().perimeter() / (32.0f64 * 32.0);
+    let (da, de) = (
+        queries::diameter(&ah).unwrap().2,
+        queries::diameter(&eh).unwrap().2,
+    );
+    assert!(de >= da && de - da <= bound, "diameter: {da} vs {de}");
+    let (wa, we) = (queries::width(&ah), queries::width(&eh));
+    assert!((we - wa).abs() <= bound, "width: {wa} vs {we}");
+}
+
+#[test]
+fn directional_extent_tracks_exact() {
+    let (a, e) = build(102, 30_000, 4.0, 0.0);
+    let (ah, eh) = (a.hull(), e.hull());
+    let bound = 2.0 * 16.0 * std::f64::consts::PI * a.uniform().perimeter() / (32.0f64 * 32.0);
+    for k in 0..24 {
+        let dir = Vec2::from_angle(std::f64::consts::TAU * k as f64 / 24.0 + 0.011);
+        let xa = queries::directional_extent(&ah, dir);
+        let xe = queries::directional_extent(&eh, dir);
+        assert!(xe >= xa - 1e-9, "approx extent cannot exceed exact");
+        assert!(xe - xa <= bound, "dir {k}: {xa} vs {xe}");
+    }
+}
+
+#[test]
+fn min_distance_between_summaries_tracks_exact() {
+    let (a1, e1) = build(103, 20_000, 2.0, -6.0);
+    let (a2, e2) = build(104, 20_000, 2.0, 6.0);
+    let d_approx = queries::min_distance(&a1.hull(), &a2.hull());
+    let d_exact = queries::min_distance(&e1.hull(), &e2.hull());
+    // Approximate hulls are inside the exact ones => distance can only
+    // grow, and by at most the sum of the two error bounds.
+    assert!(d_approx >= d_exact - 1e-9);
+    assert!(d_approx - d_exact <= 0.5, "{d_approx} vs {d_exact}");
+    // Both must be close to the nominal gap: centres 12 apart, each
+    // rotated aspect-2 ellipse reaching ~1.95 along x => gap ≈ 8.1.
+    assert!((7.9..8.4).contains(&d_exact), "exact gap {d_exact}");
+}
+
+#[test]
+fn separability_transition_is_detected_at_same_point_as_exact() {
+    // Move stream B towards stream A in steps; the approximate and exact
+    // verdicts must flip within a couple of steps of each other.
+    let a_pts: Vec<Point2> = Disk::new(105, 5000, 1.0).collect();
+    let mut a_approx = AdaptiveHull::with_r(32);
+    let mut a_exact = ExactHull::new();
+    for &p in &a_pts {
+        a_approx.insert(p);
+        a_exact.insert(p);
+    }
+    let mut flip_approx = None;
+    let mut flip_exact = None;
+    for step in 0..40 {
+        let dx = 5.0 - step as f64 * 0.1;
+        let b_pts: Vec<Point2> =
+            Translate::new(Disk::new(106, 2000, 1.0), Vec2::new(dx, 0.0)).collect();
+        let mut b_approx = AdaptiveHull::with_r(32);
+        let mut b_exact = ExactHull::new();
+        for &p in &b_pts {
+            b_approx.insert(p);
+            b_exact.insert(p);
+        }
+        let sa = queries::separation(&a_approx.hull(), &b_approx.hull()).unwrap();
+        let se = queries::separation(&a_exact.hull(), &b_exact.hull()).unwrap();
+        if !sa.is_separated() && flip_approx.is_none() {
+            flip_approx = Some(step);
+        }
+        if !se.is_separated() && flip_exact.is_none() {
+            flip_exact = Some(step);
+        }
+    }
+    let (fa, fe) = (
+        flip_approx.expect("approx flips"),
+        flip_exact.expect("exact flips"),
+    );
+    assert!(
+        (fa as i64 - fe as i64).abs() <= 2,
+        "separability flip: approx step {fa}, exact step {fe}"
+    );
+}
+
+#[test]
+fn containment_with_margin() {
+    let inner: Vec<Point2> = Disk::new(107, 10_000, 2.0).collect();
+    let outer: Vec<Point2> = Disk::new(108, 10_000, 2.4).collect();
+    let mut hi = AdaptiveHull::with_r(32);
+    let mut ho = AdaptiveHull::with_r(32);
+    for (&p, &q) in inner.iter().zip(&outer) {
+        hi.insert(p);
+        ho.insert(q);
+    }
+    // The outer approximate hull contains the inner approximate hull:
+    // margin 0.4 is far above the O(D/r²) error at r = 32.
+    assert!(queries::contains(&ho.hull(), &hi.hull()));
+    assert!(!queries::contains(&hi.hull(), &ho.hull()));
+    // Violation of the reverse containment is about 0.4.
+    let v = queries::containment_violation(&hi.hull(), &ho.hull());
+    assert!((v - 0.4).abs() < 0.1, "violation {v}");
+}
+
+#[test]
+fn overlap_area_matches_exact_within_percent() {
+    let (a1, e1) = build(109, 30_000, 3.0, 0.0);
+    let (a2, e2) = build(110, 30_000, 3.0, 2.0);
+    let oa = queries::overlap_area(&a1.hull(), &a2.hull());
+    let oe = queries::overlap_area(&e1.hull(), &e2.hull());
+    assert!(oe > 0.0);
+    assert!((oa - oe).abs() / oe < 0.02, "overlap {oa} vs exact {oe}");
+}
+
+#[test]
+fn farthest_point_and_bbox_consistency() {
+    let (a, e) = build(111, 20_000, 5.0, 0.0);
+    let (ah, eh) = (a.hull(), e.hull());
+    let q = Point2::new(-20.0, 3.0);
+    let fa = queries::farthest_point(&ah, q).unwrap();
+    let fe = queries::farthest_point(&eh, q).unwrap();
+    assert!((q.distance(fa) - q.distance(fe)).abs() < 0.1);
+    let (amin, amax) = queries::bounding_box(&ah).unwrap();
+    let (emin, emax) = queries::bounding_box(&eh).unwrap();
+    for (x, y) in [
+        (amin.x, emin.x),
+        (amin.y, emin.y),
+        (amax.x, emax.x),
+        (amax.y, emax.y),
+    ] {
+        assert!((x - y).abs() < 0.2, "bbox coordinate {x} vs {y}");
+    }
+}

@@ -1,0 +1,321 @@
+//! Cross-crate integration tests: every summary against every workload,
+//! checking the paper's headline claims end to end.
+
+use streamgen::{Annulus, Changing, CirclePoints, Disk, Ellipse, Gaussian, Spiral, Square};
+use streamhull::metrics;
+use streamhull::prelude::*;
+
+fn run<S: HullSummary>(summary: &mut S, pts: &[Point2]) {
+    for &p in pts {
+        summary.insert(p);
+    }
+}
+
+fn exact_hull(pts: &[Point2]) -> ConvexPolygon {
+    let mut e = ExactHull::new();
+    run(&mut e, pts);
+    e.hull()
+}
+
+fn workloads(n: usize) -> Vec<(&'static str, Vec<Point2>)> {
+    vec![
+        ("disk", Disk::new(1, n, 1.0).collect()),
+        ("square", Square::new(2, n, 1.0).collect()),
+        ("ellipse16", Ellipse::new(3, n, 16.0, 0.13).collect()),
+        ("gaussian", Gaussian::new(4, n, 1.0).collect()),
+        ("annulus", Annulus::new(5, n, 0.8, 1.0).collect()),
+        ("spiral", Spiral::new(n, 1.0, 0.002).collect()),
+        ("changing", Changing::new(6, n, 16.0, 0.1).collect()),
+    ]
+}
+
+#[test]
+fn sample_budgets_hold_everywhere() {
+    for (name, pts) in workloads(4000) {
+        for r in [8u32, 16, 64] {
+            let mut a = AdaptiveHull::with_r(r);
+            run(&mut a, &pts);
+            assert!(
+                a.sample_size() <= (2 * r + 1) as usize,
+                "{name} r={r}: adaptive stores {}",
+                a.sample_size()
+            );
+            let mut u = UniformHull::new(r);
+            run(&mut u, &pts);
+            assert!(
+                u.sample_size() <= r as usize,
+                "{name} r={r}: uniform stores too much"
+            );
+            let mut rad = RadialHull::new(r);
+            run(&mut rad, &pts);
+            assert!(
+                rad.sample_size() <= r as usize + 1,
+                "{name} r={r}: radial stores too much"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_approximate_hull_is_inside_the_exact_hull() {
+    for (name, pts) in workloads(3000) {
+        let truth = exact_hull(&pts);
+        let mut a = AdaptiveHull::with_r(16);
+        let mut u = UniformHull::new(16);
+        let mut nu = NaiveUniformHull::new(16);
+        let mut f = FixedBudgetAdaptiveHull::new(8);
+        let mut rad = RadialHull::new(16);
+        for &p in &pts {
+            a.insert(p);
+            u.insert(p);
+            nu.insert(p);
+            f.insert(p);
+            rad.insert(p);
+        }
+        for (alg, hull) in [
+            ("adaptive", a.hull()),
+            ("uniform", u.hull()),
+            ("uniform-naive", nu.hull()),
+            ("adaptive-2r", f.hull()),
+            ("radial", rad.hull()),
+        ] {
+            for &v in hull.vertices() {
+                assert!(
+                    truth.contains_linear(v),
+                    "{name}/{alg}: vertex {v:?} escapes the exact hull"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adaptive_error_bound_holds_with_paper_constant() {
+    // Corollary 5.2: error <= d_inf = 16πP/r². P ≤ πD so this is ≤ 16π²D/r².
+    for (name, pts) in workloads(5000) {
+        let truth = exact_hull(&pts);
+        if truth.len() < 3 {
+            continue;
+        }
+        for r in [16u32, 32, 64] {
+            let mut a = AdaptiveHull::with_r(r);
+            run(&mut a, &pts);
+            let err = metrics::hausdorff_error(&a.hull(), &truth);
+            let bound =
+                16.0 * std::f64::consts::PI * a.uniform().perimeter() / (r as f64 * r as f64);
+            assert!(
+                err <= bound + 1e-12,
+                "{name} r={r}: error {err} exceeds 16πP/r² = {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn adaptive_quadratic_vs_uniform_linear_scaling() {
+    // The headline (abstract): same sample size, error drops from O(D/r)
+    // to O(D/r²). The separation shows on skinny shapes, where the uniform
+    // hull keeps a long edge with a full-θ0 uncertainty wedge (Fig. 4);
+    // circle-like shapes make uniform quadratic too. Use a dense rotated
+    // aspect-16 ellipse *boundary* stream (deterministic, clean
+    // asymptotics). Over r = 16..256 the measured log-log slopes are ~1.3
+    // (uniform) vs ~1.7 (adaptive, still approaching its asymptotic 2 —
+    // the constant is provably bounded by the 16πP/r² test above);
+    // assert a robust separation and dominance.
+    let n = 60_000;
+    let pts: Vec<Point2> = (0..n)
+        .map(|i| {
+            let t = std::f64::consts::TAU * (i as f64) * 0.618033988749895;
+            let v = Vec2::new(16.0 * t.cos(), t.sin()).rotate(0.1);
+            Point2::ORIGIN + v
+        })
+        .collect();
+    let truth = exact_hull(&pts);
+    let rs = [16u32, 32, 64, 128];
+    let mut uni_err = Vec::new();
+    let mut ada_err = Vec::new();
+    for &r in &rs {
+        let mut u = NaiveUniformHull::new(r);
+        let mut a = AdaptiveHull::with_r(r);
+        for &p in &pts {
+            u.insert(p);
+            a.insert(p);
+        }
+        uni_err.push(metrics::hausdorff_error(&u.hull(), &truth));
+        ada_err.push(metrics::hausdorff_error(&a.hull(), &truth));
+    }
+    // Fit slopes between first and last r (log ratio / log 8).
+    let slope = |errs: &[f64]| (errs[0] / errs[3]).ln() / 8.0f64.ln();
+    let su = slope(&uni_err);
+    let sa = slope(&ada_err);
+    assert!(
+        su < 1.45,
+        "uniform slope should be ~1 (O(D/r)), got {su}: {uni_err:?}"
+    );
+    assert!(
+        sa > su + 0.25 && sa > 1.5,
+        "adaptive slope should approach 2, got {sa} (uniform {su}): {ada_err:?}"
+    );
+    // And adaptive dominates by a wide margin at every r.
+    for (i, &r) in rs.iter().enumerate() {
+        assert!(
+            ada_err[i] * 4.0 <= uni_err[i],
+            "r={r}: adaptive {} vs uniform {}",
+            ada_err[i],
+            uni_err[i]
+        );
+    }
+}
+
+#[test]
+fn lower_bound_theorem_5_5() {
+    // 2r points on a circle, any r-point summary: error Ω(D/r²). Verify
+    // the adaptive hull meets the bound within a constant factor, i.e. its
+    // error is neither below the information-theoretic floor (impossible)
+    // nor far above it (suboptimal).
+    for r in [16u32, 32, 64] {
+        let pts: Vec<Point2> = CirclePoints::new(2 * r as usize, 1.0).collect();
+        let truth = exact_hull(&pts);
+        let mut a = AdaptiveHull::with_r(r);
+        run(&mut a, &pts);
+        let err = metrics::hausdorff_error(&a.hull(), &truth);
+        if a.sample_size() == pts.len() {
+            continue; // summary kept everything; no error to bound
+        }
+        let floor = 1.0 - (std::f64::consts::PI / (2.0 * r as f64)).cos();
+        assert!(
+            err >= floor / 8.0,
+            "r={r}: error {err} below a constant fraction of the Ω(D/r²) floor {floor}"
+        );
+        assert!(
+            err <= 300.0 * floor,
+            "r={r}: error {err} far above the floor {floor}"
+        );
+    }
+}
+
+#[test]
+fn static_and_streaming_adaptive_are_comparable() {
+    // §5's point: streaming loses only a constant factor vs the static
+    // scheme (which sees the whole set when refining).
+    let pts: Vec<Point2> = Ellipse::new(11, 20_000, 16.0, 0.2).collect();
+    let truth = exact_hull(&pts);
+    for r in [16u32, 32] {
+        let s = adaptive_hull::adaptive::adaptive_sample_static(&pts, r, None).unwrap();
+        let static_err = metrics::hausdorff_error(&s.hull(), &truth);
+        let mut a = AdaptiveHull::with_r(r);
+        run(&mut a, &pts);
+        let stream_err = metrics::hausdorff_error(&a.hull(), &truth);
+        assert!(
+            stream_err <= static_err * 20.0 + 1e-9,
+            "r={r}: streaming error {stream_err} vs static {static_err}"
+        );
+    }
+}
+
+#[test]
+fn uniform_diameter_error_is_quadratic_lemma_3_1() {
+    let pts: Vec<Point2> = Disk::new(13, 50_000, 1.0).collect();
+    let truth = exact_hull(&pts);
+    for r in [16u32, 32, 64] {
+        let mut u = NaiveUniformHull::new(r);
+        run(&mut u, &pts);
+        let rel = metrics::diameter_error(&u.hull(), &truth);
+        let bound = 6.0 / (r as f64 * r as f64); // D(1 - cos(θ0/2)) / D ≈ π²/2r² < 5/r²
+        assert!(rel <= bound, "r={r}: diameter rel err {rel} > {bound}");
+    }
+}
+
+#[test]
+fn table1_shape_holds_at_small_scale() {
+    // The qualitative claims of §7 at n = 20k (fast enough for CI):
+    let n = 20_000;
+    let r = 16u32;
+    let theta0 = std::f64::consts::TAU / 32.0;
+
+    // (1) disk: adaptive within ~2x of uniform.
+    let disk: Vec<Point2> = Disk::new(21, n, 1.0).collect();
+    let (u, a) = bench_like_compare(&disk, r);
+    assert!(
+        a.0 <= u.0 * 2.0,
+        "disk: adaptive maxH {} vs uniform {}",
+        a.0,
+        u.0
+    );
+
+    // (2) rotated ellipse: adaptive at least 2x better on every metric.
+    let ell: Vec<Point2> = Ellipse::new(22, n, 16.0, theta0 / 4.0).collect();
+    let (u, a) = bench_like_compare(&ell, r);
+    assert!(
+        a.0 * 2.0 < u.0,
+        "ellipse maxH: adaptive {} vs uniform {}",
+        a.0,
+        u.0
+    );
+    assert!(
+        a.1 * 2.0 < u.1,
+        "ellipse %out: adaptive {} vs uniform {}",
+        a.1,
+        u.1
+    );
+}
+
+/// (max uncertainty height, % outside) for uniform-2r and adaptive-r.
+fn bench_like_compare(pts: &[Point2], r: u32) -> ((f64, f64), (f64, f64)) {
+    let mut uni = NaiveUniformHull::new(2 * r);
+    let pu = metrics::run_with_probe_warmup(&mut uni, pts, pts.len() / 100);
+    let tu = metrics::triangle_stats(&metrics::naive_uniform_uncertainty_triangles(&uni));
+    let mut ada = FixedBudgetAdaptiveHull::new(r);
+    let pa = metrics::run_with_probe_warmup(&mut ada, pts, pts.len() / 100);
+    let ta = metrics::triangle_stats(&ada.uncertainty_triangles());
+    (
+        (tu.max_height, pu.percent_outside()),
+        (ta.max_height, pa.percent_outside()),
+    )
+}
+
+#[test]
+fn changing_distribution_partial_vs_adaptive() {
+    // Table 1 part 4's qualitative claim: the frozen scheme degrades badly,
+    // the continuously adaptive one does not.
+    let pts: Vec<Point2> = Changing::new(31, 30_000, 16.0, 0.1).collect();
+    let truth = exact_hull(&pts);
+    let half = pts.len() / 2;
+
+    let mut trainer = FixedBudgetAdaptiveHull::new(16);
+    for &p in &pts[..half] {
+        trainer.insert(p);
+    }
+    let mut frozen = FrozenHull::from_directions(trainer.directions());
+    for &p in &pts[half..] {
+        frozen.insert(p);
+    }
+    let frozen_err = metrics::hausdorff_error(&frozen.hull(), &truth);
+
+    let mut ada = FixedBudgetAdaptiveHull::new(16);
+    for &p in &pts {
+        ada.insert(p);
+    }
+    let ada_err = metrics::hausdorff_error(&ada.hull(), &truth);
+    assert!(
+        ada_err * 2.0 < frozen_err,
+        "adaptive {ada_err} should clearly beat frozen {frozen_err}"
+    );
+}
+
+#[test]
+fn all_summaries_agree_on_points_seen() {
+    let pts: Vec<Point2> = Disk::new(41, 500, 1.0).collect();
+    let mut a = AdaptiveHull::with_r(8);
+    let mut u = UniformHull::new(8);
+    let mut e = ExactHull::new();
+    for &p in &pts {
+        a.insert(p);
+        u.insert(p);
+        e.insert(p);
+    }
+    assert_eq!(a.points_seen(), 500);
+    assert_eq!(u.points_seen(), 500);
+    assert_eq!(e.points_seen(), 500);
+    assert_eq!(a.name(), "adaptive");
+}
