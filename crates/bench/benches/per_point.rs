@@ -1,11 +1,12 @@
 //! Per-point processing cost of every summary as a function of `r`
 //! (paper §3.1 and §5.3: `O(r)` naive, `O(log r)` amortized for the
 //! searchable uniform hull and the adaptive hull).
+//!
+//! Every summary is constructed through `SummaryBuilder` and driven as
+//! `dyn HullSummary` — one generic loop over every backend instead of a
+//! hand-rolled arm per concrete type.
 
-use adaptive_hull::{
-    AdaptiveHull, ExactHull, FixedBudgetAdaptiveHull, HullSummary, NaiveUniformHull, RadialHull,
-    UniformHull,
-};
+use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use geom::Point2;
 use streamgen::{Disk, Ellipse, Spiral};
@@ -19,6 +20,17 @@ fn workload(name: &str, n: usize) -> Vec<Point2> {
     }
 }
 
+/// The `r` sweep per kind. The heavier structures (global rebalance,
+/// cluster assignment) get a single representative point; `r` does not
+/// affect the exact hull.
+fn r_sweep(kind: SummaryKind) -> &'static [u32] {
+    match kind {
+        SummaryKind::AdaptiveFixedBudget | SummaryKind::Cluster => &[16],
+        SummaryKind::Exact => &[16],
+        _ => &[16, 64, 256],
+    }
+}
+
 fn bench_summaries(c: &mut Criterion) {
     let n = 50_000;
     for wname in ["disk", "ellipse", "spiral"] {
@@ -26,64 +38,18 @@ fn bench_summaries(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("per_point/{wname}"));
         group.throughput(Throughput::Elements(n as u64));
 
-        for r in [16u32, 64, 256] {
-            group.bench_with_input(BenchmarkId::new("uniform_naive", r), &r, |b, &r| {
-                b.iter(|| {
-                    let mut h = NaiveUniformHull::new(r);
-                    for &p in &pts {
-                        h.insert(p);
-                    }
-                    h.points_seen()
-                })
-            });
-            group.bench_with_input(BenchmarkId::new("uniform_searchable", r), &r, |b, &r| {
-                b.iter(|| {
-                    let mut h = UniformHull::new(r);
-                    for &p in &pts {
-                        h.insert(p);
-                    }
-                    h.points_seen()
-                })
-            });
-            group.bench_with_input(BenchmarkId::new("adaptive", r), &r, |b, &r| {
-                b.iter(|| {
-                    let mut h = AdaptiveHull::with_r(r);
-                    for &p in &pts {
-                        h.insert(p);
-                    }
-                    h.points_seen()
-                })
-            });
-            group.bench_with_input(BenchmarkId::new("radial", r), &r, |b, &r| {
-                b.iter(|| {
-                    let mut h = RadialHull::new(r);
-                    for &p in &pts {
-                        h.insert(p);
-                    }
-                    h.points_seen()
-                })
-            });
+        for &kind in &SummaryKind::ALL {
+            for &r in r_sweep(kind) {
+                group.bench_with_input(BenchmarkId::new(kind.label(), r), &r, |b, &r| {
+                    let builder = SummaryBuilder::new(kind).with_r(r);
+                    b.iter(|| {
+                        let mut h = builder.build();
+                        h.insert_batch(&pts);
+                        h.points_seen()
+                    })
+                });
+            }
         }
-        // Fixed-budget adaptive is heavier (global rebalance); bench at one r.
-        group.sample_size(10);
-        group.bench_function("adaptive_fixed_budget/16", |b| {
-            b.iter(|| {
-                let mut h = FixedBudgetAdaptiveHull::new(16);
-                for &p in &pts {
-                    h.insert(p);
-                }
-                h.points_seen()
-            })
-        });
-        group.bench_function("exact", |b| {
-            b.iter(|| {
-                let mut h = ExactHull::new();
-                for &p in &pts {
-                    h.insert(p);
-                }
-                h.points_seen()
-            })
-        });
         group.finish();
     }
 }

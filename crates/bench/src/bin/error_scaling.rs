@@ -1,25 +1,36 @@
 //! Regenerates the **headline error-scaling comparison** (Theorem 5.4 vs
 //! Lemma 3.2, and Lemma 3.1): Hausdorff error against the exact hull as a
-//! function of `r` for the uniform (`O(D/r)`), radial (`O(D/r)`) and
-//! adaptive (`O(D/r²)`) summaries, plus the uniform hull's *diameter*
+//! function of `r` for every runtime-constructible summary kind — uniform
+//! (`O(D/r)`), radial (`O(D/r)`) and adaptive (`O(D/r²)`) are the
+//! paper's series; the rest ride along through the same generic
+//! `SummaryBuilder` path. Also reports the uniform hull's *diameter*
 //! error, which is `O(D/r²)` even though its hull error is `O(D/r)`
-//! (Lemma 3.1). Emits CSV series suitable for plotting.
+//! (Lemma 3.1), and each summary's own live `error_bound`. Emits CSV
+//! series suitable for plotting.
 //!
 //! Usage: `cargo run -p sh-bench --release --bin error_scaling [n]`
 
 use adaptive_hull::metrics::{diameter_error, hausdorff_error};
-use adaptive_hull::{AdaptiveHull, ExactHull, HullSummary, NaiveUniformHull, RadialHull};
-use bench_harness::write_output;
+use adaptive_hull::{ExactHull, HullSummary, NaiveUniformHull, SummaryBuilder, SummaryKind};
+use bench_harness::{run_builder, write_output, SummaryRun};
 use geom::Point2;
 use streamgen::{Disk, Ellipse};
 
+/// The kinds swept per `r` (exact is the truth, not a series; frozen is
+/// builder-constructible but has no error story of its own here).
+const KINDS: [SummaryKind; 5] = [
+    SummaryKind::UniformNaive,
+    SummaryKind::Uniform,
+    SummaryKind::Radial,
+    SummaryKind::Adaptive,
+    SummaryKind::AdaptiveFixedBudget,
+];
+
 fn run_series(name: &str, pts: &[Point2], out: &mut String) {
     let mut exact = ExactHull::new();
-    for &p in pts {
-        exact.insert(p);
-    }
-    let truth = exact.hull();
-    let d = geom::calipers::diameter(&truth)
+    exact.insert_batch(pts);
+    let truth = exact.hull_ref();
+    let d = geom::calipers::diameter(truth)
         .map(|(_, _, d)| d)
         .unwrap_or(1.0);
 
@@ -27,26 +38,36 @@ fn run_series(name: &str, pts: &[Point2], out: &mut String) {
         "# workload: {name}, n = {}, D = {d:.4}\n",
         pts.len()
     ));
-    out.push_str(
-        "workload,r,uniform_err,radial_err,adaptive_err,uniform_diam_rel_err,adaptive_samples\n",
-    );
+    out.push_str("workload,r,kind,err,live_bound,samples,uniform_diam_rel_err\n");
     for r in [8u32, 16, 32, 64, 128, 256] {
+        // Lemma 3.1's diameter column comes from the uniform summary; the
+        // same ingested structure also supplies the uniform-naive CSV row
+        // so the stream is not re-summarised twice per r.
         let mut uni = NaiveUniformHull::new(r);
-        let mut rad = RadialHull::new(r);
-        let mut ada = AdaptiveHull::with_r(r);
-        for &p in pts {
-            uni.insert(p);
-            rad.insert(p);
-            ada.insert(p);
+        uni.insert_batch(pts);
+        let du = diameter_error(uni.hull_ref(), truth);
+
+        for kind in KINDS {
+            let run = if kind == SummaryKind::UniformNaive {
+                SummaryRun {
+                    name: uni.name(),
+                    error: hausdorff_error(uni.hull_ref(), truth),
+                    error_bound: uni.error_bound(),
+                    samples: uni.sample_size(),
+                }
+            } else {
+                run_builder(&SummaryBuilder::new(kind).with_r(r), pts, truth)
+            };
+            out.push_str(&format!(
+                "{name},{r},{},{:.6e},{},{},{du:.6e}\n",
+                run.name,
+                run.error,
+                run.error_bound
+                    .map(|b| format!("{b:.6e}"))
+                    .unwrap_or_else(|| "-".into()),
+                run.samples,
+            ));
         }
-        let eu = hausdorff_error(&uni.hull(), &truth);
-        let er = hausdorff_error(&rad.hull(), &truth);
-        let ea = hausdorff_error(&ada.hull(), &truth);
-        let du = diameter_error(&uni.hull(), &truth);
-        out.push_str(&format!(
-            "{name},{r},{eu:.6e},{er:.6e},{ea:.6e},{du:.6e},{}\n",
-            ada.sample_size()
-        ));
     }
     out.push('\n');
 }
@@ -59,8 +80,9 @@ fn main() {
     let mut out = String::new();
     out.push_str(
         "Error scaling: directed Hausdorff error (exact hull -> summary hull) vs r.\n\
-         Expect uniform_err ~ c/r, adaptive_err ~ c/r^2 (slope -1 vs -2 in log-log),\n\
-         and uniform_diam_rel_err ~ c/r^2 (Lemma 3.1).\n\n",
+         Expect uniform/radial err ~ c/r, adaptive err ~ c/r^2 (slope -1 vs -2 in\n\
+         log-log), uniform_diam_rel_err ~ c/r^2 (Lemma 3.1), and err <= live_bound\n\
+         wherever a summary reports one.\n\n",
     );
     let disk: Vec<Point2> = Disk::new(7, n, 1.0).collect();
     run_series("disk", &disk, &mut out);

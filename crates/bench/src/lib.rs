@@ -11,7 +11,7 @@
 
 use adaptive_hull::metrics::{self, ProbeStats, TriangleStats};
 use adaptive_hull::{
-    ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull,
+    ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, SummaryBuilder,
 };
 use geom::Point2;
 use streamgen::{Changing, Disk, Ellipse, Square};
@@ -230,14 +230,46 @@ pub fn format_table(title: &str, rows: &[Table1Row], left_name: &str, right_name
     s
 }
 
-/// Final Hausdorff error of a summary against the exact hull of the same
-/// stream.
-pub fn final_error<S: HullSummary>(summary: &S, points: &[Point2]) -> f64 {
+/// Final Hausdorff error of any summary against the exact hull of the
+/// same stream. Takes a trait object so the whole harness works over
+/// summaries chosen at runtime.
+pub fn final_error(summary: &dyn HullSummary, points: &[Point2]) -> f64 {
     let mut exact = ExactHull::new();
-    for &p in points {
-        exact.insert(p);
+    exact.insert_batch(points);
+    metrics::hausdorff_error(summary.hull_ref(), exact.hull_ref())
+}
+
+/// Outcome of streaming one workload through one runtime-chosen summary.
+#[derive(Clone, Debug)]
+pub struct SummaryRun {
+    /// The summary's reported name.
+    pub name: &'static str,
+    /// Final Hausdorff error against the exact hull of the stream.
+    pub error: f64,
+    /// The summary's own live error bound, when it has one. Soundness
+    /// (`error <= error_bound`) is asserted by the conformance tests.
+    pub error_bound: Option<f64>,
+    /// Final sample size.
+    pub samples: usize,
+}
+
+/// Streams `points` through a summary built from `builder` and measures
+/// it against `truth` (the exact hull of the same stream, computed once
+/// by the caller and shared across kinds and `r` values) — the generic,
+/// builder-driven path used by `error_scaling` and the Criterion benches.
+pub fn run_builder(
+    builder: &SummaryBuilder,
+    points: &[Point2],
+    truth: &geom::ConvexPolygon,
+) -> SummaryRun {
+    let mut summary = builder.build();
+    summary.insert_batch(points);
+    SummaryRun {
+        name: summary.name(),
+        error: metrics::hausdorff_error(summary.hull_ref(), truth),
+        error_bound: summary.error_bound(),
+        samples: summary.sample_size(),
     }
-    metrics::hausdorff_error(&summary.hull(), &exact.hull())
 }
 
 /// Writes a string to `target/experiments/<name>` (creating directories)
@@ -277,6 +309,27 @@ mod tests {
         // The headline: adaptive no worse than uniform on its best-case
         // workload (rotated skinny ellipse).
         assert!(ada.max_height <= uni.max_height * 1.5);
+    }
+
+    #[test]
+    fn run_builder_is_generic_over_kinds() {
+        use adaptive_hull::SummaryKind;
+        let pts: Vec<Point2> = Disk::new(9, 2000, 1.0).collect();
+        let mut exact = ExactHull::new();
+        exact.insert_batch(&pts);
+        let truth = exact.hull();
+        for &kind in &SummaryKind::ALL {
+            let run = run_builder(&SummaryBuilder::new(kind).with_r(16), &pts, &truth);
+            assert_eq!(run.name, kind.label());
+            assert!(run.samples >= 1, "{kind}");
+            if let Some(bound) = run.error_bound {
+                assert!(
+                    run.error <= bound + 1e-9,
+                    "{kind}: error {} exceeds its own bound {bound}",
+                    run.error
+                );
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! makes it a useful cross-check of the tree-based implementation.
 
 use crate::adaptive::weight::{slant, uncertainty, weight};
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
 use core::f64::consts::TAU;
 use geom::dyadic::{DirGrid, DirRange};
@@ -37,6 +37,7 @@ pub struct FixedBudgetAdaptiveHull {
     /// Target number of *extra* (adaptive) directions; total budget is
     /// `r + extra_budget`.
     extra_budget: usize,
+    cache: HullCache,
 }
 
 impl FixedBudgetAdaptiveHull {
@@ -54,6 +55,7 @@ impl FixedBudgetAdaptiveHull {
             uniform: UniformHull::new(r),
             leaves: Vec::new(),
             extra_budget: extra,
+            cache: HullCache::new(),
         }
     }
 
@@ -270,17 +272,24 @@ impl HullSummary for FixedBudgetAdaptiveHull {
                         b: q,
                     })
                     .collect();
+                self.cache.invalidate();
             }
-            UniformEffect::Interior => {}
+            UniformEffect::Interior => {} // sample unchanged: keep the cache
             UniformEffect::Outside { arc, .. } => {
                 self.update_leaves(q, &arc);
                 self.rebalance();
+                self.cache.invalidate();
             }
         }
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        ConvexPolygon::hull_of(&self.sample_points())
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| ConvexPolygon::hull_of(&self.sample_points()))
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn sample_size(&self) -> usize {
@@ -296,6 +305,28 @@ impl HullSummary for FixedBudgetAdaptiveHull {
 
     fn name(&self) -> &'static str {
         "adaptive-2r"
+    }
+
+    fn error_bound(&self) -> Option<f64> {
+        // The budgeted variant may unrefine below the weight threshold, so
+        // only the uniform substrate's Lemma 3.2 guarantee is always live:
+        // the tallest uncertainty triangle over the r uniform directions.
+        Some(
+            crate::metrics::uniform_uncertainty_triangles(&self.uniform)
+                .iter()
+                .map(|t| t.height())
+                .fold(0.0f64, f64::max),
+        )
+    }
+}
+
+impl Mergeable for FixedBudgetAdaptiveHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        FixedBudgetAdaptiveHull::sample_points(self)
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.uniform.add_seen(n);
     }
 }
 

@@ -36,7 +36,7 @@
 use crate::adaptive::arena::{Arena, NodeId};
 use crate::adaptive::queue::{BucketQueue, HeapQueue, UnrefineQueue};
 use crate::adaptive::weight::{slant, unrefine_threshold, weight};
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
 use core::f64::consts::TAU;
 use geom::dyadic::{DirGrid, DirRange};
@@ -174,6 +174,7 @@ pub struct AdaptiveHull {
     roots: Vec<NodeId>,
     queue: QueueImpl,
     internal_count: usize,
+    cache: HullCache,
 }
 
 impl AdaptiveHull {
@@ -191,6 +192,7 @@ impl AdaptiveHull {
                 QueueKind::Bucket => QueueImpl::Bucket(BucketQueue::new()),
             },
             internal_count: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -222,25 +224,6 @@ impl AdaptiveHull {
     /// Queue length (diagnostics; includes stale lazy entries).
     pub fn queue_len(&self) -> usize {
         self.queue.len()
-    }
-
-    /// Absorbs another summary built over a *different* part of the same
-    /// logical stream (distributed aggregation: each sensor gateway keeps
-    /// its own `AdaptiveHull` and a collector merges them).
-    ///
-    /// Every sample point of `other` — each an actual stream point — is
-    /// re-inserted here, and the seen-count is carried over. The merged
-    /// hull's error against the union stream is at most the sum of the two
-    /// parts' errors plus this summary's own `O(D/r²)` (each part's true
-    /// hull is within its error of its sample, and the samples are then
-    /// summarised once more).
-    pub fn merge_from(&mut self, other: &AdaptiveHull) {
-        let pts = other.sample_points();
-        let carried = other.points_seen().saturating_sub(pts.len() as u64);
-        for p in pts {
-            self.insert(p);
-        }
-        self.uniform.add_seen(carried);
     }
 
     // ------------------------------------------------------------------
@@ -610,8 +593,9 @@ impl HullSummary for AdaptiveHull {
                         })
                     })
                     .collect();
+                self.cache.invalidate();
             }
-            UniformEffect::Interior => {}
+            UniformEffect::Interior => {} // sample unchanged: keep the cache
             UniformEffect::Outside { arc, .. } => {
                 let (first, count) = self.sectors_for_arc(&arc);
                 let r = self.grid.r();
@@ -621,12 +605,18 @@ impl HullSummary for AdaptiveHull {
                     self.update_node(root, q, &arc);
                 }
                 self.drain_queue();
+                self.cache.invalidate();
             }
         }
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        ConvexPolygon::hull_of(&self.sample_points())
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| ConvexPolygon::hull_of(&self.sample_points()))
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn sample_size(&self) -> usize {
@@ -642,6 +632,23 @@ impl HullSummary for AdaptiveHull {
 
     fn name(&self) -> &'static str {
         "adaptive"
+    }
+
+    fn error_bound(&self) -> Option<f64> {
+        // Corollary 5.2 / Theorem 5.4: d∞ = 16πP/r² with P the live
+        // perimeter of the uniformly sampled hull.
+        let r = self.grid.r() as f64;
+        Some(16.0 * core::f64::consts::PI * self.uniform.perimeter() / (r * r))
+    }
+}
+
+impl Mergeable for AdaptiveHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        AdaptiveHull::sample_points(self)
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.uniform.add_seen(n);
     }
 }
 

@@ -14,7 +14,7 @@
 //! whole structure remains a single-pass, `O(k·r)`-point summary.
 
 use crate::adaptive::stream::{AdaptiveHull, AdaptiveHullConfig};
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2};
 
 /// Configuration for [`ClusterHull`].
@@ -82,6 +82,7 @@ impl Cluster {
 /// # Example
 /// ```
 /// use adaptive_hull::cluster::{ClusterHull, ClusterHullConfig};
+/// use adaptive_hull::HullSummary;
 /// use geom::Point2;
 ///
 /// let mut ch = ClusterHull::new(ClusterHullConfig::new(4).with_r(8));
@@ -102,6 +103,8 @@ pub struct ClusterHull {
     config: ClusterHullConfig,
     clusters: Vec<Cluster>,
     seen: u64,
+    /// Cache of the union hull reported through [`HullSummary::hull_ref`].
+    cache: HullCache,
 }
 
 impl ClusterHull {
@@ -111,6 +114,7 @@ impl ClusterHull {
             config,
             clusters: Vec::new(),
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -124,16 +128,6 @@ impl ClusterHull {
         self.clusters.iter().map(|c| c.hull.clone()).collect()
     }
 
-    /// Total points stored across all clusters.
-    pub fn sample_size(&self) -> usize {
-        self.clusters.iter().map(|c| c.summary.sample_size()).sum()
-    }
-
-    /// Total points consumed.
-    pub fn points_seen(&self) -> u64 {
-        self.seen
-    }
-
     /// Sum of the cluster hull areas — the "shape area". For cavity-laden
     /// or multi-component streams this is far below the single-hull area.
     pub fn total_area(&self) -> f64 {
@@ -141,16 +135,26 @@ impl ClusterHull {
     }
 
     /// `true` iff `p` lies in some cluster hull (the summarised shape).
+    /// This is the shape query; [`HullSummary::hull_ref`] reports the
+    /// single convex hull over all clusters instead.
     pub fn covers(&self, p: Point2) -> bool {
         self.clusters
             .iter()
             .any(|c| geom::locate::contains(&c.hull, p))
     }
 
-    /// Feeds one stream point.
-    pub fn insert(&mut self, p: Point2) {
+    /// All stored sample points across the clusters.
+    pub fn all_sample_points(&self) -> Vec<Point2> {
+        self.clusters
+            .iter()
+            .flat_map(|c| c.summary.sample_points())
+            .collect()
+    }
+
+    fn insert_impl(&mut self, p: Point2) {
         assert!(p.is_finite(), "ClusterHull requires finite coordinates");
         self.seen += 1;
+        self.cache.invalidate();
         // Assign to the cluster whose hull is nearest (0 when inside).
         let mut best: Option<(usize, f64)> = None;
         for (i, c) in self.clusters.iter().enumerate() {
@@ -216,6 +220,47 @@ impl ClusterHull {
             self.clusters[i].summary.insert(p);
         }
         self.clusters[i].hull = self.clusters[i].summary.hull();
+    }
+}
+
+impl HullSummary for ClusterHull {
+    fn insert(&mut self, p: Point2) {
+        self.insert_impl(p);
+    }
+
+    /// The single convex hull over every stored sample point — what the
+    /// summary looks like when flattened to the common interface. The
+    /// multi-component shape structure stays available through
+    /// [`ClusterHull::hulls`] and [`ClusterHull::covers`].
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| ConvexPolygon::hull_of(&self.all_sample_points()))
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    fn sample_size(&self) -> usize {
+        self.clusters.iter().map(|c| c.summary.sample_size()).sum()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.seen
+    }
+
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+}
+
+impl Mergeable for ClusterHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        self.all_sample_points()
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
     }
 }
 

@@ -10,7 +10,7 @@
 //! (possibly all `n` points). The paper's point is precisely that one can
 //! do with `2r + 1` points instead; see [`crate::adaptive`].
 
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use core::cmp::Ordering;
 use geom::predicates::orient2d_sign;
 use geom::{ConvexPolygon, Point2};
@@ -157,6 +157,7 @@ pub struct ExactHull {
     upper: Chain,
     lower: Chain,
     seen: u64,
+    cache: HullCache,
 }
 
 impl Default for ExactHull {
@@ -172,6 +173,7 @@ impl ExactHull {
             upper: Chain::new(Side::Upper),
             lower: Chain::new(Side::Lower),
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -181,12 +183,16 @@ impl ExactHull {
         self.seen += 1;
         let u = self.upper.insert(p);
         let l = self.lower.insert(p);
-        u || l
+        let changed = u || l;
+        if changed {
+            self.cache.invalidate();
+        }
+        changed
     }
 
     /// Exact containment test against the current hull.
     pub fn contains(&self, p: Point2) -> bool {
-        geom::locate::contains(&self.hull(), p)
+        geom::locate::contains(self.hull_ref(), p)
     }
 
     /// Number of vertices currently on the hull.
@@ -195,19 +201,13 @@ impl ExactHull {
         let l = self.lower.len();
         if l <= 2 && u <= 2 {
             // Degenerate: count distinct points.
-            return self.hull().len();
+            return self.hull_ref().len();
         }
         // Endpoints shared between the chains are counted once.
         u + l - 2
     }
-}
 
-impl HullSummary for ExactHull {
-    fn insert(&mut self, p: Point2) {
-        self.insert_point(p);
-    }
-
-    fn hull(&self) -> ConvexPolygon {
+    fn build_hull(&self) -> ConvexPolygon {
         // ccw cycle: lower chain left-to-right, then upper chain
         // right-to-left, dropping the shared endpoints from the upper pass.
         let lower: Vec<Point2> = self.lower.iter().collect();
@@ -244,6 +244,20 @@ impl HullSummary for ExactHull {
         }
         ConvexPolygon::from_ccw_unchecked(cycle)
     }
+}
+
+impl HullSummary for ExactHull {
+    fn insert(&mut self, p: Point2) {
+        self.insert_point(p);
+    }
+
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache.get_or_rebuild(|| self.build_hull())
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
+    }
 
     fn sample_size(&self) -> usize {
         self.hull_size()
@@ -255,6 +269,20 @@ impl HullSummary for ExactHull {
 
     fn name(&self) -> &'static str {
         "exact"
+    }
+
+    fn error_bound(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+impl Mergeable for ExactHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        self.hull_ref().vertices().to_vec()
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
     }
 }
 

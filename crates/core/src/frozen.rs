@@ -5,7 +5,7 @@
 //! a direction set tuned to the wrong distribution performs roughly as
 //! poorly as plain uniform sampling.
 
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2, Vec2};
 
 /// A hull summary with an arbitrary *fixed* set of sample directions.
@@ -14,6 +14,7 @@ pub struct FrozenHull {
     dirs: Vec<Vec2>,
     extrema: Vec<Point2>,
     seen: u64,
+    cache: HullCache,
 }
 
 impl FrozenHull {
@@ -27,6 +28,7 @@ impl FrozenHull {
             dirs,
             extrema,
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -37,6 +39,7 @@ impl FrozenHull {
             dirs,
             extrema: Vec::new(),
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -62,24 +65,32 @@ impl HullSummary for FrozenHull {
         self.seen += 1;
         if self.extrema.is_empty() {
             self.extrema = vec![p; self.dirs.len()];
+            self.cache.invalidate();
             return;
         }
+        let mut changed = false;
         for (e, u) in self.extrema.iter_mut().zip(&self.dirs) {
             if p.dot(*u) > e.dot(*u) {
                 *e = p;
+                changed = true;
             }
+        }
+        if changed {
+            self.cache.invalidate();
         }
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        ConvexPolygon::hull_of(&self.extrema)
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| ConvexPolygon::hull_of(&self.extrema))
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn sample_size(&self) -> usize {
-        let mut pts = self.extrema.clone();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        crate::uniform::distinct_points(&self.extrema).len()
     }
 
     fn points_seen(&self) -> u64 {
@@ -87,7 +98,20 @@ impl HullSummary for FrozenHull {
     }
 
     fn name(&self) -> &'static str {
-        "partial"
+        "frozen"
+    }
+
+    // `error_bound` stays `None`: a frozen fan tuned to the wrong
+    // distribution carries no live guarantee — the paper's Table 1 point.
+}
+
+impl Mergeable for FrozenHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        crate::uniform::distinct_points(&self.extrema)
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
     }
 }
 

@@ -21,11 +21,25 @@
 //!   points-outside, Hausdorff error vs the exact hull);
 //! * [`viz`] — SVG rendering of hulls, sample directions and uncertainty
 //!   triangles (Fig. 10).
+//!
+//! Every summary implements the object-safe [`HullSummary`] trait (plus
+//! [`Mergeable`] for sharded ingestion) and can be constructed at runtime
+//! through [`SummaryBuilder`]:
+//!
+//! ```
+//! use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
+//! use geom::Point2;
+//!
+//! let mut summary = SummaryBuilder::new(SummaryKind::Adaptive).with_r(32).build();
+//! summary.insert_batch(&[Point2::new(0.0, 1.0), Point2::new(2.0, 0.5)]);
+//! assert!(summary.hull_ref().len() >= 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod builder;
 pub mod cluster;
 pub mod dudley;
 pub mod exact;
@@ -38,9 +52,10 @@ pub mod uniform;
 pub mod viz;
 
 pub use adaptive::{AdaptiveHull, AdaptiveHullConfig, FixedBudgetAdaptiveHull};
+pub use builder::{SummaryBuilder, SummaryKind};
 pub use cluster::{ClusterHull, ClusterHullConfig};
 pub use exact::ExactHull;
 pub use frozen::FrozenHull;
 pub use radial::RadialHull;
-pub use summary::HullSummary;
+pub use summary::{HullCache, HullSummary, HullSummaryExt, Mergeable};
 pub use uniform::{NaiveUniformHull, UniformHull};

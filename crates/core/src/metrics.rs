@@ -52,7 +52,9 @@ impl ProbeStats {
 
 /// Streams `points` through `summary`, probing each point against the
 /// current hull before inserting it (the paper's outside-point counters).
-pub fn run_with_probe<S: HullSummary>(summary: &mut S, points: &[Point2]) -> ProbeStats {
+/// Works on trait objects (`&mut dyn HullSummary`) as well as concrete
+/// summaries.
+pub fn run_with_probe<S: HullSummary + ?Sized>(summary: &mut S, points: &[Point2]) -> ProbeStats {
     run_with_probe_warmup(summary, points, 0)
 }
 
@@ -60,7 +62,7 @@ pub fn run_with_probe<S: HullSummary>(summary: &mut S, points: &[Point2]) -> Pro
 /// without being counted. Early stream points are trivially far from the
 /// near-empty hull and would otherwise dominate the max-distance column for
 /// every summary alike.
-pub fn run_with_probe_warmup<S: HullSummary>(
+pub fn run_with_probe_warmup<S: HullSummary + ?Sized>(
     summary: &mut S,
     points: &[Point2],
     warmup: usize,
@@ -69,7 +71,7 @@ pub fn run_with_probe_warmup<S: HullSummary>(
     for (i, &q) in points.iter().enumerate() {
         if i >= warmup {
             stats.total += 1;
-            let hull = summary.hull();
+            let hull = summary.hull_ref();
             if !hull.is_empty() {
                 let d = hull.distance_to_point(q);
                 if d > 0.0 {

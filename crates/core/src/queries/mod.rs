@@ -102,6 +102,48 @@ pub fn supporting_line(hull: &ConvexPolygon, dir: Vec2) -> Option<Line> {
     Some(Line::supporting(v, dir))
 }
 
+// ---------------------------------------------------------------------
+// Summary-level entry points: the same queries addressed directly at any
+// summary chosen at runtime. They read the generation-counted cached hull
+// (`hull_ref`), so issuing many queries between insertions costs one hull
+// build, not one per query.
+// ---------------------------------------------------------------------
+
+use crate::summary::HullSummary;
+
+/// [`diameter`] of any summary's current hull. `O(r)`.
+pub fn summary_diameter(summary: &dyn HullSummary) -> Option<(Point2, Point2, f64)> {
+    diameter(summary.hull_ref())
+}
+
+/// [`width`] of any summary's current hull. `O(r)`.
+pub fn summary_width(summary: &dyn HullSummary) -> f64 {
+    width(summary.hull_ref())
+}
+
+/// [`directional_extent`] of any summary's current hull. `O(log r)`.
+pub fn summary_extent(summary: &dyn HullSummary, dir: Vec2) -> f64 {
+    directional_extent(summary.hull_ref(), dir)
+}
+
+/// [`contains_point`] against any summary's current hull. `O(log r)`.
+pub fn summary_contains_point(summary: &dyn HullSummary, q: Point2) -> bool {
+    contains_point(summary.hull_ref(), q)
+}
+
+/// [`min_distance`] between two summarised streams (any kinds). `O(r+s)`.
+pub fn summary_min_distance(a: &dyn HullSummary, b: &dyn HullSummary) -> f64 {
+    min_distance(a.hull_ref(), b.hull_ref())
+}
+
+/// [`separation`] certificate between two summarised streams.
+pub fn summary_separation(
+    a: &dyn HullSummary,
+    b: &dyn HullSummary,
+) -> Option<distance::Separation> {
+    separation(a.hull_ref(), b.hull_ref())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

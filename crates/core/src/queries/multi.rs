@@ -4,11 +4,14 @@
 //! completely surrounded by points of data stream B" — extended to any
 //! number of streams).
 //!
-//! Each named stream is summarised by an [`AdaptiveHull`]; after every
-//! batch of insertions the tracker re-evaluates all pairs and emits
-//! [`PairEvent`]s on state transitions.
+//! Each named stream is summarised by a summary built from a
+//! [`SummaryBuilder`] — any [`SummaryKind`](crate::builder::SummaryKind)
+//! works, the adaptive scheme is the default. After every batch of
+//! insertions the tracker re-evaluates all pairs (against the cached
+//! hulls, no cloning) and emits [`PairEvent`]s on state transitions.
 
-use crate::adaptive::stream::{AdaptiveHull, AdaptiveHullConfig};
+use crate::adaptive::stream::AdaptiveHullConfig;
+use crate::builder::SummaryBuilder;
 use crate::summary::HullSummary;
 use geom::{distance, ConvexPolygon, Point2};
 use std::collections::BTreeMap;
@@ -59,32 +62,44 @@ pub struct PairEvent {
 }
 
 /// Tracks any number of named point streams and their pairwise geometric
-/// relationships.
+/// relationships. The summary backend is chosen at runtime through a
+/// [`SummaryBuilder`].
 #[derive(Debug)]
 pub struct MultiStreamTracker {
-    config: AdaptiveHullConfig,
-    streams: BTreeMap<String, AdaptiveHull>,
+    builder: SummaryBuilder,
+    streams: BTreeMap<String, Box<dyn HullSummary + Send + Sync>>,
     states: BTreeMap<(String, String), PairState>,
     total: u64,
 }
 
 impl MultiStreamTracker {
-    /// Creates a tracker; every stream gets an adaptive summary with this
-    /// configuration.
-    pub fn new(config: AdaptiveHullConfig) -> Self {
+    /// Creates a tracker; every stream gets a summary built from `builder`.
+    pub fn new(builder: impl Into<SummaryBuilder>) -> Self {
         MultiStreamTracker {
-            config,
+            builder: builder.into(),
             streams: BTreeMap::new(),
             states: BTreeMap::new(),
             total: 0,
         }
     }
 
+    /// Convenience: adaptive summaries with this configuration (the v1
+    /// constructor's signature — `AdaptiveHullConfig` converts into a
+    /// `SummaryBuilder`, so `MultiStreamTracker::new(config)` also works).
+    pub fn with_config(config: AdaptiveHullConfig) -> Self {
+        Self::new(SummaryBuilder::from(config))
+    }
+
+    /// The builder used for new streams.
+    pub fn builder(&self) -> &SummaryBuilder {
+        &self.builder
+    }
+
     /// Registers a stream (idempotent).
     pub fn add_stream(&mut self, name: &str) {
         self.streams
             .entry(name.to_string())
-            .or_insert_with(|| AdaptiveHull::new(self.config));
+            .or_insert_with(|| self.builder.build());
     }
 
     /// Feeds one point into a stream (registering it if new).
@@ -94,9 +109,22 @@ impl MultiStreamTracker {
         self.total += 1;
     }
 
-    /// Current hull of a stream.
+    /// Feeds a batch of points into a stream (registering it if new).
+    pub fn insert_batch(&mut self, name: &str, points: &[Point2]) {
+        self.add_stream(name);
+        self.streams.get_mut(name).unwrap().insert_batch(points);
+        self.total += points.len() as u64;
+    }
+
+    /// Current hull of a stream (cloned; use [`summary`](Self::summary)
+    /// and `hull_ref` to avoid the copy).
     pub fn hull(&self, name: &str) -> Option<ConvexPolygon> {
         self.streams.get(name).map(|s| s.hull())
+    }
+
+    /// Borrows a stream's summary.
+    pub fn summary(&self, name: &str) -> Option<&dyn HullSummary> {
+        self.streams.get(name).map(|s| s.as_ref() as _)
     }
 
     /// Stream names.
@@ -104,24 +132,24 @@ impl MultiStreamTracker {
         self.streams.keys().map(|s| s.as_str()).collect()
     }
 
-    /// Current state of a pair (computed fresh).
+    /// Current state of a pair (computed fresh from the cached hulls).
     pub fn pair_state(&self, a: &str, b: &str) -> PairState {
         let (Some(sa), Some(sb)) = (self.streams.get(a), self.streams.get(b)) else {
             return PairState::Undefined;
         };
-        let (ha, hb) = (sa.hull(), sb.hull());
+        let (ha, hb) = (sa.hull_ref(), sb.hull_ref());
         if ha.is_empty() || hb.is_empty() {
             return PairState::Undefined;
         }
-        match distance::separation(&ha, &hb) {
+        match distance::separation(ha, hb) {
             None => PairState::Undefined,
             Some(distance::Separation::Separated { distance, .. }) => {
                 PairState::Separated(distance)
             }
             Some(distance::Separation::Intersecting { .. }) => {
-                if distance::contains_polygon(&ha, &hb) {
+                if distance::contains_polygon(ha, hb) {
                     PairState::Contains
-                } else if distance::contains_polygon(&hb, &ha) {
+                } else if distance::contains_polygon(hb, ha) {
                     PairState::ContainedBy
                 } else {
                     PairState::Intersecting
@@ -240,6 +268,30 @@ mod tests {
         }
         assert_eq!(tr.names(), vec!["a", "b", "c"]);
         assert_eq!(tr.total_points(), 900);
+    }
+
+    #[test]
+    fn works_over_any_summary_backend() {
+        use crate::builder::{SummaryBuilder, SummaryKind};
+        // The tracker is backend-agnostic: a uniform-summary tracker
+        // reaches the same qualitative verdicts as the adaptive default.
+        for kind in [
+            SummaryKind::Uniform,
+            SummaryKind::Exact,
+            SummaryKind::Adaptive,
+        ] {
+            let mut tr = MultiStreamTracker::new(SummaryBuilder::new(kind).with_r(16));
+            tr.insert_batch("left", &ring(300, -5.0, 0.0, 1.0));
+            tr.insert_batch("right", &ring(300, 5.0, 0.0, 1.0));
+            let ev = tr.refresh();
+            assert_eq!(ev.len(), 1, "{kind:?}");
+            assert!(
+                matches!(ev[0].to, PairState::Separated(d) if (d - 8.0).abs() < 0.2),
+                "{kind:?}: {:?}",
+                ev[0].to
+            );
+            assert_eq!(tr.summary("left").unwrap().points_seen(), 300);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! error `O(D/r)`, like uniform direction sampling but with a different
 //! failure mode (it is sensitive to where the origin lands).
 
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use core::f64::consts::TAU;
 use geom::{ConvexPolygon, Point2};
 
@@ -18,6 +18,7 @@ pub struct RadialHull {
     /// Farthest point per sector (`None` = sector empty so far).
     buckets: Vec<Option<(f64, Point2)>>,
     seen: u64,
+    cache: HullCache,
 }
 
 impl RadialHull {
@@ -29,6 +30,7 @@ impl RadialHull {
             origin: None,
             buckets: vec![None; r as usize],
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -56,6 +58,7 @@ impl HullSummary for RadialHull {
         let origin = match self.origin {
             None => {
                 self.origin = Some(p);
+                self.cache.invalidate();
                 return;
             }
             Some(o) => o,
@@ -66,22 +69,32 @@ impl HullSummary for RadialHull {
         }
         let s = self.sector(p, origin);
         match &mut self.buckets[s] {
-            slot @ None => *slot = Some((d2, p)),
+            slot @ None => {
+                *slot = Some((d2, p));
+                self.cache.invalidate();
+            }
             Some((best, q)) => {
                 if d2 > *best {
                     *best = d2;
                     *q = p;
+                    self.cache.invalidate();
                 }
             }
         }
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        let mut pts: Vec<Point2> = self.buckets.iter().flatten().map(|&(_, p)| p).collect();
-        if let Some(o) = self.origin {
-            pts.push(o);
-        }
-        ConvexPolygon::hull_of(&pts)
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache.get_or_rebuild(|| {
+            let mut pts: Vec<Point2> = self.buckets.iter().flatten().map(|&(_, p)| p).collect();
+            if let Some(o) = self.origin {
+                pts.push(o);
+            }
+            ConvexPolygon::hull_of(&pts)
+        })
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn sample_size(&self) -> usize {
@@ -95,6 +108,34 @@ impl HullSummary for RadialHull {
 
     fn name(&self) -> &'static str {
         "radial"
+    }
+
+    fn error_bound(&self) -> Option<f64> {
+        // Every stream point shares a sector with a stored point at least
+        // as far from the origin, so it lies within `R·sin(θ0)` of the
+        // segment origin→stored (Cormode–Muthukrishnan, `O(D/r)`).
+        let r_max = self
+            .buckets
+            .iter()
+            .flatten()
+            .map(|&(d2, _)| d2)
+            .fold(0.0f64, f64::max)
+            .sqrt();
+        Some(r_max * (TAU / self.r as f64).sin())
+    }
+}
+
+impl Mergeable for RadialHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        let mut pts: Vec<Point2> = self.buckets.iter().flatten().map(|&(_, p)| p).collect();
+        if let Some(o) = self.origin {
+            pts.push(o);
+        }
+        pts
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
     }
 }
 

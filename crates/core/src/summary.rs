@@ -1,19 +1,68 @@
-//! The [`HullSummary`] trait: the common interface of every single-pass
-//! convex-hull summary in this crate (exact, uniform, adaptive, radial,
-//! frozen). Experiment harnesses and queries are written against it.
+//! The [`HullSummary`] trait family: the common, **object-safe** interface
+//! of every single-pass convex-hull summary in this crate (exact, uniform,
+//! adaptive, radial, frozen, cluster). Experiment harnesses, the §6 query
+//! layer, and the [`SummaryBuilder`](crate::builder::SummaryBuilder) are
+//! all written against `dyn HullSummary`.
+//!
+//! Three pieces:
+//!
+//! * [`HullSummary`] — the object-safe core: feed points (singly or in
+//!   batches), borrow the current hull without cloning ([`hull_ref`]
+//!   backed by a generation-counted [`HullCache`]), and introspect size,
+//!   throughput, and the live error guarantee ([`error_bound`]);
+//! * [`Mergeable`] — the capability of absorbing another summary of the
+//!   same logical stream, which is what makes sharded / distributed
+//!   ingestion work: shard per gateway, merge at the collector;
+//! * [`HullSummaryExt`] — `Sized`-free conveniences (whole-stream feeding
+//!   via [`extend_from`]) blanket-implemented for every summary, including
+//!   `dyn HullSummary` itself.
+//!
+//! [`hull_ref`]: HullSummary::hull_ref
+//! [`error_bound`]: HullSummary::error_bound
+//! [`extend_from`]: HullSummaryExt::extend_from
 
+use core::fmt::Debug;
 use geom::{ConvexPolygon, Point2};
+use std::sync::OnceLock;
 
 /// A single-pass summary of a 2-D point stream that can report (an
 /// approximation of) the convex hull of everything it has seen.
-pub trait HullSummary {
+///
+/// The trait is **object-safe**: every summary kind can be constructed at
+/// runtime as a `Box<dyn HullSummary>` (see
+/// [`SummaryBuilder`](crate::builder::SummaryBuilder)) and driven through
+/// one code path. Iterator-based conveniences live in [`HullSummaryExt`].
+pub trait HullSummary: Debug {
     /// Feeds one stream point into the summary.
     fn insert(&mut self, p: Point2);
 
-    /// The current (approximate) convex hull. For approximate summaries the
-    /// returned polygon's vertices are actual input points, so the polygon
-    /// is always *contained in* the true convex hull.
-    fn hull(&self) -> ConvexPolygon;
+    /// Feeds a batch of stream points. Semantically identical to inserting
+    /// each point in order; implementations may amortise per-call work.
+    fn insert_batch(&mut self, points: &[Point2]) {
+        for &p in points {
+            self.insert(p);
+        }
+    }
+
+    /// Borrows the current (approximate) convex hull. For approximate
+    /// summaries the polygon's vertices are actual input points, so the
+    /// polygon is always *contained in* the true convex hull.
+    ///
+    /// Implementations back this with a generation-counted cache
+    /// ([`HullCache`]): repeated queries between insertions return the same
+    /// polygon without rebuilding or cloning anything.
+    fn hull_ref(&self) -> &ConvexPolygon;
+
+    /// The current hull by value (clones the cached polygon). Prefer
+    /// [`hull_ref`](HullSummary::hull_ref) on query paths.
+    fn hull(&self) -> ConvexPolygon {
+        self.hull_ref().clone()
+    }
+
+    /// Monotone counter that advances whenever the summarised hull may have
+    /// changed. Callers caching derived query results (diameter, width, …)
+    /// can skip recomputation while the generation is unchanged.
+    fn hull_generation(&self) -> u64;
 
     /// Number of points currently stored by the summary (the paper's
     /// "sample size"; at most `2r + 1` for the adaptive scheme).
@@ -25,13 +74,230 @@ pub trait HullSummary {
     /// Short human-readable name for tables and benchmark labels.
     fn name(&self) -> &'static str;
 
-    /// Feeds a whole stream (convenience).
-    fn extend_from<I: IntoIterator<Item = Point2>>(&mut self, it: I)
-    where
-        Self: Sized,
-    {
+    /// The summary's **live** error guarantee, when it has one: an upper
+    /// bound on the directed Hausdorff distance from the true convex hull
+    /// of everything seen to [`hull_ref`](HullSummary::hull_ref), computed
+    /// from the summary's current state.
+    ///
+    /// * adaptive: `16πP/r²` (Corollary 5.2, `P` the live perimeter);
+    /// * uniform / fixed-budget: the largest current uncertainty-triangle
+    ///   height (`O(D/r)`, Lemma 3.2);
+    /// * radial: `R·sin(2π/r)` with `R` the farthest stored point;
+    /// * exact: `0`; frozen / cluster: `None` (no guarantee — that is the
+    ///   frozen scheme's entire cautionary point).
+    fn error_bound(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// `Sized`-free conveniences over [`HullSummary`], blanket-implemented for
+/// every summary *including* `dyn HullSummary` — so whole-stream feeding
+/// works through `&mut dyn HullSummary` (the v1 trait's `extend_from`
+/// carried a `Self: Sized` bound that made trait-object pipelines
+/// impossible).
+pub trait HullSummaryExt: HullSummary {
+    /// Feeds a whole stream.
+    fn extend_from<I: IntoIterator<Item = Point2>>(&mut self, it: I) {
         for p in it {
             self.insert(p);
         }
+    }
+}
+
+impl<S: HullSummary + ?Sized> HullSummaryExt for S {}
+
+impl<S: HullSummary + ?Sized> HullSummary for Box<S> {
+    fn insert(&mut self, p: Point2) {
+        (**self).insert(p)
+    }
+    fn insert_batch(&mut self, points: &[Point2]) {
+        (**self).insert_batch(points)
+    }
+    fn hull_ref(&self) -> &ConvexPolygon {
+        (**self).hull_ref()
+    }
+    fn hull(&self) -> ConvexPolygon {
+        (**self).hull()
+    }
+    fn hull_generation(&self) -> u64 {
+        (**self).hull_generation()
+    }
+    fn sample_size(&self) -> usize {
+        (**self).sample_size()
+    }
+    fn points_seen(&self) -> u64 {
+        (**self).points_seen()
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn error_bound(&self) -> Option<f64> {
+        (**self).error_bound()
+    }
+}
+
+/// The capability of absorbing another summary built over a *different*
+/// part of the same logical stream — distributed aggregation: each shard
+/// (sensor gateway, partition worker) keeps its own summary and a
+/// collector merges them.
+///
+/// Merging re-inserts the other summary's stored sample points — each an
+/// actual stream point — and carries over the seen-count of the points the
+/// other summary consumed but did not store. The merged hull's error
+/// against the union stream is at most the sum of the parts' errors plus
+/// the collector's own bound (each part's true hull is within its error of
+/// its sample, and the samples are then summarised once more).
+pub trait Mergeable: HullSummary {
+    /// The stored sample points (every one an actual input point).
+    fn sample_points(&self) -> Vec<Point2>;
+
+    /// Adds to the seen-points counter without inserting geometry (the
+    /// absorbed points were already counted by the other summary).
+    fn absorb_seen(&mut self, n: u64);
+
+    /// Absorbs `other` into `self`. Works across summary kinds: any
+    /// mergeable summary can ingest any other's sample.
+    fn merge_from(&mut self, other: &dyn Mergeable) {
+        let pts = other.sample_points();
+        let carried = other.points_seen().saturating_sub(pts.len() as u64);
+        self.insert_batch(&pts);
+        self.absorb_seen(carried);
+    }
+}
+
+impl<S: Mergeable + ?Sized> Mergeable for Box<S> {
+    fn sample_points(&self) -> Vec<Point2> {
+        (**self).sample_points()
+    }
+    fn absorb_seen(&mut self, n: u64) {
+        (**self).absorb_seen(n)
+    }
+    fn merge_from(&mut self, other: &dyn Mergeable) {
+        (**self).merge_from(other)
+    }
+}
+
+/// A generation-counted lazily rebuilt hull: the storage behind
+/// [`HullSummary::hull_ref`].
+///
+/// Summaries call [`invalidate`](HullCache::invalidate) from `insert` when
+/// the sample actually changed, and [`get_or_rebuild`](HullCache::get_or_rebuild)
+/// from `hull_ref`; between mutations every query hits the cached polygon.
+/// The cache is `Sync` (interior mutability via [`OnceLock`]), so summaries
+/// stay shareable across threads for the sharded-ingestion story.
+#[derive(Debug, Default)]
+pub struct HullCache {
+    generation: u64,
+    slot: OnceLock<ConvexPolygon>,
+}
+
+impl Clone for HullCache {
+    fn clone(&self) -> Self {
+        let slot = OnceLock::new();
+        if let Some(hull) = self.slot.get() {
+            let _ = slot.set(hull.clone());
+        }
+        HullCache {
+            generation: self.generation,
+            slot,
+        }
+    }
+}
+
+impl HullCache {
+    /// An empty cache at generation 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops the cached hull and advances the generation. Call on every
+    /// mutation that may change the summarised hull.
+    pub fn invalidate(&mut self) {
+        self.generation += 1;
+        if self.slot.get().is_some() {
+            self.slot = OnceLock::new();
+        }
+    }
+
+    /// Number of invalidations so far (the cache's generation).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Returns the cached hull, rebuilding it with `build` if a mutation
+    /// invalidated it (or it was never built).
+    pub fn get_or_rebuild(&self, build: impl FnOnce() -> ConvexPolygon) -> &ConvexPolygon {
+        self.slot.get_or_init(build)
+    }
+
+    /// The cached hull, if currently materialised.
+    pub fn cached(&self) -> Option<&ConvexPolygon> {
+        self.slot.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_rebuilds_once_per_generation() {
+        use core::cell::Cell;
+        let mut cache = HullCache::new();
+        let builds = Cell::new(0u32);
+        let build = || {
+            builds.set(builds.get() + 1);
+            ConvexPolygon::hull_of(&[Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)])
+        };
+        assert_eq!(cache.generation(), 0);
+        assert!(cache.cached().is_none());
+        let a = cache.get_or_rebuild(build) as *const ConvexPolygon;
+        let b = cache.get_or_rebuild(build) as *const ConvexPolygon;
+        assert_eq!(a, b, "second query must not rebuild");
+        assert_eq!(builds.get(), 1);
+        cache.invalidate();
+        assert_eq!(cache.generation(), 1);
+        assert!(cache.cached().is_none());
+        let _ = cache.get_or_rebuild(build);
+        assert_eq!(builds.get(), 2);
+    }
+
+    #[test]
+    fn cache_clone_carries_value_and_generation() {
+        let mut cache = HullCache::new();
+        cache.invalidate();
+        let _ = cache.get_or_rebuild(|| ConvexPolygon::hull_of(&[Point2::new(2.0, 3.0)]));
+        let clone = cache.clone();
+        assert_eq!(clone.generation(), 1);
+        assert_eq!(clone.cached().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn extend_from_through_trait_object() {
+        use crate::exact::ExactHull;
+        let mut concrete = ExactHull::new();
+        let summary: &mut dyn HullSummary = &mut concrete;
+        summary.extend_from((0..10).map(|i| Point2::new(i as f64, (i * i) as f64)));
+        assert_eq!(summary.points_seen(), 10);
+        assert!(summary.hull_ref().len() >= 3);
+    }
+
+    #[test]
+    fn insert_batch_matches_insert_loop() {
+        use crate::exact::ExactHull;
+        let pts: Vec<Point2> = (0..50)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Point2::new(t.cos() * 3.0, t.sin() * 2.0)
+            })
+            .collect();
+        let mut one = ExactHull::new();
+        for &p in &pts {
+            one.insert(p);
+        }
+        let mut batch: Box<dyn HullSummary> = Box::new(ExactHull::new());
+        batch.insert_batch(&pts);
+        assert_eq!(one.points_seen(), batch.points_seen());
+        assert_eq!(one.hull_ref().vertices(), batch.hull_ref().vertices());
     }
 }

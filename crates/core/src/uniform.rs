@@ -17,7 +17,7 @@
 //! is the maximum-dot point of the whole prefix (under `f64` dot
 //! comparison), which tests verify against brute-force replay.
 
-use crate::summary::HullSummary;
+use crate::summary::{HullCache, HullSummary, Mergeable};
 use core::f64::consts::TAU;
 use geom::tangent::visible_chain;
 use geom::{ConvexPolygon, Point2, Vec2};
@@ -28,6 +28,7 @@ pub struct NaiveUniformHull {
     units: Vec<Vec2>,
     extrema: Vec<Point2>,
     seen: u64,
+    cache: HullCache,
 }
 
 impl NaiveUniformHull {
@@ -41,6 +42,7 @@ impl NaiveUniformHull {
             units,
             extrema: Vec::new(),
             seen: 0,
+            cache: HullCache::new(),
         }
     }
 
@@ -66,17 +68,28 @@ impl HullSummary for NaiveUniformHull {
         self.seen += 1;
         if self.extrema.is_empty() {
             self.extrema = vec![p; self.units.len()];
+            self.cache.invalidate();
             return;
         }
+        let mut changed = false;
         for (e, u) in self.extrema.iter_mut().zip(&self.units) {
             if p.dot(*u) > e.dot(*u) {
                 *e = p;
+                changed = true;
             }
+        }
+        if changed {
+            self.cache.invalidate();
         }
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        ConvexPolygon::hull_of(&self.extrema)
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| ConvexPolygon::hull_of(&self.extrema))
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
     }
 
     fn sample_size(&self) -> usize {
@@ -93,6 +106,38 @@ impl HullSummary for NaiveUniformHull {
     fn name(&self) -> &'static str {
         "uniform-naive"
     }
+
+    fn error_bound(&self) -> Option<f64> {
+        // Lemma 3.2: every stream point respects all r supporting
+        // half-planes, so the true hull cannot stick out farther than the
+        // tallest current uncertainty triangle.
+        Some(max_triangle_height(
+            &crate::metrics::naive_uniform_uncertainty_triangles(self),
+        ))
+    }
+}
+
+impl Mergeable for NaiveUniformHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        distinct_points(&self.extrema)
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
+    }
+}
+
+/// Largest height over a set of uncertainty triangles (0 when empty).
+fn max_triangle_height(triangles: &[geom::UncertaintyTriangle]) -> f64 {
+    triangles.iter().map(|t| t.height()).fold(0.0f64, f64::max)
+}
+
+/// Distinct points of a direction-ordered extrema list.
+pub(crate) fn distinct_points(extrema: &[Point2]) -> Vec<Point2> {
+    let mut pts = extrema.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(*b));
+    pts.dedup();
+    pts
 }
 
 /// A maximal run of consecutive directions owned by one extremum point.
@@ -148,11 +193,14 @@ pub struct UniformHull {
     units: Vec<Vec2>,
     /// Direction ownership runs, sorted by `lo`, partitioning `0..r`.
     runs: Vec<DirRun>,
-    /// Strict convex hull of the extrema (cached).
+    /// Strict convex hull of the extrema (cached eagerly — refreshed only
+    /// when a point actually beats a direction).
     hull: ConvexPolygon,
     /// Perimeter of `hull` (the paper's `P`; `2·len` for a segment).
     perimeter: f64,
     seen: u64,
+    /// Bumped whenever `hull` changes (interior points leave it alone).
+    generation: u64,
 }
 
 impl UniformHull {
@@ -170,6 +218,7 @@ impl UniformHull {
             hull: ConvexPolygon::empty(),
             perimeter: 0.0,
             seen: 0,
+            generation: 0,
         }
     }
 
@@ -243,6 +292,7 @@ impl UniformHull {
             });
             self.hull = ConvexPolygon::hull_of(&[q]);
             self.perimeter = 0.0;
+            self.generation += 1;
             return UniformEffect::First;
         }
 
@@ -446,6 +496,7 @@ impl UniformHull {
         let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
         self.hull = ConvexPolygon::hull_of(&pts);
         self.perimeter = self.hull.perimeter();
+        self.generation += 1;
     }
 
     fn runs_partition_all(&self) -> bool {
@@ -474,15 +525,17 @@ impl HullSummary for UniformHull {
         let _ = self.insert_detailed(p);
     }
 
-    fn hull(&self) -> ConvexPolygon {
-        self.hull.clone()
+    fn hull_ref(&self) -> &ConvexPolygon {
+        &self.hull
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.generation
     }
 
     fn sample_size(&self) -> usize {
-        let mut pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
+        distinct_points(&pts).len()
     }
 
     fn points_seen(&self) -> u64 {
@@ -491,6 +544,23 @@ impl HullSummary for UniformHull {
 
     fn name(&self) -> &'static str {
         "uniform"
+    }
+
+    fn error_bound(&self) -> Option<f64> {
+        Some(max_triangle_height(
+            &crate::metrics::uniform_uncertainty_triangles(self),
+        ))
+    }
+}
+
+impl Mergeable for UniformHull {
+    fn sample_points(&self) -> Vec<Point2> {
+        let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
+        distinct_points(&pts)
+    }
+
+    fn absorb_seen(&mut self, n: u64) {
+        self.seen += n;
     }
 }
 

@@ -22,7 +22,11 @@ impl Lcg {
 fn main() {
     let mut rng = Lcg(2006); // ALENEX 2006, the ClusterHull paper
     let mut clusters = ClusterHull::new(ClusterHullConfig::new(6).with_r(16));
-    let mut single = AdaptiveHull::with_r(32);
+    // The flat comparison hull is built through the runtime registry: the
+    // cluster summary is itself a SummaryKind (try swapping the two).
+    let mut single = SummaryBuilder::new(SummaryKind::Adaptive)
+        .with_r(32)
+        .build();
 
     let n = 60_000usize;
     let mut kept = Vec::new();
@@ -45,7 +49,7 @@ fn main() {
         }
     }
 
-    let single_hull = single.hull();
+    let single_hull = single.hull_ref();
     println!("stream points          : {n}");
     println!("single adaptive hull   : area {:.1}", single_hull.area());
     println!(
@@ -70,10 +74,10 @@ fn main() {
     ] {
         println!(
             "probe {probe:?}: single hull says inside = {}, clusters say inside = {}",
-            streamhull::queries::contains_point(&single_hull, probe),
+            streamhull::queries::contains_point(single_hull, probe),
             clusters.covers(probe),
         );
-        assert!(streamhull::queries::contains_point(&single_hull, probe));
+        assert!(streamhull::queries::contains_point(single_hull, probe));
         assert!(!clusters.covers(probe));
     }
     assert!(clusters.total_area() < single_hull.area() * 0.5);

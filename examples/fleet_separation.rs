@@ -32,7 +32,9 @@ impl Lcg {
 
 fn main() {
     let mut rng = Lcg(7);
-    let mut tracker = MultiStreamTracker::new(AdaptiveHullConfig::new(16));
+    // The tracker's backend is chosen at runtime; any SummaryKind works.
+    let mut tracker =
+        MultiStreamTracker::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16));
 
     // The drone swarm patrols a big ring around everything from the start.
     for i in 0..600 {

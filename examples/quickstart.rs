@@ -1,6 +1,11 @@
 //! Quickstart: summarise a two-million-point stream with 65 points and
 //! answer extremal queries about the whole stream.
 //!
+//! The summary is chosen **at runtime** through [`SummaryBuilder`] and
+//! driven as a `dyn HullSummary` trait object — swap
+//! `SummaryKind::Adaptive` for any other kind and everything below still
+//! works.
+//!
 //! Run: `cargo run --release --example quickstart`
 
 use streamhull::prelude::*;
@@ -10,7 +15,11 @@ fn main() {
     // A stream too big to want to keep around: two million points from a
     // slowly rotating, drifting ellipse.
     let n = 2_000_000usize;
-    let mut summary = AdaptiveHull::with_r(32); // keeps at most 2*32+1 = 65 points
+    // Keeps at most 2*32+1 = 65 points.
+    let mut summary: Box<dyn HullSummary + Send + Sync> =
+        SummaryBuilder::new(SummaryKind::Adaptive)
+            .with_r(32)
+            .build();
 
     for i in 0..n {
         let t = i as f64 * 1e-5;
@@ -22,32 +31,38 @@ fn main() {
         summary.insert(p);
     }
 
+    println!("summary backend    : {}", summary.name());
     println!("stream points seen : {}", summary.points_seen());
     println!(
         "points stored      : {} (bound: 2r+1 = 65)",
         summary.sample_size()
     );
 
-    let hull = summary.hull();
-    let (a, b, d) = queries::diameter(&hull).expect("non-degenerate stream");
+    // Repeated queries share one generation-counted cached hull — no
+    // rebuild, no clone.
+    let hull = summary.hull_ref();
+    let (a, b, d) = queries::diameter(hull).expect("non-degenerate stream");
     println!("diameter           : {d:.3}  between {a:?} and {b:?}");
-    println!("width              : {:.3}", queries::width(&hull));
+    println!("width              : {:.3}", queries::width(hull));
     println!(
         "extent along x     : {:.3}",
-        queries::directional_extent(&hull, Vec2::new(1.0, 0.0))
+        queries::directional_extent(hull, Vec2::new(1.0, 0.0))
     );
     println!(
         "extent along y     : {:.3}",
-        queries::directional_extent(&hull, Vec2::new(0.0, 1.0))
+        queries::directional_extent(hull, Vec2::new(0.0, 1.0))
     );
-    let (min, max) = queries::bounding_box(&hull).unwrap();
+    let (min, max) = queries::bounding_box(hull).unwrap();
     println!("bounding box       : {min:?} .. {max:?}");
     println!(
         "origin inside hull : {}",
-        queries::contains_point(&hull, Point2::ORIGIN)
+        queries::contains_point(hull, Point2::ORIGIN)
     );
 
-    // The guarantee: the true hull of all 2M points is within O(D/r²) of
-    // this 65-point summary — with r = 32 and D ≈ 40 that is a few
-    // hundredths of a unit.
+    // The guarantee, live from the summary itself: the true hull of all
+    // 2M points is within `error_bound` of the 65-point summary
+    // (Theorem 5.4's O(D/r²), computed from the current perimeter).
+    if let Some(bound) = summary.error_bound() {
+        println!("live error bound   : {bound:.4}");
+    }
 }

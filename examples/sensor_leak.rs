@@ -2,10 +2,12 @@
 //! smallest convex region in which a chemical leak has been sensed."
 //!
 //! A field of sensors reports positions where a spreading plume is
-//! detected. Each report is one stream point; the adaptive hull maintains
-//! the (approximate) smallest convex region containing every detection,
-//! using bounded memory on the sensor gateway. We also watch for the
-//! moment the plume region reaches a protected site.
+//! detected. Detections arrive at **two gateways**, each keeping its own
+//! bounded-memory summary (built through [`SummaryBuilder`] as a
+//! [`Mergeable`] trait object); every hour a collector merges the gateway
+//! shards and queries the combined region — the sharded-ingestion story
+//! the `Mergeable` capability exists for. We also watch for the moment
+//! the plume region reaches a protected site.
 //!
 //! Run: `cargo run --release --example sensor_leak`
 
@@ -26,7 +28,10 @@ impl Lcg {
 
 fn main() {
     let mut rng = Lcg(2024);
-    let mut plume = AdaptiveHull::with_r(16); // 33-point summary on the gateway
+    let builder = SummaryBuilder::new(SummaryKind::Adaptive).with_r(16);
+    // 33-point summaries on each gateway.
+    let mut gateways: Vec<Box<dyn Mergeable + Send + Sync>> =
+        vec![builder.build_mergeable(), builder.build_mergeable()];
 
     // The protected site: a small depot 6 km east of the leak origin.
     let depot = ConvexPolygon::hull_of(&[
@@ -53,14 +58,24 @@ fn main() {
                     break (x, y);
                 }
             };
-            // Wind skews the cloud eastward.
-            plume.insert(Point2::new(x * rx + 0.35 * rx, y * ry));
+            // Wind skews the cloud eastward. Sensors in the west report to
+            // gateway 0, the rest to gateway 1.
+            let p = Point2::new(x * rx + 0.35 * rx, y * ry);
+            let shard = usize::from(p.x >= 0.0);
+            gateways[shard].insert(p);
         }
 
-        let region = plume.hull();
+        // Hourly collection: merge the gateway shards into a fresh
+        // collector summary of the same kind.
+        let mut plume = builder.build_mergeable();
+        for g in &gateways {
+            plume.merge_from(g.as_ref());
+        }
+
+        let region = plume.hull_ref();
         let area = region.area();
-        let east = queries::directional_extent(&region, Vec2::new(1.0, 0.0));
-        let dist = queries::min_distance(&region, &depot);
+        let east = queries::directional_extent(region, Vec2::new(1.0, 0.0));
+        let dist = queries::min_distance(region, &depot);
         if h % 6 == 0 || (dist == 0.0 && !breach_reported) {
             println!(
                 "{h:>4}  {:>10}  {area:>11.2}  {east:>15.2}  {dist:>14.3}",
@@ -74,17 +89,27 @@ fn main() {
                  (separation certificate lost)"
             );
         }
-    }
 
-    let region = plume.hull();
-    println!(
-        "\nfinal summary: {} stored points describe the region of",
-        plume.sample_size()
-    );
-    println!(
-        "{} detections; area {:.2} km^2.",
-        plume.points_seen(),
-        region.area()
-    );
+        if h + 1 == hours {
+            println!(
+                "\nfinal summary: {} stored points (merged from gateways \
+                 holding {} and {}) describe the region of",
+                plume.sample_size(),
+                gateways[0].sample_size(),
+                gateways[1].sample_size(),
+            );
+            println!(
+                "{} detections; area {:.2} km^2; live error bound {:.3} km.",
+                plume.points_seen(),
+                region.area(),
+                plume.error_bound().unwrap_or(f64::NAN),
+            );
+            assert_eq!(
+                plume.points_seen(),
+                (hours * reports_per_hour) as u64,
+                "merge must carry the full seen-count"
+            );
+        }
+    }
     assert!(breach_reported, "demo expects the plume to reach the depot");
 }

@@ -1,8 +1,9 @@
 //! Spatial-database scenario (paper §1: terabyte-scale surveys like the
 //! Sloan Digital Sky Survey force single-pass algorithms): stream a large
 //! synthetic catalogue once and keep live estimates of its spatial extent,
-//! comparing the 2r+1-point adaptive summary against the exact hull and
-//! against uniform sampling at equal memory.
+//! comparing every backend at equal-ish memory through one generic loop —
+//! the summaries are built by [`SummaryBuilder`] and driven as
+//! `dyn HullSummary` trait objects.
 //!
 //! Run: `cargo run --release --example sky_survey_extent`
 
@@ -24,10 +25,17 @@ fn main() {
         (seed >> 11) as f64 / (1u64 << 53) as f64
     };
 
-    let mut adaptive = AdaptiveHull::with_r(r);
-    let mut uniform = NaiveUniformHull::new(2 * r); // same memory budget
-    let mut exact = ExactHull::new(); // unbounded memory baseline
+    // One generic fleet: exact (unbounded baseline), adaptive (r), and
+    // uniform at double the directions (same memory budget as adaptive).
+    let mut fleet: Vec<Box<dyn HullSummary + Send + Sync>> = vec![
+        SummaryBuilder::new(SummaryKind::Exact).build(),
+        SummaryBuilder::new(SummaryKind::Adaptive).with_r(r).build(),
+        SummaryBuilder::new(SummaryKind::UniformNaive)
+            .with_r(2 * r)
+            .build(),
+    ];
 
+    let mut batch = Vec::with_capacity(10_000);
     for i in 0..n {
         let t = next() * 100.0;
         let band = Point2::new(t, 0.002 * t * t - 0.1 * t + (next() - 0.5) * 0.8);
@@ -37,47 +45,58 @@ fn main() {
         } else {
             band
         };
-        adaptive.insert(p);
-        uniform.insert(p);
-        exact.insert(p);
+        batch.push(p);
+        if batch.len() == batch.capacity() {
+            for s in &mut fleet {
+                s.insert_batch(&batch);
+            }
+            batch.clear();
+        }
+    }
+    for s in &mut fleet {
+        s.insert_batch(&batch);
     }
 
-    let (ah, uh, eh) = (adaptive.hull(), uniform.hull(), exact.hull());
-    let d_exact = queries::diameter(&eh).unwrap().2;
-
+    let exact = &fleet[0];
+    let truth = exact.hull_ref().clone();
+    let d_exact = queries::diameter(&truth).unwrap().2;
     println!("objects streamed      : {n}");
-    println!(
-        "memory                : exact keeps {} hull vertices; adaptive keeps {} points; \
-         uniform keeps {}",
-        exact.sample_size(),
-        adaptive.sample_size(),
-        uniform.sample_size()
-    );
     println!("true diameter         : {d_exact:.4}");
-    println!(
-        "adaptive diameter     : {:.4}  (rel err {:.2e})",
-        queries::diameter(&ah).unwrap().2,
-        metrics::diameter_error(&ah, &eh)
-    );
-    println!(
-        "uniform  diameter     : {:.4}  (rel err {:.2e})",
-        queries::diameter(&uh).unwrap().2,
-        metrics::diameter_error(&uh, &eh)
-    );
-    println!(
-        "hull error (Hausdorff): adaptive {:.4}, uniform {:.4}, bound 16πP/r² = {:.4}",
-        metrics::hausdorff_error(&ah, &eh),
-        metrics::hausdorff_error(&uh, &eh),
-        16.0 * core::f64::consts::PI * adaptive.uniform().perimeter() / (r as f64 * r as f64),
-    );
+
+    for s in &fleet {
+        let hull = s.hull_ref();
+        println!(
+            "{:>13} summary : {:>5} stored points, diameter {:.4} (rel err {:.2e}), \
+             hull err {:.4}{}",
+            s.name(),
+            s.sample_size(),
+            queries::diameter(hull).unwrap().2,
+            metrics::diameter_error(hull, &truth),
+            metrics::hausdorff_error(hull, &truth),
+            match s.error_bound() {
+                Some(b) => format!(", live bound {b:.4}"),
+                None => String::new(),
+            },
+        );
+        // Every summary's measured error must respect its own live bound.
+        if let Some(bound) = s.error_bound() {
+            assert!(metrics::hausdorff_error(hull, &truth) <= bound + 1e-9);
+        }
+    }
+
+    let adaptive = &fleet[1];
+    let uniform = &fleet[2];
     for angle_deg in [0.0, 30.0, 60.0, 90.0] {
         let dir = Vec2::from_angle(angle_deg * core::f64::consts::PI / 180.0);
         println!(
-            "extent @ {angle_deg:>4.0}°        : exact {:>8.4}  adaptive {:>8.4}",
-            queries::directional_extent(&eh, dir),
-            queries::directional_extent(&ah, dir),
+            "extent @ {angle_deg:>4.0} deg     : exact {:>8.4}  adaptive {:>8.4}",
+            queries::directional_extent(&truth, dir),
+            queries::summary_extent(adaptive.as_ref(), dir),
         );
     }
 
-    assert!(metrics::hausdorff_error(&ah, &eh) <= metrics::hausdorff_error(&uh, &eh) * 2.0);
+    assert!(
+        metrics::hausdorff_error(adaptive.hull_ref(), &truth)
+            <= metrics::hausdorff_error(uniform.hull_ref(), &truth) * 2.0
+    );
 }

@@ -25,9 +25,48 @@
 //!
 //! // ≤ 2r + 1 points stored, answers extremal queries about the stream:
 //! assert!(hull.sample_size() <= 65);
-//! let poly = hull.hull();
-//! let (_, _, diameter) = streamhull::queries::diameter(&poly).unwrap();
+//! let poly = hull.hull_ref(); // cached: repeated queries don't rebuild
+//! let (_, _, diameter) = streamhull::queries::diameter(poly).unwrap();
 //! assert!((diameter - 32.0).abs() < 0.05);
+//! ```
+//!
+//! ## Any summary, chosen at runtime
+//!
+//! Every backend — exact, uniform (naive and searchable), radial, frozen,
+//! adaptive (threshold- and budget-driven), cluster — implements the
+//! object-safe [`HullSummary`] trait and is constructible through
+//! [`SummaryBuilder`], so harnesses, services, and ablations drive all of
+//! them through one code path:
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let kind: SummaryKind = "adaptive".parse().unwrap(); // e.g. from a CLI flag
+//! let mut summary = SummaryBuilder::new(kind).with_r(32).build();
+//! summary.insert_batch(&[Point2::new(0.0, 0.0), Point2::new(4.0, 3.0)]);
+//! assert_eq!(summary.points_seen(), 2);
+//! // The live guarantee, straight from the summary:
+//! assert!(summary.error_bound().is_some());
+//! ```
+//!
+//! ## Sharded ingestion and merging
+//!
+//! Every summary is [`Mergeable`]: shard a stream across workers or
+//! gateways, summarise each shard independently (summaries are `Send +
+//! Sync`), then merge at a collector. The merged hull's error against the
+//! union stream is at most the sum of the shards' errors plus the
+//! collector's own `O(D/r²)` bound — verified by the shard-merge property
+//! tests.
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let builder = SummaryBuilder::new(SummaryKind::Adaptive).with_r(16);
+//! let (mut a, mut b) = (builder.build_mergeable(), builder.build_mergeable());
+//! a.insert_batch(&[Point2::new(0.0, 0.0), Point2::new(1.0, 2.0)]); // shard 1
+//! b.insert_batch(&[Point2::new(5.0, 1.0), Point2::new(3.0, 4.0)]); // shard 2
+//! a.merge_from(&b);
+//! assert_eq!(a.points_seen(), 4);
 //! ```
 //!
 //! ## Crate map
@@ -37,8 +76,11 @@
 //! * [`streamgen`] — synthetic stream workloads (the paper's disk / square
 //!   / ellipse / changing-distribution experiments, plus adversarial ones);
 //! * [`adaptive_hull`] — the summaries: exact, uniform, radial, frozen,
-//!   and the static/streaming/fixed-budget adaptive samplers, with the §6
-//!   query layer and error metrics.
+//!   cluster, and the static/streaming/fixed-budget adaptive samplers,
+//!   with the [`SummaryBuilder`] registry, the §6 query layer
+//!   ([`queries`], including the backend-agnostic
+//!   [`MultiStreamTracker`](queries::MultiStreamTracker)), and error
+//!   metrics ([`metrics`]).
 
 pub use adaptive_hull;
 pub use geom;
@@ -47,7 +89,8 @@ pub use streamgen;
 pub use adaptive_hull::{metrics, queries, viz};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ExactHull,
-    FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, RadialHull, UniformHull,
+    FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
+    NaiveUniformHull, RadialHull, SummaryBuilder, SummaryKind, UniformHull,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
@@ -55,8 +98,8 @@ pub use geom::{ConvexPolygon, Point2, Vec2};
 pub mod prelude {
     pub use crate::{
         AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ConvexPolygon, ExactHull,
-        FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, Point2, RadialHull,
-        UniformHull, Vec2,
+        FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt, Mergeable,
+        NaiveUniformHull, Point2, RadialHull, SummaryBuilder, SummaryKind, UniformHull, Vec2,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

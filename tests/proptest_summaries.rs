@@ -149,6 +149,66 @@ proptest! {
     }
 
     #[test]
+    fn sharded_merge_within_adaptive_error_bound(pts in stream_strategy(400), shards in 2usize..5) {
+        // The Mergeable contract (ISSUE 1 / stream.rs docs): shard the
+        // stream round-robin, summarise each shard, merge into a fresh
+        // collector. The merged hull must satisfy the structural
+        // invariants, the 2r+1 budget, exact seen-count accounting, and an
+        // error against the union stream within the sum of the shards'
+        // O(D/r²) bounds plus the collector's own — i.e. (shards + 1)·d∞.
+        let r = 16u32;
+        let mut exact = ExactHull::new();
+        exact.insert_batch(&pts);
+        let truth = exact.hull();
+
+        let mut parts: Vec<AdaptiveHull> = (0..shards).map(|_| AdaptiveHull::with_r(r)).collect();
+        for (i, &q) in pts.iter().enumerate() {
+            parts[i % shards].insert(q);
+        }
+        let mut merged = AdaptiveHull::with_r(r);
+        for part in &parts {
+            merged.merge_from(part);
+        }
+
+        prop_assert_eq!(merged.points_seen(), pts.len() as u64);
+        merged.check_invariants().map_err(TestCaseError::fail)?;
+        prop_assert!(merged.sample_size() <= (2 * r + 1) as usize);
+
+        let err = merged.hull_ref().directed_hausdorff_from(&truth);
+        let d_inf = merged.error_bound().expect("adaptive reports a bound");
+        let bound = (shards as f64 + 1.0) * d_inf + 1e-9;
+        prop_assert!(err <= bound,
+            "merged error {err} > (shards+1)·d∞ = {bound} (shards = {shards})");
+        for &v in merged.hull_ref().vertices() {
+            prop_assert!(truth.contains_linear(v), "merged vertex {v:?} outside truth");
+        }
+    }
+
+    #[test]
+    fn sharded_merge_stays_inside_truth_for_every_kind(pts in stream_strategy(240), shards in 2usize..4) {
+        // Builder-driven: every runtime-constructible kind merges and the
+        // result stays inside the exact hull with exact seen-counts.
+        let mut exact = ExactHull::new();
+        exact.insert_batch(&pts);
+        let truth = exact.hull();
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(8);
+            let mut workers: Vec<_> = (0..shards).map(|_| builder.build_mergeable()).collect();
+            for (i, &q) in pts.iter().enumerate() {
+                workers[i % shards].insert(q);
+            }
+            let mut merged = builder.build_mergeable();
+            for w in &workers {
+                merged.merge_from(w.as_ref());
+            }
+            prop_assert_eq!(merged.points_seen(), pts.len() as u64, "{}", kind);
+            for &v in merged.hull_ref().vertices() {
+                prop_assert!(truth.contains_linear(v), "{}: {v:?} escapes", kind);
+            }
+        }
+    }
+
+    #[test]
     fn radial_and_frozen_budgets(pts in stream_strategy(200)) {
         let mut rad = RadialHull::new(16);
         for &q in &pts {

@@ -49,8 +49,13 @@ fn directional_extent_tracks_exact() {
 fn min_distance_between_summaries_tracks_exact() {
     let (a1, e1) = build(103, 20_000, 2.0, -6.0);
     let (a2, e2) = build(104, 20_000, 2.0, 6.0);
-    let d_approx = queries::min_distance(&a1.hull(), &a2.hull());
-    let d_exact = queries::min_distance(&e1.hull(), &e2.hull());
+    let d_approx = queries::min_distance(a1.hull_ref(), a2.hull_ref());
+    let d_exact = queries::min_distance(e1.hull_ref(), e2.hull_ref());
+    // The summary-level entry points agree with the polygon-level ones.
+    assert_eq!(queries::summary_min_distance(&a1, &a2), d_approx);
+    assert!(queries::summary_separation(&a1, &a2)
+        .unwrap()
+        .is_separated());
     // Approximate hulls are inside the exact ones => distance can only
     // grow, and by at most the sum of the two error bounds.
     assert!(d_approx >= d_exact - 1e-9);

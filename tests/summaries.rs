@@ -5,10 +5,8 @@ use streamgen::{Annulus, Changing, CirclePoints, Disk, Ellipse, Gaussian, Spiral
 use streamhull::metrics;
 use streamhull::prelude::*;
 
-fn run<S: HullSummary>(summary: &mut S, pts: &[Point2]) {
-    for &p in pts {
-        summary.insert(p);
-    }
+fn run(summary: &mut dyn HullSummary, pts: &[Point2]) {
+    summary.insert_batch(pts);
 }
 
 fn exact_hull(pts: &[Point2]) -> ConvexPolygon {
@@ -31,27 +29,34 @@ fn workloads(n: usize) -> Vec<(&'static str, Vec<Point2>)> {
 
 #[test]
 fn sample_budgets_hold_everywhere() {
+    // Budgets per kind, driven through the runtime registry: adaptive
+    // keeps ≤ 2r+1, the direction samplers ≤ r (radial: +1 origin).
+    let budget = |kind: SummaryKind, r: u32| -> usize {
+        match kind {
+            SummaryKind::Adaptive | SummaryKind::AdaptiveFixedBudget => (2 * r + 1) as usize,
+            SummaryKind::Radial => r as usize + 1,
+            _ => r as usize,
+        }
+    };
+    let kinds = [
+        SummaryKind::Adaptive,
+        SummaryKind::AdaptiveFixedBudget,
+        SummaryKind::Uniform,
+        SummaryKind::UniformNaive,
+        SummaryKind::Radial,
+        SummaryKind::Frozen,
+    ];
     for (name, pts) in workloads(4000) {
         for r in [8u32, 16, 64] {
-            let mut a = AdaptiveHull::with_r(r);
-            run(&mut a, &pts);
-            assert!(
-                a.sample_size() <= (2 * r + 1) as usize,
-                "{name} r={r}: adaptive stores {}",
-                a.sample_size()
-            );
-            let mut u = UniformHull::new(r);
-            run(&mut u, &pts);
-            assert!(
-                u.sample_size() <= r as usize,
-                "{name} r={r}: uniform stores too much"
-            );
-            let mut rad = RadialHull::new(r);
-            run(&mut rad, &pts);
-            assert!(
-                rad.sample_size() <= r as usize + 1,
-                "{name} r={r}: radial stores too much"
-            );
+            for kind in kinds {
+                let mut s = SummaryBuilder::new(kind).with_r(r).build();
+                run(&mut s, &pts);
+                assert!(
+                    s.sample_size() <= budget(kind, r),
+                    "{name} r={r}: {kind} stores {}",
+                    s.sample_size()
+                );
+            }
         }
     }
 }
@@ -60,29 +65,17 @@ fn sample_budgets_hold_everywhere() {
 fn every_approximate_hull_is_inside_the_exact_hull() {
     for (name, pts) in workloads(3000) {
         let truth = exact_hull(&pts);
-        let mut a = AdaptiveHull::with_r(16);
-        let mut u = UniformHull::new(16);
-        let mut nu = NaiveUniformHull::new(16);
-        let mut f = FixedBudgetAdaptiveHull::new(8);
-        let mut rad = RadialHull::new(16);
-        for &p in &pts {
-            a.insert(p);
-            u.insert(p);
-            nu.insert(p);
-            f.insert(p);
-            rad.insert(p);
-        }
-        for (alg, hull) in [
-            ("adaptive", a.hull()),
-            ("uniform", u.hull()),
-            ("uniform-naive", nu.hull()),
-            ("adaptive-2r", f.hull()),
-            ("radial", rad.hull()),
-        ] {
-            for &v in hull.vertices() {
+        let mut summaries: Vec<Box<dyn HullSummary + Send + Sync>> = SummaryKind::ALL
+            .iter()
+            .map(|&kind| SummaryBuilder::new(kind).with_r(16).build())
+            .collect();
+        for s in &mut summaries {
+            run(&mut **s, &pts);
+            for &v in s.hull_ref().vertices() {
                 assert!(
                     truth.contains_linear(v),
-                    "{name}/{alg}: vertex {v:?} escapes the exact hull"
+                    "{name}/{}: vertex {v:?} escapes the exact hull",
+                    s.name()
                 );
             }
         }
