@@ -1,0 +1,245 @@
+//! Ingestion throughput: points/sec for every summary backend, per-point
+//! loop vs `insert_batch`, on three workload shapes — the recorded perf
+//! baseline the repo's trajectory tracks from PR 2 onward.
+//!
+//! Workloads (all seeded with `TABLE1_SEED`, lengths exact):
+//!
+//! * `interior` — uniform disk: after warm-up almost every point lands
+//!   inside the current hull of extrema, the batched fast path's best case
+//!   (whole chunks are proven interior from `O(h_chunk)` point locations);
+//! * `boundary` — thin annulus (`0.95 ≤ ρ ≤ 1`): points keep landing in
+//!   the gaps between the sampled hull and the circle, so most of them
+//!   take the heavy "beats directions" path;
+//! * `rotating` — uniform ellipse whose orientation advances by a full
+//!   revolution over the stream: the extrema migrate constantly (the §7
+//!   "changing distribution" stressor).
+//!
+//! Output: a table on stdout and `BENCH_throughput.json` (see
+//! `EXPERIMENTS.md` for the schema and how baselines are compared across
+//! PRs). Run with `--n 20000` for a smoke test; CI validates the JSON.
+
+use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
+use bench_harness::TABLE1_SEED;
+use geom::Point2;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One backend × workload × ingestion-mode measurement.
+struct Row {
+    workload: &'static str,
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    per_point_ns: f64,
+    batched_ns: f64,
+}
+
+impl Row {
+    fn pps_loop(&self) -> f64 {
+        1e9 / self.per_point_ns
+    }
+    fn pps_batch(&self) -> f64 {
+        1e9 / self.batched_ns
+    }
+    fn speedup(&self) -> f64 {
+        self.per_point_ns / self.batched_ns
+    }
+}
+
+fn workloads(n: usize, seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
+    use streamgen::{Annulus, Disk, Ellipse};
+    let interior: Vec<Point2> = Disk::new(seed, n, 1.0).collect();
+    let boundary: Vec<Point2> = Annulus::new(seed ^ 0xb0, n, 0.95, 1.0).collect();
+    let rotating: Vec<Point2> = Ellipse::new(seed ^ 0x07, n, 8.0, 0.0)
+        .enumerate()
+        .map(|(i, p)| {
+            let phi = core::f64::consts::TAU * i as f64 / n.max(1) as f64;
+            Point2::ORIGIN + (p - Point2::ORIGIN).rotate(phi)
+        })
+        .collect();
+    vec![
+        ("interior", interior),
+        ("boundary", boundary),
+        ("rotating", rotating),
+    ]
+}
+
+/// Best-of-`reps` wall-clock nanoseconds per point for one ingestion mode.
+fn time_ns_per_point(
+    builder: &SummaryBuilder,
+    pts: &[Point2],
+    chunk: Option<usize>,
+    reps: usize,
+) -> (f64, u64, Vec<Point2>) {
+    let mut best = f64::INFINITY;
+    let mut seen = 0;
+    let mut hull = Vec::new();
+    for _ in 0..reps.max(1) {
+        let mut s = builder.build();
+        let start = Instant::now();
+        match chunk {
+            None => {
+                for &p in pts {
+                    s.insert(p);
+                }
+            }
+            Some(c) => {
+                for piece in pts.chunks(c.max(1)) {
+                    s.insert_batch(piece);
+                }
+            }
+        }
+        let ns = start.elapsed().as_nanos() as f64 / pts.len().max(1) as f64;
+        if ns < best {
+            best = ns;
+        }
+        seen = s.points_seen();
+        hull = s.hull_ref().vertices().to_vec();
+    }
+    (best, seen, hull)
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(s.chars().all(|c| c.is_ascii_graphic() || c == ' '));
+    s
+}
+
+fn render_json(n: usize, chunk: usize, reps: usize, seed: u64, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"throughput\",");
+    let _ = writeln!(out, "  \"n\": {n},");
+    let _ = writeln!(out, "  \"chunk\": {chunk},");
+    let _ = writeln!(out, "  \"reps\": {reps},");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"unit\": \"points_per_sec\",");
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"per_point_ns\": {:.2}, \"batched_ns\": {:.2}, \
+             \"points_per_sec_loop\": {:.0}, \"points_per_sec_batch\": {:.0}, \
+             \"speedup\": {:.3}}}{comma}",
+            json_escape_free(row.workload),
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.per_point_ns,
+            row.batched_ns,
+            row.pps_loop(),
+            row.pps_batch(),
+            row.speedup(),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn run(n: usize, chunk: usize, reps: usize, r: u32) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (wname, pts) in workloads(n, TABLE1_SEED) {
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            let (loop_ns, loop_seen, loop_hull) = time_ns_per_point(&builder, &pts, None, reps);
+            let (batch_ns, batch_seen, batch_hull) =
+                time_ns_per_point(&builder, &pts, Some(chunk), reps);
+            // The bench doubles as an end-to-end equivalence check: the
+            // batched run must reproduce the loop's observable state.
+            assert_eq!(loop_seen, batch_seen, "{wname}/{kind}: seen diverged");
+            assert_eq!(loop_hull, batch_hull, "{wname}/{kind}: hull diverged");
+            rows.push(Row {
+                workload: wname,
+                backend: kind.label(),
+                r,
+                n: pts.len(),
+                per_point_ns: loop_ns,
+                batched_ns: batch_ns,
+            });
+        }
+    }
+    rows
+}
+
+fn main() {
+    let mut n = 200_000usize;
+    let mut chunk = 1024usize;
+    let mut reps = 3usize;
+    let mut r = 32u32;
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut grab = || args.next().expect("flag needs a value");
+        match flag.as_str() {
+            "--n" => n = grab().parse().expect("--n"),
+            "--chunk" => chunk = grab().parse().expect("--chunk"),
+            "--reps" => reps = grab().parse().expect("--reps"),
+            "--r" => r = grab().parse().expect("--r"),
+            "--out" => out_path = grab(),
+            other => panic!("unknown flag {other:?} (supported: --n --chunk --reps --r --out)"),
+        }
+    }
+
+    let rows = run(n, chunk, reps, r);
+
+    println!(
+        "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "workload", "backend", "loop ns/pt", "batch ns/pt", "loop pts/s", "batch pts/s", "speedup"
+    );
+    for row in &rows {
+        println!(
+            "{:<10} {:<14} {:>12.1} {:>12.1} {:>14.0} {:>14.0} {:>7.2}x",
+            row.workload,
+            row.backend,
+            row.per_point_ns,
+            row.batched_ns,
+            row.pps_loop(),
+            row.pps_batch(),
+            row.speedup()
+        );
+    }
+
+    let json = render_json(n, chunk, reps, TABLE1_SEED, &rows);
+    std::fs::write(&out_path, &json).expect("write throughput JSON");
+    println!("\nwrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_wellformed_json() {
+        let rows = run(2000, 256, 1, 16);
+        assert_eq!(rows.len(), 3 * SummaryKind::ALL.len());
+        let json = render_json(2000, 256, 1, TABLE1_SEED, &rows);
+        // Minimal structural validation: balanced braces/brackets, the
+        // expected keys, one result object per row, no NaN/inf leakage.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert_eq!(json.matches("\"workload\"").count(), rows.len());
+        for key in [
+            "\"bench\"",
+            "\"points_per_sec_loop\"",
+            "\"points_per_sec_batch\"",
+            "\"speedup\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn workloads_have_exact_lengths_and_finite_points() {
+        for (name, pts) in workloads(500, 1) {
+            assert_eq!(pts.len(), 500, "{name}");
+            assert!(pts.iter().all(|p| p.is_finite()), "{name}");
+        }
+    }
+}

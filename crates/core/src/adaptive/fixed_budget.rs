@@ -11,7 +11,8 @@
 //! makes it a useful cross-check of the tree-based implementation.
 
 use crate::adaptive::weight::{slant, uncertainty, weight};
-use crate::summary::{HullCache, HullSummary, Mergeable};
+use crate::batch::{incircle, CertCache, BATCH_LEAF};
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
 use core::f64::consts::TAU;
 use geom::dyadic::{DirGrid, DirRange};
@@ -38,6 +39,8 @@ pub struct FixedBudgetAdaptiveHull {
     /// `r + extra_budget`.
     extra_budget: usize,
     cache: HullCache,
+    distinct: GenCache<usize>,
+    bound: GenCache<f64>,
 }
 
 impl FixedBudgetAdaptiveHull {
@@ -56,6 +59,8 @@ impl FixedBudgetAdaptiveHull {
             leaves: Vec::new(),
             extra_budget: extra,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
+            bound: GenCache::new(),
         }
     }
 
@@ -259,10 +264,9 @@ impl FixedBudgetAdaptiveHull {
             }
         }
     }
-}
 
-impl HullSummary for FixedBudgetAdaptiveHull {
-    fn insert(&mut self, q: Point2) {
+    /// One point without cache bookkeeping; `true` iff state changed.
+    fn insert_inner(&mut self, q: Point2) -> bool {
         match self.uniform.insert_detailed(q) {
             UniformEffect::First => {
                 self.leaves = (0..self.grid.r())
@@ -272,14 +276,53 @@ impl HullSummary for FixedBudgetAdaptiveHull {
                         b: q,
                     })
                     .collect();
-                self.cache.invalidate();
+                true
             }
-            UniformEffect::Interior => {} // sample unchanged: keep the cache
+            UniformEffect::Interior => false, // sample unchanged: keep the cache
             UniformEffect::Outside { arc, .. } => {
                 self.update_leaves(q, &arc);
                 self.rebalance();
-                self.cache.invalidate();
+                true
             }
+        }
+    }
+}
+
+impl HullSummary for FixedBudgetAdaptiveHull {
+    fn insert(&mut self, q: Point2) {
+        if self.insert_inner(q) {
+            self.cache.invalidate();
+        }
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        if points.len() <= BATCH_LEAF {
+            for &q in points {
+                if self.insert_inner(q) {
+                    self.cache.invalidate();
+                }
+            }
+            return;
+        }
+        // Same interior-certificate fast path as `AdaptiveHull` (see
+        // there): certified points are exactly the `Interior` no-ops, the
+        // cert tracks the uniform substrate's hull generation, and this
+        // summary's own cache invalidations coalesce into one per batch.
+        let mut cert = CertCache::new(8);
+        let mut changed = false;
+        for &q in points {
+            if cert.covers(q, || incircle(self.uniform.hull_ref())) {
+                self.uniform.add_seen(1);
+                continue;
+            }
+            let before = self.uniform.hull_generation();
+            changed |= self.insert_inner(q);
+            if self.uniform.hull_generation() != before {
+                cert.invalidate();
+            }
+        }
+        if changed {
+            self.cache.invalidate();
         }
     }
 
@@ -293,10 +336,12 @@ impl HullSummary for FixedBudgetAdaptiveHull {
     }
 
     fn sample_size(&self) -> usize {
-        let mut pts = self.sample_points();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        self.distinct.get_or_compute(self.cache.generation(), || {
+            let mut pts = self.sample_points();
+            pts.sort_by(|a, b| a.lex_cmp(*b));
+            pts.dedup();
+            pts.len()
+        })
     }
 
     fn points_seen(&self) -> u64 {
@@ -311,12 +356,12 @@ impl HullSummary for FixedBudgetAdaptiveHull {
         // The budgeted variant may unrefine below the weight threshold, so
         // only the uniform substrate's Lemma 3.2 guarantee is always live:
         // the tallest uncertainty triangle over the r uniform directions.
-        Some(
+        Some(self.bound.get_or_compute(self.cache.generation(), || {
             crate::metrics::uniform_uncertainty_triangles(&self.uniform)
                 .iter()
                 .map(|t| t.height())
-                .fold(0.0f64, f64::max),
-        )
+                .fold(0.0f64, f64::max)
+        }))
     }
 }
 

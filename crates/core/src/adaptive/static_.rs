@@ -24,6 +24,9 @@ pub struct StaticSample {
     /// Number of adaptive refinements performed.
     pub refinements: usize,
     grid: DirGrid,
+    /// Distinct sample count, computed once at construction (callers poll
+    /// `sample_size` in tight sweeps; no reason to re-sort per call).
+    distinct: usize,
 }
 
 impl StaticSample {
@@ -32,12 +35,9 @@ impl StaticSample {
         ConvexPolygon::hull_of(&self.points)
     }
 
-    /// Number of distinct sample points.
+    /// Number of distinct sample points (precomputed at construction).
     pub fn sample_size(&self) -> usize {
-        let mut pts = self.points.clone();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        self.distinct
     }
 
     /// Uncertainty triangles of the non-degenerate edges.
@@ -136,6 +136,12 @@ pub fn adaptive_sample_static(
     while pts.len() > 1 && pts.first() == pts.last() {
         pts.pop();
     }
+    let distinct = {
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.lex_cmp(*b));
+        sorted.dedup();
+        sorted.len()
+    };
 
     Some(StaticSample {
         points: pts,
@@ -143,6 +149,7 @@ pub fn adaptive_sample_static(
         perimeter,
         refinements,
         grid,
+        distinct,
     })
 }
 

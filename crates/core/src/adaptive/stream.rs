@@ -36,7 +36,8 @@
 use crate::adaptive::arena::{Arena, NodeId};
 use crate::adaptive::queue::{BucketQueue, HeapQueue, UnrefineQueue};
 use crate::adaptive::weight::{slant, unrefine_threshold, weight};
-use crate::summary::{HullCache, HullSummary, Mergeable};
+use crate::batch::{incircle, CertCache, BATCH_LEAF};
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use crate::uniform::{BeatenArc, UniformEffect, UniformHull};
 use core::f64::consts::TAU;
 use geom::dyadic::{DirGrid, DirRange};
@@ -175,6 +176,7 @@ pub struct AdaptiveHull {
     queue: QueueImpl,
     internal_count: usize,
     cache: HullCache,
+    distinct: GenCache<usize>,
 }
 
 impl AdaptiveHull {
@@ -193,6 +195,7 @@ impl AdaptiveHull {
             },
             internal_count: 0,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
         }
     }
 
@@ -580,8 +583,12 @@ impl AdaptiveHull {
     }
 }
 
-impl HullSummary for AdaptiveHull {
-    fn insert(&mut self, q: Point2) {
+impl AdaptiveHull {
+    /// One point of Algorithm AdaptiveHull without cache bookkeeping;
+    /// returns `true` iff the summarised state changed (the caller decides
+    /// when to invalidate — per point for `insert`, once per batch for
+    /// `insert_batch`).
+    fn insert_inner(&mut self, q: Point2) -> bool {
         match self.uniform.insert_detailed(q) {
             UniformEffect::First => {
                 let r = self.grid.r();
@@ -593,9 +600,9 @@ impl HullSummary for AdaptiveHull {
                         })
                     })
                     .collect();
-                self.cache.invalidate();
+                true
             }
-            UniformEffect::Interior => {} // sample unchanged: keep the cache
+            UniformEffect::Interior => false, // sample unchanged: keep the cache
             UniformEffect::Outside { arc, .. } => {
                 let (first, count) = self.sectors_for_arc(&arc);
                 let r = self.grid.r();
@@ -605,8 +612,52 @@ impl HullSummary for AdaptiveHull {
                     self.update_node(root, q, &arc);
                 }
                 self.drain_queue();
-                self.cache.invalidate();
+                true
             }
+        }
+    }
+}
+
+impl HullSummary for AdaptiveHull {
+    fn insert(&mut self, q: Point2) {
+        if self.insert_inner(q) {
+            self.cache.invalidate();
+        }
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        if points.len() <= BATCH_LEAF {
+            for &q in points {
+                if self.insert_inner(q) {
+                    self.cache.invalidate();
+                }
+            }
+            return;
+        }
+        // Interior-certificate fast path: a point inside the inscribed
+        // circle of `A` is exactly one step 1 would discard after its
+        // O(log r) point location — discard it here for two multiplies,
+        // bump the seen-count like the `Interior` branch, and keep the
+        // `HullCache` untouched. The certificate rebuilds only when the
+        // uniform substrate's hull generation advances; all invalidations
+        // of this summary's own cache coalesce into one per batch.
+        // Non-finite points never pass the certificate and panic inside
+        // `insert_detailed` exactly like the loop.
+        let mut cert = CertCache::new(8);
+        let mut changed = false;
+        for &q in points {
+            if cert.covers(q, || incircle(self.uniform.hull_ref())) {
+                self.uniform.add_seen(1);
+                continue;
+            }
+            let before = self.uniform.hull_generation();
+            changed |= self.insert_inner(q);
+            if self.uniform.hull_generation() != before {
+                cert.invalidate();
+            }
+        }
+        if changed {
+            self.cache.invalidate();
         }
     }
 
@@ -620,10 +671,12 @@ impl HullSummary for AdaptiveHull {
     }
 
     fn sample_size(&self) -> usize {
-        let mut pts = self.sample_points();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        self.distinct.get_or_compute(self.cache.generation(), || {
+            let mut pts = self.sample_points();
+            pts.sort_by(|a, b| a.lex_cmp(*b));
+            pts.dedup();
+            pts.len()
+        })
     }
 
     fn points_seen(&self) -> u64 {

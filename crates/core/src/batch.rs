@@ -1,0 +1,300 @@
+//! Shared machinery for the batched-ingestion fast paths.
+//!
+//! Every summary's [`insert_batch`](crate::summary::HullSummary::insert_batch)
+//! override leans on one of two chunk reductions:
+//!
+//! * [`CertCache`] — an **interior certificate**: the inscribed circle
+//!   (vertex-centroid center, conservatively shrunk min edge distance) of
+//!   the summary's current hull of extrema `A`. A point inside the circle
+//!   is *strictly* inside `A`, which is exactly the class of points the
+//!   per-point path no-ops (discards after an `O(log r)` point location,
+//!   or after an `O(r)` direction scan) — so the batch path discards it
+//!   for two multiplies and a compare. The certificate is rebuilt only
+//!   when `A` changes (amortised across the chunk) and disables itself
+//!   when a boundary-heavy chunk keeps invalidating it without hits, so
+//!   adversarial streams degrade to the plain loop plus a bounded number
+//!   of rebuilds. Because certified points are *precisely* points the
+//!   loop would no-op, batched ingestion stays observably identical to
+//!   the loop even for the order-dependent adaptive structures.
+//! * [`BatchScratch::boundary_survivors`] — reduce the chunk to the points
+//!   on the boundary of its own convex hull (stream order preserved),
+//!   via the buffered monotone chain in [`geom::hull`]. Sound for pure
+//!   per-direction-maximum summaries: a point strictly inside the chunk
+//!   hull is *strictly* dominated in **every** direction by some boundary
+//!   point of the same chunk, so it can neither end up as a stored
+//!   extremum nor (being dominated by retained chunk-mates) shift which
+//!   retained point first attains each final maximum. Keeping the
+//!   boundary-collinear points (not just strict vertices) is what makes
+//!   ties exact: a point *on* a chunk-hull edge can tie a vertex's support
+//!   value and, arriving first, win the tie under the strict-`>` beating
+//!   rule. The sort makes this worthwhile only when the per-point scan is
+//!   expensive — the direction-scan summaries use it for
+//!   `r >= `[`PREFILTER_MIN_DIRS`] where `O(r)` per point dwarfs the
+//!   `O(log m)` sort share.
+//!
+//! The scratch buffers live on each summary struct, so steady-state
+//! batched ingestion performs no heap allocations: buffers grow to the
+//! chunk size once and are reused forever after.
+
+use geom::{ConvexPolygon, Point2};
+
+/// Chunks at or below this length take the plain per-point loop — the
+/// batch machinery costs more than the per-point work it saves.
+pub(crate) const BATCH_LEAF: usize = 24;
+
+/// Direction count from which the monotone-chain pre-hull beats the
+/// `O(r)`-per-point direction scan.
+pub(crate) const PREFILTER_MIN_DIRS: usize = 64;
+
+/// The inscribed-circle interior certificate of a convex polygon:
+/// `(center, safe_radius²)`. Any point within the circle is strictly
+/// inside the polygon.
+///
+/// Center is the vertex centroid (strictly interior for a strictly convex
+/// polygon with ≥ 3 vertices); the radius is the minimum distance from the
+/// center to an edge line, shrunk by a relative `1e-9` so floating-point
+/// rounding (relative error ~`1e-15`) can never certify a point that is
+/// not strictly interior. Returns `None` for degenerate polygons or when
+/// the center fails the strict-interior check.
+pub(crate) fn incircle(poly: &ConvexPolygon) -> Option<(Point2, f64)> {
+    let n = poly.len();
+    if n < 3 {
+        return None;
+    }
+    let (sx, sy) = poly
+        .vertices()
+        .iter()
+        .fold((0.0f64, 0.0f64), |(sx, sy), v| (sx + v.x, sy + v.y));
+    let center = Point2::new(sx / n as f64, sy / n as f64);
+    if !center.is_finite() {
+        return None;
+    }
+    let mut rmin = f64::INFINITY;
+    for (a, b) in poly.edges() {
+        let e = b - a;
+        let len = e.norm();
+        // Signed distance: positive iff center is strictly left of the ccw
+        // edge, i.e. strictly inside its half-plane.
+        let d = e.cross(center - a) / len;
+        // Must be strictly positive; NaN (degenerate edge) also bails.
+        if d.partial_cmp(&0.0) != Some(core::cmp::Ordering::Greater) {
+            return None;
+        }
+        rmin = rmin.min(d);
+    }
+    let r = rmin * (1.0 - 1e-9);
+    if r > 0.0 && r.is_finite() {
+        Some((center, r * r))
+    } else {
+        None
+    }
+}
+
+/// Per-batch state for the interior certificate: rebuilds lazily after the
+/// hull changes and disables itself when rebuilds outnumber the points
+/// they certify (boundary-heavy chunks), bounding the overhead of the
+/// fast path at a handful of rebuilds per batch.
+pub(crate) struct CertCache {
+    cert: Option<(Point2, f64)>,
+    fresh: bool,
+    hits: u32,
+    refreshes: u32,
+    disabled: bool,
+    /// Required `hits / refreshes` ratio to stay enabled — higher for
+    /// summaries whose rebuild is expensive (hull reconstruction) than for
+    /// those with an eagerly maintained hull.
+    min_ratio: u32,
+}
+
+impl CertCache {
+    /// A fresh certificate cache for one batch.
+    pub(crate) fn new(min_ratio: u32) -> Self {
+        CertCache {
+            cert: None,
+            fresh: false,
+            hits: 0,
+            refreshes: 0,
+            disabled: false,
+            min_ratio,
+        }
+    }
+
+    /// Marks the certificate stale (call after any mutation that may have
+    /// changed the hull it certifies against).
+    pub(crate) fn invalidate(&mut self) {
+        self.fresh = false;
+    }
+
+    /// `true` iff `q` is certified strictly interior. `rebuild` supplies a
+    /// fresh incircle when the cached one is stale; it is only invoked
+    /// when needed, and never again once the cache self-disables.
+    pub(crate) fn covers(
+        &mut self,
+        q: Point2,
+        rebuild: impl FnOnce() -> Option<(Point2, f64)>,
+    ) -> bool {
+        if self.disabled {
+            return false;
+        }
+        if !self.fresh {
+            self.refreshes += 1;
+            if self.refreshes >= 8 && self.hits < self.min_ratio * self.refreshes {
+                self.disabled = true;
+                self.cert = None;
+                return false;
+            }
+            self.cert = rebuild();
+            self.fresh = true;
+        }
+        match self.cert {
+            Some((c, r2)) if (q - c).norm_sq() <= r2 => {
+                self.hits += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Reusable buffers for the chunk reductions. Intentionally `Clone`s to
+/// fresh empty buffers: scratch space is not summary state.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Sort/dedup working copy of the chunk.
+    sort: Vec<Point2>,
+    /// Chunk hull (strict or boundary-inclusive, per call).
+    hull: Vec<Point2>,
+    /// Boundary survivors in original stream order.
+    survivors: Vec<Point2>,
+}
+
+impl Clone for BatchScratch {
+    fn clone(&self) -> Self {
+        BatchScratch::default()
+    }
+}
+
+impl BatchScratch {
+    /// Filters `chunk` down to the points on its own convex-hull boundary,
+    /// preserving stream order (duplicates of boundary points survive).
+    ///
+    /// Returns `None` when the chunk contains a non-finite point — callers
+    /// must then fall back to the per-point loop so panics/NaN semantics
+    /// stay identical to unbatched ingestion.
+    pub(crate) fn boundary_survivors(&mut self, chunk: &[Point2]) -> Option<&[Point2]> {
+        if !chunk.iter().all(|p| p.is_finite()) {
+            return None;
+        }
+        self.sort.clear();
+        self.sort.extend_from_slice(chunk);
+        geom::hull::monotone_chain_with(&mut self.sort, &mut self.hull, true);
+        // The inclusive chain can emit duplicates on degenerate inputs;
+        // turn it into a sorted set for binary-search membership.
+        self.hull.sort_by(|a, b| a.lex_cmp(*b));
+        self.hull.dedup();
+        self.survivors.clear();
+        for &q in chunk {
+            if self.hull.binary_search_by(|b| b.lex_cmp(q)).is_ok() {
+                self.survivors.push(q);
+            }
+        }
+        Some(&self.survivors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn survivors_keep_boundary_points_in_stream_order() {
+        let mut s = BatchScratch::default();
+        // Square, one edge-midpoint (boundary), one interior point.
+        let chunk = [
+            p(1.0, 0.0), // on the bottom edge: kept (tie candidate)
+            p(0.0, 0.0),
+            p(1.0, 1.0), // strictly interior: dropped
+            p(2.0, 0.0),
+            p(2.0, 2.0),
+            p(0.0, 2.0),
+            p(1.0, 1.0), // duplicate interior: dropped
+        ];
+        let out = s.boundary_survivors(&chunk).unwrap();
+        assert_eq!(
+            out,
+            &[
+                p(1.0, 0.0),
+                p(0.0, 0.0),
+                p(2.0, 0.0),
+                p(2.0, 2.0),
+                p(0.0, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn non_finite_chunks_are_rejected() {
+        let mut s = BatchScratch::default();
+        let chunk = [p(0.0, 0.0), p(f64::NAN, 1.0)];
+        assert!(s.boundary_survivors(&chunk).is_none());
+    }
+
+    #[test]
+    fn incircle_certifies_only_strict_interior() {
+        let square = ConvexPolygon::hull_of(&[p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)]);
+        let (c, r2) = incircle(&square).unwrap();
+        assert_eq!(c, p(1.0, 1.0));
+        // Safe radius just under the true inradius 1.
+        assert!(r2 < 1.0 && r2 > 0.99);
+        // Interior point certified, boundary point not.
+        assert!((p(1.2, 0.8) - c).norm_sq() <= r2);
+        assert!((p(1.0, 0.0) - c).norm_sq() > r2);
+        // Degenerate polygons yield no certificate.
+        assert!(incircle(&ConvexPolygon::empty()).is_none());
+        assert!(incircle(&ConvexPolygon::hull_of(&[p(0.0, 0.0), p(1.0, 0.0)])).is_none());
+    }
+
+    #[test]
+    fn cert_cache_rebuilds_lazily_and_self_disables() {
+        let square = ConvexPolygon::hull_of(&[p(0.0, 0.0), p(2.0, 0.0), p(2.0, 2.0), p(0.0, 2.0)]);
+        let mut cache = CertCache::new(8);
+        let mut rebuilds = 0u32;
+        let check = |cache: &mut CertCache, q: Point2, rebuilds: &mut u32| {
+            cache.covers(q, || {
+                *rebuilds += 1;
+                incircle(&square)
+            })
+        };
+        assert!(check(&mut cache, p(1.0, 1.0), &mut rebuilds));
+        assert!(check(&mut cache, p(1.1, 1.0), &mut rebuilds));
+        assert_eq!(rebuilds, 1, "second hit reuses the certificate");
+        assert!(!check(&mut cache, p(5.0, 5.0), &mut rebuilds), "outside");
+        assert!(!check(&mut cache, p(f64::NAN, 0.0), &mut rebuilds), "NaN");
+        // Constant invalidation without hits trips the self-disable.
+        let mut cold = CertCache::new(8);
+        let mut cold_rebuilds = 0u32;
+        for _ in 0..50 {
+            let _ = cold.covers(p(100.0, 100.0), || {
+                cold_rebuilds += 1;
+                incircle(&square)
+            });
+            cold.invalidate();
+        }
+        assert!(
+            cold_rebuilds < 10,
+            "self-disable bounds rebuilds, got {cold_rebuilds}"
+        );
+    }
+
+    #[test]
+    fn scratch_clone_is_fresh() {
+        let mut s = BatchScratch::default();
+        let _ = s.boundary_survivors(&[p(0.0, 0.0), p(1.0, 0.0)]);
+        let c = s.clone();
+        assert!(c.sort.is_empty() && c.hull.is_empty() && c.survivors.is_empty());
+    }
+}

@@ -6,7 +6,12 @@
 //! This is what lets the bench harness, the §6 query layer
 //! ([`MultiStreamTracker`](crate::queries::MultiStreamTracker)), examples,
 //! and tests drive every backend through one code path instead of
-//! hand-rolled per-type dispatch:
+//! hand-rolled per-type dispatch. Feed built summaries in chunks via
+//! [`insert_batch`](crate::summary::HullSummary::insert_batch) where the
+//! stream allows it: every kind overrides it with a batched fast path that
+//! is observably identical to the per-point loop but amortises pre-hull
+//! filtering, point location, and cache invalidation across the chunk
+//! (see the trait docs; the `throughput` bench bin records the win):
 //!
 //! ```
 //! use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
@@ -262,6 +267,39 @@ mod tests {
             assert_eq!(s.points_seen(), 500, "{kind}");
             assert_eq!(s.name(), kind.label(), "{kind}");
             assert!(s.hull_ref().len() >= 3, "{kind}");
+        }
+    }
+
+    #[test]
+    fn batched_ingestion_matches_per_point_loop_for_every_kind() {
+        // Deterministic spot check of the insert_batch contract across the
+        // registry (the heavy randomised version lives in
+        // tests/proptest_summaries.rs): identical hull, sample size, seen
+        // count, and error bound for chunked vs per-point feeding.
+        let mut pts = spiral(400);
+        // Interior-heavy tail so the skip/pre-hull fast paths engage.
+        pts.extend((0..800).map(|i| {
+            let t = i as f64 * 0.618;
+            Point2::new(t.cos() * 2.0, t.sin() * 2.0)
+        }));
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(16);
+            let mut one = builder.build();
+            for &p in &pts {
+                one.insert(p);
+            }
+            let mut batched = builder.build();
+            for chunk in pts.chunks(97) {
+                batched.insert_batch(chunk);
+            }
+            assert_eq!(one.points_seen(), batched.points_seen(), "{kind}");
+            assert_eq!(one.sample_size(), batched.sample_size(), "{kind}");
+            assert_eq!(
+                one.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{kind}"
+            );
+            assert_eq!(one.error_bound(), batched.error_bound(), "{kind}");
         }
     }
 

@@ -14,7 +14,7 @@
 //! whole structure remains a single-pass, `O(k·r)`-point summary.
 
 use crate::adaptive::stream::{AdaptiveHull, AdaptiveHullConfig};
-use crate::summary::{HullCache, HullSummary, Mergeable};
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2};
 
 /// Configuration for [`ClusterHull`].
@@ -56,6 +56,11 @@ impl ClusterHullConfig {
 struct Cluster {
     summary: AdaptiveHull,
     hull: ConvexPolygon, // cached; refreshed on change
+    /// Generation `hull` was cloned at — interior points leave the
+    /// summary's hull untouched, so the per-point clone is skipped unless
+    /// the generation advanced (the dominant cost of cluster ingestion
+    /// before this check).
+    hull_gen: u64,
 }
 
 impl Cluster {
@@ -63,12 +68,25 @@ impl Cluster {
         let mut summary = AdaptiveHull::new(AdaptiveHullConfig::new(r));
         summary.insert(p);
         let hull = summary.hull();
-        Cluster { summary, hull }
+        let hull_gen = summary.hull_generation();
+        Cluster {
+            summary,
+            hull,
+            hull_gen,
+        }
     }
 
     fn insert(&mut self, p: Point2) {
         self.summary.insert(p);
-        self.hull = self.summary.hull();
+        self.refresh_hull();
+    }
+
+    fn refresh_hull(&mut self) {
+        let gen = self.summary.hull_generation();
+        if gen != self.hull_gen {
+            self.hull = self.summary.hull();
+            self.hull_gen = gen;
+        }
     }
 
     fn cost(&self, w: f64) -> f64 {
@@ -105,6 +123,7 @@ pub struct ClusterHull {
     seen: u64,
     /// Cache of the union hull reported through [`HullSummary::hull_ref`].
     cache: HullCache,
+    distinct: GenCache<usize>,
 }
 
 impl ClusterHull {
@@ -115,6 +134,7 @@ impl ClusterHull {
             clusters: Vec::new(),
             seen: 0,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
         }
     }
 
@@ -151,10 +171,11 @@ impl ClusterHull {
             .collect()
     }
 
+    /// One point without cache bookkeeping (the caller invalidates: per
+    /// point for `insert`, once per batch for `insert_batch`).
     fn insert_impl(&mut self, p: Point2) {
         assert!(p.is_finite(), "ClusterHull requires finite coordinates");
         self.seen += 1;
-        self.cache.invalidate();
         // Assign to the cluster whose hull is nearest (0 when inside).
         let mut best: Option<(usize, f64)> = None;
         for (i, c) in self.clusters.iter().enumerate() {
@@ -220,12 +241,28 @@ impl ClusterHull {
             self.clusters[i].summary.insert(p);
         }
         self.clusters[i].hull = self.clusters[i].summary.hull();
+        self.clusters[i].hull_gen = self.clusters[i].summary.hull_generation();
     }
 }
 
 impl HullSummary for ClusterHull {
     fn insert(&mut self, p: Point2) {
         self.insert_impl(p);
+        self.cache.invalidate();
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        // Clustering is order- and interior-sensitive (an interior point
+        // still joins and grows a cluster), so no pre-hull reduction is
+        // sound; the batch win is one union-hull cache invalidation per
+        // chunk instead of per point.
+        if points.is_empty() {
+            return;
+        }
+        for &p in points {
+            self.insert_impl(p);
+        }
+        self.cache.invalidate();
     }
 
     /// The single convex hull over every stored sample point — what the
@@ -242,7 +279,9 @@ impl HullSummary for ClusterHull {
     }
 
     fn sample_size(&self) -> usize {
-        self.clusters.iter().map(|c| c.summary.sample_size()).sum()
+        self.distinct.get_or_compute(self.cache.generation(), || {
+            self.clusters.iter().map(|c| c.summary.sample_size()).sum()
+        })
     }
 
     fn points_seen(&self) -> u64 {

@@ -59,12 +59,16 @@ pub fn dudley_kernel(points: &[Point2], m: u32) -> Option<DudleyKernel> {
 
     let mut selected: Vec<Point2> = Vec::with_capacity(m as usize);
     let mut anchors = Vec::with_capacity(m as usize);
+    // Exact per-anchor scan. (A greedy walk from the previous anchor's
+    // answer is tempting but wrong: vertex distance from an exterior
+    // point is *not* cyclically unimodal — a thin hull has one local
+    // minimum per chain, and the walk can stop on the wrong chain.)
+    let verts = hull.vertices();
     for i in 0..m {
         let theta = TAU * i as f64 / m as f64;
         let anchor = c + Vec2::from_angle(theta) * anchor_radius;
         anchors.push(anchor);
-        let nearest = hull
-            .vertices()
+        let nearest = verts
             .iter()
             .copied()
             .min_by(|a, b| {
@@ -130,6 +134,39 @@ mod tests {
         for w in errs.windows(2) {
             assert!(w[0] / w[1] > 2.0, "expected ~quadratic decay, got {errs:?}");
         }
+    }
+
+    #[test]
+    fn thin_hull_selects_true_nearest_vertices() {
+        // Regression: a thin vertical hull has one distance local-minimum
+        // per chain, so any local-descent shortcut for the nearest-vertex
+        // search picks the wrong chain. Verify every selected point is the
+        // exact argmin for its anchor.
+        let pts: Vec<Point2> = (0..11)
+            .flat_map(|i| {
+                let y = i as f64 - 5.0;
+                [Point2::new(-0.005, y), Point2::new(0.005, y)]
+            })
+            .collect();
+        let k = dudley_kernel(&pts, 2).unwrap();
+        let hull = ConvexPolygon::hull_of(&pts);
+        for anchor in &k.anchors {
+            let best = hull
+                .vertices()
+                .iter()
+                .map(|&v| anchor.distance_sq(v))
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                k.points
+                    .iter()
+                    .any(|&p| anchor.distance_sq(p) <= best + 1e-12),
+                "anchor {anchor:?}: kernel lost its true nearest vertex"
+            );
+        }
+        // The two anchors sit east and west: the kernel must contain a
+        // vertex from each chain (x < 0 and x > 0).
+        assert!(k.points.iter().any(|p| p.x < 0.0));
+        assert!(k.points.iter().any(|p| p.x > 0.0));
     }
 
     #[test]

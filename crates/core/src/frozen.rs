@@ -5,7 +5,8 @@
 //! a direction set tuned to the wrong distribution performs roughly as
 //! poorly as plain uniform sampling.
 
-use crate::summary::{HullCache, HullSummary, Mergeable};
+use crate::batch::{incircle, BatchScratch, CertCache, BATCH_LEAF, PREFILTER_MIN_DIRS};
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2, Vec2};
 
 /// A hull summary with an arbitrary *fixed* set of sample directions.
@@ -13,8 +14,14 @@ use geom::{ConvexPolygon, Point2, Vec2};
 pub struct FrozenHull {
     dirs: Vec<Vec2>,
     extrema: Vec<Point2>,
+    /// Cached support values `extrema[i].dot(dirs[i])` (see
+    /// [`NaiveUniformHull`](crate::uniform::NaiveUniformHull): same
+    /// branch-light scan).
+    dots: Vec<f64>,
     seen: u64,
     cache: HullCache,
+    distinct: GenCache<usize>,
+    scratch: BatchScratch,
 }
 
 impl FrozenHull {
@@ -24,11 +31,15 @@ impl FrozenHull {
     /// after a training phase.
     pub fn from_directions(pairs: Vec<(Vec2, Point2)>) -> Self {
         let (dirs, extrema): (Vec<Vec2>, Vec<Point2>) = pairs.into_iter().unzip();
+        let dots = extrema.iter().zip(&dirs).map(|(e, &u)| e.dot(u)).collect();
         FrozenHull {
             dirs,
             extrema,
+            dots,
             seen: 0,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -38,8 +49,11 @@ impl FrozenHull {
         FrozenHull {
             dirs,
             extrema: Vec::new(),
+            dots: Vec::new(),
             seen: 0,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -58,21 +72,83 @@ impl FrozenHull {
     pub fn direction(&self, i: usize) -> Option<Vec2> {
         self.dirs.get(i).copied()
     }
+
+    /// The direction scan without seen/cache bookkeeping; `true` iff any
+    /// extremum changed.
+    #[inline]
+    fn scan(&mut self, p: Point2) -> bool {
+        if self.extrema.is_empty() {
+            self.extrema = vec![p; self.dirs.len()];
+            self.dots = self.dirs.iter().map(|&u| p.dot(u)).collect();
+            return true;
+        }
+        let mut changed = false;
+        for ((e, d), u) in self
+            .extrema
+            .iter_mut()
+            .zip(self.dots.iter_mut())
+            .zip(&self.dirs)
+        {
+            let nd = p.dot(*u);
+            if nd > *d {
+                *e = p;
+                *d = nd;
+                changed = true;
+            }
+        }
+        changed
+    }
 }
 
 impl HullSummary for FrozenHull {
     fn insert(&mut self, p: Point2) {
         self.seen += 1;
-        if self.extrema.is_empty() {
-            self.extrema = vec![p; self.dirs.len()];
+        if self.scan(p) {
             self.cache.invalidate();
+        }
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        if points.len() <= BATCH_LEAF {
+            for &p in points {
+                self.insert(p);
+            }
             return;
         }
         let mut changed = false;
-        for (e, u) in self.extrema.iter_mut().zip(&self.dirs) {
-            if p.dot(*u) > e.dot(*u) {
-                *e = p;
-                changed = true;
+        if self.dirs.len() >= PREFILTER_MIN_DIRS {
+            // Large fans: reduce the chunk to its hull-boundary points
+            // first (only they can beat any direction — ties included).
+            let mut scratch = core::mem::take(&mut self.scratch);
+            match scratch.boundary_survivors(points) {
+                None => {
+                    // Non-finite input: replicate the loop's NaN semantics.
+                    for &p in points {
+                        self.insert(p);
+                    }
+                }
+                Some(survivors) => {
+                    self.seen += points.len() as u64;
+                    for &p in survivors {
+                        changed |= self.scan(p);
+                    }
+                }
+            }
+            self.scratch = scratch;
+        } else {
+            // Small fans: interior certificate of the hull of extrema (a
+            // certified point is strictly dominated in every direction, so
+            // the scan would be a no-op; see `batch.rs`).
+            let mut cert = CertCache::new(32);
+            for &p in points {
+                self.seen += 1;
+                if cert.covers(p, || incircle(&ConvexPolygon::hull_of(&self.extrema))) {
+                    continue;
+                }
+                if self.scan(p) {
+                    changed = true;
+                    cert.invalidate();
+                }
             }
         }
         if changed {
@@ -90,7 +166,9 @@ impl HullSummary for FrozenHull {
     }
 
     fn sample_size(&self) -> usize {
-        crate::uniform::distinct_points(&self.extrema).len()
+        self.distinct.get_or_compute(self.cache.generation(), || {
+            crate::uniform::distinct_points(&self.extrema).len()
+        })
     }
 
     fn points_seen(&self) -> u64 {

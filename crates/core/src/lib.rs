@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub(crate) mod batch;
 pub mod builder;
 pub mod cluster;
 pub mod dudley;
@@ -57,5 +58,5 @@ pub use cluster::{ClusterHull, ClusterHullConfig};
 pub use exact::ExactHull;
 pub use frozen::FrozenHull;
 pub use radial::RadialHull;
-pub use summary::{HullCache, HullSummary, HullSummaryExt, Mergeable};
+pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable};
 pub use uniform::{NaiveUniformHull, UniformHull};

@@ -50,36 +50,60 @@ impl RadialHull {
         let idx = (ang / TAU * self.r as f64).floor() as usize;
         idx.min(self.r as usize - 1)
     }
-}
 
-impl HullSummary for RadialHull {
-    fn insert(&mut self, p: Point2) {
+    /// One point without cache bookkeeping; `true` iff the sample changed.
+    ///
+    /// No chunk pre-hull here: the per-sector *farthest-from-origin* winner
+    /// need not lie on the chunk's convex hull (a narrow sector can be won
+    /// by an interior point), so every point must be bucketed — the batch
+    /// win is the deferred single cache invalidation.
+    #[inline]
+    fn insert_inner(&mut self, p: Point2) -> bool {
         self.seen += 1;
         let origin = match self.origin {
             None => {
                 self.origin = Some(p);
-                self.cache.invalidate();
-                return;
+                return true;
             }
             Some(o) => o,
         };
         let d2 = origin.distance_sq(p);
         if d2 == 0.0 {
-            return;
+            return false;
         }
         let s = self.sector(p, origin);
         match &mut self.buckets[s] {
             slot @ None => {
                 *slot = Some((d2, p));
-                self.cache.invalidate();
+                true
             }
             Some((best, q)) => {
                 if d2 > *best {
                     *best = d2;
                     *q = p;
-                    self.cache.invalidate();
+                    true
+                } else {
+                    false
                 }
             }
+        }
+    }
+}
+
+impl HullSummary for RadialHull {
+    fn insert(&mut self, p: Point2) {
+        if self.insert_inner(p) {
+            self.cache.invalidate();
+        }
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        let mut changed = false;
+        for &p in points {
+            changed |= self.insert_inner(p);
+        }
+        if changed {
+            self.cache.invalidate();
         }
     }
 

@@ -23,7 +23,7 @@
 
 use core::fmt::Debug;
 use geom::{ConvexPolygon, Point2};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// A single-pass summary of a 2-D point stream that can report (an
 /// approximation of) the convex hull of everything it has seen.
@@ -36,8 +36,40 @@ pub trait HullSummary: Debug {
     /// Feeds one stream point into the summary.
     fn insert(&mut self, p: Point2);
 
-    /// Feeds a batch of stream points. Semantically identical to inserting
-    /// each point in order; implementations may amortise per-call work.
+    /// Feeds a batch of stream points.
+    ///
+    /// **Contract**: observably identical to inserting each point in order
+    /// with [`insert`](HullSummary::insert) — same `points_seen`, same
+    /// stored sample, bit-identical [`hull_ref`](HullSummary::hull_ref)
+    /// vertices, same [`sample_size`](HullSummary::sample_size) and
+    /// [`error_bound`](HullSummary::error_bound). The only permitted
+    /// difference is the raw [`hull_generation`](HullSummary::hull_generation)
+    /// count: a batch may coalesce its cache invalidations into one
+    /// (generation still advances whenever the hull may have changed, and
+    /// never advances when it cannot have).
+    ///
+    /// Every summary in this crate overrides the default per-point loop
+    /// with a fast path that amortises per-point work across the chunk
+    /// (see `batch.rs` for the soundness arguments):
+    ///
+    /// * the point-location and chain summaries (`uniform`, `adaptive`,
+    ///   `adaptive-2r`, `exact`) and small-fan direction scanners
+    ///   (`uniform-naive`, `frozen`) discard provably interior points via
+    ///   an **interior certificate** — the inscribed circle of the current
+    ///   hull, rebuilt only when the hull changes — turning the per-point
+    ///   `O(log r)` point location / `O(r)` scan into two multiplies for
+    ///   the common interior case;
+    /// * the direction scanners with large fans reduce the chunk by a
+    ///   monotone-chain pre-hull — only points on the chunk hull's
+    ///   boundary can beat any direction, so the rest are discarded with
+    ///   zero per-direction scans;
+    /// * every cached-hull summary (including `radial` and `cluster`)
+    ///   coalesces its [`HullCache`] invalidations into at most one per
+    ///   batch.
+    ///
+    /// The batch/loop equivalence is property-tested for every
+    /// [`SummaryKind`](crate::builder::SummaryKind) in
+    /// `tests/proptest_summaries.rs`.
     fn insert_batch(&mut self, points: &[Point2]) {
         for &p in points {
             self.insert(p);
@@ -236,9 +268,76 @@ impl HullCache {
     }
 }
 
+/// A tiny generation-keyed value cache for derived query results
+/// (`sample_size`, `error_bound`, …) computed from `&self`.
+///
+/// Summaries answer those queries by recomputing over their whole sample —
+/// `O(r log r)` sorts, rebuilding every uncertainty triangle — on *every*
+/// call. `GenCache` memoises the answer keyed by the hull generation: while
+/// the generation is unchanged the cached value is returned, and the first
+/// query after a mutation recomputes once.
+///
+/// Interior mutability is a `Mutex` so summaries stay `Send + Sync` (the
+/// sharded-ingestion story); the lock is uncontended and held only for the
+/// copy/compute, which is far cheaper than the recomputation it avoids.
+#[derive(Debug, Default)]
+pub struct GenCache<T> {
+    slot: Mutex<Option<(u64, T)>>,
+}
+
+impl<T: Copy> GenCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        GenCache {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Returns the value cached for `generation`, computing and storing it
+    /// with `compute` on a generation mismatch (or first use).
+    pub fn get_or_compute(&self, generation: u64, compute: impl FnOnce() -> T) -> T {
+        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((g, v)) = *slot {
+            if g == generation {
+                return v;
+            }
+        }
+        let v = compute();
+        *slot = Some((generation, v));
+        v
+    }
+}
+
+impl<T: Copy> Clone for GenCache<T> {
+    fn clone(&self) -> Self {
+        GenCache {
+            slot: Mutex::new(*self.slot.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn gen_cache_recomputes_only_on_generation_change() {
+        use core::cell::Cell;
+        let cache = GenCache::new();
+        let computes = Cell::new(0u32);
+        let compute = || {
+            computes.set(computes.get() + 1);
+            computes.get() as usize * 10
+        };
+        assert_eq!(cache.get_or_compute(0, compute), 10);
+        assert_eq!(cache.get_or_compute(0, compute), 10, "cached");
+        assert_eq!(computes.get(), 1);
+        assert_eq!(cache.get_or_compute(1, compute), 20, "new generation");
+        assert_eq!(computes.get(), 2);
+        let clone = cache.clone();
+        assert_eq!(clone.get_or_compute(1, compute), 20, "clone keeps value");
+        assert_eq!(computes.get(), 2);
+    }
 
     #[test]
     fn cache_rebuilds_once_per_generation() {

@@ -17,7 +17,8 @@
 //! is the maximum-dot point of the whole prefix (under `f64` dot
 //! comparison), which tests verify against brute-force replay.
 
-use crate::summary::{HullCache, HullSummary, Mergeable};
+use crate::batch::{incircle, BatchScratch, CertCache, BATCH_LEAF, PREFILTER_MIN_DIRS};
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use core::f64::consts::TAU;
 use geom::tangent::visible_chain;
 use geom::{ConvexPolygon, Point2, Vec2};
@@ -27,8 +28,16 @@ use geom::{ConvexPolygon, Point2, Vec2};
 pub struct NaiveUniformHull {
     units: Vec<Vec2>,
     extrema: Vec<Point2>,
+    /// Cached support values `extrema[j].dot(units[j])`, kept in lockstep
+    /// with `extrema` so the per-point scan compares against a stored
+    /// `f64` instead of recomputing the incumbent's dot product — half the
+    /// multiplies and a branch-light inner loop.
+    dots: Vec<f64>,
     seen: u64,
     cache: HullCache,
+    distinct: GenCache<usize>,
+    bound: GenCache<f64>,
+    scratch: BatchScratch,
 }
 
 impl NaiveUniformHull {
@@ -41,8 +50,12 @@ impl NaiveUniformHull {
         NaiveUniformHull {
             units,
             extrema: Vec::new(),
+            dots: Vec::new(),
             seen: 0,
             cache: HullCache::new(),
+            distinct: GenCache::new(),
+            bound: GenCache::new(),
+            scratch: BatchScratch::default(),
         }
     }
 
@@ -61,21 +74,87 @@ impl NaiveUniformHull {
     pub fn unit(&self, j: u32) -> Vec2 {
         self.units[j as usize]
     }
+
+    /// The direction scan without seen/cache bookkeeping; returns `true`
+    /// iff any extremum changed.
+    #[inline]
+    fn scan(&mut self, p: Point2) -> bool {
+        if self.extrema.is_empty() {
+            self.extrema = vec![p; self.units.len()];
+            self.dots = self.units.iter().map(|&u| p.dot(u)).collect();
+            return true;
+        }
+        let mut changed = false;
+        for ((e, d), u) in self
+            .extrema
+            .iter_mut()
+            .zip(self.dots.iter_mut())
+            .zip(&self.units)
+        {
+            let nd = p.dot(*u);
+            if nd > *d {
+                *e = p;
+                *d = nd;
+                changed = true;
+            }
+        }
+        changed
+    }
 }
 
 impl HullSummary for NaiveUniformHull {
     fn insert(&mut self, p: Point2) {
         self.seen += 1;
-        if self.extrema.is_empty() {
-            self.extrema = vec![p; self.units.len()];
+        if self.scan(p) {
             self.cache.invalidate();
+        }
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        if points.len() <= BATCH_LEAF {
+            for &p in points {
+                self.insert(p);
+            }
             return;
         }
         let mut changed = false;
-        for (e, u) in self.extrema.iter_mut().zip(&self.units) {
-            if p.dot(*u) > e.dot(*u) {
-                *e = p;
-                changed = true;
+        if self.units.len() >= PREFILTER_MIN_DIRS {
+            // Large fans: the O(r) scan dominates, so pay one sort to
+            // reduce the chunk to its hull-boundary points — only they can
+            // beat any direction (ties included; see `batch.rs`).
+            let mut scratch = core::mem::take(&mut self.scratch);
+            match scratch.boundary_survivors(points) {
+                None => {
+                    // Non-finite input: replicate the loop's NaN semantics.
+                    for &p in points {
+                        self.insert(p);
+                    }
+                }
+                Some(survivors) => {
+                    self.seen += points.len() as u64;
+                    for &p in survivors {
+                        changed |= self.scan(p);
+                    }
+                }
+            }
+            self.scratch = scratch;
+        } else {
+            // Small fans: an O(r) scan is too cheap for sorting to pay —
+            // use the interior certificate of the hull of extrema instead.
+            // A certified point is strictly inside that hull, hence
+            // strictly dominated in every direction: the scan would be a
+            // no-op. Non-finite points never pass the certificate, so NaN
+            // semantics match the loop.
+            let mut cert = CertCache::new(32);
+            for &p in points {
+                self.seen += 1;
+                if cert.covers(p, || incircle(&ConvexPolygon::hull_of(&self.extrema))) {
+                    continue;
+                }
+                if self.scan(p) {
+                    changed = true;
+                    cert.invalidate();
+                }
             }
         }
         if changed {
@@ -93,10 +172,9 @@ impl HullSummary for NaiveUniformHull {
     }
 
     fn sample_size(&self) -> usize {
-        let mut pts = self.extrema.clone();
-        pts.sort_by(|a, b| a.lex_cmp(*b));
-        pts.dedup();
-        pts.len()
+        self.distinct.get_or_compute(self.cache.generation(), || {
+            distinct_points(&self.extrema).len()
+        })
     }
 
     fn points_seen(&self) -> u64 {
@@ -111,9 +189,9 @@ impl HullSummary for NaiveUniformHull {
         // Lemma 3.2: every stream point respects all r supporting
         // half-planes, so the true hull cannot stick out farther than the
         // tallest current uncertainty triangle.
-        Some(max_triangle_height(
-            &crate::metrics::naive_uniform_uncertainty_triangles(self),
-        ))
+        Some(self.bound.get_or_compute(self.cache.generation(), || {
+            max_triangle_height(&crate::metrics::naive_uniform_uncertainty_triangles(self))
+        }))
     }
 }
 
@@ -201,6 +279,13 @@ pub struct UniformHull {
     seen: u64,
     /// Bumped whenever `hull` changes (interior points leave it alone).
     generation: u64,
+    /// Scratch for the run rewrite in `apply_beaten` (reused, no allocs).
+    runs_scratch: Vec<DirRun>,
+    /// Scratch point buffers for the in-place hull rebuild.
+    pts_scratch: Vec<Point2>,
+    hull_scratch: Vec<Point2>,
+    distinct: GenCache<usize>,
+    bound: GenCache<f64>,
 }
 
 impl UniformHull {
@@ -219,6 +304,11 @@ impl UniformHull {
             perimeter: 0.0,
             seen: 0,
             generation: 0,
+            runs_scratch: Vec::new(),
+            pts_scratch: Vec::new(),
+            hull_scratch: Vec::new(),
+            distinct: GenCache::new(),
+            bound: GenCache::new(),
         }
     }
 
@@ -435,10 +525,15 @@ impl UniformHull {
 
     /// Rewrites the ownership runs so `q` owns the circular inclusive range
     /// `[first, last]`, then refreshes the cached hull and perimeter.
+    ///
+    /// Allocation-free in steady state: the run rewrite, the point
+    /// collection, and the hull rebuild all reuse buffers held on the
+    /// struct.
     fn apply_beaten(&mut self, q: Point2, first: u32, last: u32) {
         let r = self.r;
         let in_beaten = |j: u32| -> bool { (j + r - first) % r <= (last + r - first) % r };
-        let mut out: Vec<DirRun> = Vec::with_capacity(self.runs.len() + 2);
+        let out = &mut self.runs_scratch;
+        out.clear();
         for run in &self.runs {
             // Split the (non-wrapping) run into maximal sub-runs that
             // survive outside the beaten set.
@@ -479,22 +574,25 @@ impl UniformHull {
             });
         }
         out.sort_by_key(|run| run.lo);
-        // Merge adjacent runs owned by the same point.
-        let mut merged: Vec<DirRun> = Vec::with_capacity(out.len());
-        for run in out {
-            if let Some(prev) = merged.last_mut() {
+        // Merge adjacent runs owned by the same point, writing back into
+        // the (cleared) live run list.
+        self.runs.clear();
+        for &run in out.iter() {
+            if let Some(prev) = self.runs.last_mut() {
                 if prev.point == run.point && prev.hi + 1 == run.lo {
                     prev.hi = run.hi;
                     continue;
                 }
             }
-            merged.push(run);
+            self.runs.push(run);
         }
-        self.runs = merged;
         debug_assert!(self.runs_partition_all());
 
-        let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
-        self.hull = ConvexPolygon::hull_of(&pts);
+        self.pts_scratch.clear();
+        self.pts_scratch
+            .extend(self.runs.iter().map(|run| run.point));
+        self.hull
+            .assign_hull_of(&self.pts_scratch, &mut self.hull_scratch);
         self.perimeter = self.hull.perimeter();
         self.generation += 1;
     }
@@ -525,6 +623,35 @@ impl HullSummary for UniformHull {
         let _ = self.insert_detailed(p);
     }
 
+    fn insert_batch(&mut self, points: &[Point2]) {
+        if points.len() <= BATCH_LEAF {
+            for &q in points {
+                let _ = self.insert_detailed(q);
+            }
+            return;
+        }
+        // Interior-certificate fast path: points inside the inscribed
+        // circle of `A` are exactly points the per-point path would
+        // discard as interior after an O(log r) point location — discard
+        // them here for two multiplies. The certificate is rebuilt only
+        // when `A` changes (`generation` advances), amortised across the
+        // chunk. Non-finite points never pass the certificate and fall
+        // through to `insert_detailed`'s own checks, keeping NaN/panic
+        // semantics identical to the loop.
+        let mut cert = CertCache::new(8);
+        for &q in points {
+            if cert.covers(q, || incircle(&self.hull)) {
+                self.seen += 1;
+                continue;
+            }
+            let before = self.generation;
+            let _ = self.insert_detailed(q);
+            if self.generation != before {
+                cert.invalidate();
+            }
+        }
+    }
+
     fn hull_ref(&self) -> &ConvexPolygon {
         &self.hull
     }
@@ -534,8 +661,10 @@ impl HullSummary for UniformHull {
     }
 
     fn sample_size(&self) -> usize {
-        let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
-        distinct_points(&pts).len()
+        self.distinct.get_or_compute(self.generation, || {
+            let pts: Vec<Point2> = self.runs.iter().map(|run| run.point).collect();
+            distinct_points(&pts).len()
+        })
     }
 
     fn points_seen(&self) -> u64 {
@@ -547,9 +676,9 @@ impl HullSummary for UniformHull {
     }
 
     fn error_bound(&self) -> Option<f64> {
-        Some(max_triangle_height(
-            &crate::metrics::uniform_uncertainty_triangles(self),
-        ))
+        Some(self.bound.get_or_compute(self.generation, || {
+            max_triangle_height(&crate::metrics::uniform_uncertainty_triangles(self))
+        }))
     }
 }
 

@@ -20,19 +20,50 @@ use core::cmp::Ordering;
 /// collinear sets.
 pub fn monotone_chain(points: &[Point2]) -> Vec<Point2> {
     let mut pts: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
-    pts.sort_by(|a, b| a.lex_cmp(*b));
+    let mut hull = Vec::with_capacity(pts.len().min(32));
+    monotone_chain_with(&mut pts, &mut hull, false);
+    hull
+}
+
+/// Buffered monotone chain: the allocation-free core behind
+/// [`monotone_chain`], reusable by callers that run hulls in a loop (the
+/// batched-ingestion fast paths of the summary crate).
+///
+/// `pts` is the working set — it is sorted and deduplicated **in place**
+/// and must contain only finite points (filter before calling). The hull is
+/// written into `hull` (cleared first); with warm buffers the call performs
+/// no heap allocations beyond capacity growth.
+///
+/// With `keep_collinear = false` the output is the strict hull (exactly
+/// [`monotone_chain`]'s contract). With `keep_collinear = true` points that
+/// lie *on* the hull boundary between vertices are retained as well —
+/// useful for computing the set of points not strictly inside the hull.
+/// In degenerate (fully collinear) cases the `keep_collinear` output may
+/// list interior collinear points twice (once per chain); callers wanting a
+/// set should sort + dedup.
+pub fn monotone_chain_with(pts: &mut Vec<Point2>, hull: &mut Vec<Point2>, keep_collinear: bool) {
+    hull.clear();
+    // Unstable sort: equal points are bitwise identical, so stability
+    // cannot affect the output, and pdqsort avoids the merge buffer.
+    pts.sort_unstable_by(|a, b| a.lex_cmp(*b));
     pts.dedup();
     let n = pts.len();
     if n <= 2 {
-        return pts;
+        hull.extend_from_slice(pts);
+        return;
     }
+    // Strict hulls pop collinear middles too; inclusive hulls keep them.
+    let pop = |a: Point2, b: Point2, c: Point2| -> bool {
+        if keep_collinear {
+            orient2d_sign(a, b, c) == Ordering::Less
+        } else {
+            orient2d_sign(a, b, c) != Ordering::Greater
+        }
+    };
 
-    let mut hull: Vec<Point2> = Vec::with_capacity(2 * n);
     // Lower hull.
-    for &p in &pts {
-        while hull.len() >= 2
-            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) != Ordering::Greater
-        {
+    for &p in pts.iter() {
+        while hull.len() >= 2 && pop(hull[hull.len() - 2], hull[hull.len() - 1], p) {
             hull.pop();
         }
         hull.push(p);
@@ -40,9 +71,7 @@ pub fn monotone_chain(points: &[Point2]) -> Vec<Point2> {
     // Upper hull.
     let lower_len = hull.len() + 1;
     for &p in pts.iter().rev().skip(1) {
-        while hull.len() >= lower_len
-            && orient2d_sign(hull[hull.len() - 2], hull[hull.len() - 1], p) != Ordering::Greater
-        {
+        while hull.len() >= lower_len && pop(hull[hull.len() - 2], hull[hull.len() - 1], p) {
             hull.pop();
         }
         hull.push(p);
@@ -51,7 +80,6 @@ pub fn monotone_chain(points: &[Point2]) -> Vec<Point2> {
     if hull.len() == 2 && hull[0] == hull[1] {
         hull.pop();
     }
-    hull
 }
 
 /// Convex hull by Graham scan, `O(n log n)`.
@@ -224,6 +252,88 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn buffered_chain_matches_allocating_chain() {
+        let mut seed = 0x5eedu64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut pts_buf = Vec::new();
+        let mut hull_buf = Vec::new();
+        for n in [0usize, 1, 2, 3, 10, 100, 400] {
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| p((next() * 8.0).floor(), (next() * 8.0).floor()))
+                .collect();
+            let want = monotone_chain(&pts);
+            pts_buf.clear();
+            pts_buf.extend_from_slice(&pts);
+            monotone_chain_with(&mut pts_buf, &mut hull_buf, false);
+            assert_eq!(hull_buf, want, "n = {n}");
+        }
+    }
+
+    /// Inclusive-chain membership equals "not strictly inside the strict
+    /// hull", verified by brute force over every input point.
+    #[test]
+    fn inclusive_chain_is_the_hull_boundary_set() {
+        let mut seed = 0xb0a7u64;
+        let mut next = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let strictly_inside = |hull: &[Point2], q: Point2| -> bool {
+            // Strictly inside a full-dimensional hull: a strict left turn
+            // against every edge. Degenerate hulls have no strict interior.
+            hull.len() >= 3
+                && (0..hull.len()).all(|i| {
+                    orient2d_sign(hull[i], hull[(i + 1) % hull.len()], q) == Ordering::Greater
+                })
+        };
+        for trial in 0..40 {
+            let n = 5 + trial * 7;
+            // Small integer grid: many duplicates and collinear runs.
+            let pts: Vec<Point2> = (0..n)
+                .map(|_| p((next() * 6.0).floor(), (next() * 6.0).floor()))
+                .collect();
+            let strict = monotone_chain(&pts);
+            let mut work = pts.clone();
+            let mut boundary = Vec::new();
+            monotone_chain_with(&mut work, &mut boundary, true);
+            boundary.sort_by(|a, b| a.lex_cmp(*b));
+            boundary.dedup();
+            for &q in &pts {
+                let member = boundary.binary_search_by(|b| b.lex_cmp(q)).is_ok();
+                assert_eq!(
+                    member,
+                    !strictly_inside(&strict, q),
+                    "trial {trial}: point {q:?} boundary membership wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inclusive_chain_degenerate_inputs() {
+        let mut work = Vec::new();
+        let mut out = Vec::new();
+        monotone_chain_with(&mut work, &mut out, true);
+        assert!(out.is_empty());
+        work = vec![p(1.0, 1.0); 4];
+        monotone_chain_with(&mut work, &mut out, true);
+        assert_eq!(out, vec![p(1.0, 1.0)]);
+        // Fully collinear: every input point is on the boundary.
+        work = (0..6).map(|i| p(i as f64, i as f64)).collect();
+        monotone_chain_with(&mut work, &mut out, true);
+        out.sort_by(|a, b| a.lex_cmp(*b));
+        out.dedup();
+        assert_eq!(out.len(), 6, "collinear points are all boundary points");
     }
 
     #[test]

@@ -26,6 +26,20 @@ impl ConvexPolygon {
         }
     }
 
+    /// Recomputes `self` as the convex hull of `points`, reusing this
+    /// polygon's vertex buffer and the caller's `scratch` buffer.
+    ///
+    /// Equivalent to `*self = ConvexPolygon::hull_of(points)` but free of
+    /// heap allocations once both buffers are warm — the building block for
+    /// the summary crate's allocation-free ingestion hot paths.
+    pub fn assign_hull_of(&mut self, points: &[Point2], scratch: &mut Vec<Point2>) {
+        scratch.clear();
+        scratch.extend(points.iter().copied().filter(|p| p.is_finite()));
+        let mut verts = core::mem::take(&mut self.verts);
+        crate::hull::monotone_chain_with(scratch, &mut verts, false);
+        self.verts = verts;
+    }
+
     /// Wraps a vertex list that is already a strictly convex ccw cycle.
     ///
     /// Returns `None` if validation fails. Use [`ConvexPolygon::hull_of`]
@@ -322,6 +336,26 @@ mod tests {
         ]);
         assert_eq!(poly.len(), 3);
         assert!(poly.contains_linear(p(1.0, 1.0)));
+    }
+
+    #[test]
+    fn assign_hull_of_matches_hull_of() {
+        let mut poly = ConvexPolygon::empty();
+        let mut scratch = Vec::new();
+        for pts in [
+            vec![],
+            vec![p(1.0, 1.0)],
+            vec![p(0.0, 0.0), p(2.0, 0.0), p(1.0, 1.0), p(1.0, 0.2)],
+            (0..50)
+                .map(|i| {
+                    let t = i as f64 * 0.37;
+                    p(t.cos() * 3.0, t.sin() * 2.0)
+                })
+                .collect(),
+        ] {
+            poly.assign_hull_of(&pts, &mut scratch);
+            assert_eq!(poly, ConvexPolygon::hull_of(&pts));
+        }
     }
 
     #[test]

@@ -115,31 +115,37 @@ fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> Ordering {
     // Product of two 2-expansions = sum of four exact products
     // = expansion with <= 8 components. Difference of two such products
     // <= 16 components.
-    let left = mul_expansion2(e_bx_ax, bx_ax, e_cy_ay, cy_ay);
-    let right = mul_expansion2(e_by_ay, by_ay, e_cx_ax, cx_ax);
-    let neg_right: Vec<f64> = right.iter().map(|&x| -x).collect();
+    let (left, nl) = mul_expansion2(e_bx_ax, bx_ax, e_cy_ay, cy_ay);
+    let (mut right, nr) = mul_expansion2(e_by_ay, by_ay, e_cx_ax, cx_ax);
+    for x in right[..nr].iter_mut() {
+        *x = -*x;
+    }
     let mut out = [0.0f64; 32];
-    let n = expansion_sum(&left, &neg_right, &mut out);
+    let n = expansion_sum(&left[..nl], &right[..nr], &mut out);
     expansion_sign(&out[..n])
 }
 
 /// Multiplies two exact 2-component expansions `(e0 + e1) * (f0 + f1)`
 /// (each given as low component then high component), returning an exact
-/// expansion.
-fn mul_expansion2(e0: f64, e1: f64, f0: f64, f1: f64) -> Vec<f64> {
-    let mut acc: Vec<f64> = Vec::with_capacity(8);
-    let mut out = [0.0f64; 32];
-    for &(x, y) in &[(e0, f0), (e0, f1), (e1, f0), (e1, f1)] {
+/// expansion of at most 8 components as `(storage, length)`. Stack-only:
+/// the exact fallback must not allocate — it sits on the ingestion hot
+/// path whenever the floating-point filter fails (collinear-heavy and
+/// integer-grid streams hit it constantly).
+fn mul_expansion2(e0: f64, e1: f64, f0: f64, f1: f64) -> ([f64; 8], usize) {
+    let mut acc = [0.0f64; 8];
+    let mut len = 0usize;
+    let mut out = [0.0f64; 8];
+    for (x, y) in [(e0, f0), (e0, f1), (e1, f0), (e1, f1)] {
         let (hi, lo) = two_product(x, y);
         for term in [lo, hi] {
-            if term != 0.0 || acc.is_empty() {
-                let n = crate::expansion::grow_expansion(&acc, term, &mut out);
-                acc.clear();
-                acc.extend_from_slice(&out[..n]);
+            if term != 0.0 || len == 0 {
+                let n = crate::expansion::grow_expansion(&acc[..len], term, &mut out);
+                acc[..n].copy_from_slice(&out[..n]);
+                len = n;
             }
         }
     }
-    acc
+    (acc, len)
 }
 
 /// Orientation of the triple `(a, b, c)`.

@@ -209,6 +209,93 @@ proptest! {
     }
 
     #[test]
+    fn insert_batch_is_observably_identical_to_insert_loop(
+        pts in stream_strategy(300),
+        chunk in 1usize..80,
+        rexp in 3u32..7,
+    ) {
+        // The insert_batch contract (summary.rs) for every runtime kind:
+        // chunked ingestion must leave points_seen, sample_size, the hull
+        // vertices, and the live error bound bit-identical to the per-point
+        // loop. Only raw generation counts may differ (batches coalesce
+        // cache invalidations). r reaches 64 so the direction-scan kinds
+        // also exercise their monotone-chain prefilter path.
+        let r = 1u32 << rexp; // 8..64
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            let mut looped = builder.build();
+            for &q in &pts {
+                looped.insert(q);
+            }
+            let mut batched = builder.build();
+            for c in pts.chunks(chunk) {
+                batched.insert_batch(c);
+            }
+            prop_assert_eq!(looped.points_seen(), batched.points_seen(), "{}: seen", kind);
+            prop_assert_eq!(looped.sample_size(), batched.sample_size(), "{}: sample", kind);
+            prop_assert_eq!(
+                looped.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{}: hull", kind
+            );
+            prop_assert_eq!(looped.error_bound(), batched.error_bound(), "{}: bound", kind);
+        }
+    }
+
+    #[test]
+    fn insert_batch_duplicate_heavy_batches(p0 in pt_strategy(), n in 1usize..120, chunk in 1usize..40) {
+        // Batches made of one repeated point (plus a few distinct outliers
+        // to seed a non-degenerate hull) exercise the dedup/tie paths of
+        // every pre-hull filter.
+        let mut pts = vec![Point2::new(60.0, 0.0), Point2::new(-60.0, 40.0), p0];
+        pts.extend(std::iter::repeat_n(p0, n));
+        pts.push(Point2::new(0.0, -60.0));
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(8);
+            let mut looped = builder.build();
+            for &q in &pts {
+                looped.insert(q);
+            }
+            let mut batched = builder.build();
+            for c in pts.chunks(chunk) {
+                batched.insert_batch(c);
+            }
+            prop_assert_eq!(looped.points_seen(), batched.points_seen(), "{}", kind);
+            prop_assert_eq!(
+                looped.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{}", kind
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_are_harmless(pts in stream_strategy(60)) {
+        // Empty batches must be pure no-ops anywhere in the stream, and a
+        // stream fed as singleton batches must match the plain loop.
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(8);
+            let mut looped = builder.build();
+            for &q in &pts {
+                looped.insert(q);
+            }
+            let mut batched = builder.build();
+            batched.insert_batch(&[]);
+            for &q in &pts {
+                batched.insert_batch(&[q]);
+                batched.insert_batch(&[]);
+            }
+            prop_assert_eq!(looped.points_seen(), batched.points_seen(), "{}", kind);
+            prop_assert_eq!(looped.sample_size(), batched.sample_size(), "{}", kind);
+            prop_assert_eq!(
+                looped.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{}", kind
+            );
+        }
+    }
+
+    #[test]
     fn radial_and_frozen_budgets(pts in stream_strategy(200)) {
         let mut rad = RadialHull::new(16);
         for &q in &pts {
