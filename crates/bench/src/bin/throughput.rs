@@ -1,6 +1,6 @@
 //! Ingestion throughput: points/sec for every summary backend, per-point
-//! loop vs `insert_batch`, on three workload shapes — the recorded perf
-//! baseline the repo's trajectory tracks from PR 2 onward.
+//! loop vs `insert_batch` vs sharded parallel ingestion — the recorded
+//! perf baseline the repo's trajectory tracks from PR 2 onward.
 //!
 //! Workloads (all seeded with `TABLE1_SEED`, lengths exact):
 //!
@@ -12,19 +12,33 @@
 //!   take the heavy "beats directions" path;
 //! * `rotating` — uniform ellipse whose orientation advances by a full
 //!   revolution over the stream: the extrema migrate constantly (the §7
-//!   "changing distribution" stressor).
+//!   "changing distribution" stressor);
+//! * `clustered` — four interleaved Gaussian blobs on a wide square: the
+//!   `cluster` backend's focused workload (multiple live clusters, so the
+//!   per-insert nearest-cluster scan and the merge machinery both run
+//!   hot); other backends see it as a multi-modal stressor.
+//!
+//! The `threads` dimension drives `ShardedIngest` over the `interior` and
+//! `clustered` workloads for every backend: shard the stream, summarise
+//! shards on scoped threads, merge in deterministic shard order.
+//! **Interpreting it**: on a single-CPU host the 2/4-shard rows measure
+//! pure engine overhead (they time-slice one core — expect ≤ 1×); the
+//! recorded `host_cpus` field says what the committed numbers mean. On an
+//! `N`-core host the workers run truly in parallel and the scaling column
+//! is the multi-core story.
 //!
 //! Output: a table on stdout and `BENCH_throughput.json` (see
 //! `EXPERIMENTS.md` for the schema and how baselines are compared across
-//! PRs). Run with `--n 20000` for a smoke test; CI validates the JSON.
+//! PRs). Run with `--n 20000` for a smoke test; CI validates the JSON,
+//! including the `threads` dimension.
 
-use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
+use adaptive_hull::{HullSummary, ShardedIngest, SummaryBuilder, SummaryKind};
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// One backend × workload × ingestion-mode measurement.
+/// One backend × workload × ingestion-mode measurement (single thread).
 struct Row {
     workload: &'static str,
     backend: &'static str,
@@ -46,8 +60,35 @@ impl Row {
     }
 }
 
+/// One backend × workload × shard-count sharded-ingestion measurement.
+struct ParRow {
+    workload: &'static str,
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    threads: usize,
+    sharded_ns: f64,
+}
+
+impl ParRow {
+    fn pps(&self) -> f64 {
+        1e9 / self.sharded_ns
+    }
+}
+
+/// Throughput of `row` relative to the 1-shard engine run of the same
+/// (workload, backend) — `None` when the run's `--threads` list omitted 1,
+/// so an absent baseline is reported as missing rather than a fabricated
+/// 1.0 (the single source for both the stdout table and the JSON).
+fn scaling_vs_1(par_rows: &[ParRow], row: &ParRow) -> Option<f64> {
+    par_rows
+        .iter()
+        .find(|b| b.workload == row.workload && b.backend == row.backend && b.threads == 1)
+        .map(|b| b.sharded_ns / row.sharded_ns)
+}
+
 fn workloads(n: usize, seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
-    use streamgen::{Annulus, Disk, Ellipse};
+    use streamgen::{Annulus, Disk, Ellipse, Gaussian, Translate};
     let interior: Vec<Point2> = Disk::new(seed, n, 1.0).collect();
     let boundary: Vec<Point2> = Annulus::new(seed ^ 0xb0, n, 0.95, 1.0).collect();
     let rotating: Vec<Point2> = Ellipse::new(seed ^ 0x07, n, 8.0, 0.0)
@@ -57,10 +98,27 @@ fn workloads(n: usize, seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
             Point2::ORIGIN + (p - Point2::ORIGIN).rotate(phi)
         })
         .collect();
+    // Four well-separated Gaussian blobs, interleaved so clustering can
+    // never rely on arrival order; exact length n.
+    let centers = [(0.0, 0.0), (30.0, 0.0), (0.0, 30.0), (30.0, 30.0)];
+    let per_blob = n / centers.len() + 1;
+    let blobs: Vec<Vec<Point2>> = centers
+        .iter()
+        .enumerate()
+        .map(|(i, &(cx, cy))| {
+            Translate::new(
+                Gaussian::new(seed ^ (0xc1 + i as u64), per_blob, 1.0),
+                geom::Vec2::new(cx, cy),
+            )
+            .collect()
+        })
+        .collect();
+    let clustered: Vec<Point2> = (0..n).map(|i| blobs[i % 4][i / 4]).collect();
     vec![
         ("interior", interior),
         ("boundary", boundary),
         ("rotating", rotating),
+        ("clustered", clustered),
     ]
 }
 
@@ -99,12 +157,56 @@ fn time_ns_per_point(
     (best, seen, hull)
 }
 
+/// Best-of-`reps` wall-clock nanoseconds per point for a sharded run.
+fn time_sharded_ns_per_point(
+    builder: &SummaryBuilder,
+    pts: &[Point2],
+    shards: usize,
+    chunk: usize,
+    reps: usize,
+) -> f64 {
+    let engine = ShardedIngest::new(*builder, shards).with_chunk(chunk);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let run = engine.run(pts);
+        let ns = start.elapsed().as_nanos() as f64 / pts.len().max(1) as f64;
+        assert_eq!(
+            run.summary.points_seen(),
+            pts.len() as u64,
+            "sharded run lost points"
+        );
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
 fn json_escape_free(s: &str) -> &str {
     debug_assert!(s.chars().all(|c| c.is_ascii_graphic() || c == ' '));
     s
 }
 
-fn render_json(n: usize, chunk: usize, reps: usize, seed: u64, rows: &[Row]) -> String {
+/// Run-level metadata recorded at the top of the JSON document.
+struct RunMeta<'a> {
+    n: usize,
+    chunk: usize,
+    reps: usize,
+    seed: u64,
+    threads: &'a [usize],
+    host_cpus: usize,
+}
+
+fn render_json(meta: &RunMeta<'_>, rows: &[Row], par_rows: &[ParRow]) -> String {
+    let RunMeta {
+        n,
+        chunk,
+        reps,
+        seed,
+        threads,
+        host_cpus,
+    } = *meta;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"bench\": \"throughput\",");
@@ -112,6 +214,9 @@ fn render_json(n: usize, chunk: usize, reps: usize, seed: u64, rows: &[Row]) -> 
     let _ = writeln!(out, "  \"chunk\": {chunk},");
     let _ = writeln!(out, "  \"reps\": {reps},");
     let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"host_cpus\": {host_cpus},");
+    let threads_list: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let _ = writeln!(out, "  \"threads\": [{}],", threads_list.join(", "));
     let _ = writeln!(out, "  \"unit\": \"points_per_sec\",");
     let _ = writeln!(out, "  \"results\": [");
     for (i, row) in rows.iter().enumerate() {
@@ -119,6 +224,7 @@ fn render_json(n: usize, chunk: usize, reps: usize, seed: u64, rows: &[Row]) -> 
         let _ = writeln!(
             out,
             "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"threads\": 1, \
              \"per_point_ns\": {:.2}, \"batched_ns\": {:.2}, \
              \"points_per_sec_loop\": {:.0}, \"points_per_sec_batch\": {:.0}, \
              \"speedup\": {:.3}}}{comma}",
@@ -133,13 +239,33 @@ fn render_json(n: usize, chunk: usize, reps: usize, seed: u64, rows: &[Row]) -> 
             row.speedup(),
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"parallel\": [");
+    for (i, row) in par_rows.iter().enumerate() {
+        let comma = if i + 1 == par_rows.len() { "" } else { "," };
+        let scaling = scaling_vs_1(par_rows, row).map_or("null".to_string(), |s| format!("{s:.3}"));
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"threads\": {}, \"sharded_ns\": {:.2}, \"points_per_sec\": {:.0}, \
+             \"scaling_vs_1\": {scaling}}}{comma}",
+            json_escape_free(row.workload),
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.threads,
+            row.sharded_ns,
+            row.pps(),
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
 }
 
-fn run(n: usize, chunk: usize, reps: usize, r: u32) -> Vec<Row> {
+fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize]) -> (Vec<Row>, Vec<ParRow>) {
     let mut rows = Vec::new();
+    let mut par_rows = Vec::new();
     for (wname, pts) in workloads(n, TABLE1_SEED) {
         for &kind in &SummaryKind::ALL {
             let builder = SummaryBuilder::new(kind).with_r(r);
@@ -158,9 +284,24 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32) -> Vec<Row> {
                 per_point_ns: loop_ns,
                 batched_ns: batch_ns,
             });
+            // Sharded dimension: the engine-friendly workloads only (the
+            // boundary/rotating adversaries measure the same machinery).
+            if wname == "interior" || wname == "clustered" {
+                for &t in threads {
+                    let ns = time_sharded_ns_per_point(&builder, &pts, t, chunk, reps);
+                    par_rows.push(ParRow {
+                        workload: wname,
+                        backend: kind.label(),
+                        r,
+                        n: pts.len(),
+                        threads: t,
+                        sharded_ns: ns,
+                    });
+                }
+            }
         }
     }
-    rows
+    (rows, par_rows)
 }
 
 fn main() {
@@ -168,6 +309,7 @@ fn main() {
     let mut chunk = 1024usize;
     let mut reps = 3usize;
     let mut r = 32u32;
+    let mut threads = vec![1usize, 2, 4];
     let mut out_path = String::from("BENCH_throughput.json");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -177,12 +319,22 @@ fn main() {
             "--chunk" => chunk = grab().parse().expect("--chunk"),
             "--reps" => reps = grab().parse().expect("--reps"),
             "--r" => r = grab().parse().expect("--r"),
+            "--threads" => {
+                threads = grab()
+                    .split(',')
+                    .map(|t| t.trim().parse().expect("--threads takes e.g. 1,2,4"))
+                    .collect();
+                assert!(!threads.is_empty(), "--threads needs at least one count");
+            }
             "--out" => out_path = grab(),
-            other => panic!("unknown flag {other:?} (supported: --n --chunk --reps --r --out)"),
+            other => {
+                panic!("unknown flag {other:?} (supported: --n --chunk --reps --r --threads --out)")
+            }
         }
     }
 
-    let rows = run(n, chunk, reps, r);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let (rows, par_rows) = run(n, chunk, reps, r, &threads);
 
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
@@ -201,7 +353,39 @@ fn main() {
         );
     }
 
-    let json = render_json(n, chunk, reps, TABLE1_SEED, &rows);
+    println!(
+        "\nsharded ingestion (host has {host_cpus} cpu(s); scaling is vs the 1-shard engine run)"
+    );
+    println!(
+        "{:<10} {:<14} {:>8} {:>14} {:>14} {:>9}",
+        "workload", "backend", "threads", "sharded ns/pt", "pts/s", "scaling"
+    );
+    for row in &par_rows {
+        let scaling =
+            scaling_vs_1(&par_rows, row).map_or("n/a".to_string(), |s| format!("{s:.2}x"));
+        println!(
+            "{:<10} {:<14} {:>8} {:>14.1} {:>14.0} {:>9}",
+            row.workload,
+            row.backend,
+            row.threads,
+            row.sharded_ns,
+            row.pps(),
+            scaling,
+        );
+    }
+
+    let json = render_json(
+        &RunMeta {
+            n,
+            chunk,
+            reps,
+            seed: TABLE1_SEED,
+            threads: &threads,
+            host_cpus,
+        },
+        &rows,
+        &par_rows,
+    );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
     println!("\nwrote {out_path}");
 }
@@ -212,9 +396,22 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_wellformed_json() {
-        let rows = run(2000, 256, 1, 16);
-        assert_eq!(rows.len(), 3 * SummaryKind::ALL.len());
-        let json = render_json(2000, 256, 1, TABLE1_SEED, &rows);
+        let threads = [1usize, 2];
+        let (rows, par_rows) = run(2000, 256, 1, 16, &threads);
+        assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
+        assert_eq!(par_rows.len(), 2 * SummaryKind::ALL.len() * threads.len());
+        let json = render_json(
+            &RunMeta {
+                n: 2000,
+                chunk: 256,
+                reps: 1,
+                seed: TABLE1_SEED,
+                threads: &threads,
+                host_cpus: 1,
+            },
+            &rows,
+            &par_rows,
+        );
         // Minimal structural validation: balanced braces/brackets, the
         // expected keys, one result object per row, no NaN/inf leakage.
         assert_eq!(
@@ -223,12 +420,22 @@ mod tests {
             "unbalanced braces"
         );
         assert_eq!(json.matches('[').count(), json.matches(']').count());
-        assert_eq!(json.matches("\"workload\"").count(), rows.len());
+        assert_eq!(
+            json.matches("\"workload\"").count(),
+            rows.len() + par_rows.len()
+        );
+        assert_eq!(
+            json.matches("\"threads\"").count(),
+            rows.len() + par_rows.len() + 1
+        );
         for key in [
             "\"bench\"",
+            "\"host_cpus\"",
             "\"points_per_sec_loop\"",
             "\"points_per_sec_batch\"",
             "\"speedup\"",
+            "\"sharded_ns\"",
+            "\"scaling_vs_1\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
@@ -237,9 +444,24 @@ mod tests {
 
     #[test]
     fn workloads_have_exact_lengths_and_finite_points() {
-        for (name, pts) in workloads(500, 1) {
+        let w = workloads(500, 1);
+        assert_eq!(w.len(), 4);
+        for (name, pts) in w {
             assert_eq!(pts.len(), 500, "{name}");
             assert!(pts.iter().all(|p| p.is_finite()), "{name}");
         }
+    }
+
+    #[test]
+    fn clustered_workload_is_genuinely_multimodal() {
+        use adaptive_hull::{ClusterHull, ClusterHullConfig};
+        let pts = &workloads(4000, TABLE1_SEED)[3].1;
+        let mut ch = ClusterHull::new(ClusterHullConfig::new(4).with_r(8));
+        ch.insert_batch(pts);
+        assert!(ch.cluster_count() >= 3, "blobs must stay separate");
+        assert!(
+            !ch.covers(Point2::new(15.0, 15.0)),
+            "inter-blob gap covered"
+        );
     }
 }

@@ -14,8 +14,10 @@
 //! whole structure remains a single-pass, `O(k·r)`-point summary.
 
 use crate::adaptive::stream::{AdaptiveHull, AdaptiveHullConfig};
+use crate::batch::incircle;
 use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2};
+use std::collections::HashMap;
 
 /// Configuration for [`ClusterHull`].
 #[derive(Clone, Copy, Debug)]
@@ -54,45 +56,115 @@ impl ClusterHullConfig {
 
 #[derive(Debug, Clone)]
 struct Cluster {
+    /// Stable identity surviving `swap_remove` reordering; the pairwise
+    /// merge-cost cache is keyed by id pairs.
+    id: u64,
     summary: AdaptiveHull,
     hull: ConvexPolygon, // cached; refreshed on change
-    /// Generation `hull` was cloned at — interior points leave the
-    /// summary's hull untouched, so the per-point clone is skipped unless
-    /// the generation advanced (the dominant cost of cluster ingestion
-    /// before this check).
+    /// Generation `hull` (and every derived cache below) was computed at —
+    /// interior points leave the summary's hull untouched, so per-point
+    /// recomputation is skipped unless the generation advanced (the
+    /// dominant cost of cluster ingestion before this check).
     hull_gen: u64,
+    /// Axis-aligned bounding box of `hull` (`min_x, min_y, max_x, max_y`):
+    /// the hull lies inside it, so the distance from a query point to the
+    /// box lower-bounds the distance to the hull — an O(1) reject for the
+    /// nearest-cluster scan.
+    bbox: (f64, f64, f64, f64),
+    /// Inscribed circle of `hull` (`center, radius²`) from the batch
+    /// machinery: a point inside it is strictly inside the hull, i.e. its
+    /// distance is exactly 0 — an O(1) accept for the common "point lands
+    /// in an existing cluster" case.
+    incircle: Option<(Point2, f64)>,
+    /// Cached `hull.perimeter()` (the join margin reads it per insert).
+    perimeter: f64,
+    /// Cached cost `area + w·perimeter²` under the configured weight.
+    cost: f64,
 }
 
 impl Cluster {
-    fn new(r: u32, p: Point2) -> Self {
+    fn new(id: u64, r: u32, w: f64, p: Point2) -> Self {
         let mut summary = AdaptiveHull::new(AdaptiveHullConfig::new(r));
         summary.insert(p);
-        let hull = summary.hull();
-        let hull_gen = summary.hull_generation();
-        Cluster {
+        let mut c = Cluster {
+            id,
             summary,
-            hull,
-            hull_gen,
-        }
+            hull: ConvexPolygon::empty(),
+            hull_gen: u64::MAX,
+            bbox: (0.0, 0.0, 0.0, 0.0),
+            incircle: None,
+            perimeter: 0.0,
+            cost: 0.0,
+        };
+        c.refresh(w);
+        c
     }
 
-    fn insert(&mut self, p: Point2) {
+    fn insert(&mut self, p: Point2, w: f64) {
         self.summary.insert(p);
-        self.refresh_hull();
+        self.refresh(w);
     }
 
-    fn refresh_hull(&mut self) {
+    /// Recomputes the hull clone and every derived cache iff the summary's
+    /// hull generation advanced since the last refresh.
+    fn refresh(&mut self, w: f64) {
         let gen = self.summary.hull_generation();
-        if gen != self.hull_gen {
-            self.hull = self.summary.hull();
-            self.hull_gen = gen;
+        if gen == self.hull_gen {
+            return;
         }
+        self.hull = self.summary.hull();
+        self.hull_gen = gen;
+        let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+        let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for v in self.hull.vertices() {
+            min_x = min_x.min(v.x);
+            min_y = min_y.min(v.y);
+            max_x = max_x.max(v.x);
+            max_y = max_y.max(v.y);
+        }
+        self.bbox = (min_x, min_y, max_x, max_y);
+        self.incircle = incircle(&self.hull);
+        self.perimeter = self.hull.perimeter();
+        self.cost = self.hull.area() + w * self.perimeter * self.perimeter;
     }
 
-    fn cost(&self, w: f64) -> f64 {
-        let per = self.hull.perimeter();
-        self.hull.area() + w * per * per
+    /// Squared distance from `p` to the bounding box (0 inside): a lower
+    /// bound on `hull.distance_to_point(p)²` because the hull is contained
+    /// in the box.
+    #[inline]
+    fn bbox_dist_sq(&self, p: Point2) -> f64 {
+        let (min_x, min_y, max_x, max_y) = self.bbox;
+        let dx = (min_x - p.x).max(p.x - max_x).max(0.0);
+        let dy = (min_y - p.y).max(p.y - max_y).max(0.0);
+        dx * dx + dy * dy
     }
+
+    /// Exact containment (`distance == 0`) with O(1) filters in front:
+    /// the inscribed-circle accept, the bbox reject, then the `O(log h)`
+    /// fan search. Agrees with `hull.distance_to_point(p) == 0.0` on every
+    /// input.
+    #[inline]
+    fn contains(&self, p: Point2) -> bool {
+        if let Some((c, r2)) = self.incircle {
+            if (p - c).norm_sq() <= r2 {
+                return true;
+            }
+        }
+        let (min_x, min_y, max_x, max_y) = self.bbox;
+        if p.x < min_x || p.x > max_x || p.y < min_y || p.y > max_y {
+            return false;
+        }
+        geom::locate::contains(&self.hull, p)
+    }
+}
+
+/// Merge-cost cache entry: the cost delta of merging an id pair, valid
+/// while both clusters still sit at the recorded hull generations.
+#[derive(Clone, Copy, Debug)]
+struct PairCost {
+    gen_lo: u64,
+    gen_hi: u64,
+    delta: f64,
 }
 
 /// Online cluster-of-hulls shape summary (paper §8 / ALENEX'06 follow-up).
@@ -124,6 +196,20 @@ pub struct ClusterHull {
     /// Cache of the union hull reported through [`HullSummary::hull_ref`].
     cache: HullCache,
     distinct: GenCache<usize>,
+    /// Next cluster id (monotone; ids are never reused).
+    next_id: u64,
+    /// Pairwise merge-cost deltas keyed by `(id_lo, id_hi)`. Entries stay
+    /// valid while both clusters' hull generations are unchanged, so a
+    /// budget trip only recomputes the rows touched by clusters that
+    /// actually changed since the last trip instead of re-hulling all
+    /// O(k²) pairs.
+    pair_costs: HashMap<(u64, u64), PairCost>,
+    /// Scratch for the union-of-samples point set (reused across merges).
+    merge_scratch: Vec<Point2>,
+    /// Scratch for the monotone chain inside `assign_hull_of`.
+    hull_scratch: Vec<Point2>,
+    /// Reused polygon buffer for candidate union hulls.
+    trial_hull: ConvexPolygon,
 }
 
 impl ClusterHull {
@@ -135,6 +221,11 @@ impl ClusterHull {
             seen: 0,
             cache: HullCache::new(),
             distinct: GenCache::new(),
+            next_id: 0,
+            pair_costs: HashMap::new(),
+            merge_scratch: Vec::new(),
+            hull_scratch: Vec::new(),
+            trial_hull: ConvexPolygon::empty(),
         }
     }
 
@@ -176,57 +267,118 @@ impl ClusterHull {
     fn insert_impl(&mut self, p: Point2) {
         assert!(p.is_finite(), "ClusterHull requires finite coordinates");
         self.seen += 1;
-        // Assign to the cluster whose hull is nearest (0 when inside).
+        let w = self.config.perimeter_weight;
+        // Assign to the cluster whose hull is nearest (0 when inside),
+        // picking exactly the cluster the plain O(k·h) distance scan
+        // would: the first index attaining the strict minimum, with an
+        // early exit at distance 0.
+        //
+        // Pass 1 — containment: a cluster containing `p` has distance 0,
+        // which beats every earlier (strictly positive) distance and ends
+        // the plain scan, so the *first containing cluster* is the winner
+        // whenever one exists. Containment is O(1) for the bulk of points
+        // (inscribed-circle accept / bbox reject) and O(log h) otherwise —
+        // no exact distances at all on this path, which is the hot one:
+        // in steady state almost every point lands inside some cluster.
         let mut best: Option<(usize, f64)> = None;
         for (i, c) in self.clusters.iter().enumerate() {
-            let d = c.hull.distance_to_point(p);
-            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
-                best = Some((i, d));
-            }
-            if d == 0.0 {
+            if c.contains(p) {
+                best = Some((i, 0.0));
                 break;
+            }
+        }
+        // Pass 2 — `p` escapes every hull: now the exact nearest matters.
+        // The bbox lower bound skips clusters that provably cannot beat
+        // the incumbent (only a strictly smaller distance displaces it),
+        // and the containment test inside `distance_to_point` is skipped —
+        // pass 1 already proved `p` outside.
+        if best.is_none() {
+            for (i, c) in self.clusters.iter().enumerate() {
+                if let Some((_, bd)) = best {
+                    if c.bbox_dist_sq(p) >= bd * bd {
+                        continue;
+                    }
+                }
+                let d = c.hull.boundary_distance(p);
+                if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                    best = Some((i, d));
+                }
             }
         }
         // Join the nearest cluster when inside it or within the join
         // margin of its boundary (prevents steady-state churn where every
         // boundary point spawns a transient cluster).
         if let Some((i, d)) = best {
-            let margin = self.config.join_factor * self.clusters[i].hull.perimeter();
+            let margin = self.config.join_factor * self.clusters[i].perimeter;
             if d <= margin {
-                self.clusters[i].insert(p);
+                self.clusters[i].insert(p, w);
                 return;
             }
         }
-        match best {
-            Some((i, 0.0)) => self.clusters[i].insert(p),
-            _ => {
-                // Outside every hull: open a new cluster, then enforce the
-                // budget by merging the cheapest pair. (Opening first and
-                // merging after lets the cost objective decide whether the
-                // point really belongs to its nearest cluster.)
-                self.clusters.push(Cluster::new(self.config.r, p));
-                while self.clusters.len() > self.config.max_clusters {
-                    self.merge_cheapest_pair();
-                }
+        // Reaching here means no cluster exists yet, or the nearest one is
+        // beyond its join margin (a contained point has d = 0 <= margin and
+        // joined above): open a new cluster, then enforce the budget by
+        // merging the cheapest pair. (Opening first and merging after lets
+        // the cost objective decide whether the point really belongs to
+        // its nearest cluster.)
+        let id = self.next_id;
+        self.next_id += 1;
+        self.clusters.push(Cluster::new(id, self.config.r, w, p));
+        while self.clusters.len() > self.config.max_clusters {
+            self.merge_cheapest_pair();
+        }
+    }
+
+    /// The cost delta of merging clusters `i` and `j`, served from the
+    /// pairwise cache when both clusters are unchanged since it was
+    /// computed, recomputed (and re-cached) otherwise.
+    fn pair_delta(&mut self, i: usize, j: usize) -> f64 {
+        let (a, b) = (&self.clusters[i], &self.clusters[j]);
+        let (key, gen_lo, gen_hi) = if a.id < b.id {
+            ((a.id, b.id), a.hull_gen, b.hull_gen)
+        } else {
+            ((b.id, a.id), b.hull_gen, a.hull_gen)
+        };
+        if let Some(e) = self.pair_costs.get(&key) {
+            if e.gen_lo == gen_lo && e.gen_hi == gen_hi {
+                return e.delta;
             }
         }
+        self.merge_scratch.clear();
+        self.merge_scratch.extend(a.summary.sample_points());
+        self.merge_scratch.extend(b.summary.sample_points());
+        let mut trial = core::mem::replace(&mut self.trial_hull, ConvexPolygon::empty());
+        trial.assign_hull_of(&self.merge_scratch, &mut self.hull_scratch);
+        let per = trial.perimeter();
+        let w = self.config.perimeter_weight;
+        let merged_cost = trial.area() + w * per * per;
+        self.trial_hull = trial;
+        let delta = merged_cost - self.clusters[i].cost - self.clusters[j].cost;
+        self.pair_costs.insert(
+            key,
+            PairCost {
+                gen_lo,
+                gen_hi,
+                delta,
+            },
+        );
+        delta
     }
 
     /// Merges the pair of clusters minimising the cost increase
     /// `cost(A ∪ B) − cost(A) − cost(B)`.
+    ///
+    /// Pair deltas are served from [`ClusterHull::pair_costs`]: between
+    /// budget trips only the clusters that absorbed points (or the freshly
+    /// opened one) have advanced generations, so the quadratic re-hulling
+    /// of every pair collapses to the handful of changed rows.
     fn merge_cheapest_pair(&mut self) {
-        let w = self.config.perimeter_weight;
         let n = self.clusters.len();
         debug_assert!(n >= 2);
         let mut best = (0usize, 1usize, f64::INFINITY);
         for i in 0..n {
             for j in (i + 1)..n {
-                let mut pts = self.clusters[i].summary.sample_points();
-                pts.extend(self.clusters[j].summary.sample_points());
-                let hull = ConvexPolygon::hull_of(&pts);
-                let per = hull.perimeter();
-                let merged_cost = hull.area() + w * per * per;
-                let delta = merged_cost - self.clusters[i].cost(w) - self.clusters[j].cost(w);
+                let delta = self.pair_delta(i, j);
                 if delta < best.2 {
                     best = (i, j, delta);
                 }
@@ -234,14 +386,18 @@ impl ClusterHull {
         }
         let (i, j, _) = best;
         let cj = self.clusters.swap_remove(j); // j > i, i stays valid
-        let pts = cj.summary.sample_points();
-        let carried = cj.summary.points_seen().saturating_sub(pts.len() as u64);
-        let _ = carried;
-        for p in pts {
-            self.clusters[i].summary.insert(p);
-        }
-        self.clusters[i].hull = self.clusters[i].summary.hull();
-        self.clusters[i].hull_gen = self.clusters[i].summary.hull_generation();
+                                               // Absorb the loser wholesale: its stored sample is re-summarised
+                                               // and the points it consumed-but-dropped are carried into the
+                                               // survivor's seen-count, so per-cluster accounting never loses the
+                                               // points an absorbed cluster had already digested.
+        self.clusters[i].summary.merge_from(&cj.summary);
+        let w = self.config.perimeter_weight;
+        self.clusters[i].refresh(w);
+        // Drop cache rows referencing the dead id; rows touching the
+        // survivor self-invalidate through its advanced generation.
+        let dead = cj.id;
+        self.pair_costs
+            .retain(|&(lo, hi), _| lo != dead && hi != dead);
     }
 }
 
@@ -453,5 +609,86 @@ mod tests {
         assert!(ch.covers(Point2::new(1.0, 1.0)));
         assert!(!ch.covers(Point2::new(1.1, 1.0)));
         assert_eq!(ch.total_area(), 0.0);
+    }
+
+    #[test]
+    fn merging_carries_absorbed_seen_counts() {
+        // Regression: merge_cheapest_pair used to drop the absorbed
+        // cluster's consumed-but-not-stored count (`let _ = carried;`), so
+        // after any merge the per-cluster accounting under-reported the
+        // stream. The invariant: every stream point is consumed by exactly
+        // one cluster summary, so the per-cluster seen-counts always sum
+        // to the whole summary's.
+        let mut ch = ClusterHull::new(ClusterHullConfig::new(2).with_r(8));
+        // Three well-separated dense blobs under a budget of 2 force
+        // merges of clusters that have each digested (and dropped) many
+        // points.
+        for i in 0..400 {
+            for (j, b) in [
+                blob(0.0, 0.0, 1.0, 400, 21),
+                blob(6.0, 0.0, 1.0, 400, 22),
+                blob(0.0, 6.0, 1.0, 400, 23),
+            ]
+            .iter()
+            .enumerate()
+            {
+                ch.insert(b[i]);
+                let _ = j;
+            }
+        }
+        let per_cluster: u64 = ch.clusters.iter().map(|c| c.summary.points_seen()).sum();
+        assert_eq!(
+            per_cluster,
+            ch.points_seen(),
+            "cluster summaries forgot {} absorbed points",
+            ch.points_seen() as i64 - per_cluster as i64
+        );
+        assert_eq!(ch.points_seen(), 1200);
+    }
+
+    #[test]
+    fn prefiltered_assignment_matches_plain_scan() {
+        // The incircle accept + bbox reject must leave the nearest-cluster
+        // decision exactly as the plain O(k·h) distance scan made it; feed
+        // an adversarial mixture and compare against a reference scan done
+        // with distance_to_point on the live hulls before each insert.
+        let mut ch = ClusterHull::new(ClusterHullConfig::new(4).with_r(8));
+        let pts: Vec<Point2> = blob(0.0, 0.0, 2.0, 300, 31)
+            .into_iter()
+            .zip(blob(9.0, 1.0, 2.0, 300, 32))
+            .flat_map(|(a, b)| [a, b])
+            .collect();
+        for &p in &pts {
+            // Reference decision on the current state.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in ch.clusters.iter().enumerate() {
+                let d = c.hull.distance_to_point(p);
+                if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                    best = Some((i, d));
+                }
+                if d == 0.0 {
+                    break;
+                }
+            }
+            let expect_join = best
+                .map(|(i, d)| d <= ch.config.join_factor * ch.clusters[i].perimeter)
+                .unwrap_or(false);
+            let counts_before: Vec<u64> = ch
+                .clusters
+                .iter()
+                .map(|c| c.summary.points_seen())
+                .collect();
+            let k_before = ch.cluster_count();
+            ch.insert(p);
+            if expect_join {
+                let (i, _) = best.unwrap();
+                assert_eq!(ch.cluster_count(), k_before, "joined, no new cluster");
+                assert_eq!(
+                    ch.clusters[i].summary.points_seen(),
+                    counts_before[i] + 1,
+                    "prefilter sent the point to a different cluster"
+                );
+            }
+        }
     }
 }

@@ -15,6 +15,8 @@
 //! * [`RadialHull`] — Cormode–Muthukrishnan radial histogram baseline;
 //! * [`FrozenHull`] — fixed direction set ("partially adaptive", Table 1);
 //! * [`adaptive`] — the static and streaming adaptive schemes (§4, §5);
+//! * [`parallel`] — the sharded ingestion engine ([`ShardedIngest`]):
+//!   scoped worker threads per shard, deterministic [`Mergeable`] reduce;
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -46,6 +48,7 @@ pub mod dudley;
 pub mod exact;
 pub mod frozen;
 pub mod metrics;
+pub mod parallel;
 pub mod queries;
 pub mod radial;
 pub mod summary;
@@ -57,6 +60,7 @@ pub use builder::{SummaryBuilder, SummaryKind};
 pub use cluster::{ClusterHull, ClusterHullConfig};
 pub use exact::ExactHull;
 pub use frozen::FrozenHull;
+pub use parallel::{ShardRun, ShardStats, ShardedIngest};
 pub use radial::RadialHull;
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable};
 pub use uniform::{NaiveUniformHull, UniformHull};

@@ -1,0 +1,387 @@
+//! Sharded parallel ingestion: the engine behind the
+//! [`Mergeable`](crate::summary::Mergeable) story.
+//!
+//! [`ShardedIngest`] splits a point stream across `N` worker shards, runs
+//! each shard through its own [`SummaryBuilder`]-constructed summary on a
+//! scoped thread (so the whole engine works on borrowed slices, with no
+//! `'static` bounds and no extra dependencies), and reduces the workers
+//! with [`Mergeable::merge_from`] **in shard order** into a fresh collector
+//! of the same kind.
+//!
+//! # Determinism contract
+//!
+//! For a fixed input stream, summary configuration (including its seed),
+//! shard count, and chunk size, the result is **bit-identical across
+//! runs** regardless of how the OS schedules the worker threads:
+//!
+//! * shard assignment is a pure function of point index and shard count
+//!   (contiguous split for [`run`](ShardedIngest::run), round-robin over
+//!   chunks for [`run_stream`](ShardedIngest::run_stream)) — never of
+//!   thread timing;
+//! * each worker is sequential and deterministic;
+//! * the reduce always merges workers in shard order `0, 1, …, N-1`.
+//!
+//! Changing the shard count is allowed to change the result (the collector
+//! re-summarises different shard samples); the property tests in
+//! `tests/sharded_parallel.rs` pin the contract per shard count for every
+//! [`SummaryKind`](crate::builder::SummaryKind).
+//!
+//! # Error guarantee
+//!
+//! Merging re-inserts each worker's stored sample (actual stream points),
+//! so the merged hull's error against the union stream is at most the sum
+//! of the workers' live [`error_bound`](crate::summary::HullSummary::error_bound)s
+//! plus the collector's own bound — the [`ShardRun`] report carries the
+//! per-shard bounds so callers (and the property tests) can evaluate the
+//! composed guarantee.
+
+use crate::builder::SummaryBuilder;
+use crate::summary::Mergeable;
+use geom::Point2;
+use std::sync::mpsc;
+
+/// Default points per `insert_batch` call inside each worker.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+/// Per-shard observability snapshot, taken after the shard finished
+/// ingesting and before it was merged away.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardStats {
+    /// Stream points this shard consumed.
+    pub points_seen: u64,
+    /// Points the shard's summary stored at the end of its run.
+    pub sample_size: usize,
+    /// The shard's live error guarantee at the end of its run, when its
+    /// kind reports one.
+    pub error_bound: Option<f64>,
+}
+
+/// The result of a sharded run: the merged collector summary plus the
+/// per-shard statistics needed to evaluate the composed error guarantee.
+#[derive(Debug)]
+pub struct ShardRun {
+    /// The collector: a summary of the configured kind that absorbed every
+    /// worker in shard order.
+    pub summary: Box<dyn Mergeable + Send + Sync>,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardRun {
+    /// Sum of the per-shard error bounds, when **every** shard reports
+    /// one. Adding the collector's own
+    /// [`error_bound`](crate::summary::HullSummary::error_bound) gives the
+    /// guarantee of the merged hull against the union stream.
+    pub fn shard_bound_sum(&self) -> Option<f64> {
+        self.shards
+            .iter()
+            .map(|s| s.error_bound)
+            .try_fold(0.0, |acc, b| b.map(|b| acc + b))
+    }
+}
+
+/// Sharded parallel ingestion engine over any
+/// [`SummaryKind`](crate::builder::SummaryKind).
+///
+/// ```
+/// use adaptive_hull::parallel::ShardedIngest;
+/// use adaptive_hull::{SummaryBuilder, SummaryKind};
+/// use geom::Point2;
+///
+/// let pts: Vec<Point2> = (0..10_000)
+///     .map(|i| {
+///         let t = i as f64 * 0.01;
+///         Point2::new(t.cos() * 3.0, t.sin() * 2.0)
+///     })
+///     .collect();
+/// let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16), 4);
+/// let run = engine.run(&pts);
+/// assert_eq!(run.summary.points_seen(), 10_000);
+/// assert_eq!(run.shards.len(), 4);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedIngest {
+    builder: SummaryBuilder,
+    shards: usize,
+    chunk: usize,
+}
+
+impl ShardedIngest {
+    /// An engine fanning out to `shards` workers, each building its
+    /// summary from `builder`. `shards` must be at least 1.
+    pub fn new(builder: SummaryBuilder, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedIngest {
+            builder,
+            shards,
+            chunk: DEFAULT_CHUNK,
+        }
+    }
+
+    /// Sets the worker batch size (points per `insert_batch` call).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk must be at least 1");
+        self.chunk = chunk;
+        self
+    }
+
+    /// The configured shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The configured worker batch size.
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// The summary configuration each worker (and the collector) uses.
+    pub fn builder(&self) -> SummaryBuilder {
+        self.builder
+    }
+
+    /// Ingests a materialised stream: shard `i` gets the `i`-th of `N`
+    /// near-equal **contiguous** slices (first `len % N` shards take one
+    /// extra point), runs on its own scoped thread, and the workers are
+    /// merged in shard order.
+    ///
+    /// Contiguous slices keep each worker's stream locality intact, which
+    /// is what the batched fast paths (interior certificate, pre-hull)
+    /// feed on.
+    pub fn run(&self, points: &[Point2]) -> ShardRun {
+        let workers: Vec<Box<dyn Mergeable + Send + Sync>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = split_contiguous(points, self.shards)
+                .map(|slice| {
+                    let builder = self.builder;
+                    let chunk = self.chunk;
+                    scope.spawn(move || {
+                        let mut s = builder.build_mergeable();
+                        for piece in slice.chunks(chunk) {
+                            s.insert_batch(piece);
+                        }
+                        s
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        self.reduce(workers)
+    }
+
+    /// Ingests an unmaterialised stream: points are gathered into chunks
+    /// of the configured size as they arrive and chunk `c` is dispatched
+    /// to shard `c % N` over a bounded channel (backpressure: a slow shard
+    /// stalls the reader instead of buffering the stream).
+    ///
+    /// The chunk→shard assignment depends only on the chunk index, so the
+    /// determinism contract holds exactly as for
+    /// [`run`](ShardedIngest::run) (the two entry points partition the
+    /// stream differently and therefore may produce different — each
+    /// individually reproducible — results).
+    pub fn run_stream<I>(&self, points: I) -> ShardRun
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        let workers: Vec<Box<dyn Mergeable + Send + Sync>> = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(self.shards);
+            let mut handles = Vec::with_capacity(self.shards);
+            for _ in 0..self.shards {
+                let (tx, rx) = mpsc::sync_channel::<Vec<Point2>>(2);
+                senders.push(tx);
+                let builder = self.builder;
+                handles.push(scope.spawn(move || {
+                    let mut s = builder.build_mergeable();
+                    while let Ok(chunk) = rx.recv() {
+                        s.insert_batch(&chunk);
+                    }
+                    s
+                }));
+            }
+            let mut buf: Vec<Point2> = Vec::with_capacity(self.chunk);
+            let mut next_chunk = 0usize;
+            for p in points {
+                buf.push(p);
+                if buf.len() == self.chunk {
+                    let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
+                    senders[next_chunk % self.shards]
+                        .send(full)
+                        .expect("shard worker hung up");
+                    next_chunk += 1;
+                }
+            }
+            if !buf.is_empty() {
+                senders[next_chunk % self.shards]
+                    .send(buf)
+                    .expect("shard worker hung up");
+            }
+            drop(senders); // close the channels so workers drain and exit
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        self.reduce(workers)
+    }
+
+    /// Deterministic reduce: snapshot per-shard stats, then merge the
+    /// workers into a fresh collector in shard order.
+    fn reduce(&self, workers: Vec<Box<dyn Mergeable + Send + Sync>>) -> ShardRun {
+        let shards = workers
+            .iter()
+            .map(|w| ShardStats {
+                points_seen: w.points_seen(),
+                sample_size: w.sample_size(),
+                error_bound: w.error_bound(),
+            })
+            .collect();
+        let mut collector = self.builder.build_mergeable();
+        for w in &workers {
+            collector.merge_from(w.as_ref());
+        }
+        ShardRun {
+            summary: collector,
+            shards,
+        }
+    }
+}
+
+/// Splits `points` into `n` near-equal contiguous slices (the first
+/// `len % n` slices get one extra point). Always yields exactly `n`
+/// slices; trailing ones are empty when `len < n`.
+fn split_contiguous(points: &[Point2], n: usize) -> impl Iterator<Item = &[Point2]> {
+    let base = points.len() / n;
+    let extra = points.len() % n;
+    let mut start = 0;
+    (0..n).map(move |i| {
+        let len = base + usize::from(i < extra);
+        let slice = &points[start..start + len];
+        start += len;
+        slice
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SummaryKind;
+    use crate::summary::HullSummary;
+
+    fn spiral(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = 2.399963229728653 * i as f64;
+                let rad = 1.0 + 0.01 * i as f64;
+                Point2::new(rad * t.cos(), rad * t.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn contiguous_split_covers_everything_in_order() {
+        let pts = spiral(10);
+        let slices: Vec<&[Point2]> = split_contiguous(&pts, 3).collect();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[0].len(), 4, "first shard takes the remainder");
+        assert_eq!(slices[1].len(), 3);
+        assert_eq!(slices[2].len(), 3);
+        let rejoined: Vec<Point2> = slices.concat();
+        assert_eq!(rejoined, pts);
+        // More shards than points: trailing slices are empty.
+        let tiny: Vec<&[Point2]> = split_contiguous(&pts[..2], 4).collect();
+        assert_eq!(
+            tiny.iter().map(|s| s.len()).collect::<Vec<_>>(),
+            [1, 1, 0, 0]
+        );
+    }
+
+    #[test]
+    fn every_kind_runs_sharded_with_exact_seen_counts() {
+        let pts = spiral(997); // deliberately not divisible by the shard counts
+        for &kind in &SummaryKind::ALL {
+            for shards in [1, 2, 4] {
+                let engine = ShardedIngest::new(SummaryBuilder::new(kind).with_r(16), shards)
+                    .with_chunk(128);
+                let run = engine.run(&pts);
+                assert_eq!(run.summary.points_seen(), 997, "{kind}/{shards}");
+                assert_eq!(run.shards.len(), shards, "{kind}/{shards}");
+                let shard_total: u64 = run.shards.iter().map(|s| s.points_seen).sum();
+                assert_eq!(shard_total, 997, "{kind}/{shards}: shard accounting");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_shard_count_is_deterministic() {
+        let pts = spiral(1500);
+        for &kind in &[
+            SummaryKind::Adaptive,
+            SummaryKind::Cluster,
+            SummaryKind::Radial,
+        ] {
+            let engine = ShardedIngest::new(SummaryBuilder::new(kind).with_r(16), 3).with_chunk(64);
+            let a = engine.run(&pts);
+            let b = engine.run(&pts);
+            assert_eq!(
+                a.summary.hull_ref().vertices(),
+                b.summary.hull_ref().vertices(),
+                "{kind}: hull must not depend on scheduling"
+            );
+            assert_eq!(a.summary.sample_size(), b.summary.sample_size(), "{kind}");
+            assert_eq!(a.summary.error_bound(), b.summary.error_bound(), "{kind}");
+            let sa = engine.run_stream(pts.iter().copied());
+            let sb = engine.run_stream(pts.iter().copied());
+            assert_eq!(
+                sa.summary.hull_ref().vertices(),
+                sb.summary.hull_ref().vertices(),
+                "{kind}: stream entry point must be deterministic too"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_and_slice_entry_points_agree_on_single_shard() {
+        // With one shard both entry points feed one worker the whole
+        // stream in order, in chunk-sized batches — and insert_batch is
+        // contractually identical to the loop, so the results coincide.
+        let pts = spiral(700);
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(8), 1)
+            .with_chunk(100);
+        let a = engine.run(&pts);
+        let b = engine.run_stream(pts.iter().copied());
+        assert_eq!(
+            a.summary.hull_ref().vertices(),
+            b.summary.hull_ref().vertices()
+        );
+        assert_eq!(a.summary.points_seen(), b.summary.points_seen());
+    }
+
+    #[test]
+    fn empty_and_tiny_streams() {
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Uniform).with_r(8), 4);
+        let run = engine.run(&[]);
+        assert_eq!(run.summary.points_seen(), 0);
+        assert_eq!(run.shards.len(), 4);
+        let one = engine.run(&[Point2::new(1.0, 2.0)]);
+        assert_eq!(one.summary.points_seen(), 1);
+        assert_eq!(one.summary.hull_ref().len(), 1);
+        let s = engine.run_stream(std::iter::empty());
+        assert_eq!(s.summary.points_seen(), 0);
+    }
+
+    #[test]
+    fn shard_bound_sum_composes() {
+        let pts = spiral(400);
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16), 3);
+        let run = engine.run(&pts);
+        let sum = run
+            .shard_bound_sum()
+            .expect("adaptive shards report bounds");
+        assert!(sum.is_finite() && sum >= 0.0);
+        // Frozen reports no bound, so the sum is None.
+        let frozen = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Frozen).with_r(16), 3);
+        assert!(frozen.run(&pts).shard_bound_sum().is_none());
+    }
+}

@@ -8,7 +8,15 @@
 
 use crate::summary::{HullCache, HullSummary, Mergeable};
 use core::f64::consts::TAU;
-use geom::{ConvexPolygon, Point2};
+use geom::{ConvexPolygon, Point2, Vec2};
+
+/// `true` iff the angle of `(x, y)` under the `atan2().rem_euclid(TAU)`
+/// convention lies in the lower half-turn `[π, 2π)`. The zero vector never
+/// reaches this (callers reject `p == origin` first).
+#[inline]
+fn lower_half(x: f64, y: f64) -> bool {
+    y < 0.0 || (y == 0.0 && x < 0.0)
+}
 
 /// Radial-histogram convex hull summary.
 #[derive(Clone, Debug)]
@@ -17,6 +25,10 @@ pub struct RadialHull {
     origin: Option<Point2>,
     /// Farthest point per sector (`None` = sector empty so far).
     buckets: Vec<Option<(f64, Point2)>>,
+    /// Sector boundary directions `(cos, sin)(2πj/r)` with a precomputed
+    /// half-turn flag, in ascending angular order — the lookup table for
+    /// the trig-free [`sector`](RadialHull::sector_of) search.
+    bounds: Vec<(Vec2, bool)>,
     seen: u64,
     cache: HullCache,
 }
@@ -25,10 +37,17 @@ impl RadialHull {
     /// Creates the summary with `r >= 4` angular sectors.
     pub fn new(r: u32) -> Self {
         assert!(r >= 4, "need at least 4 sectors, got {r}");
+        let bounds = (0..r)
+            .map(|j| {
+                let d = Vec2::from_angle(TAU * j as f64 / r as f64);
+                (d, lower_half(d.x, d.y))
+            })
+            .collect();
         RadialHull {
             r,
             origin: None,
             buckets: vec![None; r as usize],
+            bounds,
             seen: 0,
             cache: HullCache::new(),
         }
@@ -44,11 +63,42 @@ impl RadialHull {
         self.origin
     }
 
+    /// The sector index `p` falls in relative to the current origin
+    /// (`None` before the first point, or for `p` equal to the origin).
+    ///
+    /// Exposed for the property tests pinning the trig-free assignment
+    /// against the direct `⌊angle/(2π/r)⌋` formula.
+    pub fn sector_of(&self, p: Point2) -> Option<usize> {
+        let origin = self.origin?;
+        if origin.distance_sq(p) == 0.0 {
+            return None;
+        }
+        Some(self.sector(p, origin))
+    }
+
+    /// Sector of `p` around `origin` — **no trig in the hot loop**: where
+    /// the v1 formula computed `⌊atan2(v)·r/2π⌋` per point, this compares
+    /// `v` against the precomputed boundary directions. A boundary at or
+    /// below `v`'s angle is detected by half-turn flag (one comparison)
+    /// or, within the same half-turn (spans < π, so the sign of the cross
+    /// product is the sign of the angle difference), by one cross product.
+    /// The boundaries are in ascending angular order, so the count of
+    /// boundaries not exceeding `v` is a partition point: `O(log r)`
+    /// multiply/compare steps, no `atan2`, no division.
     fn sector(&self, p: Point2, origin: Point2) -> usize {
         let v = p - origin;
-        let ang = v.angle().rem_euclid(TAU);
-        let idx = (ang / TAU * self.r as f64).floor() as usize;
-        idx.min(self.r as usize - 1)
+        let vh = lower_half(v.x, v.y);
+        let count = self.bounds.partition_point(|&(d, dh)| {
+            if dh != vh {
+                // Different half-turns: the boundary precedes `v` iff it
+                // is the upper-half one.
+                !dh
+            } else {
+                d.cross(v) >= 0.0
+            }
+        });
+        // `bounds[0]` is angle 0 and always counted, so `count >= 1`.
+        count - 1
     }
 
     /// One point without cache bookkeeping; `true` iff the sample changed.
@@ -224,5 +274,51 @@ mod tests {
         let hull = h.hull();
         assert_eq!(hull.len(), 2);
         assert!((geom::calipers::diameter(&hull).unwrap().2 - 99.0).abs() < 1e-12);
+    }
+
+    /// The v1 trig formula the cross-product search replaced.
+    fn sector_atan2(r: u32, v: geom::Vec2) -> usize {
+        let ang = v.angle().rem_euclid(TAU);
+        let idx = (ang / TAU * r as f64).floor() as usize;
+        idx.min(r as usize - 1)
+    }
+
+    #[test]
+    fn sector_matches_atan2_formula_on_dense_sweep() {
+        // Dense angular sweep at several radii, deliberately avoiding the
+        // exact boundary angles (where the two formulas may legitimately
+        // disagree by one ulp of rounding); the axis directions themselves
+        // are covered by the cardinal cases below.
+        for r in [4u32, 5, 8, 16, 32, 37] {
+            let mut h = RadialHull::new(r);
+            h.insert(Point2::new(0.0, 0.0));
+            for k in 0..4096 {
+                let ang = TAU * (k as f64 + 0.13) / 4096.0;
+                for rad in [1e-6, 1.0, 1e9] {
+                    let v = geom::Vec2::from_angle(ang) * rad;
+                    let p = Point2::new(v.x, v.y);
+                    assert_eq!(
+                        h.sector_of(p),
+                        Some(sector_atan2(r, v)),
+                        "r={r} ang={ang} rad={rad}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sector_cardinal_directions() {
+        // The four axis directions hit sector boundaries head on; the
+        // assignment must stay in range and halve the plane consistently
+        // with the atan2 convention for r = 4 (whose boundaries are exactly
+        // representable directions (±1, 0), (0, ±1)).
+        let mut h = RadialHull::new(4);
+        h.insert(Point2::new(0.0, 0.0));
+        assert_eq!(h.sector_of(Point2::new(2.0, 0.0)), Some(0));
+        assert_eq!(h.sector_of(Point2::new(0.0, 2.0)), Some(1));
+        assert_eq!(h.sector_of(Point2::new(-2.0, 0.0)), Some(2));
+        assert_eq!(h.sector_of(Point2::new(0.0, -2.0)), Some(3));
+        assert_eq!(h.sector_of(Point2::new(0.0, 0.0)), None, "origin itself");
     }
 }

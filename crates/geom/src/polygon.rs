@@ -211,10 +211,28 @@ impl ConvexPolygon {
                 if self.contains_linear(p) {
                     return 0.0;
                 }
-                self.edges()
-                    .map(|(a, b)| crate::line::Segment::new(a, b).distance_to_point(p))
-                    .fold(f64::INFINITY, f64::min)
+                self.boundary_distance(p)
             }
+        }
+    }
+
+    /// Euclidean distance from `p` to the polygon **boundary**, `O(n)` —
+    /// no containment test, so for an interior point this is the positive
+    /// distance to the nearest edge rather than 0.
+    ///
+    /// Callers that already know `p` is outside (e.g. a failed
+    /// [`crate::locate::contains`]) get [`distance_to_point`]'s answer for
+    /// one edge scan instead of two.
+    ///
+    /// [`distance_to_point`]: ConvexPolygon::distance_to_point
+    pub fn boundary_distance(&self, p: Point2) -> f64 {
+        match self.verts.len() {
+            0 => f64::INFINITY,
+            1 => self.verts[0].distance(p),
+            _ => self
+                .edges()
+                .map(|(a, b)| crate::line::Segment::new(a, b).distance_to_point(p))
+                .fold(f64::INFINITY, f64::min),
         }
     }
 

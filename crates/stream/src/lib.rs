@@ -30,7 +30,7 @@ use rand::SeedableRng;
 pub use shapes::{
     Annulus, Changing, CirclePoints, Disk, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
 };
-pub use transform::{Rotate, Scale, Translate};
+pub use transform::{Chunks, Rotate, Scale, Translate};
 
 /// A finite, seeded stream of points. Blanket-implemented for every
 /// `Iterator<Item = Point2>`; exists so generic harness code can name the

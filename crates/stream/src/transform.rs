@@ -1,8 +1,50 @@
-//! Stream adapters: rotate, scale, translate, interleave, and clamp
-//! arbitrary point streams. These compose with any
+//! Stream adapters: rotate, scale, translate, interleave, chunk, and
+//! clamp arbitrary point streams. These compose with any
 //! [`PointStream`](crate::PointStream).
 
 use geom::{Point2, Vec2};
+
+/// Gathers the inner stream into `Vec<Point2>` chunks of a fixed size
+/// (the final chunk may be shorter) — the feeding adapter for batched and
+/// sharded ingestion: chunks go straight into
+/// `HullSummary::insert_batch` or a `ShardedIngest` dispatcher without
+/// materialising the whole stream.
+#[derive(Debug)]
+pub struct Chunks<S> {
+    inner: S,
+    size: usize,
+}
+
+impl<S> Chunks<S> {
+    /// Chunking with `size >= 1` points per chunk.
+    pub fn new(inner: S, size: usize) -> Self {
+        assert!(size >= 1, "chunk size must be at least 1");
+        Chunks { inner, size }
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for Chunks<S> {
+    type Item = Vec<Point2>;
+    fn next(&mut self) -> Option<Vec<Point2>> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for p in self.inner.by_ref() {
+            chunk.push(p);
+            if chunk.len() == self.size {
+                break;
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let (lo, hi) = self.inner.size_hint();
+        (lo.div_ceil(self.size), hi.map(|h| h.div_ceil(self.size)))
+    }
+}
 
 /// Rotates every point of the inner stream about the origin.
 #[derive(Debug)]
@@ -156,6 +198,25 @@ mod tests {
         )
         .collect();
         assert!(pts[0].distance(Point2::new(12.0, 20.0)) < 1e-12);
+    }
+
+    #[test]
+    fn chunks_exact_and_ragged() {
+        let chunks: Vec<Vec<Point2>> = Chunks::new(CirclePoints::new(10, 1.0), 4).collect();
+        assert_eq!(chunks.iter().map(Vec::len).collect::<Vec<_>>(), [4, 4, 2]);
+        let rejoined: Vec<Point2> = chunks.concat();
+        let direct: Vec<Point2> = CirclePoints::new(10, 1.0).collect();
+        assert_eq!(rejoined, direct, "chunking must preserve order and content");
+        // Exact multiple: no trailing empty chunk.
+        let even: Vec<Vec<Point2>> = Chunks::new(CirclePoints::new(8, 1.0), 4).collect();
+        assert_eq!(even.len(), 2);
+        // Empty stream yields no chunks.
+        assert_eq!(Chunks::new(CirclePoints::new(0, 1.0), 4).count(), 0);
+        // Size hint is consistent.
+        assert_eq!(
+            Chunks::new(CirclePoints::new(10, 1.0), 4).size_hint(),
+            (3, Some(3))
+        );
     }
 
     #[test]

@@ -90,7 +90,8 @@ pub use adaptive_hull::{metrics, queries, viz};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ExactHull,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, RadialHull, SummaryBuilder, SummaryKind, UniformHull,
+    NaiveUniformHull, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder, SummaryKind,
+    UniformHull,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
@@ -99,7 +100,8 @@ pub mod prelude {
     pub use crate::{
         AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ConvexPolygon, ExactHull,
         FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt, Mergeable,
-        NaiveUniformHull, Point2, RadialHull, SummaryBuilder, SummaryKind, UniformHull, Vec2,
+        NaiveUniformHull, Point2, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder,
+        SummaryKind, UniformHull, Vec2,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

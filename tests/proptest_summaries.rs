@@ -296,6 +296,32 @@ proptest! {
     }
 
     #[test]
+    fn radial_sector_matches_old_atan2_formula(
+        origin in pt_strategy(),
+        pts in stream_strategy(120),
+        rexp in 2u32..7,
+    ) {
+        // The trig-free sector search (quadrant flag + cross-product
+        // comparisons against precomputed boundary directions) must assign
+        // every point to the same sector as the v1 per-point formula
+        // `⌊atan2(v).rem_euclid(2π)·r/2π⌋` it replaced.
+        let r = 1u32 << rexp; // 4..64
+        let mut h = RadialHull::new(r);
+        h.insert(origin);
+        for &p in &pts {
+            let v = p - origin;
+            let expected = if origin.distance_sq(p) == 0.0 {
+                None
+            } else {
+                let ang = v.angle().rem_euclid(std::f64::consts::TAU);
+                let idx = (ang / std::f64::consts::TAU * r as f64).floor() as usize;
+                Some(idx.min(r as usize - 1))
+            };
+            prop_assert_eq!(h.sector_of(p), expected, "r={} p={:?} o={:?}", r, p, origin);
+        }
+    }
+
+    #[test]
     fn radial_and_frozen_budgets(pts in stream_strategy(200)) {
         let mut rad = RadialHull::new(16);
         for &q in &pts {
