@@ -18,6 +18,13 @@
 //!   per-insert nearest-cluster scan and the merge machinery both run
 //!   hot); other backends see it as a multi-modal stressor.
 //!
+//! * `window_scan` — a drifting Gaussian blob (`Drift`, 0→100 on x):
+//!   the sliding-window dimension. Every backend ingests the stream
+//!   through a `WindowedSummary` (`LastN(n/8)`, exponential-histogram
+//!   chain) and answers `query_window`; the rows record windowed
+//!   ingestion throughput, per-query cost, live bucket count, and the
+//!   staleness bound.
+//!
 //! The `threads` dimension drives `ShardedIngest` over the `interior` and
 //! `clustered` workloads for every backend: shard the stream, summarise
 //! shards on scoped threads, merge in deterministic shard order.
@@ -32,6 +39,7 @@
 //! PRs). Run with `--n 20000` for a smoke test; CI validates the JSON,
 //! including the `threads` dimension.
 
+use adaptive_hull::window::WindowConfig;
 use adaptive_hull::{HullSummary, ShardedIngest, SummaryBuilder, SummaryKind};
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
@@ -73,6 +81,25 @@ struct ParRow {
 impl ParRow {
     fn pps(&self) -> f64 {
         1e9 / self.sharded_ns
+    }
+}
+
+/// One backend × sliding-window measurement (`window_scan` workload).
+struct WinRow {
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    window: u64,
+    granularity: usize,
+    windowed_ns: f64,
+    query_ns: f64,
+    buckets: usize,
+    stale_points: u64,
+}
+
+impl WinRow {
+    fn pps(&self) -> f64 {
+        1e9 / self.windowed_ns
     }
 }
 
@@ -120,6 +147,78 @@ fn workloads(n: usize, seed: u64) -> Vec<(&'static str, Vec<Point2>)> {
         ("rotating", rotating),
         ("clustered", clustered),
     ]
+}
+
+/// The `window_scan` stream: a Gaussian blob drifting across the plane,
+/// so the window hull keeps moving and buckets keep expiring.
+fn window_workload(n: usize, seed: u64) -> Vec<Point2> {
+    use streamgen::Drift;
+    Drift::new(
+        seed ^ 0xd1,
+        n,
+        Point2::new(0.0, 0.0),
+        Point2::new(100.0, 0.0),
+        1.0,
+    )
+    .collect()
+}
+
+/// Best-of-`reps` windowed ingestion + query timing for one backend.
+fn time_windowed(
+    builder: &SummaryBuilder,
+    pts: &[Point2],
+    window: u64,
+    granularity: usize,
+    chunk: usize,
+    reps: usize,
+) -> WinRow {
+    let config = WindowConfig::last_n(window).with_granularity(granularity);
+    let mut best_ingest = f64::INFINITY;
+    let mut best_query = f64::INFINITY;
+    let mut buckets = 0;
+    let mut stale = 0;
+    for _ in 0..reps.max(1) {
+        let mut w = builder.windowed(config);
+        let start = Instant::now();
+        for piece in pts.chunks(chunk.max(1)) {
+            w.insert_batch(piece);
+        }
+        let ns = start.elapsed().as_nanos() as f64 / pts.len().max(1) as f64;
+        best_ingest = best_ingest.min(ns);
+        assert_eq!(
+            w.points_seen(),
+            pts.len() as u64,
+            "windowed run lost points"
+        );
+        // Query cost, amortised over a small burst of fresh collector
+        // merges (query_window rebuilds; hull_ref would cache).
+        let queries = 8;
+        let qstart = Instant::now();
+        let mut last_merged = 0;
+        for _ in 0..queries {
+            let ans = w.query_window();
+            last_merged = ans.merged_points;
+            buckets = ans.buckets;
+            stale = ans.stale_points;
+        }
+        let qns = qstart.elapsed().as_nanos() as f64 / queries as f64;
+        best_query = best_query.min(qns);
+        assert!(
+            last_merged >= window.min(pts.len() as u64),
+            "window not covered: {last_merged} < {window}"
+        );
+    }
+    WinRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        n: pts.len(),
+        window,
+        granularity,
+        windowed_ns: best_ingest,
+        query_ns: best_query,
+        buckets,
+        stale_points: stale,
+    }
 }
 
 /// Best-of-`reps` wall-clock nanoseconds per point for one ingestion mode.
@@ -198,7 +297,12 @@ struct RunMeta<'a> {
     host_cpus: usize,
 }
 
-fn render_json(meta: &RunMeta<'_>, rows: &[Row], par_rows: &[ParRow]) -> String {
+fn render_json(
+    meta: &RunMeta<'_>,
+    rows: &[Row],
+    win_rows: &[WinRow],
+    par_rows: &[ParRow],
+) -> String {
     let RunMeta {
         n,
         chunk,
@@ -240,6 +344,28 @@ fn render_json(meta: &RunMeta<'_>, rows: &[Row], par_rows: &[ParRow]) -> String 
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"window\": [");
+    for (i, row) in win_rows.iter().enumerate() {
+        let comma = if i + 1 == win_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"window_scan\", \"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"threads\": 1, \"window\": {}, \"granularity\": {}, \
+             \"windowed_ns\": {:.2}, \"points_per_sec\": {:.0}, \"query_ns\": {:.0}, \
+             \"buckets\": {}, \"stale_points\": {}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.window,
+            row.granularity,
+            row.windowed_ns,
+            row.pps(),
+            row.query_ns,
+            row.buckets,
+            row.stale_points,
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"parallel\": [");
     for (i, row) in par_rows.iter().enumerate() {
         let comma = if i + 1 == par_rows.len() { "" } else { "," };
@@ -263,7 +389,14 @@ fn render_json(meta: &RunMeta<'_>, rows: &[Row], par_rows: &[ParRow]) -> String 
     out
 }
 
-fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize]) -> (Vec<Row>, Vec<ParRow>) {
+fn run(
+    n: usize,
+    chunk: usize,
+    reps: usize,
+    r: u32,
+    threads: &[usize],
+    window: u64,
+) -> (Vec<Row>, Vec<WinRow>, Vec<ParRow>) {
     let mut rows = Vec::new();
     let mut par_rows = Vec::new();
     for (wname, pts) in workloads(n, TABLE1_SEED) {
@@ -301,7 +434,18 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize]) -> (Vec<R
             }
         }
     }
-    (rows, par_rows)
+    // Sliding-window dimension: every backend windows the drifting-blob
+    // stream through a WindowedSummary, batched feeding, LastN policy.
+    let win_pts = window_workload(n, TABLE1_SEED);
+    let granularity = 256.min(window.max(1) as usize);
+    let win_rows: Vec<WinRow> = SummaryKind::ALL
+        .iter()
+        .map(|&kind| {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            time_windowed(&builder, &win_pts, window, granularity, chunk, reps)
+        })
+        .collect();
+    (rows, win_rows, par_rows)
 }
 
 fn main() {
@@ -310,6 +454,7 @@ fn main() {
     let mut reps = 3usize;
     let mut r = 32u32;
     let mut threads = vec![1usize, 2, 4];
+    let mut window = 0u64; // 0 = default n/8
     let mut out_path = String::from("BENCH_throughput.json");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -326,15 +471,22 @@ fn main() {
                     .collect();
                 assert!(!threads.is_empty(), "--threads needs at least one count");
             }
+            "--window" => window = grab().parse().expect("--window"),
             "--out" => out_path = grab(),
             other => {
-                panic!("unknown flag {other:?} (supported: --n --chunk --reps --r --threads --out)")
+                panic!(
+                    "unknown flag {other:?} \
+                     (supported: --n --chunk --reps --r --threads --window --out)"
+                )
             }
         }
     }
+    if window == 0 {
+        window = (n as u64 / 8).max(1024);
+    }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, par_rows) = run(n, chunk, reps, r, &threads);
+    let (rows, win_rows, par_rows) = run(n, chunk, reps, r, &threads, window);
 
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
@@ -350,6 +502,23 @@ fn main() {
             row.pps_loop(),
             row.pps_batch(),
             row.speedup()
+        );
+    }
+
+    println!("\nsliding window (window_scan workload: drifting blob, LastN({window}))");
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>8} {:>8}",
+        "backend", "windowed ns/pt", "pts/s", "query ns", "buckets", "stale"
+    );
+    for row in &win_rows {
+        println!(
+            "{:<14} {:>14.1} {:>14.0} {:>12.0} {:>8} {:>8}",
+            row.backend,
+            row.windowed_ns,
+            row.pps(),
+            row.query_ns,
+            row.buckets,
+            row.stale_points,
         );
     }
 
@@ -384,6 +553,7 @@ fn main() {
             host_cpus,
         },
         &rows,
+        &win_rows,
         &par_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
@@ -397,8 +567,9 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, par_rows) = run(2000, 256, 1, 16, &threads);
+        let (rows, win_rows, par_rows) = run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
+        assert_eq!(win_rows.len(), SummaryKind::ALL.len());
         assert_eq!(par_rows.len(), 2 * SummaryKind::ALL.len() * threads.len());
         let json = render_json(
             &RunMeta {
@@ -410,6 +581,7 @@ mod tests {
                 host_cpus: 1,
             },
             &rows,
+            &win_rows,
             &par_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
@@ -422,11 +594,16 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(
             json.matches("\"workload\"").count(),
-            rows.len() + par_rows.len()
+            rows.len() + win_rows.len() + par_rows.len()
         );
         assert_eq!(
             json.matches("\"threads\"").count(),
-            rows.len() + par_rows.len() + 1
+            rows.len() + win_rows.len() + par_rows.len() + 1
+        );
+        assert_eq!(
+            json.matches("\"window_scan\"").count(),
+            win_rows.len(),
+            "one window row per backend"
         );
         for key in [
             "\"bench\"",
@@ -436,10 +613,32 @@ mod tests {
             "\"speedup\"",
             "\"sharded_ns\"",
             "\"scaling_vs_1\"",
+            "\"windowed_ns\"",
+            "\"query_ns\"",
+            "\"stale_points\"",
+            "\"granularity\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }
         assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn window_rows_cover_every_backend_with_sane_numbers() {
+        let pts = window_workload(3000, TABLE1_SEED);
+        for &kind in &SummaryKind::ALL {
+            let builder = SummaryBuilder::new(kind).with_r(16);
+            let row = time_windowed(&builder, &pts, 600, 128, 256, 1);
+            assert_eq!(row.backend, kind.label());
+            assert!(
+                row.windowed_ns.is_finite() && row.windowed_ns > 0.0,
+                "{kind}"
+            );
+            assert!(row.query_ns.is_finite() && row.query_ns > 0.0, "{kind}");
+            assert!(row.buckets >= 1, "{kind}");
+            // The chain is bounded by the window, not the stream.
+            assert!(row.buckets <= 2 * 12 + 1, "{kind}: {} buckets", row.buckets);
+        }
     }
 
     #[test]

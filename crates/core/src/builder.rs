@@ -193,6 +193,14 @@ impl SummaryBuilder {
         self.build_mergeable()
     }
 
+    /// Builds a sliding-window wrapper around this summary configuration:
+    /// the window's buckets (and its query collectors) are each built by
+    /// this builder, so any kind windows through one code path (see
+    /// [`window`](crate::window)).
+    pub fn windowed(&self, config: crate::window::WindowConfig) -> crate::window::WindowedSummary {
+        crate::window::WindowedSummary::new(*self, config)
+    }
+
     /// Builds the summary with the [`Mergeable`] capability exposed, for
     /// sharded / distributed ingestion (every kind in this crate merges).
     pub fn build_mergeable(&self) -> Box<dyn Mergeable + Send + Sync> {

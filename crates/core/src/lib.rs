@@ -17,6 +17,9 @@
 //! * [`adaptive`] — the static and streaming adaptive schemes (§4, §5);
 //! * [`parallel`] — the sharded ingestion engine ([`ShardedIngest`]):
 //!   scoped worker threads per shard, deterministic [`Mergeable`] reduce;
+//! * [`window`] — sliding-window summaries ([`WindowedSummary`]): extent
+//!   queries over the last `N` points / last `T` time units of the stream
+//!   via an exponential-histogram chain of buckets, over any backend;
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -54,6 +57,7 @@ pub mod radial;
 pub mod summary;
 pub mod uniform;
 pub mod viz;
+pub mod window;
 
 pub use adaptive::{AdaptiveHull, AdaptiveHullConfig, FixedBudgetAdaptiveHull};
 pub use builder::{SummaryBuilder, SummaryKind};
@@ -64,3 +68,4 @@ pub use parallel::{ShardRun, ShardStats, ShardedIngest};
 pub use radial::RadialHull;
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable};
 pub use uniform::{NaiveUniformHull, UniformHull};
+pub use window::{WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary};

@@ -37,6 +37,7 @@
 
 use crate::builder::SummaryBuilder;
 use crate::summary::Mergeable;
+use crate::window::{WindowConfig, WindowPolicy, WindowedRun};
 use geom::Point2;
 use std::sync::mpsc;
 
@@ -46,6 +47,7 @@ pub const DEFAULT_CHUNK: usize = 1024;
 /// Per-shard observability snapshot, taken after the shard finished
 /// ingesting and before it was merged away.
 #[derive(Clone, Copy, Debug)]
+#[must_use = "shard statistics carry the per-shard error bounds of the composed guarantee"]
 pub struct ShardStats {
     /// Stream points this shard consumed.
     pub points_seen: u64,
@@ -59,6 +61,7 @@ pub struct ShardStats {
 /// The result of a sharded run: the merged collector summary plus the
 /// per-shard statistics needed to evaluate the composed error guarantee.
 #[derive(Debug)]
+#[must_use = "a shard run carries the merged summary; dropping it discards the whole ingestion"]
 pub struct ShardRun {
     /// The collector: a summary of the configured kind that absorbed every
     /// worker in shard order.
@@ -72,6 +75,7 @@ impl ShardRun {
     /// one. Adding the collector's own
     /// [`error_bound`](crate::summary::HullSummary::error_bound) gives the
     /// guarantee of the merged hull against the union stream.
+    #[must_use]
     pub fn shard_bound_sum(&self) -> Option<f64> {
         self.shards
             .iter()
@@ -126,16 +130,19 @@ impl ShardedIngest {
     }
 
     /// The configured shard count.
+    #[must_use]
     pub fn shards(&self) -> usize {
         self.shards
     }
 
     /// The configured worker batch size.
+    #[must_use]
     pub fn chunk(&self) -> usize {
         self.chunk
     }
 
     /// The summary configuration each worker (and the collector) uses.
+    #[must_use]
     pub fn builder(&self) -> SummaryBuilder {
         self.builder
     }
@@ -224,6 +231,94 @@ impl ShardedIngest {
                 .collect()
         });
         self.reduce(workers)
+    }
+
+    /// Windowed variant of [`run_stream`](ShardedIngest::run_stream):
+    /// each shard keeps a [`WindowedSummary`](crate::window::WindowedSummary)
+    /// over its round-robin share of the stream, with every point stamped
+    /// by a **global** auto-tick (1 per stream point) so all shards share
+    /// one clock.
+    ///
+    /// Both window policies work: a count-based `LastN(n)` window is
+    /// carried on the tick clock (each point has a distinct tick, so
+    /// "ticks newer than `now - n`" is exactly the last `n` stream
+    /// points), which is what keeps the policy meaningful when the stream
+    /// is split across shards. The determinism contract of
+    /// [`run_stream`](ShardedIngest::run_stream) carries over: chunk →
+    /// shard assignment is pure round-robin, workers are sequential, and
+    /// [`WindowedRun::query_window`] merges live buckets in shard order.
+    pub fn run_stream_windowed<I>(&self, points: I, config: WindowConfig) -> WindowedRun
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        // A count window over distinct integer ticks is the half-open
+        // tick interval (now - n, now]; -0.5 avoids the boundary tick.
+        let shard_config = match config.policy {
+            WindowPolicy::LastN(n) => WindowConfig {
+                policy: WindowPolicy::LastDur(n as f64 - 0.5),
+                ..config
+            },
+            WindowPolicy::LastDur(_) => config,
+        };
+        self.run_stream_windowed_at(
+            points.into_iter().enumerate().map(|(i, p)| (p, i as f64)),
+            shard_config,
+        )
+    }
+
+    /// Windowed sharded ingestion of an externally timestamped stream
+    /// (timestamps non-decreasing in stream order). Requires a
+    /// [`LastDur`](crate::window::WindowPolicy::LastDur) policy: a
+    /// count-based window cannot be evaluated from one shard's share of
+    /// the stream — use [`run_stream_windowed`](ShardedIngest::run_stream_windowed),
+    /// whose global tick clock carries `LastN` exactly.
+    pub fn run_stream_windowed_at<I>(&self, points: I, config: WindowConfig) -> WindowedRun
+    where
+        I: IntoIterator<Item = (Point2, f64)>,
+    {
+        assert!(
+            matches!(config.policy, WindowPolicy::LastDur(_)),
+            "sharded count windows need the global tick clock: use run_stream_windowed"
+        );
+        let shards: Vec<crate::window::WindowedSummary> = std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(self.shards);
+            let mut handles = Vec::with_capacity(self.shards);
+            for _ in 0..self.shards {
+                let (tx, rx) = mpsc::sync_channel::<Vec<(Point2, f64)>>(2);
+                senders.push(tx);
+                let builder = self.builder;
+                handles.push(scope.spawn(move || {
+                    let mut w = builder.windowed(config);
+                    while let Ok(chunk) = rx.recv() {
+                        w.insert_batch_timestamped(&chunk);
+                    }
+                    w
+                }));
+            }
+            let mut buf: Vec<(Point2, f64)> = Vec::with_capacity(self.chunk);
+            let mut next_chunk = 0usize;
+            for pair in points {
+                buf.push(pair);
+                if buf.len() == self.chunk {
+                    let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
+                    senders[next_chunk % self.shards]
+                        .send(full)
+                        .expect("shard worker hung up");
+                    next_chunk += 1;
+                }
+            }
+            if !buf.is_empty() {
+                senders[next_chunk % self.shards]
+                    .send(buf)
+                    .expect("shard worker hung up");
+            }
+            drop(senders); // close the channels so workers drain and exit
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        WindowedRun::new(self.builder, shards)
     }
 
     /// Deterministic reduce: snapshot per-shard stats, then merge the
@@ -369,6 +464,77 @@ mod tests {
         assert_eq!(one.summary.hull_ref().len(), 1);
         let s = engine.run_stream(std::iter::empty());
         assert_eq!(s.summary.points_seen(), 0);
+    }
+
+    #[test]
+    fn windowed_sharded_run_is_deterministic_and_covers_window() {
+        let pts = spiral(3000);
+        for &kind in &[
+            SummaryKind::Exact,
+            SummaryKind::Adaptive,
+            SummaryKind::Radial,
+        ] {
+            let engine = ShardedIngest::new(SummaryBuilder::new(kind).with_r(16), 3).with_chunk(64);
+            let config = WindowConfig::last_n(500).with_granularity(32);
+            let a = engine.run_stream_windowed(pts.iter().copied(), config);
+            let b = engine.run_stream_windowed(pts.iter().copied(), config);
+            assert_eq!(a.points_seen(), 3000, "{kind}");
+            let (ans_a, ans_b) = (a.query_window(), b.query_window());
+            assert_eq!(
+                ans_a.summary.hull_ref().vertices(),
+                ans_b.summary.hull_ref().vertices(),
+                "{kind}: windowed shard merge must not depend on scheduling"
+            );
+            assert_eq!(ans_a.merged_points, ans_b.merged_points, "{kind}");
+            // Every in-window point lives in some live bucket, so the
+            // merge covers at least the window (window_points() is a
+            // conservative lower bound and may undershoot here: each
+            // shard can contribute one straddling bucket's slack).
+            assert!(ans_a.merged_points >= 500, "{kind}");
+            // Exact backend: the union-window hull contains every point of
+            // the true global window suffix.
+            if kind == SummaryKind::Exact {
+                for &p in &pts[pts.len() - 500..] {
+                    assert!(ans_a.hull().contains_linear(p), "{kind}: lost {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_sharded_empty_and_timestamped_runs() {
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Uniform).with_r(8), 4);
+        let empty = engine.run_stream_windowed(std::iter::empty(), WindowConfig::last_n(10));
+        assert_eq!(empty.points_seen(), 0);
+        assert!(empty.query_window().is_empty());
+        assert_eq!(empty.now(), None);
+
+        // Timestamped entry point: two phases far apart in time; the old
+        // phase must be invisible in the union window.
+        let pts = spiral(1000);
+        let stamped = pts.iter().enumerate().map(|(i, &p)| {
+            if i < 500 {
+                (p, i as f64)
+            } else {
+                (p, 1e6 + i as f64)
+            }
+        });
+        let run = engine.run_stream_windowed_at(stamped, WindowConfig::last_dur(2000.0));
+        let ans = run.query_window();
+        assert!(ans.merged_points >= 500, "whole recent phase covered");
+        assert!(
+            ans.merged_points < 1000,
+            "ancient phase must have expired (merged {})",
+            ans.merged_points
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "global tick clock")]
+    fn windowed_timestamped_rejects_count_policy() {
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 2);
+        let _ =
+            engine.run_stream_windowed_at([(Point2::new(0.0, 0.0), 0.0)], WindowConfig::last_n(5));
     }
 
     #[test]

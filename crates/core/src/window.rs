@@ -1,0 +1,894 @@
+//! Sliding-window hull summaries: extent queries over the *recent* part
+//! of a stream, for any [`SummaryKind`](crate::builder::SummaryKind).
+//!
+//! The whole-stream summaries in this crate never forget: their hulls
+//! describe everything ever seen. Production traffic overwhelmingly asks
+//! windowed questions instead — "the extent of the last `N` points", "the
+//! diameter over the last `T` seconds". A hull summary cannot *delete* a
+//! point, so [`WindowedSummary`] takes the classic synopsis route of
+//! Datar–Gionis–Indyk–Motwani **exponential histograms**: it keeps a chain
+//! of closed summaries ("buckets"), each covering a contiguous span of the
+//! stream, with bucket spans growing geometrically towards the past.
+//! Whole buckets expire as the window slides; only the oldest live bucket
+//! can straddle the window boundary, so a window answer is exact about
+//! *which recent points it covers* up to that one bucket — the reported
+//! **staleness bound**.
+//!
+//! Concretely, for a chain with `k` buckets per size class and sealing
+//! granularity `g` (points per freshest bucket):
+//!
+//! * inserts cost the underlying summary's insert plus **amortized O(1)**
+//!   bucket merges (a merge re-inserts a bucket's ≤ `2r + 1` stored points
+//!   into its older neighbour);
+//! * the chain holds `O(k · log(W / g))` buckets for a window covering `W`
+//!   points, each an independent [`Mergeable`] summary built by the same
+//!   [`SummaryBuilder`] — so every backend, exact through cluster, windows
+//!   through one code path;
+//! * [`query_window`](WindowedSummary::query_window) merges the live
+//!   buckets (oldest → newest) into a fresh collector of the same kind and
+//!   reports the hull together with a **composed error bound** (the sum of
+//!   the buckets' live bounds and accumulated merge debts plus the
+//!   collector's own bound — the same composition the sharded engine's
+//!   [`ShardRun`](crate::parallel::ShardRun) uses) and the staleness
+//!   bound: at most `stale_points` points older than the window (reaching
+//!   back at most `stale_duration` before it) may have been included.
+//!   Raising `k` or lowering `g` tightens staleness at the price of more
+//!   buckets.
+//!
+//! Windowed summaries compose with sharded ingestion: see
+//! [`ShardedIngest::run_stream_windowed`](crate::parallel::ShardedIngest::run_stream_windowed),
+//! which keeps one windowed summary per shard and merges their live
+//! buckets **in shard order** at query time (PR 3's determinism contract).
+
+use crate::builder::SummaryBuilder;
+use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
+use geom::{ConvexPolygon, Point2};
+use std::collections::VecDeque;
+
+/// Which trailing part of the stream a window covers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WindowPolicy {
+    /// The last `n` stream points (count-based window).
+    LastN(u64),
+    /// Every point whose timestamp `t` satisfies `t >= now - dur`, where
+    /// `now` is the newest timestamp seen (time-based window). Timestamps
+    /// are supplied via [`WindowedSummary::insert_at`] /
+    /// [`insert_batch_at`](WindowedSummary::insert_batch_at) and must be
+    /// non-decreasing; the plain [`insert`](HullSummary::insert) path
+    /// auto-ticks the clock by 1 per point.
+    LastDur(f64),
+}
+
+/// Configuration of a [`WindowedSummary`]: the window policy plus the two
+/// knobs of the exponential-histogram chain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowConfig {
+    /// The window policy (count- or time-based).
+    pub policy: WindowPolicy,
+    /// Maximum buckets per size class before the two oldest of that class
+    /// merge (the exponential histogram's `k`). Larger `k` means more,
+    /// finer buckets: staleness shrinks, memory and query cost grow.
+    pub buckets_per_level: usize,
+    /// Points gathered into the freshest bucket before it is sealed (the
+    /// chain's granularity `g`). Smaller `g` means finer staleness at the
+    /// newest end and more frequent seals.
+    pub granularity: usize,
+}
+
+impl WindowConfig {
+    /// A count-based window over the last `n` points (`n >= 1`), with the
+    /// default chain shape (`k = 2`, `g = 64`).
+    pub fn last_n(n: u64) -> Self {
+        assert!(n >= 1, "window must cover at least one point");
+        WindowConfig {
+            policy: WindowPolicy::LastN(n),
+            buckets_per_level: 2,
+            granularity: 64,
+        }
+    }
+
+    /// A time-based window over the last `dur` time units (`dur > 0`),
+    /// with the default chain shape (`k = 2`, `g = 64`).
+    pub fn last_dur(dur: f64) -> Self {
+        assert!(
+            dur > 0.0 && dur.is_finite(),
+            "window duration must be positive and finite"
+        );
+        WindowConfig {
+            policy: WindowPolicy::LastDur(dur),
+            buckets_per_level: 2,
+            granularity: 64,
+        }
+    }
+
+    /// Sets the buckets-per-size-class cap `k` (`>= 1`).
+    pub fn with_buckets_per_level(mut self, k: usize) -> Self {
+        assert!(k >= 1, "need at least one bucket per level");
+        self.buckets_per_level = k;
+        self
+    }
+
+    /// Sets the sealing granularity `g` (`>= 1` points per fresh bucket).
+    pub fn with_granularity(mut self, g: usize) -> Self {
+        assert!(g >= 1, "granularity must be at least one point");
+        self.granularity = g;
+        self
+    }
+}
+
+/// One closed span of the stream: an independent summary of `count`
+/// points whose timestamps lie in `[t_first, t_last]`.
+#[derive(Debug)]
+struct Bucket {
+    summary: Box<dyn Mergeable + Send + Sync>,
+    count: u64,
+    t_first: f64,
+    t_last: f64,
+    /// Exponential-histogram size class: a sealed bucket at level `l`
+    /// covers `g · 2^l` points (the open head is level 0 and partial).
+    level: u32,
+    /// Error-bound debt inherited from buckets merged away into this one:
+    /// the sum of their composed bounds at merge time. `None` once any
+    /// absorbed part had no live bound (frozen / cluster backends).
+    debt: Option<f64>,
+}
+
+impl Bucket {
+    /// The bucket's composed bound: inherited debt plus its summary's
+    /// live bound. `None` if either is unavailable.
+    fn composed_bound(&self) -> Option<f64> {
+        match (self.debt, self.summary.error_bound()) {
+            (Some(d), Some(b)) => Some(d + b),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate report of one window query: the merged collector summary plus
+/// the bookkeeping needed to interpret it honestly.
+///
+/// The collector's hull covers **every** in-window point the chain has
+/// retained and at most [`stale_points`](WindowAnswer::stale_points)
+/// points older than the window (none older than
+/// [`stale_duration`](WindowAnswer::stale_duration) before the window
+/// start) — stale points can only *enlarge* the reported hull, never lose
+/// a recent point.
+#[derive(Debug)]
+#[must_use = "a window answer carries the merged summary and its error/staleness bounds"]
+pub struct WindowAnswer {
+    /// The collector: a fresh summary of the configured kind that absorbed
+    /// every live bucket, oldest to newest (and in shard order for sharded
+    /// windows).
+    pub summary: Box<dyn Mergeable + Send + Sync>,
+    /// Stream points covered by the merged buckets (in-window points plus
+    /// at most [`stale_points`](WindowAnswer::stale_points) stale ones).
+    pub merged_points: u64,
+    /// Upper bound on merged points that are *older* than the window (the
+    /// straddling-bucket slack; `0` means the answer covers exactly the
+    /// window).
+    pub stale_points: u64,
+    /// Upper bound on how far (in time units) before the window start the
+    /// merged data may reach. `0` when no bucket straddles the boundary.
+    pub stale_duration: f64,
+    /// Live buckets merged into the collector.
+    pub buckets: usize,
+    /// Sum of the merged buckets' composed error bounds (their live bounds
+    /// plus accumulated merge debt); `None` when any bucket's backend
+    /// reports no bound. Add the collector's own live bound — which
+    /// [`error_bound`](WindowAnswer::error_bound) does — for the guarantee
+    /// of the reported hull against the true hull of the covered points.
+    pub bucket_bound_sum: Option<f64>,
+}
+
+impl WindowAnswer {
+    /// The window hull (borrowing the collector's generation-counted
+    /// cache).
+    pub fn hull(&self) -> &ConvexPolygon {
+        self.summary.hull_ref()
+    }
+
+    /// The composed error guarantee of [`hull`](WindowAnswer::hull)
+    /// against the true convex hull of the covered points: the sum of the
+    /// live buckets' composed bounds plus the collector's own live bound.
+    /// `None` when the backend reports no bound (frozen, cluster).
+    #[must_use]
+    pub fn error_bound(&self) -> Option<f64> {
+        match (self.bucket_bound_sum, self.summary.error_bound()) {
+            (Some(parts), Some(own)) => Some(parts + own),
+            _ => None,
+        }
+    }
+
+    /// Lower bound on how many *in-window* points the answer covers.
+    #[must_use]
+    pub fn window_points(&self) -> u64 {
+        self.merged_points.saturating_sub(self.stale_points)
+    }
+
+    /// `true` when the window covered no points at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.merged_points == 0
+    }
+}
+
+/// Accumulator threaded through per-shard merges by
+/// [`WindowedRun::query_window`](crate::parallel::WindowedRun); the
+/// single-summary query uses it with one shard.
+#[derive(Debug, Default)]
+struct MergeStats {
+    merged_points: u64,
+    stale_points: u64,
+    stale_duration: f64,
+    buckets: usize,
+    bound_sum: Option<f64>,
+}
+
+impl MergeStats {
+    fn new() -> Self {
+        MergeStats {
+            bound_sum: Some(0.0),
+            ..Default::default()
+        }
+    }
+
+    fn add_bucket(&mut self, b: &Bucket) {
+        self.merged_points += b.count;
+        self.buckets += 1;
+        self.bound_sum = match (self.bound_sum, b.composed_bound()) {
+            (Some(acc), Some(bb)) => Some(acc + bb),
+            _ => None,
+        };
+    }
+
+    /// Packages the accumulated bookkeeping with the collector that
+    /// absorbed the buckets (shared by the standalone and sharded query
+    /// paths).
+    fn into_answer(self, collector: Box<dyn Mergeable + Send + Sync>) -> WindowAnswer {
+        WindowAnswer {
+            summary: collector,
+            merged_points: self.merged_points,
+            stale_points: self.stale_points,
+            stale_duration: self.stale_duration,
+            buckets: self.buckets,
+            bucket_bound_sum: self.bound_sum,
+        }
+    }
+}
+
+/// A sliding-window wrapper around any
+/// [`SummaryKind`](crate::builder::SummaryKind): ingest a stream once,
+/// answer extent/diameter/width queries about only its recent part.
+///
+/// Construct through [`SummaryBuilder::windowed`]:
+///
+/// ```
+/// use adaptive_hull::window::WindowConfig;
+/// use adaptive_hull::{HullSummary, SummaryBuilder, SummaryKind};
+/// use geom::Point2;
+///
+/// let mut w = SummaryBuilder::new(SummaryKind::Adaptive)
+///     .with_r(16)
+///     .windowed(WindowConfig::last_n(1000).with_granularity(100));
+/// for i in 0..5000 {
+///     let t = i as f64 * 0.01;
+///     w.insert(Point2::new(t.cos() + i as f64 * 0.001, t.sin()));
+/// }
+/// let ans = w.query_window();
+/// assert!(ans.window_points() >= 1000); // covers the whole window
+/// assert!(ans.stale_points <= 400);     // ... plus bounded slack
+/// assert!(ans.hull().len() >= 3);
+/// ```
+///
+/// `WindowedSummary` also implements [`HullSummary`] itself —
+/// [`hull_ref`](HullSummary::hull_ref) is the *window* hull (rebuilt
+/// lazily per generation), **not** the whole-stream hull; `points_seen`
+/// still counts the whole stream. That makes windowed summaries drop-in
+/// sources for the §6 query layer.
+#[derive(Debug)]
+pub struct WindowedSummary {
+    builder: SummaryBuilder,
+    config: WindowConfig,
+    /// Sealed buckets plus (at the back, when `head_open`) the open head;
+    /// oldest at the front, levels non-increasing front to back.
+    buckets: VecDeque<Bucket>,
+    head_open: bool,
+    /// Newest timestamp seen (`-inf` before the first point).
+    clock: f64,
+    /// Total stream points ever consumed (also the auto-tick source).
+    total_seen: u64,
+    cache: HullCache,
+    bound_cache: GenCache<Option<f64>>,
+    /// Reusable buffer for stripping timestamps off `(Point2, f64)`
+    /// batches ([`insert_batch_timestamped`](WindowedSummary::insert_batch_timestamped)).
+    scratch: Vec<Point2>,
+}
+
+impl WindowedSummary {
+    /// A windowed summary whose buckets (and query collectors) are built
+    /// by `builder`.
+    pub fn new(builder: SummaryBuilder, config: WindowConfig) -> Self {
+        // Re-validate (config may have been built literally).
+        match config.policy {
+            WindowPolicy::LastN(n) => assert!(n >= 1, "window must cover at least one point"),
+            WindowPolicy::LastDur(d) => {
+                assert!(d > 0.0 && d.is_finite(), "window duration must be positive")
+            }
+        }
+        assert!(config.buckets_per_level >= 1 && config.granularity >= 1);
+        WindowedSummary {
+            builder,
+            config,
+            buckets: VecDeque::new(),
+            head_open: false,
+            clock: f64::NEG_INFINITY,
+            total_seen: 0,
+            cache: HullCache::new(),
+            bound_cache: GenCache::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The window configuration.
+    #[must_use]
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// The per-bucket summary configuration.
+    #[must_use]
+    pub fn builder(&self) -> SummaryBuilder {
+        self.builder
+    }
+
+    /// Live buckets currently in the chain (`O(k · log(W/g))`).
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The newest timestamp seen, or `None` before the first point.
+    #[must_use]
+    pub fn now(&self) -> Option<f64> {
+        (self.total_seen > 0).then_some(self.clock)
+    }
+
+    /// Feeds one point stamped `t`. Timestamps must be non-decreasing;
+    /// panics otherwise (a windowed summary cannot travel back in time).
+    pub fn insert_at(&mut self, p: Point2, t: f64) {
+        self.feed_with(&[p], &|_| t);
+        self.expire();
+        self.cache.invalidate();
+    }
+
+    /// Feeds a batch of points that all arrived at time `t` (one sensor
+    /// flush). Observably identical to `for p in pts { insert_at(p, t) }`.
+    pub fn insert_batch_at(&mut self, pts: &[Point2], t: f64) {
+        if pts.is_empty() {
+            return;
+        }
+        self.feed_with(pts, &|_| t);
+        self.expire();
+        self.cache.invalidate();
+    }
+
+    /// Feeds a batch of individually timestamped points (the sharded
+    /// dispatcher's entry point). Timestamps must be non-decreasing, both
+    /// within the slice and against earlier inserts. Observably identical
+    /// to `for (p, t) in pts { insert_at(p, t) }`.
+    pub fn insert_batch_timestamped(&mut self, pts: &[(Point2, f64)]) {
+        if pts.is_empty() {
+            return;
+        }
+        assert!(
+            pts.windows(2).all(|w| w[0].1 <= w[1].1),
+            "timestamps must be non-decreasing within the batch"
+        );
+        // Strip the timestamps into the reusable scratch buffer so the
+        // sharded dispatch path stays allocation-free per chunk.
+        let mut points = std::mem::take(&mut self.scratch);
+        points.clear();
+        points.extend(pts.iter().map(|&(p, _)| p));
+        self.feed_with(&points, &|i| pts[i].1);
+        self.scratch = points;
+        self.expire();
+        self.cache.invalidate();
+    }
+
+    /// Feeds `pts` with consecutive auto-tick timestamps (1 tick per
+    /// point), the windowed analogue of
+    /// [`insert_batch`](HullSummary::insert_batch).
+    fn insert_batch_ticked(&mut self, pts: &[Point2]) {
+        if pts.is_empty() {
+            return;
+        }
+        let start = self.next_tick();
+        self.feed_with(pts, &|i| start + i as f64);
+        self.expire();
+        self.cache.invalidate();
+    }
+
+    /// The timestamp the auto-tick path assigns to the next point.
+    fn next_tick(&self) -> f64 {
+        if self.total_seen == 0 {
+            0.0
+        } else {
+            self.clock + 1.0
+        }
+    }
+
+    /// Core ingestion: feed `pts`, point `i` stamped `time_of(i)`
+    /// (non-decreasing), splitting across head-bucket seals. The chain
+    /// produced is a pure function of the point/timestamp sequence —
+    /// batch boundaries never show (seals fire at the same counts, with
+    /// the same clock, as the per-point loop; see the window proptests).
+    fn feed_with(&mut self, pts: &[Point2], time_of: &dyn Fn(usize) -> f64) {
+        let t_first = time_of(0);
+        assert!(
+            t_first.is_finite() && time_of(pts.len() - 1).is_finite(),
+            "timestamps must be finite"
+        );
+        assert!(
+            self.total_seen == 0 || t_first >= self.clock,
+            "timestamps must be non-decreasing (got {t_first} after {})",
+            self.clock
+        );
+        let g = self.config.granularity as u64;
+        let mut rest = pts;
+        let mut idx = 0usize; // points of `pts` already consumed
+        while !rest.is_empty() {
+            if !self.head_open {
+                self.buckets.push_back(Bucket {
+                    summary: self.builder.build_mergeable(),
+                    count: 0,
+                    t_first: time_of(idx),
+                    t_last: time_of(idx),
+                    level: 0,
+                    debt: Some(0.0),
+                });
+                self.head_open = true;
+            }
+            let head = self.buckets.back_mut().expect("head just ensured");
+            let room = (g - head.count) as usize;
+            let take = room.min(rest.len());
+            let (piece, tail) = rest.split_at(take);
+            // Feed through the backend's batched fast path (`piece`
+            // borrows the caller's slice, not `self`, so no copy needed).
+            head.summary.insert_batch(piece);
+            head.count += take as u64;
+            head.t_last = time_of(idx + take - 1);
+            self.total_seen += take as u64;
+            self.clock = head.t_last;
+            rest = tail;
+            idx += take;
+            if head.count == g {
+                // Seal: the head becomes a closed level-0 bucket; restore
+                // the exponential-histogram invariant. Expire first so the
+                // carry never merges a bucket the per-point loop would
+                // already have dropped (the expiry-races-batch-boundary
+                // case).
+                self.head_open = false;
+                self.expire();
+                self.carry();
+            }
+        }
+    }
+
+    /// Restores the invariant "at most `k` sealed buckets per level" by
+    /// merging the two oldest buckets of an overfull level (amortized O(1)
+    /// merges per insert, the exponential-histogram argument).
+    fn carry(&mut self) {
+        let k = self.config.buckets_per_level;
+        let mut level = 0u32;
+        loop {
+            let sealed = self.buckets.len() - usize::from(self.head_open);
+            // Levels are non-increasing front to back, so buckets of
+            // `level` form one contiguous run; find it.
+            let mut first = None;
+            let mut count = 0usize;
+            for (i, b) in self.buckets.iter().take(sealed).enumerate() {
+                if b.level == level {
+                    if first.is_none() {
+                        first = Some(i);
+                    }
+                    count += 1;
+                }
+            }
+            let Some(first) = first else { break };
+            if count <= k {
+                break;
+            }
+            // Merge the second-oldest of the run into the oldest: the
+            // older bucket absorbs the newer one's stored sample and
+            // inherits its bound debt.
+            let absorbed = self.buckets.remove(first + 1).expect("run has >= 2");
+            let survivor = &mut self.buckets[first];
+            let absorbed_bound = absorbed.composed_bound();
+            survivor.summary.merge_from(absorbed.summary.as_ref());
+            survivor.count += absorbed.count;
+            survivor.t_last = absorbed.t_last;
+            survivor.level += 1;
+            survivor.debt = match (survivor.debt, absorbed_bound) {
+                (Some(d), Some(b)) => Some(d + b),
+                _ => None,
+            };
+            level += 1;
+        }
+    }
+
+    /// Drops buckets that lie entirely outside the window (from the
+    /// oldest end; the straddling bucket stays — that is the staleness).
+    fn expire(&mut self) {
+        match self.config.policy {
+            WindowPolicy::LastN(n) => {
+                let mut total: u64 = self.buckets.iter().map(|b| b.count).sum();
+                while let Some(front) = self.buckets.front() {
+                    let is_head = self.head_open && self.buckets.len() == 1;
+                    if !is_head && total - front.count >= n {
+                        total -= front.count;
+                        self.buckets.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            WindowPolicy::LastDur(d) => {
+                let start = self.clock - d;
+                while let Some(front) = self.buckets.front() {
+                    let is_head = self.head_open && self.buckets.len() == 1;
+                    if !is_head && front.t_last < start {
+                        self.buckets.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges this chain's live buckets (w.r.t. the window anchored at
+    /// `now`) into `collector`, oldest to newest, accumulating the answer
+    /// bookkeeping. Shared by the standalone and sharded query paths.
+    fn merge_window_into(&self, now: f64, collector: &mut dyn Mergeable, stats: &mut MergeStats) {
+        if self.total_seen == 0 {
+            return;
+        }
+        match self.config.policy {
+            WindowPolicy::LastN(n) => {
+                // Expiry keeps the chain minimal, so every bucket is live;
+                // only the front one can straddle the count boundary.
+                let total: u64 = self.buckets.iter().map(|b| b.count).sum();
+                let stale = total.saturating_sub(n);
+                if stale > 0 {
+                    stats.stale_points += stale;
+                    if let Some(front) = self.buckets.front() {
+                        // The true window start lies inside the front
+                        // bucket, whose span bounds the extra time.
+                        stats.stale_duration =
+                            stats.stale_duration.max(front.t_last - front.t_first);
+                    }
+                }
+                for b in &self.buckets {
+                    collector.merge_from(b.summary.as_ref());
+                    stats.add_bucket(b);
+                }
+            }
+            WindowPolicy::LastDur(d) => {
+                let start = now - d;
+                for b in &self.buckets {
+                    if b.t_last < start {
+                        continue; // expired w.r.t. a newer (global) clock
+                    }
+                    if b.t_first < start {
+                        // Straddling: everything but the point at `t_last`
+                        // may be stale, reaching back to `t_first`.
+                        stats.stale_points += b.count.saturating_sub(1);
+                        stats.stale_duration = stats.stale_duration.max(start - b.t_first);
+                    }
+                    collector.merge_from(b.summary.as_ref());
+                    stats.add_bucket(b);
+                }
+            }
+        }
+    }
+
+    /// Answers the window query: merges the live buckets into a fresh
+    /// collector of the configured kind and reports the hull with its
+    /// composed error bound and staleness bound. `O(buckets · r)` — cheap
+    /// next to ingestion; for repeated between-insert queries prefer
+    /// [`hull_ref`](HullSummary::hull_ref), which caches per generation.
+    pub fn query_window(&self) -> WindowAnswer {
+        let mut collector = self.builder.build_mergeable();
+        let mut stats = MergeStats::new();
+        self.merge_window_into(self.clock, collector.as_mut(), &mut stats);
+        stats.into_answer(collector)
+    }
+
+    /// Points currently stored across the chain (the window's memory
+    /// footprint in points).
+    fn stored_points(&self) -> usize {
+        self.buckets.iter().map(|b| b.summary.sample_size()).sum()
+    }
+}
+
+impl HullSummary for WindowedSummary {
+    /// Auto-tick ingestion: the point is stamped one tick after the
+    /// previous one (so `LastN(n)` and `LastDur(n - 0.5)` agree on pure
+    /// auto-tick streams).
+    fn insert(&mut self, p: Point2) {
+        let t = self.next_tick();
+        self.insert_at(p, t);
+    }
+
+    fn insert_batch(&mut self, points: &[Point2]) {
+        self.insert_batch_ticked(points);
+    }
+
+    /// The **window** hull (not the whole-stream hull), lazily rebuilt per
+    /// generation from [`query_window`](WindowedSummary::query_window).
+    fn hull_ref(&self) -> &ConvexPolygon {
+        self.cache
+            .get_or_rebuild(|| self.query_window().summary.hull())
+    }
+
+    fn hull_generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    fn sample_size(&self) -> usize {
+        self.stored_points()
+    }
+
+    fn points_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    fn name(&self) -> &'static str {
+        "windowed"
+    }
+
+    /// The composed window bound ([`WindowAnswer::error_bound`]), memoised
+    /// per generation.
+    fn error_bound(&self) -> Option<f64> {
+        self.bound_cache
+            .get_or_compute(self.cache.generation(), || {
+                self.query_window().error_bound()
+            })
+    }
+}
+
+/// The result of a sharded windowed ingestion run
+/// ([`ShardedIngest::run_stream_windowed`](crate::parallel::ShardedIngest::run_stream_windowed)):
+/// one [`WindowedSummary`] per shard, each covering the shard's round-robin
+/// share of the stream on the **shared global clock**.
+///
+/// [`query_window`](WindowedRun::query_window) anchors every shard's
+/// window at the same global `now` (the newest timestamp any shard saw)
+/// and merges all live buckets into one collector **in shard order,
+/// oldest bucket first within each shard** — for a fixed stream, summary
+/// configuration, shard count, and chunk size the answer is bit-identical
+/// across runs, exactly PR 3's determinism contract.
+#[derive(Debug)]
+#[must_use = "a windowed run holds the per-shard window state; query it or inspect the shards"]
+pub struct WindowedRun {
+    builder: SummaryBuilder,
+    shards: Vec<WindowedSummary>,
+}
+
+impl WindowedRun {
+    /// Assembles a run from per-shard windowed summaries (the collector
+    /// kind comes from `builder`). Exposed for the parallel engine.
+    pub(crate) fn new(builder: SummaryBuilder, shards: Vec<WindowedSummary>) -> Self {
+        WindowedRun { builder, shards }
+    }
+
+    /// The per-shard windowed summaries, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[WindowedSummary] {
+        &self.shards
+    }
+
+    /// Total stream points consumed across all shards.
+    #[must_use]
+    pub fn points_seen(&self) -> u64 {
+        self.shards.iter().map(|s| s.points_seen()).sum()
+    }
+
+    /// Live buckets across all shards.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        self.shards.iter().map(|s| s.bucket_count()).sum()
+    }
+
+    /// The newest timestamp any shard has seen (`None` on an empty run).
+    #[must_use]
+    pub fn now(&self) -> Option<f64> {
+        self.shards.iter().filter_map(|s| s.now()).reduce(f64::max)
+    }
+
+    /// Answers the union-window query: every shard's live buckets (w.r.t.
+    /// the shared global `now`) merge into one fresh collector in shard
+    /// order, with the same composed error and staleness bookkeeping as
+    /// [`WindowedSummary::query_window`]. Per-shard clocks may trail the
+    /// global one by at most the in-flight chunks, which the liveness
+    /// filter and staleness bounds already account for.
+    pub fn query_window(&self) -> WindowAnswer {
+        let now = self.now().unwrap_or(f64::NEG_INFINITY);
+        let mut collector = self.builder.build_mergeable();
+        let mut stats = MergeStats::new();
+        for shard in &self.shards {
+            shard.merge_window_into(now, collector.as_mut(), &mut stats);
+        }
+        stats.into_answer(collector)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SummaryKind;
+
+    fn drifting(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                Point2::new(t.cos() + i as f64 * 0.01, t.sin())
+            })
+            .collect()
+    }
+
+    fn window(kind: SummaryKind, config: WindowConfig) -> WindowedSummary {
+        SummaryBuilder::new(kind).with_r(16).windowed(config)
+    }
+
+    #[test]
+    fn empty_window_answers_empty() {
+        let w = window(SummaryKind::Adaptive, WindowConfig::last_n(10));
+        let ans = w.query_window();
+        assert!(ans.is_empty());
+        assert_eq!(ans.buckets, 0);
+        let _ = ans.error_bound(); // must not panic on an empty window
+        assert!(w.hull_ref().is_empty());
+        assert_eq!(w.bucket_count(), 0);
+        assert_eq!(w.now(), None);
+    }
+
+    #[test]
+    fn single_bucket_window_is_exact() {
+        // Fewer points than the granularity: one open head bucket, no
+        // staleness, answer covers exactly the window.
+        let mut w = window(
+            SummaryKind::Exact,
+            WindowConfig::last_n(100).with_granularity(128),
+        );
+        let pts = drifting(50);
+        w.insert_batch(&pts);
+        assert_eq!(w.bucket_count(), 1);
+        let ans = w.query_window();
+        assert_eq!(ans.merged_points, 50);
+        assert_eq!(ans.stale_points, 0);
+        assert_eq!(ans.error_bound(), Some(0.0));
+        let truth = ConvexPolygon::hull_of(&pts);
+        assert_eq!(ans.hull().vertices(), truth.vertices());
+    }
+
+    #[test]
+    fn last_n_covers_window_with_bounded_staleness() {
+        let g = 32u64;
+        let n = 200u64;
+        let mut w = window(
+            SummaryKind::Exact,
+            WindowConfig::last_n(n).with_granularity(g as usize),
+        );
+        let pts = drifting(2000);
+        for &p in &pts {
+            w.insert(p);
+        }
+        let ans = w.query_window();
+        // Covers at least the window...
+        assert!(ans.window_points() >= n);
+        // ...and the chain stays logarithmic.
+        assert!(
+            w.bucket_count() <= 2 * 8 + 1,
+            "{} buckets",
+            w.bucket_count()
+        );
+        // Exact backend: the answer hull contains every in-window point.
+        let suffix = &pts[pts.len() - n as usize..];
+        for &p in suffix {
+            assert!(ans.hull().contains_linear(p), "{p:?} lost from window");
+        }
+        // Stale points are bounded by the straddling bucket's size.
+        let total_merged = ans.merged_points;
+        assert_eq!(total_merged - ans.stale_points, n);
+    }
+
+    #[test]
+    fn expiry_drops_old_buckets() {
+        let mut w = window(
+            SummaryKind::Uniform,
+            WindowConfig::last_n(64).with_granularity(16),
+        );
+        w.insert_batch(&drifting(10_000));
+        // The chain must not grow with the stream: it is bounded by the
+        // window, not the stream length.
+        assert!(w.bucket_count() <= 12, "{} buckets", w.bucket_count());
+        assert_eq!(w.points_seen(), 10_000);
+        assert!(w.sample_size() <= 12 * 33);
+    }
+
+    #[test]
+    fn last_dur_expires_by_time() {
+        let mut w = window(
+            SummaryKind::Exact,
+            WindowConfig::last_dur(10.0).with_granularity(4),
+        );
+        // Two phases 100 time units apart: the old phase must vanish.
+        for i in 0..40 {
+            w.insert_at(Point2::new(100.0 + i as f64, 0.0), i as f64 * 0.1);
+        }
+        for i in 0..40 {
+            w.insert_at(Point2::new(-(i as f64), 5.0), 100.0 + i as f64 * 0.1);
+        }
+        let ans = w.query_window();
+        let hull = ans.hull();
+        // No first-phase point (x >= 100) can survive in the window hull.
+        assert!(
+            hull.vertices().iter().all(|v| v.x < 100.0),
+            "stale phase leaked: {:?}",
+            hull.vertices()
+        );
+        assert_eq!(ans.merged_points, 40);
+    }
+
+    #[test]
+    fn batch_equals_loop_across_seal_and_expiry_boundaries() {
+        let pts = drifting(777);
+        for &kind in &[SummaryKind::Exact, SummaryKind::Adaptive] {
+            let config = WindowConfig::last_n(100).with_granularity(32);
+            let mut looped = window(kind, config);
+            for &p in &pts {
+                looped.insert(p);
+            }
+            let mut batched = window(kind, config);
+            for chunk in pts.chunks(53) {
+                batched.insert_batch(chunk);
+            }
+            assert_eq!(looped.points_seen(), batched.points_seen(), "{kind}");
+            assert_eq!(looped.bucket_count(), batched.bucket_count(), "{kind}");
+            assert_eq!(
+                looped.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{kind}"
+            );
+            let (a, b) = (looped.query_window(), batched.query_window());
+            assert_eq!(a.merged_points, b.merged_points, "{kind}");
+            assert_eq!(a.stale_points, b.stale_points, "{kind}");
+            assert_eq!(a.error_bound(), b.error_bound(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn every_kind_windows() {
+        for &kind in &SummaryKind::ALL {
+            let mut w = window(kind, WindowConfig::last_n(128).with_granularity(32));
+            w.insert_batch(&drifting(1000));
+            let ans = w.query_window();
+            assert!(ans.window_points() >= 128, "{kind}");
+            assert!(ans.hull().len() >= 3, "{kind}");
+            assert_eq!(w.name(), "windowed");
+            // Bound availability mirrors the backend's: frozen and
+            // cluster have no live guarantee, every other kind does.
+            let expects_bound = !matches!(kind, SummaryKind::Frozen | SummaryKind::Cluster);
+            assert_eq!(ans.error_bound().is_some(), expects_bound, "{kind}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_timestamps_panic() {
+        let mut w = window(SummaryKind::Exact, WindowConfig::last_dur(5.0));
+        w.insert_at(Point2::new(0.0, 0.0), 10.0);
+        w.insert_at(Point2::new(1.0, 0.0), 9.0);
+    }
+}

@@ -28,9 +28,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub use shapes::{
-    Annulus, Changing, CirclePoints, Disk, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
+    Annulus, Changing, CirclePoints, Disk, Drift, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
 };
-pub use transform::{Chunks, Rotate, Scale, Translate};
+pub use transform::{Chunks, Rotate, Scale, Timestamped, Translate};
 
 /// A finite, seeded stream of points. Blanket-implemented for every
 /// `Iterator<Item = Point2>`; exists so generic harness code can name the

@@ -375,6 +375,55 @@ impl Iterator for SegmentCloud {
 }
 finite_iter!(SegmentCloud);
 
+/// A Gaussian cloud whose centre **drifts** along a segment over the
+/// stream: point `i` is jittered around `from.lerp(to, i/(n-1))`. The
+/// focused workload for sliding windows — the recent window hull is a
+/// tight blob around the current centre while the whole-stream hull
+/// covers the entire track, so windowed and global answers diverge by
+/// construction. Pair with [`Timestamped::bursty`](crate::Timestamped)
+/// for the drift-plus-burst arrival pattern.
+#[derive(Debug)]
+pub struct Drift {
+    inner: Gaussian,
+    i: usize,
+    n: usize,
+    from: Point2,
+    to: Point2,
+}
+
+impl Drift {
+    /// `n` points drifting from `from` to `to` with Gaussian jitter of
+    /// standard deviation `sigma` around the moving centre.
+    pub fn new(seed: u64, n: usize, from: Point2, to: Point2, sigma: f64) -> Self {
+        Drift {
+            inner: Gaussian::new(seed, n, sigma),
+            i: 0,
+            n,
+            from,
+            to,
+        }
+    }
+}
+
+impl Iterator for Drift {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        let jitter = self.inner.next()?;
+        let frac = if self.n <= 1 {
+            0.0
+        } else {
+            self.i as f64 / (self.n - 1) as f64
+        };
+        self.i += 1;
+        let centre = self.from.lerp(self.to, frac);
+        Some(centre + (jitter - Point2::ORIGIN))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+finite_iter!(Drift);
+
 /// Outward Archimedean spiral: point `i` at radius `r0 + i·dr`, angle
 /// `i·dθ` with `dθ` an irrational fraction of the circle. Adversarial for
 /// incremental hulls — *every* point is outside the previous hull.
@@ -517,6 +566,29 @@ mod tests {
         let w = geom::calipers::width(&hull);
         assert!(d > 90.0);
         assert!(w <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn drift_tracks_its_centre() {
+        let from = Point2::new(0.0, 0.0);
+        let to = Point2::new(100.0, 0.0);
+        let pts: Vec<Point2> = Drift::new(13, 5000, from, to, 0.5).collect();
+        assert_eq!(pts.len(), 5000);
+        // Deterministic per seed.
+        let again: Vec<Point2> = Drift::new(13, 5000, from, to, 0.5).collect();
+        assert_eq!(pts, again);
+        // Early points hug `from`, late points hug `to`: the windowed-hull
+        // property this workload exists for.
+        let head = &pts[..500];
+        let tail = &pts[4500..];
+        let mean_x = |s: &[Point2]| s.iter().map(|p| p.x).sum::<f64>() / s.len() as f64;
+        assert!(mean_x(head) < 10.0, "head mean x = {}", mean_x(head));
+        assert!(mean_x(tail) > 90.0, "tail mean x = {}", mean_x(tail));
+        // Jitter stays tight around the moving centre.
+        for (i, p) in pts.iter().enumerate() {
+            let centre = from.lerp(to, i as f64 / 4999.0);
+            assert!(p.distance(centre) < 5.0, "point {i} strayed: {p:?}");
+        }
     }
 
     #[test]

@@ -135,6 +135,84 @@ impl<S: Iterator<Item = Point2>> Iterator for Translate<S> {
     }
 }
 
+/// Attaches timestamps to a point stream, turning `Point2` items into
+/// `(Point2, f64)` pairs for the windowed ingestion paths
+/// (`WindowedSummary::insert_at` / `ShardedIngest::run_stream_windowed_at`).
+///
+/// Two arrival patterns:
+///
+/// * [`uniform`](Timestamped::uniform) — one point every `dt` (a steady
+///   sensor);
+/// * [`bursty`](Timestamped::bursty) — points arrive in flushes of
+///   `burst_len` spaced `dt_within` apart, with `gap` between flushes (a
+///   sensor that buffers and reports in bursts). Bursty clocks stress
+///   time-based windows: a whole flush expires at once, so bucket expiry
+///   happens in slabs rather than a steady trickle.
+#[derive(Debug)]
+pub struct Timestamped<S> {
+    inner: S,
+    t0: f64,
+    dt_within: f64,
+    burst_len: usize,
+    gap: f64,
+    i: usize,
+}
+
+impl<S> Timestamped<S> {
+    /// One point every `dt` time units starting at `t0` (`dt >= 0`).
+    pub fn uniform(inner: S, t0: f64, dt: f64) -> Self {
+        assert!(dt >= 0.0 && dt.is_finite(), "dt must be finite and >= 0");
+        Timestamped {
+            inner,
+            t0,
+            dt_within: dt,
+            burst_len: 1,
+            gap: dt,
+            i: 0,
+        }
+    }
+
+    /// Bursts of `burst_len` points spaced `dt_within` apart, with `gap`
+    /// between a burst's last point and the next burst's first point.
+    pub fn bursty(inner: S, t0: f64, burst_len: usize, dt_within: f64, gap: f64) -> Self {
+        assert!(burst_len >= 1, "a burst holds at least one point");
+        assert!(
+            dt_within >= 0.0 && gap >= 0.0 && dt_within.is_finite() && gap.is_finite(),
+            "spacings must be finite and >= 0"
+        );
+        Timestamped {
+            inner,
+            t0,
+            dt_within,
+            burst_len,
+            gap,
+            i: 0,
+        }
+    }
+
+    /// The timestamp of point `i` under this arrival pattern.
+    fn time_of(&self, i: usize) -> f64 {
+        let burst = (i / self.burst_len) as f64;
+        let within = (i % self.burst_len) as f64;
+        self.t0
+            + burst * ((self.burst_len - 1) as f64 * self.dt_within + self.gap)
+            + within * self.dt_within
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for Timestamped<S> {
+    type Item = (Point2, f64);
+    fn next(&mut self) -> Option<(Point2, f64)> {
+        let p = self.inner.next()?;
+        let t = self.time_of(self.i);
+        self.i += 1;
+        Some((p, t))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
 /// Interleaves two streams round-robin (models two sensors reporting into
 /// one channel); ends when both are exhausted.
 #[derive(Debug)]
@@ -217,6 +295,32 @@ mod tests {
             Chunks::new(CirclePoints::new(10, 1.0), 4).size_hint(),
             (3, Some(3))
         );
+    }
+
+    #[test]
+    fn timestamped_uniform_and_bursty_clocks() {
+        let uni: Vec<(Point2, f64)> =
+            Timestamped::uniform(CirclePoints::new(4, 1.0), 10.0, 0.5).collect();
+        assert_eq!(uni.len(), 4);
+        let ts: Vec<f64> = uni.iter().map(|&(_, t)| t).collect();
+        assert_eq!(ts, [10.0, 10.5, 11.0, 11.5]);
+
+        // Bursts of 3 points 0.1 apart, 5.0 between bursts.
+        let bursty: Vec<f64> = Timestamped::bursty(CirclePoints::new(7, 1.0), 0.0, 3, 0.1, 5.0)
+            .map(|(_, t)| t)
+            .collect();
+        let want = [0.0, 0.1, 0.2, 5.2, 5.3, 5.4, 10.4];
+        assert_eq!(bursty.len(), want.len());
+        for (got, want) in bursty.iter().zip(want) {
+            assert!((got - want).abs() < 1e-12, "{got} != {want}");
+        }
+        // Timestamps are always non-decreasing (the windowed-ingestion
+        // requirement).
+        assert!(bursty.windows(2).all(|w| w[0] <= w[1]));
+        // The points themselves pass through untouched.
+        let direct: Vec<Point2> = CirclePoints::new(4, 1.0).collect();
+        let tagged: Vec<Point2> = uni.iter().map(|&(p, _)| p).collect();
+        assert_eq!(tagged, direct);
     }
 
     #[test]

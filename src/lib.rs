@@ -69,6 +69,38 @@
 //! assert_eq!(a.points_seen(), 4);
 //! ```
 //!
+//! ## Sliding windows: summaries that forget
+//!
+//! Production traffic mostly asks about the *recent* stream — "extent of
+//! the last `N` points / last `T` seconds". [`WindowedSummary`] wraps any
+//! backend in an exponential-histogram chain of buckets that expire as
+//! the window slides; [`query_window`](WindowedSummary::query_window)
+//! reports the window hull together with a composed error bound and an
+//! explicit **staleness bound** (at most `stale_points` points older than
+//! the window may be included — a window answer is approximate only at
+//! its oldest edge, and the slack shrinks as you refine the chain):
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let mut w = SummaryBuilder::new(SummaryKind::Adaptive)
+//!     .with_r(16)
+//!     .windowed(WindowConfig::last_n(500).with_granularity(50));
+//! for i in 0..5000 {
+//!     let t = i as f64 * 0.02;
+//!     w.insert(Point2::new(t.cos() + i as f64 * 0.01, t.sin()));
+//! }
+//! let ans = w.query_window();
+//! assert!(ans.merged_points >= 500); // the whole window is covered …
+//! assert!(ans.stale_points < 500);   // … plus bounded staleness
+//! assert!(ans.error_bound().is_some());
+//! ```
+//!
+//! Windows compose with sharding:
+//! [`ShardedIngest::run_stream_windowed`] keeps one windowed summary per
+//! shard on a shared clock and merges live buckets in deterministic shard
+//! order at query time.
+//!
 //! ## Crate map
 //!
 //! * [`geom`] — planar geometry substrate (robust predicates, hulls,
@@ -86,12 +118,13 @@ pub use adaptive_hull;
 pub use geom;
 pub use streamgen;
 
-pub use adaptive_hull::{metrics, queries, viz};
+pub use adaptive_hull::window::WindowedRun;
+pub use adaptive_hull::{metrics, queries, viz, window};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ExactHull,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
     NaiveUniformHull, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder, SummaryKind,
-    UniformHull,
+    UniformHull, WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
@@ -101,7 +134,8 @@ pub mod prelude {
         AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ConvexPolygon, ExactHull,
         FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt, Mergeable,
         NaiveUniformHull, Point2, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder,
-        SummaryKind, UniformHull, Vec2,
+        SummaryKind, UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy, WindowedRun,
+        WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

@@ -1,0 +1,283 @@
+//! Property-based correctness of the sliding-window subsystem: for every
+//! backend, a [`WindowedSummary`]'s answer is compared against an
+//! [`ExactHull`] rebuilt from only the in-window suffix of the stream.
+//!
+//! The contract under test (window.rs):
+//!
+//! * the answer covers **every** in-window point — staleness only ever
+//!   *adds* old points (enlarging the hull), it never loses recent ones;
+//! * for `LastN` the accounting is exact: `merged - stale == min(n, len)`;
+//! * the composed error bound holds against the exact in-window hull;
+//! * every reported hull vertex is an actual stream point from the
+//!   covered span;
+//! * batch boundaries are invisible, even when a batch straddles bucket
+//!   seals and expiry (the "expiry races the batch boundary" case);
+//! * the sharded windowed engine agrees with the standalone semantics
+//!   and is deterministic.
+
+use proptest::prelude::*;
+use streamhull::prelude::*;
+
+fn pt_strategy() -> impl Strategy<Value = Point2> {
+    prop_oneof![
+        (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)),
+        (-4i32..4, -4i32..4).prop_map(|(x, y)| Point2::new(x as f64, y as f64)),
+        // Skinny band: stresses adaptive refinement inside buckets.
+        (-50.0f64..50.0, -0.5f64..0.5).prop_map(|(x, y)| Point2::new(x, y)),
+    ]
+}
+
+fn stream_strategy(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+    prop::collection::vec(pt_strategy(), 1..max)
+}
+
+/// The chain knobs, kept small so seals, carries, and expiry all fire
+/// inside short proptest streams.
+fn chain_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // (granularity g, buckets_per_level k)
+    (1usize..24, 1usize..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn last_n_answers_match_exact_suffix_for_every_kind(
+        pts in stream_strategy(300),
+        n in 1u64..200,
+        (g, k) in chain_strategy(),
+        chunk in 1usize..64,
+    ) {
+        let in_window = (n as usize).min(pts.len());
+        let suffix = &pts[pts.len() - in_window..];
+        let mut exact_suffix = ExactHull::new();
+        exact_suffix.insert_batch(suffix);
+        let truth = exact_suffix.hull();
+
+        for &kind in &SummaryKind::ALL {
+            let config = WindowConfig::last_n(n)
+                .with_granularity(g)
+                .with_buckets_per_level(k);
+            let mut w = SummaryBuilder::new(kind).with_r(8).windowed(config);
+            for c in pts.chunks(chunk) {
+                w.insert_batch(c);
+            }
+            prop_assert_eq!(w.points_seen(), pts.len() as u64, "{}", kind);
+            let ans = w.query_window();
+
+            // Exact LastN accounting: covered = window + staleness.
+            prop_assert_eq!(
+                ans.merged_points - ans.stale_points,
+                in_window as u64,
+                "{}: accounting", kind
+            );
+            // The covered span is the last `merged_points` points; every
+            // reported vertex must be inside its exact hull (vertices are
+            // actual stream points of the span).
+            let span = &pts[pts.len() - ans.merged_points as usize..];
+            let mut exact_span = ExactHull::new();
+            exact_span.insert_batch(span);
+            for &v in ans.hull().vertices() {
+                prop_assert!(
+                    exact_span.hull_ref().contains_linear(v),
+                    "{}: vertex {:?} outside the covered span", kind, v
+                );
+            }
+            // The composed bound holds against the exact in-window hull:
+            // the window hull misses no in-window point by more than it.
+            if let Some(bound) = ans.error_bound() {
+                let err = ans.hull().directed_hausdorff_from(&truth);
+                prop_assert!(
+                    err <= bound + 1e-9,
+                    "{}: window error {} > composed bound {}", kind, err, bound
+                );
+            }
+            // Exact backend: coverage is literal containment.
+            if kind == SummaryKind::Exact {
+                for &p in suffix {
+                    prop_assert!(
+                        ans.hull().contains_linear(p),
+                        "exact: lost in-window point {:?}", p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_batch_is_observably_identical_to_loop(
+        pts in stream_strategy(250),
+        n in 1u64..150,
+        (g, k) in chain_strategy(),
+        chunk in 1usize..70,
+    ) {
+        // Batches race bucket seals *and* expiry: with g and chunk drawn
+        // independently, chunks straddle seal points and points expire
+        // mid-batch. The chain must come out bit-identical to the
+        // per-point loop for every kind.
+        for &kind in &SummaryKind::ALL {
+            let config = WindowConfig::last_n(n)
+                .with_granularity(g)
+                .with_buckets_per_level(k);
+            let builder = SummaryBuilder::new(kind).with_r(8);
+            let mut looped = builder.windowed(config);
+            for &p in &pts {
+                looped.insert(p);
+            }
+            let mut batched = builder.windowed(config);
+            batched.insert_batch(&[]);
+            for c in pts.chunks(chunk) {
+                batched.insert_batch(c);
+            }
+            prop_assert_eq!(looped.points_seen(), batched.points_seen(), "{}", kind);
+            prop_assert_eq!(looped.bucket_count(), batched.bucket_count(), "{}", kind);
+            prop_assert_eq!(looped.sample_size(), batched.sample_size(), "{}", kind);
+            prop_assert_eq!(
+                looped.hull_ref().vertices(),
+                batched.hull_ref().vertices(),
+                "{}: window hull", kind
+            );
+            let (a, b) = (looped.query_window(), batched.query_window());
+            prop_assert_eq!(a.merged_points, b.merged_points, "{}", kind);
+            prop_assert_eq!(a.stale_points, b.stale_points, "{}", kind);
+            prop_assert_eq!(a.buckets, b.buckets, "{}", kind);
+            prop_assert_eq!(a.error_bound(), b.error_bound(), "{}", kind);
+        }
+    }
+
+    #[test]
+    fn last_dur_covers_the_time_suffix(
+        pts in stream_strategy(250),
+        dur in 1.0f64..200.0,
+        (g, k) in chain_strategy(),
+        burst in 1usize..20,
+        gap in 0.5f64..30.0,
+    ) {
+        // Bursty clock: points arrive in flushes of `burst` at the same
+        // timestamp, `gap` apart — whole flushes expire at once.
+        let stamped: Vec<(Point2, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, (i / burst) as f64 * gap))
+            .collect();
+        let clock = stamped.last().unwrap().1;
+        let start = clock - dur;
+        let suffix: Vec<Point2> = stamped
+            .iter()
+            .filter(|&&(_, t)| t >= start)
+            .map(|&(p, _)| p)
+            .collect();
+        prop_assert!(!suffix.is_empty(), "newest point is always in window");
+
+        let config = WindowConfig::last_dur(dur)
+            .with_granularity(g)
+            .with_buckets_per_level(k);
+        let mut w = SummaryBuilder::new(SummaryKind::Exact).windowed(config);
+        for (p, t) in &stamped {
+            w.insert_at(*p, *t);
+        }
+        let ans = w.query_window();
+        // Coverage: no in-window point may be lost, ever.
+        for &p in &suffix {
+            prop_assert!(
+                ans.hull().contains_linear(p),
+                "lost in-window point {:?} (dur {}, clock {})", p, dur, clock
+            );
+        }
+        prop_assert!(ans.merged_points >= suffix.len() as u64);
+        prop_assert!(ans.merged_points <= pts.len() as u64);
+        prop_assert!(ans.stale_duration >= 0.0 && ans.stale_duration.is_finite());
+        // Exact backend composes to a zero bound.
+        prop_assert_eq!(ans.error_bound(), Some(0.0));
+        // Same stream through insert_batch_timestamped: identical chain.
+        let mut batched = SummaryBuilder::new(SummaryKind::Exact).windowed(config);
+        for c in stamped.chunks(17) {
+            batched.insert_batch_timestamped(c);
+        }
+        prop_assert_eq!(
+            w.hull_ref().vertices(),
+            batched.hull_ref().vertices(),
+            "timestamped batch must match the insert_at loop"
+        );
+    }
+
+    #[test]
+    fn tiny_streams_single_bucket_and_no_expiry(
+        pts in stream_strategy(40),
+        extra in 0u64..100,
+    ) {
+        // Window at least as large as the stream: nothing expires, the
+        // answer covers everything exactly, staleness is zero.
+        let n = pts.len() as u64 + extra;
+        for &kind in &SummaryKind::ALL {
+            let mut w = SummaryBuilder::new(kind)
+                .with_r(8)
+                .windowed(WindowConfig::last_n(n).with_granularity(64));
+            w.insert_batch(&pts);
+            // Streams up to 40 points with g = 64: a single (open) bucket.
+            prop_assert_eq!(w.bucket_count(), 1, "{}", kind);
+            let ans = w.query_window();
+            prop_assert_eq!(ans.merged_points, pts.len() as u64, "{}", kind);
+            prop_assert_eq!(ans.stale_points, 0, "{}", kind);
+            prop_assert_eq!(ans.stale_duration, 0.0, "{}", kind);
+            // One bucket, no expiry: the window summary must agree with a
+            // plain whole-stream summary of the same kind on sample size.
+            let mut plain = SummaryBuilder::new(kind).with_r(8).build();
+            plain.insert_batch(&pts);
+            prop_assert_eq!(w.sample_size(), plain.sample_size(), "{}", kind);
+        }
+    }
+
+    #[test]
+    fn sharded_windowed_agrees_with_global_window(
+        pts in stream_strategy(400),
+        n in 1u64..200,
+        shards in 1usize..4,
+        chunk in 1usize..40,
+    ) {
+        // The sharded engine carries LastN on the global tick clock: the
+        // union answer must cover exactly the last n stream points (plus
+        // bounded staleness), independent of shard count, and be
+        // deterministic.
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), shards)
+            .with_chunk(chunk);
+        let config = WindowConfig::last_n(n).with_granularity(16);
+        let a = engine.run_stream_windowed(pts.iter().copied(), config);
+        let b = engine.run_stream_windowed(pts.iter().copied(), config);
+        prop_assert_eq!(a.points_seen(), pts.len() as u64);
+        let (ans_a, ans_b) = (a.query_window(), b.query_window());
+        prop_assert_eq!(
+            ans_a.hull().vertices(),
+            ans_b.hull().vertices(),
+            "sharded window must be deterministic"
+        );
+        let in_window = (n as usize).min(pts.len());
+        for &p in &pts[pts.len() - in_window..] {
+            prop_assert!(
+                ans_a.hull().contains_linear(p),
+                "sharded window lost in-window point {:?}", p
+            );
+        }
+        // Nothing outside the stream is ever reported.
+        let mut exact_all = ExactHull::new();
+        exact_all.insert_batch(&pts);
+        for &v in ans_a.hull().vertices() {
+            prop_assert!(exact_all.hull_ref().contains_linear(v));
+        }
+    }
+}
+
+#[test]
+fn empty_stream_empty_window() {
+    for &kind in &SummaryKind::ALL {
+        let w = SummaryBuilder::new(kind)
+            .with_r(8)
+            .windowed(WindowConfig::last_n(10));
+        let ans = w.query_window();
+        assert!(ans.is_empty(), "{kind}");
+        assert_eq!(ans.buckets, 0, "{kind}");
+        assert_eq!(ans.stale_points, 0, "{kind}");
+        assert!(ans.hull().is_empty(), "{kind}");
+        assert_eq!(w.bucket_count(), 0, "{kind}");
+    }
+}
