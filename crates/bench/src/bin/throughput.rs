@@ -40,7 +40,7 @@
 //! including the `threads` dimension.
 
 use adaptive_hull::window::WindowConfig;
-use adaptive_hull::{HullSummary, ShardedIngest, SummaryBuilder, SummaryKind};
+use adaptive_hull::{HullSummary, Mergeable, ShardedIngest, SummaryBuilder, SummaryKind};
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
 use std::fmt::Write as _;
@@ -100,6 +100,69 @@ struct WinRow {
 impl WinRow {
     fn pps(&self) -> f64 {
         1e9 / self.windowed_ns
+    }
+}
+
+/// One backend × snapshot-codec measurement (encode/decode a summary of
+/// the interior workload; see `core::snapshot`).
+struct SnapRow {
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    snapshot_bytes: usize,
+    encode_ns: f64,
+    decode_ns: f64,
+}
+
+/// Snapshot-codec cost for one backend: summarise `pts`, then time
+/// whole-summary encode and restore (best of `reps`, several iterations
+/// each since both are microsecond-scale).
+fn time_snapshot(builder: &SummaryBuilder, pts: &[Point2], chunk: usize, reps: usize) -> SnapRow {
+    let mut s = builder.build_mergeable();
+    for piece in pts.chunks(chunk.max(1)) {
+        s.insert_batch(piece);
+    }
+    let bytes = s.encode_snapshot();
+    let iters = 64usize;
+    let mut best_encode = f64::INFINITY;
+    let mut best_decode = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let mut total_len = 0usize;
+        for _ in 0..iters {
+            total_len += s.encode_snapshot().len();
+        }
+        assert_eq!(
+            total_len,
+            bytes.len() * iters,
+            "encode must be deterministic"
+        );
+        best_encode = best_encode.min(start.elapsed().as_nanos() as f64 / iters as f64);
+
+        let start = Instant::now();
+        let mut seen = 0u64;
+        for _ in 0..iters {
+            let restored = SummaryBuilder::restore(&bytes).expect("snapshot restores");
+            seen = restored.points_seen();
+        }
+        assert_eq!(seen, s.points_seen(), "restore must reproduce the summary");
+        best_decode = best_decode.min(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    // End-to-end fidelity: the restored hull is the ingested hull.
+    let restored = SummaryBuilder::restore(&bytes).expect("snapshot restores");
+    assert_eq!(
+        restored.hull_ref().vertices(),
+        s.hull_ref().vertices(),
+        "{}: restored hull diverged",
+        builder.kind()
+    );
+    SnapRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        n: pts.len(),
+        snapshot_bytes: bytes.len(),
+        encode_ns: best_encode,
+        decode_ns: best_decode,
     }
 }
 
@@ -267,9 +330,10 @@ fn time_sharded_ns_per_point(
     let engine = ShardedIngest::new(*builder, shards).with_chunk(chunk);
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
         let run = engine.run(pts);
-        let ns = start.elapsed().as_nanos() as f64 / pts.len().max(1) as f64;
+        // The engine reports its own wall time now (PR 5): one timing
+        // source for the bench, the checkpoint logic, and operators.
+        let ns = run.elapsed.as_nanos() as f64 / pts.len().max(1) as f64;
         assert_eq!(
             run.summary.points_seen(),
             pts.len() as u64,
@@ -302,6 +366,7 @@ fn render_json(
     rows: &[Row],
     win_rows: &[WinRow],
     par_rows: &[ParRow],
+    snap_rows: &[SnapRow],
 ) -> String {
     let RunMeta {
         n,
@@ -366,6 +431,22 @@ fn render_json(
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"snapshot\": [");
+    for (i, row) in snap_rows.iter().enumerate() {
+        let comma = if i + 1 == snap_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"snapshot_bytes\": {}, \"encode_ns\": {:.0}, \"decode_ns\": {:.0}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.snapshot_bytes,
+            row.encode_ns,
+            row.decode_ns,
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"parallel\": [");
     for (i, row) in par_rows.iter().enumerate() {
         let comma = if i + 1 == par_rows.len() { "" } else { "," };
@@ -396,7 +477,7 @@ fn run(
     r: u32,
     threads: &[usize],
     window: u64,
-) -> (Vec<Row>, Vec<WinRow>, Vec<ParRow>) {
+) -> (Vec<Row>, Vec<WinRow>, Vec<ParRow>, Vec<SnapRow>) {
     let mut rows = Vec::new();
     let mut par_rows = Vec::new();
     for (wname, pts) in workloads(n, TABLE1_SEED) {
@@ -445,7 +526,17 @@ fn run(
             time_windowed(&builder, &win_pts, window, granularity, chunk, reps)
         })
         .collect();
-    (rows, win_rows, par_rows)
+    // Snapshot-codec dimension: encode/decode every backend's summary of
+    // the interior workload (the steady-state checkpointing shape).
+    // Same generator and seed as the serial `interior` workload, without
+    // re-materialising the other three workloads.
+    let snap_pts: Vec<Point2> = streamgen::Disk::new(TABLE1_SEED, n, 1.0).collect();
+    let snap_pts = &snap_pts;
+    let snap_rows: Vec<SnapRow> = SummaryKind::ALL
+        .iter()
+        .map(|&kind| time_snapshot(&SummaryBuilder::new(kind).with_r(r), snap_pts, chunk, reps))
+        .collect();
+    (rows, win_rows, par_rows, snap_rows)
 }
 
 fn main() {
@@ -486,7 +577,7 @@ fn main() {
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, win_rows, par_rows) = run(n, chunk, reps, r, &threads, window);
+    let (rows, win_rows, par_rows, snap_rows) = run(n, chunk, reps, r, &threads, window);
 
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
@@ -519,6 +610,18 @@ fn main() {
             row.query_ns,
             row.buckets,
             row.stale_points,
+        );
+    }
+
+    println!("\nsnapshot codec (interior workload, whole-summary encode/restore)");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "backend", "bytes", "encode ns", "decode ns"
+    );
+    for row in &snap_rows {
+        println!(
+            "{:<14} {:>10} {:>12.0} {:>12.0}",
+            row.backend, row.snapshot_bytes, row.encode_ns, row.decode_ns,
         );
     }
 
@@ -555,6 +658,7 @@ fn main() {
         &rows,
         &win_rows,
         &par_rows,
+        &snap_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
     println!("\nwrote {out_path}");
@@ -567,10 +671,11 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, win_rows, par_rows) = run(2000, 256, 1, 16, &threads, 500);
+        let (rows, win_rows, par_rows, snap_rows) = run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
         assert_eq!(win_rows.len(), SummaryKind::ALL.len());
         assert_eq!(par_rows.len(), 2 * SummaryKind::ALL.len() * threads.len());
+        assert_eq!(snap_rows.len(), SummaryKind::ALL.len());
         let json = render_json(
             &RunMeta {
                 n: 2000,
@@ -583,6 +688,7 @@ mod tests {
             &rows,
             &win_rows,
             &par_rows,
+            &snap_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
         // expected keys, one result object per row, no NaN/inf leakage.
@@ -617,6 +723,9 @@ mod tests {
             "\"query_ns\"",
             "\"stale_points\"",
             "\"granularity\"",
+            "\"snapshot_bytes\"",
+            "\"encode_ns\"",
+            "\"decode_ns\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

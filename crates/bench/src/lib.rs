@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use adaptive_hull::metrics::{self, ProbeStats, TriangleStats};
 use adaptive_hull::{
     ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, NaiveUniformHull, SummaryBuilder,

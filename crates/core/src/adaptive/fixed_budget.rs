@@ -265,6 +265,80 @@ impl FixedBudgetAdaptiveHull {
         }
     }
 
+    /// Snapshot payload: grid shape, adaptive budget, the uniform
+    /// substrate, and the flat cyclic leaf tiling (ranges stored as raw
+    /// grid steps — the flat structure has no tree to reconstruct them
+    /// from).
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u32, put_u64};
+        put_u32(out, self.grid.r());
+        put_u32(out, self.grid.depth());
+        put_u64(out, self.extra_budget as u64);
+        self.uniform.snapshot_payload(out);
+        put_u64(out, self.leaves.len() as u64);
+        for leaf in &self.leaves {
+            put_u64(out, leaf.range.lo.0);
+            put_u64(out, leaf.range.hi.0);
+            put_u32(out, leaf.range.depth);
+            put_point(out, leaf.a);
+            put_point(out, leaf.b);
+        }
+    }
+
+    /// Inverse of [`FixedBudgetAdaptiveHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        use geom::dyadic::Dir;
+        let r = reader.u32()?;
+        let depth = reader.u32()?;
+        if !r.is_power_of_two() || !(8..=1 << 20).contains(&r) || depth > 32 {
+            return Err(SnapshotError::Malformed("invalid adaptive grid shape"));
+        }
+        let extra_budget = reader.u64()? as usize;
+        let grid = DirGrid::new(r, depth);
+        let uniform = UniformHull::from_snapshot_payload(reader)?;
+        if uniform.r() != r {
+            return Err(SnapshotError::Malformed("uniform r disagrees with grid"));
+        }
+        let leaf_count = reader.count(52)?;
+        let mut leaves = Vec::with_capacity(leaf_count);
+        for _ in 0..leaf_count {
+            let lo = reader.u64()?;
+            let hi = reader.u64()?;
+            let leaf_depth = reader.u32()?;
+            if lo >= grid.resolution() || hi >= grid.resolution() || leaf_depth > grid.depth() {
+                return Err(SnapshotError::Malformed("leaf range outside the grid"));
+            }
+            let a = reader.point()?;
+            let b = reader.point()?;
+            if !(a.is_finite() && b.is_finite()) {
+                // Leaf endpoints pass the uniform substrate's finite
+                // assert on every live path (see the tree decoder).
+                return Err(SnapshotError::Malformed("non-finite leaf endpoint"));
+            }
+            leaves.push(Leaf {
+                range: DirRange {
+                    lo: Dir(lo),
+                    hi: Dir(hi),
+                    depth: leaf_depth,
+                },
+                a,
+                b,
+            });
+        }
+        Ok(FixedBudgetAdaptiveHull {
+            grid,
+            uniform,
+            leaves,
+            extra_budget,
+            cache: HullCache::new(),
+            distinct: GenCache::new(),
+            bound: GenCache::new(),
+        })
+    }
+
     /// One point without cache bookkeeping; `true` iff state changed.
     fn insert_inner(&mut self, q: Point2) -> bool {
         match self.uniform.insert_detailed(q) {
@@ -372,6 +446,10 @@ impl Mergeable for FixedBudgetAdaptiveHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.uniform.add_seen(n);
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

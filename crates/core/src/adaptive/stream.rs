@@ -584,6 +584,169 @@ impl AdaptiveHull {
 }
 
 impl AdaptiveHull {
+    /// Snapshot payload: grid shape, queue discipline, the uniform
+    /// substrate, and every refinement tree in preorder.
+    ///
+    /// Nodes carry no explicit ranges on the wire: a root's range is its
+    /// sector and children are the parent's bisection, so the decoder
+    /// rebuilds them exactly. The unrefinement queue is **not** encoded —
+    /// its live content is a function of the tree: every internal node
+    /// always has a queue entry carrying its current threshold (creation,
+    /// endpoint updates, and pop-recompute all re-push it), and the extra
+    /// stale/duplicate entries the lazy discipline accumulates are
+    /// behaviourally inert (popping one recomputes the current threshold
+    /// and either re-pushes or performs exactly the collapse the fresh
+    /// entry would). The decoder therefore re-seeds one entry per internal
+    /// node from its restored endpoints, which keeps snapshots at the
+    /// summary's own `O(r)` size instead of the queue's unbounded lazy
+    /// backlog — behaviour identity is pinned by the round-trip property
+    /// tests in `tests/failure_injection.rs`.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_u32, put_u8};
+        put_u32(out, self.grid.r());
+        put_u32(out, self.grid.depth());
+        put_u8(
+            out,
+            match self.queue {
+                QueueImpl::Heap(_) => 0,
+                QueueImpl::Bucket(_) => 1,
+            },
+        );
+        self.uniform.snapshot_payload(out);
+        put_u8(out, !self.roots.is_empty() as u8);
+        if !self.roots.is_empty() {
+            for &root in &self.roots {
+                self.write_node(root, out);
+            }
+        }
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u8};
+        match self.node(id).kind {
+            NodeKind::Leaf { a, b } => {
+                put_u8(out, 0);
+                put_point(out, a);
+                put_point(out, b);
+            }
+            NodeKind::Internal { left, right } => {
+                put_u8(out, 1);
+                self.write_node(left, out);
+                self.write_node(right, out);
+            }
+        }
+    }
+
+    /// Inverse of [`AdaptiveHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let r = reader.u32()?;
+        let depth = reader.u32()?;
+        if !r.is_power_of_two() || !(8..=1 << 20).contains(&r) || depth > 32 {
+            return Err(SnapshotError::Malformed("invalid adaptive grid shape"));
+        }
+        let queue_kind = match reader.u8()? {
+            0 => QueueKind::Heap,
+            1 => QueueKind::Bucket,
+            _ => return Err(SnapshotError::Malformed("unknown queue kind")),
+        };
+        let grid = DirGrid::new(r, depth);
+        let uniform = UniformHull::from_snapshot_payload(reader)?;
+        if uniform.r() != r {
+            return Err(SnapshotError::Malformed("uniform r disagrees with grid"));
+        }
+        let mut s = AdaptiveHull {
+            grid,
+            uniform,
+            arena: Arena::new(),
+            roots: Vec::new(),
+            queue: match queue_kind {
+                QueueKind::Heap => QueueImpl::Heap(HeapQueue::new()),
+                QueueKind::Bucket => QueueImpl::Bucket(BucketQueue::new()),
+            },
+            internal_count: 0,
+            cache: HullCache::new(),
+            distinct: GenCache::new(),
+        };
+        let has_roots = reader.u8()? != 0;
+        if has_roots {
+            let mut roots = Vec::with_capacity(r as usize);
+            for j in 0..r {
+                let range = DirRange::sector(&s.grid, j);
+                roots.push(s.read_node(reader, range)?);
+            }
+            s.roots = roots;
+            // Re-seed the unrefinement queue: one entry per internal node
+            // with its current threshold (see `snapshot_payload` for why
+            // this is behaviourally equivalent to the original backlog).
+            for i in 0..s.roots.len() {
+                s.seed_queue(s.roots[i]);
+            }
+        }
+        Ok(s)
+    }
+
+    /// Pushes the current unrefinement threshold of every internal node
+    /// under `id` (decode support).
+    fn seed_queue(&mut self, id: NodeId) {
+        let node = *self.node(id);
+        let NodeKind::Internal { left, right } = node.kind else {
+            return;
+        };
+        let (a, b) = self.endpoints(id);
+        let s = slant(&self.grid, &node.range, a, b);
+        self.queue
+            .push(unrefine_threshold(s, node.range.depth, self.grid.r()), id);
+        self.seed_queue(left);
+        self.seed_queue(right);
+    }
+
+    fn read_node(
+        &mut self,
+        reader: &mut crate::snapshot::Reader<'_>,
+        range: DirRange,
+    ) -> Result<NodeId, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        // Insert a placeholder first so ids are allocated in preorder,
+        // back-patching the node kind after the children are read.
+        let id = self.arena.insert(Node {
+            range,
+            kind: NodeKind::Leaf {
+                a: Point2::ORIGIN,
+                b: Point2::ORIGIN,
+            },
+        });
+        match reader.u8()? {
+            0 => {
+                let a = reader.point()?;
+                let b = reader.point()?;
+                if !(a.is_finite() && b.is_finite()) {
+                    // Tree endpoints pass the uniform substrate's finite
+                    // assert on every live path; forged non-finite points
+                    // would panic later query/merge code.
+                    return Err(SnapshotError::Malformed("non-finite tree endpoint"));
+                }
+                self.arena.get_mut(id).unwrap().kind = NodeKind::Leaf { a, b };
+            }
+            1 => {
+                if !range.bisectable(&self.grid) {
+                    return Err(SnapshotError::Malformed("refinement below the depth cap"));
+                }
+                let (lr, rr) = range.bisect(&self.grid);
+                let left = self.read_node(reader, lr)?;
+                let right = self.read_node(reader, rr)?;
+                self.arena.get_mut(id).unwrap().kind = NodeKind::Internal { left, right };
+                self.internal_count += 1;
+            }
+            _ => return Err(SnapshotError::Malformed("unknown tree node tag")),
+        }
+        Ok(id)
+    }
+}
+
+impl AdaptiveHull {
     /// One point of Algorithm AdaptiveHull without cache bookkeeping;
     /// returns `true` iff the summarised state changed (the caller decides
     /// when to invalidate — per point for `insert`, once per batch for
@@ -702,6 +865,10 @@ impl Mergeable for AdaptiveHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.uniform.add_seen(n);
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

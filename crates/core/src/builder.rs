@@ -188,6 +188,26 @@ impl SummaryBuilder {
         self.r
     }
 
+    /// The configured refinement-depth override, if any.
+    pub fn depth(&self) -> Option<u32> {
+        self.depth
+    }
+
+    /// The configured unrefinement queue.
+    pub fn queue(&self) -> QueueKind {
+        self.queue
+    }
+
+    /// The configured seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured cluster budget.
+    pub fn max_clusters(&self) -> usize {
+        self.max_clusters
+    }
+
     /// Builds the summary as a plain [`HullSummary`] trait object.
     pub fn build(&self) -> Box<dyn HullSummary + Send + Sync> {
         self.build_mergeable()
@@ -225,6 +245,100 @@ impl SummaryBuilder {
                 ClusterHullConfig::new(self.max_clusters).with_r(self.r),
             )),
         }
+    }
+
+    /// Reconstructs a summary from a snapshot produced by
+    /// [`Snapshot::encode`](crate::snapshot::Snapshot::encode) or
+    /// [`Mergeable::encode_snapshot`],
+    /// choosing the backend from the envelope's kind tag alone — the
+    /// restore side of checkpointing, crash recovery, and cross-process
+    /// shard shipping:
+    ///
+    /// ```
+    /// use adaptive_hull::{Mergeable, SummaryBuilder, SummaryKind};
+    /// use geom::Point2;
+    ///
+    /// let mut original = SummaryBuilder::new(SummaryKind::Adaptive).with_r(16).build_mergeable();
+    /// original.insert_batch(&[Point2::new(0.0, 0.0), Point2::new(3.0, 4.0)]);
+    /// let bytes = original.encode_snapshot();           // checkpoint …
+    /// let restored = SummaryBuilder::restore(&bytes).unwrap(); // … recover
+    /// assert_eq!(restored.name(), "adaptive");
+    /// assert_eq!(restored.points_seen(), 2);
+    /// assert_eq!(restored.hull_ref().vertices(), original.hull_ref().vertices());
+    /// ```
+    ///
+    /// Corrupted, truncated, or version-skewed bytes yield a typed
+    /// [`SnapshotError`](crate::snapshot::SnapshotError) — never a panic.
+    /// Windowed snapshots are not plain summaries; decode those with
+    /// [`WindowedSummary::decode`](crate::snapshot::Snapshot::decode).
+    pub fn restore(
+        bytes: &[u8],
+    ) -> Result<Box<dyn Mergeable + Send + Sync>, crate::snapshot::SnapshotError> {
+        crate::snapshot::restore_mergeable(bytes)
+    }
+
+    /// Snapshot payload of the builder itself (embedded in windowed
+    /// snapshots so a restored chain builds future buckets and query
+    /// collectors identically).
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{kind_tag, put_u32, put_u64, put_u8};
+        put_u8(out, kind_tag(self.kind));
+        put_u32(out, self.r);
+        put_u8(out, self.depth.is_some() as u8);
+        put_u32(out, self.depth.unwrap_or(0));
+        put_u8(
+            out,
+            match self.queue {
+                QueueKind::Heap => 0,
+                QueueKind::Bucket => 1,
+            },
+        );
+        put_u64(out, self.seed);
+        put_u64(out, self.max_clusters as u64);
+    }
+
+    /// Inverse of [`SummaryBuilder::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let tag = reader.u8()?;
+        let kind = *SummaryKind::ALL
+            .get(tag as usize)
+            .ok_or(SnapshotError::Malformed("unknown builder kind"))?;
+        let r = reader.u32()?;
+        let has_depth = reader.u8()? != 0;
+        let depth = reader.u32()?;
+        let queue = match reader.u8()? {
+            0 => QueueKind::Heap,
+            1 => QueueKind::Bucket,
+            _ => return Err(SnapshotError::Malformed("unknown queue kind")),
+        };
+        let seed = reader.u64()?;
+        let max_clusters = reader.u64()? as usize;
+        if r < 4 || max_clusters < 1 {
+            return Err(SnapshotError::Malformed("invalid builder parameters"));
+        }
+        let adaptive_kind = matches!(
+            kind,
+            SummaryKind::Adaptive | SummaryKind::AdaptiveFixedBudget | SummaryKind::Cluster
+        );
+        if adaptive_kind && (!r.is_power_of_two() || !(8..=1 << 20).contains(&r)) {
+            return Err(SnapshotError::Malformed(
+                "adaptive kinds need power-of-two r >= 8",
+            ));
+        }
+        if has_depth && depth > 32 {
+            return Err(SnapshotError::Malformed("depth exceeds the grid limit"));
+        }
+        Ok(SummaryBuilder {
+            kind,
+            r,
+            depth: has_depth.then_some(depth),
+            queue,
+            seed,
+            max_clusters,
+        })
     }
 
     fn adaptive_config(&self) -> AdaptiveHullConfig {

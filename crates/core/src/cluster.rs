@@ -329,6 +329,83 @@ impl ClusterHull {
         }
     }
 
+    /// Snapshot payload: the configuration, stream accounting, and each
+    /// cluster as `(stable id, nested AdaptiveHull envelope)` — the same
+    /// codec all the way down. The derived per-cluster caches (hull, bbox,
+    /// incircle, cost) and the pairwise merge-cost cache are pure
+    /// memoisations of that state and are recomputed on restore.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_bytes, put_f64, put_u32, put_u64, Snapshot};
+        put_u64(out, self.config.max_clusters as u64);
+        put_u32(out, self.config.r);
+        put_f64(out, self.config.perimeter_weight);
+        put_f64(out, self.config.join_factor);
+        put_u64(out, self.seen);
+        put_u64(out, self.next_id);
+        put_u64(out, self.clusters.len() as u64);
+        for c in &self.clusters {
+            put_u64(out, c.id);
+            put_bytes(out, &c.summary.encode());
+        }
+    }
+
+    /// Inverse of [`ClusterHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::{Snapshot, SnapshotError};
+        let max_clusters = reader.u64()? as usize;
+        if max_clusters < 1 {
+            return Err(SnapshotError::Malformed("cluster budget must be >= 1"));
+        }
+        let r = reader.u32()?;
+        if !r.is_power_of_two() || !(8..=1 << 20).contains(&r) {
+            // Mirrors the per-cluster AdaptiveHull grid assert: without
+            // this, a checksum-valid forged payload would decode Ok and
+            // panic on the first insert that opens a cluster.
+            return Err(SnapshotError::Malformed("cluster r outside the grid range"));
+        }
+        let perimeter_weight = reader.f64()?;
+        let join_factor = reader.f64()?;
+        let seen = reader.u64()?;
+        let next_id = reader.u64()?;
+        let cluster_count = reader.count(16)?;
+        if cluster_count > max_clusters {
+            return Err(SnapshotError::Malformed("more clusters than the budget"));
+        }
+        let config = ClusterHullConfig {
+            max_clusters,
+            r,
+            perimeter_weight,
+            join_factor,
+        };
+        let mut s = ClusterHull::new(config);
+        s.seen = seen;
+        s.next_id = next_id;
+        let mut ids_seen = Vec::with_capacity(cluster_count);
+        for _ in 0..cluster_count {
+            let id = reader.u64()?;
+            if id >= next_id || ids_seen.contains(&id) {
+                return Err(SnapshotError::Malformed("invalid cluster id"));
+            }
+            ids_seen.push(id);
+            let summary = AdaptiveHull::decode(reader.bytes()?)?;
+            let mut cluster = Cluster {
+                id,
+                summary,
+                hull: ConvexPolygon::empty(),
+                hull_gen: u64::MAX,
+                bbox: (0.0, 0.0, 0.0, 0.0),
+                incircle: None,
+                perimeter: 0.0,
+                cost: 0.0,
+            };
+            cluster.refresh(perimeter_weight);
+            s.clusters.push(cluster);
+        }
+        Ok(s)
+    }
+
     /// The cost delta of merging clusters `i` and `j`, served from the
     /// pairwise cache when both clusters are unchanged since it was
     /// computed, recomputed (and re-cached) otherwise.
@@ -456,6 +533,10 @@ impl Mergeable for ClusterHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

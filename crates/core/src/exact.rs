@@ -253,6 +253,54 @@ impl ExactHull {
     }
 }
 
+impl ExactHull {
+    /// Snapshot payload: seen count plus both chains' points in `x` order
+    /// (see [`crate::snapshot`] for the envelope around it).
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u64};
+        put_u64(out, self.seen);
+        for chain in [&self.upper, &self.lower] {
+            put_u64(out, chain.len() as u64);
+            for p in chain.iter() {
+                put_point(out, p);
+            }
+        }
+    }
+
+    /// Inverse of [`ExactHull::snapshot_payload`]. Rejects non-finite
+    /// coordinates (which the insert boundary would never have admitted
+    /// and whose ordered-map keys would panic downstream).
+    pub(crate) fn from_snapshot_payload(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let seen = r.u64()?;
+        let mut chains = [Chain::new(Side::Upper), Chain::new(Side::Lower)];
+        for chain in &mut chains {
+            let count = r.count(16)?;
+            let mut prev_x = f64::NEG_INFINITY;
+            for _ in 0..count {
+                let p = r.point()?;
+                if !p.is_finite() {
+                    return Err(SnapshotError::Malformed("non-finite chain point"));
+                }
+                if p.x <= prev_x {
+                    return Err(SnapshotError::Malformed("chain not strictly x-sorted"));
+                }
+                prev_x = p.x;
+                chain.pts.insert(FiniteF64(p.x), p.y);
+            }
+        }
+        let [upper, lower] = chains;
+        Ok(ExactHull {
+            upper,
+            lower,
+            seen,
+            cache: HullCache::new(),
+        })
+    }
+}
+
 impl HullSummary for ExactHull {
     fn insert(&mut self, p: Point2) {
         self.insert_point(p);
@@ -325,6 +373,10 @@ impl Mergeable for ExactHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

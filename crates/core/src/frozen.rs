@@ -100,6 +100,52 @@ impl FrozenHull {
     }
 }
 
+impl FrozenHull {
+    /// Snapshot payload: the frozen direction fan (arbitrary unit vectors,
+    /// stored bit-exactly — a seed-rotated fan restores without knowing
+    /// the seed), the extrema, and the seen count.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u64, put_vec2};
+        put_u64(out, self.seen);
+        put_u64(out, self.dirs.len() as u64);
+        for &d in &self.dirs {
+            put_vec2(out, d);
+        }
+        put_u64(out, self.extrema.len() as u64);
+        for &e in &self.extrema {
+            put_point(out, e);
+        }
+    }
+
+    /// Inverse of [`FrozenHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let seen = r.u64()?;
+        let dir_count = r.count(16)?;
+        let mut dirs = Vec::with_capacity(dir_count);
+        for _ in 0..dir_count {
+            dirs.push(r.vec2()?);
+        }
+        let ext_count = r.count(16)?;
+        if ext_count != 0 && ext_count != dirs.len() {
+            return Err(SnapshotError::Malformed("extrema count must be 0 or dirs"));
+        }
+        let mut extrema = Vec::with_capacity(ext_count);
+        for _ in 0..ext_count {
+            extrema.push(r.point()?);
+        }
+        let mut s = if extrema.is_empty() {
+            FrozenHull::from_units(dirs)
+        } else {
+            FrozenHull::from_directions(dirs.into_iter().zip(extrema).collect())
+        };
+        s.seen = seen;
+        Ok(s)
+    }
+}
+
 impl HullSummary for FrozenHull {
     fn insert(&mut self, p: Point2) {
         self.seen += 1;
@@ -190,6 +236,10 @@ impl Mergeable for FrozenHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

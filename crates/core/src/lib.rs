@@ -20,6 +20,11 @@
 //! * [`window`] — sliding-window summaries ([`WindowedSummary`]): extent
 //!   queries over the last `N` points / last `T` time units of the stream
 //!   via an exponential-histogram chain of buckets, over any backend;
+//! * [`snapshot`] — versioned binary snapshot/restore for every backend
+//!   (and windowed chains): checkpoint shards, ship summaries across
+//!   processes, recover after crashes
+//!   ([`SummaryBuilder::restore`](builder::SummaryBuilder::restore),
+//!   [`ShardedIngest::merge_snapshots`](parallel::ShardedIngest::merge_snapshots));
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -54,6 +59,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod queries;
 pub mod radial;
+pub mod snapshot;
 pub mod summary;
 pub mod uniform;
 pub mod viz;
@@ -64,8 +70,9 @@ pub use builder::{SummaryBuilder, SummaryKind};
 pub use cluster::{ClusterHull, ClusterHullConfig};
 pub use exact::ExactHull;
 pub use frozen::FrozenHull;
-pub use parallel::{ShardRun, ShardStats, ShardedIngest};
+pub use parallel::{CheckpointedRun, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest};
 pub use radial::RadialHull;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable};
 pub use uniform::{NaiveUniformHull, UniformHull};
 pub use window::{WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary};

@@ -1,5 +1,5 @@
 //! Sharded parallel ingestion: the engine behind the
-//! [`Mergeable`](crate::summary::Mergeable) story.
+//! [`Mergeable`] story.
 //!
 //! [`ShardedIngest`] splits a point stream across `N` worker shards, runs
 //! each shard through its own [`SummaryBuilder`]-constructed summary on a
@@ -36,10 +36,15 @@
 //! composed guarantee.
 
 use crate::builder::SummaryBuilder;
+use crate::snapshot::SnapshotError;
 use crate::summary::Mergeable;
 use crate::window::{WindowConfig, WindowPolicy, WindowedRun};
 use geom::Point2;
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A boxed shard worker summary.
+type Worker = Box<dyn Mergeable + Send + Sync>;
 
 /// Default points per `insert_batch` call inside each worker.
 pub const DEFAULT_CHUNK: usize = 1024;
@@ -68,6 +73,10 @@ pub struct ShardRun {
     pub summary: Box<dyn Mergeable + Send + Sync>,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardStats>,
+    /// Wall-clock time of the whole run (fan-out through the final
+    /// reduce), so callers can report throughput without wrapping every
+    /// entry point in their own timers.
+    pub elapsed: Duration,
 }
 
 impl ShardRun {
@@ -156,15 +165,31 @@ impl ShardedIngest {
     /// is what the batched fast paths (interior certificate, pre-hull)
     /// feed on.
     pub fn run(&self, points: &[Point2]) -> ShardRun {
-        let workers: Vec<Box<dyn Mergeable + Send + Sync>> = std::thread::scope(|scope| {
+        let start = Instant::now();
+        let workers = self.fan_out_slices(points, |_, s, piece| {
+            s.insert_batch(piece);
+        });
+        self.reduce(workers, start)
+    }
+
+    /// Shared fan-out scaffold of the slice-based entry points: shard `i`
+    /// runs `per_chunk(shard, summary, chunk)` over its contiguous slice
+    /// on a scoped thread; workers are returned in shard order.
+    fn fan_out_slices<F>(&self, points: &[Point2], per_chunk: F) -> Vec<Worker>
+    where
+        F: Fn(usize, &mut Worker, &[Point2]) + Sync,
+    {
+        let per_chunk = &per_chunk;
+        std::thread::scope(|scope| {
             let handles: Vec<_> = split_contiguous(points, self.shards)
-                .map(|slice| {
+                .enumerate()
+                .map(|(shard, slice)| {
                     let builder = self.builder;
                     let chunk = self.chunk;
                     scope.spawn(move || {
                         let mut s = builder.build_mergeable();
                         for piece in slice.chunks(chunk) {
-                            s.insert_batch(piece);
+                            per_chunk(shard, &mut s, piece);
                         }
                         s
                     })
@@ -174,8 +199,86 @@ impl ShardedIngest {
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
+        })
+    }
+
+    /// [`run`](ShardedIngest::run) with periodic durability: each worker
+    /// serialises its summary with the snapshot codec every
+    /// `interval` ingested points (and once more at the end of its
+    /// slice), so a crashed or migrated shard resumes from its last
+    /// checkpoint instead of replaying the stream.
+    ///
+    /// The ingestion itself is bit-identical to [`run`](ShardedIngest::run)
+    /// — snapshots are taken between chunks and never mutate the summary —
+    /// and the per-shard *final* checkpoints are exactly the inputs
+    /// [`merge_snapshots`](ShardedIngest::merge_snapshots) needs to rebuild
+    /// the same collector in another process.
+    pub fn run_checkpointed(&self, points: &[Point2], interval: u64) -> CheckpointedRun {
+        assert!(interval >= 1, "checkpoint interval must be at least 1");
+        let start = Instant::now();
+        let cps: Mutex<Vec<Vec<ShardCheckpoint>>> =
+            Mutex::new((0..self.shards).map(|_| Vec::new()).collect());
+        let since_last: Mutex<Vec<u64>> = Mutex::new(vec![0; self.shards]);
+        let workers = self.fan_out_slices(points, |shard, s, piece| {
+            s.insert_batch(piece);
+            let mut since = since_last.lock().unwrap_or_else(|e| e.into_inner());
+            since[shard] += piece.len() as u64;
+            if since[shard] >= interval {
+                since[shard] = 0;
+                drop(since);
+                cps.lock().unwrap_or_else(|e| e.into_inner())[shard].push(ShardCheckpoint {
+                    shard,
+                    points_seen: s.points_seen(),
+                    bytes: s.encode_snapshot(),
+                });
+            }
         });
-        self.reduce(workers)
+        let mut checkpoints = Vec::new();
+        for (shard, (mut shard_cps, worker)) in cps
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .into_iter()
+            .zip(&workers)
+            .enumerate()
+        {
+            // Final checkpoint: always present, so the set of
+            // last-per-shard checkpoints reconstructs the run.
+            if shard_cps.last().map(|c| c.points_seen) != Some(worker.points_seen()) {
+                shard_cps.push(ShardCheckpoint {
+                    shard,
+                    points_seen: worker.points_seen(),
+                    bytes: worker.encode_snapshot(),
+                });
+            }
+            checkpoints.extend(shard_cps);
+        }
+        CheckpointedRun {
+            run: self.reduce(workers, start),
+            checkpoints,
+        }
+    }
+
+    /// Reduces snapshots produced in *other* processes (or machines, or
+    /// earlier crashed runs) exactly as [`run`](ShardedIngest::run)'s
+    /// in-process reduce would: each snapshot is restored via the kind
+    /// tag, per-shard stats recorded, and the summaries merged **in
+    /// iteration order** into a fresh collector built from this engine's
+    /// builder — feed the per-shard final snapshots in shard order and the
+    /// result is bit-identical to the in-process run on the same input.
+    ///
+    /// Fails with a typed [`SnapshotError`] (and no partial state) if any
+    /// snapshot is corrupted, truncated, version-skewed, or windowed.
+    pub fn merge_snapshots<I>(&self, snapshots: I) -> Result<ShardRun, SnapshotError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        let start = Instant::now();
+        let workers = snapshots
+            .into_iter()
+            .map(|bytes| SummaryBuilder::restore(bytes.as_ref()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.reduce(workers, start))
     }
 
     /// Ingests an unmaterialised stream: points are gathered into chunks
@@ -192,6 +295,7 @@ impl ShardedIngest {
     where
         I: IntoIterator<Item = Point2>,
     {
+        let start = Instant::now();
         let workers: Vec<Box<dyn Mergeable + Send + Sync>> = std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(self.shards);
             let mut handles = Vec::with_capacity(self.shards);
@@ -230,7 +334,7 @@ impl ShardedIngest {
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
-        self.reduce(workers)
+        self.reduce(workers, start)
     }
 
     /// Windowed variant of [`run_stream`](ShardedIngest::run_stream):
@@ -280,6 +384,7 @@ impl ShardedIngest {
             matches!(config.policy, WindowPolicy::LastDur(_)),
             "sharded count windows need the global tick clock: use run_stream_windowed"
         );
+        let start = Instant::now();
         let shards: Vec<crate::window::WindowedSummary> = std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(self.shards);
             let mut handles = Vec::with_capacity(self.shards);
@@ -318,12 +423,12 @@ impl ShardedIngest {
                 .map(|h| h.join().expect("shard worker panicked"))
                 .collect()
         });
-        WindowedRun::new(self.builder, shards)
+        WindowedRun::new(self.builder, shards, start.elapsed())
     }
 
     /// Deterministic reduce: snapshot per-shard stats, then merge the
     /// workers into a fresh collector in shard order.
-    fn reduce(&self, workers: Vec<Box<dyn Mergeable + Send + Sync>>) -> ShardRun {
+    fn reduce(&self, workers: Vec<Box<dyn Mergeable + Send + Sync>>, start: Instant) -> ShardRun {
         let shards = workers
             .iter()
             .map(|w| ShardStats {
@@ -339,7 +444,53 @@ impl ShardedIngest {
         ShardRun {
             summary: collector,
             shards,
+            elapsed: start.elapsed(),
         }
+    }
+}
+
+/// One durable snapshot taken during
+/// [`ShardedIngest::run_checkpointed`].
+#[derive(Clone, Debug)]
+pub struct ShardCheckpoint {
+    /// Which shard produced it.
+    pub shard: usize,
+    /// The shard's cumulative seen-count at snapshot time.
+    pub points_seen: u64,
+    /// The sealed snapshot envelope
+    /// ([`SummaryBuilder::restore`](crate::builder::SummaryBuilder::restore)
+    /// reads it back).
+    pub bytes: Vec<u8>,
+}
+
+/// The result of [`ShardedIngest::run_checkpointed`]: the ordinary
+/// [`ShardRun`] plus every checkpoint taken along the way, ordered by
+/// shard then by progress (each shard's last entry is its final state).
+#[derive(Debug)]
+#[must_use = "dropping a checkpointed run discards both the summary and the checkpoints"]
+pub struct CheckpointedRun {
+    /// The merged result, identical to what [`ShardedIngest::run`] returns
+    /// for the same input.
+    pub run: ShardRun,
+    /// All checkpoints, ordered by `(shard, points_seen)`.
+    pub checkpoints: Vec<ShardCheckpoint>,
+}
+
+impl CheckpointedRun {
+    /// The final checkpoint of each shard, in shard order — exactly the
+    /// snapshot set [`ShardedIngest::merge_snapshots`] reduces to the same
+    /// collector.
+    pub fn final_snapshots(&self) -> Vec<&[u8]> {
+        let mut last: Vec<Option<&ShardCheckpoint>> = vec![None; self.run.shards.len()];
+        for cp in &self.checkpoints {
+            if let Some(slot) = last.get_mut(cp.shard) {
+                *slot = Some(cp);
+            }
+        }
+        last.into_iter()
+            .flatten()
+            .map(|cp| cp.bytes.as_slice())
+            .collect()
     }
 }
 

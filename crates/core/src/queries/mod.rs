@@ -1,7 +1,7 @@
 //! Extremal queries over hull summaries (paper §6).
 //!
 //! Every query consumes [`ConvexPolygon`]s produced by any
-//! [`HullSummary`](crate::summary::HullSummary), so exact and approximate
+//! [`HullSummary`], so exact and approximate
 //! summaries are interchangeable. Costs are `O(r)` (diameter, width,
 //! overlap) or `O(log r)` (directional extent, containment point tests) on
 //! a size-`r` sample, matching the paper's bounds.

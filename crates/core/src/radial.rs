@@ -140,6 +140,55 @@ impl RadialHull {
     }
 }
 
+impl RadialHull {
+    /// Snapshot payload: `r`, seen count, the origin, and each sector's
+    /// stored point (the cached distance is recomputed on restore with the
+    /// exact expression that produced it, so it is bit-identical).
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u32, put_u64, put_u8};
+        put_u32(out, self.r);
+        put_u64(out, self.seen);
+        put_u8(out, self.origin.is_some() as u8);
+        if let Some(o) = self.origin {
+            put_point(out, o);
+        }
+        for bucket in &self.buckets {
+            put_u8(out, bucket.is_some() as u8);
+            if let Some((_, p)) = bucket {
+                put_point(out, *p);
+            }
+        }
+    }
+
+    /// Inverse of [`RadialHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let r = reader.u32()?;
+        if r < 4 || r as u64 > reader.remaining() as u64 {
+            return Err(SnapshotError::Malformed("implausible radial sector count"));
+        }
+        let seen = reader.u64()?;
+        let origin = if reader.u8()? != 0 {
+            Some(reader.point()?)
+        } else {
+            None
+        };
+        let mut s = RadialHull::new(r);
+        s.seen = seen;
+        s.origin = origin;
+        for bucket in &mut s.buckets {
+            if reader.u8()? != 0 {
+                let p = reader.point()?;
+                let o = origin.ok_or(SnapshotError::Malformed("occupied sector without origin"))?;
+                *bucket = Some((o.distance_sq(p), p));
+            }
+        }
+        Ok(s)
+    }
+}
+
 impl HullSummary for RadialHull {
     fn insert(&mut self, p: Point2) {
         if self.insert_inner(p) {
@@ -210,6 +259,10 @@ impl Mergeable for RadialHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

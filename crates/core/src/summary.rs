@@ -187,6 +187,15 @@ pub trait Mergeable: HullSummary {
     /// absorbed points were already counted by the other summary).
     fn absorb_seen(&mut self, n: u64);
 
+    /// Serialises the summary with the versioned snapshot codec
+    /// ([`crate::snapshot`]): a self-describing envelope any process can
+    /// later restore with
+    /// [`SummaryBuilder::restore`](crate::builder::SummaryBuilder::restore).
+    /// Persistence is part of the distributed-aggregation story this trait
+    /// exists for — a shard that can merge but not checkpoint is stuck in
+    /// one process.
+    fn encode_snapshot(&self) -> Vec<u8>;
+
     /// Absorbs `other` into `self`. Works across summary kinds: any
     /// mergeable summary can ingest any other's sample.
     fn merge_from(&mut self, other: &dyn Mergeable) {
@@ -203,6 +212,9 @@ impl<S: Mergeable + ?Sized> Mergeable for Box<S> {
     }
     fn absorb_seen(&mut self, n: u64) {
         (**self).absorb_seen(n)
+    }
+    fn encode_snapshot(&self) -> Vec<u8> {
+        (**self).encode_snapshot()
     }
     fn merge_from(&mut self, other: &dyn Mergeable) {
         (**self).merge_from(other)

@@ -102,6 +102,52 @@ impl NaiveUniformHull {
     }
 }
 
+impl NaiveUniformHull {
+    /// Snapshot payload: `r`, seen count, and the per-direction extrema
+    /// (empty before the first point); support dots are recomputed on
+    /// restore with the exact expression that produced them.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u32, put_u64};
+        put_u32(out, self.r());
+        put_u64(out, self.seen);
+        put_u64(out, self.extrema.len() as u64);
+        for &e in &self.extrema {
+            put_point(out, e);
+        }
+    }
+
+    /// Inverse of [`NaiveUniformHull::snapshot_payload`].
+    pub(crate) fn from_snapshot_payload(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let dirs = r.u32()?;
+        if dirs < 4 {
+            return Err(SnapshotError::Malformed("uniform-naive needs r >= 4"));
+        }
+        let seen = r.u64()?;
+        let count = r.count(16)?;
+        if count != 0 && count != dirs as usize {
+            return Err(SnapshotError::Malformed("extrema count must be 0 or r"));
+        }
+        let mut s = NaiveUniformHull::new(dirs);
+        s.seen = seen;
+        if count > 0 {
+            let mut extrema = Vec::with_capacity(count);
+            for _ in 0..count {
+                extrema.push(r.point()?);
+            }
+            s.dots = extrema
+                .iter()
+                .zip(&s.units)
+                .map(|(e, &u)| e.dot(u))
+                .collect();
+            s.extrema = extrema;
+        }
+        Ok(s)
+    }
+}
+
 impl HullSummary for NaiveUniformHull {
     fn insert(&mut self, p: Point2) {
         self.seen += 1;
@@ -202,6 +248,10 @@ impl Mergeable for NaiveUniformHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 
@@ -597,6 +647,68 @@ impl UniformHull {
         self.generation += 1;
     }
 
+    /// Snapshot payload: `r`, seen count, hull generation, the ownership
+    /// runs, and the cached hull polygon (stored bit-exactly rather than
+    /// recomputed, so a restored summary's `hull_ref` and perimeter `P` —
+    /// which drives the adaptive scheme's thresholds — match the original
+    /// to the last bit). Also the substrate payload of the adaptive kinds.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_point, put_u32, put_u64};
+        put_u32(out, self.r);
+        put_u64(out, self.seen);
+        put_u64(out, self.generation);
+        put_u64(out, self.runs.len() as u64);
+        for run in &self.runs {
+            put_point(out, run.point);
+            put_u32(out, run.lo);
+            put_u32(out, run.hi);
+        }
+        self.hull.encode_raw(out);
+    }
+
+    /// Inverse of [`UniformHull::snapshot_payload`]. Re-validates the run
+    /// partition invariant the binary-searched `extremum` lookup relies
+    /// on.
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let r = reader.u32()?;
+        if r < 4 {
+            return Err(SnapshotError::Malformed("uniform needs r >= 4"));
+        }
+        let seen = reader.u64()?;
+        let generation = reader.u64()?;
+        let run_count = reader.count(24)?;
+        let mut runs = Vec::with_capacity(run_count);
+        for _ in 0..run_count {
+            let point = reader.point()?;
+            let lo = reader.u32()?;
+            let hi = reader.u32()?;
+            if lo >= r || hi >= r {
+                return Err(SnapshotError::Malformed("run index out of range"));
+            }
+            if !point.is_finite() {
+                // The insert boundary asserts finiteness, so no legal
+                // state holds a non-finite extremum; rejecting it here
+                // keeps merge/insert paths panic-free on forged input.
+                return Err(SnapshotError::Malformed("non-finite run extremum"));
+            }
+            runs.push(DirRun { point, lo, hi });
+        }
+        let hull = reader.polygon()?;
+        let mut s = UniformHull::new(r);
+        s.seen = seen;
+        s.generation = generation;
+        s.runs = runs;
+        s.perimeter = hull.perimeter();
+        s.hull = hull;
+        if !s.runs.is_empty() && !s.runs_partition_all() {
+            return Err(SnapshotError::Malformed("runs do not partition 0..r"));
+        }
+        Ok(s)
+    }
+
     fn runs_partition_all(&self) -> bool {
         let mut covered = 0u64;
         let mut prev_hi: Option<u32> = None;
@@ -690,6 +802,10 @@ impl Mergeable for UniformHull {
 
     fn absorb_seen(&mut self, n: u64) {
         self.seen += n;
+    }
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        crate::snapshot::Snapshot::encode(self)
     }
 }
 

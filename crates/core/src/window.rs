@@ -609,6 +609,162 @@ impl WindowedSummary {
     fn stored_points(&self) -> usize {
         self.buckets.iter().map(|b| b.summary.sample_size()).sum()
     }
+
+    /// Snapshot payload: the builder and window configuration, the chain
+    /// clock/accounting, and every bucket — each bucket's summary sealed
+    /// with the same envelope codec
+    /// ([`Mergeable::encode_snapshot`]), its span metadata
+    /// (`count`, `t_first`, `t_last`, level, error debt) preserved so a
+    /// restored chain seals, carries, and expires at exactly the same
+    /// instants as the original.
+    pub(crate) fn snapshot_payload(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_bytes, put_f64, put_u32, put_u64, put_u8};
+        self.builder.snapshot_payload(out);
+        match self.config.policy {
+            WindowPolicy::LastN(n) => {
+                put_u8(out, 0);
+                put_u64(out, n);
+            }
+            WindowPolicy::LastDur(d) => {
+                put_u8(out, 1);
+                put_f64(out, d);
+            }
+        }
+        put_u64(out, self.config.buckets_per_level as u64);
+        put_u64(out, self.config.granularity as u64);
+        put_u8(out, self.head_open as u8);
+        put_f64(out, self.clock);
+        put_u64(out, self.total_seen);
+        put_u64(out, self.buckets.len() as u64);
+        for b in &self.buckets {
+            put_u64(out, b.count);
+            put_f64(out, b.t_first);
+            put_f64(out, b.t_last);
+            put_u32(out, b.level);
+            put_u8(out, b.debt.is_some() as u8);
+            put_f64(out, b.debt.unwrap_or(0.0));
+            put_bytes(out, &b.summary.encode_snapshot());
+        }
+    }
+
+    /// Inverse of [`WindowedSummary::snapshot_payload`]. Re-validates the
+    /// chain invariants the ingestion arithmetic relies on (head fill
+    /// below the sealing granularity, finite non-decreasing bucket spans,
+    /// non-increasing sealed levels), so restored state can never trip the
+    /// feed path's assertions.
+    pub(crate) fn from_snapshot_payload(
+        reader: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let builder = SummaryBuilder::from_snapshot_payload(reader)?;
+        let policy = match reader.u8()? {
+            0 => {
+                let n = reader.u64()?;
+                if n < 1 {
+                    return Err(SnapshotError::Malformed("count window must be >= 1"));
+                }
+                WindowPolicy::LastN(n)
+            }
+            1 => {
+                let d = reader.f64()?;
+                if !(d > 0.0 && d.is_finite()) {
+                    return Err(SnapshotError::Malformed("duration window must be positive"));
+                }
+                WindowPolicy::LastDur(d)
+            }
+            _ => return Err(SnapshotError::Malformed("unknown window policy")),
+        };
+        let buckets_per_level = reader.u64()? as usize;
+        let granularity = reader.u64()? as usize;
+        if buckets_per_level < 1 || granularity < 1 {
+            return Err(SnapshotError::Malformed("degenerate chain shape"));
+        }
+        let head_open = reader.u8()? != 0;
+        let clock = reader.f64()?;
+        let total_seen = reader.u64()?;
+        if total_seen > 0 && !clock.is_finite() {
+            return Err(SnapshotError::Malformed("non-finite window clock"));
+        }
+        let bucket_count = reader.count(38)?;
+        if head_open && bucket_count == 0 {
+            return Err(SnapshotError::Malformed("open head without a bucket"));
+        }
+        let mut buckets = VecDeque::with_capacity(bucket_count);
+        let mut live_total = 0u64;
+        for i in 0..bucket_count {
+            let count = reader.u64()?;
+            let t_first = reader.f64()?;
+            let t_last = reader.f64()?;
+            let level = reader.u32()?;
+            let has_debt = reader.u8()? != 0;
+            let debt_value = reader.f64()?;
+            let summary = crate::snapshot::restore_mergeable(reader.bytes()?)?;
+            if !(t_first.is_finite() && t_last.is_finite() && t_first <= t_last) {
+                return Err(SnapshotError::Malformed("invalid bucket time span"));
+            }
+            // Buckets cover contiguous, chronological spans of the stream
+            // and the clock is the newest timestamp seen.
+            if let Some(prev) = buckets.back() {
+                let prev: &Bucket = prev;
+                if t_first < prev.t_last {
+                    return Err(SnapshotError::Malformed("bucket spans out of order"));
+                }
+            }
+            if t_last > clock {
+                return Err(SnapshotError::Malformed("bucket newer than the clock"));
+            }
+            let is_head = head_open && i + 1 == bucket_count;
+            if is_head {
+                if !(1..granularity as u64).contains(&count) {
+                    return Err(SnapshotError::Malformed("head fill out of range"));
+                }
+            } else {
+                // A sealed level-l bucket holds exactly g·2^l points (the
+                // head seals at g; carries merge equal-size pairs), which
+                // also rules out the forged-count overflows the chain
+                // arithmetic cannot survive.
+                let expected = (granularity as u64)
+                    .checked_shl(level)
+                    .filter(|&e| e == count);
+                if expected.is_none() {
+                    return Err(SnapshotError::Malformed("sealed bucket count mismatch"));
+                }
+            }
+            live_total = live_total
+                .checked_add(count)
+                .filter(|&t| t <= total_seen)
+                .ok_or(SnapshotError::Malformed("bucket counts exceed the stream"))?;
+            buckets.push_back(Bucket {
+                summary,
+                count,
+                t_first,
+                t_last,
+                level,
+                debt: has_debt.then_some(debt_value),
+            });
+        }
+        let sealed = buckets.len() - usize::from(head_open);
+        for w in buckets.iter().take(sealed).collect::<Vec<_>>().windows(2) {
+            if w[0].level < w[1].level {
+                return Err(SnapshotError::Malformed("sealed levels must not increase"));
+            }
+        }
+        Ok(WindowedSummary {
+            builder,
+            config: WindowConfig {
+                policy,
+                buckets_per_level,
+                granularity,
+            },
+            buckets,
+            head_open,
+            clock,
+            total_seen,
+            cache: HullCache::new(),
+            bound_cache: GenCache::new(),
+            scratch: Vec::new(),
+        })
+    }
 }
 
 impl HullSummary for WindowedSummary {
@@ -673,19 +829,36 @@ impl HullSummary for WindowedSummary {
 pub struct WindowedRun {
     builder: SummaryBuilder,
     shards: Vec<WindowedSummary>,
+    elapsed: std::time::Duration,
 }
 
 impl WindowedRun {
     /// Assembles a run from per-shard windowed summaries (the collector
     /// kind comes from `builder`). Exposed for the parallel engine.
-    pub(crate) fn new(builder: SummaryBuilder, shards: Vec<WindowedSummary>) -> Self {
-        WindowedRun { builder, shards }
+    pub(crate) fn new(
+        builder: SummaryBuilder,
+        shards: Vec<WindowedSummary>,
+        elapsed: std::time::Duration,
+    ) -> Self {
+        WindowedRun {
+            builder,
+            shards,
+            elapsed,
+        }
     }
 
     /// The per-shard windowed summaries, in shard order.
     #[must_use]
     pub fn shards(&self) -> &[WindowedSummary] {
         &self.shards
+    }
+
+    /// Wall-clock time of the whole ingestion (dispatch through the last
+    /// worker join), for throughput accounting alongside
+    /// [`points_seen`](WindowedRun::points_seen).
+    #[must_use]
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.elapsed
     }
 
     /// Total stream points consumed across all shards.

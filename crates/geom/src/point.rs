@@ -103,6 +103,25 @@ impl Point2 {
             .unwrap()
             .then(self.y.partial_cmp(&other.y).unwrap())
     }
+
+    /// Raw little-endian wire encoding (`x` then `y`, IEEE-754 bits).
+    /// Round-trips bit-exactly through [`Point2::from_le_bytes`], including
+    /// non-finite values and signed zeros.
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.x.to_le_bytes());
+        out[8..].copy_from_slice(&self.y.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Point2::to_le_bytes`].
+    #[inline]
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        let x = f64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let y = f64::from_le_bytes(bytes[8..].try_into().unwrap());
+        Point2 { x, y }
+    }
 }
 
 impl Vec2 {
@@ -188,6 +207,24 @@ impl Vec2 {
     #[inline]
     pub fn is_finite(self) -> bool {
         self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Raw little-endian wire encoding (`x` then `y`, IEEE-754 bits).
+    /// Round-trips bit-exactly through [`Vec2::from_le_bytes`].
+    #[inline]
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.x.to_le_bytes());
+        out[8..].copy_from_slice(&self.y.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`Vec2::to_le_bytes`].
+    #[inline]
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        let x = f64::from_le_bytes(bytes[..8].try_into().unwrap());
+        let y = f64::from_le_bytes(bytes[8..].try_into().unwrap());
+        Vec2 { x, y }
     }
 }
 
@@ -415,5 +452,24 @@ mod tests {
         let p0 = p(3.0, 4.0);
         let d = Vec2::from_angle(0.0);
         assert!((p0.dot(d) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn le_bytes_round_trip_is_bit_exact() {
+        for (x, y) in [
+            (0.0, -0.0),
+            (1.5, -2.25e17),
+            (f64::MIN_POSITIVE, f64::MAX),
+            (f64::NEG_INFINITY, f64::NAN),
+        ] {
+            let pt = Point2::new(x, y);
+            let back = Point2::from_le_bytes(pt.to_le_bytes());
+            assert_eq!(pt.x.to_bits(), back.x.to_bits());
+            assert_eq!(pt.y.to_bits(), back.y.to_bits());
+            let v = Vec2::new(x, y);
+            let vb = Vec2::from_le_bytes(v.to_le_bytes());
+            assert_eq!(v.x.to_bits(), vb.x.to_bits());
+            assert_eq!(v.y.to_bits(), vb.y.to_bits());
+        }
     }
 }

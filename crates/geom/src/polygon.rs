@@ -253,6 +253,40 @@ impl ConvexPolygon {
     pub fn into_vertices(self) -> Vec<Point2> {
         self.verts
     }
+
+    /// Appends the raw wire encoding to `out`: a little-endian `u64`
+    /// vertex count followed by each vertex's [`Point2::to_le_bytes`].
+    /// The encoding is bit-exact: [`ConvexPolygon::decode_raw`] restores
+    /// an identical polygon.
+    pub fn encode_raw(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.verts.len() as u64).to_le_bytes());
+        for v in &self.verts {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Decodes a polygon written by [`ConvexPolygon::encode_raw`] from the
+    /// front of `bytes`, returning it with the number of bytes consumed.
+    ///
+    /// Hardened: returns `None` on truncated input, on an implausible
+    /// vertex count, or when the decoded vertex list is not a strictly
+    /// convex ccw cycle (the same validation as [`ConvexPolygon::from_ccw`])
+    /// — never panics.
+    pub fn decode_raw(bytes: &[u8]) -> Option<(ConvexPolygon, usize)> {
+        let count_bytes: [u8; 8] = bytes.get(..8)?.try_into().ok()?;
+        let count = u64::from_le_bytes(count_bytes);
+        let need = (count as usize).checked_mul(16)?.checked_add(8)?;
+        if bytes.len() < need {
+            return None;
+        }
+        let mut verts = Vec::with_capacity(count as usize);
+        for i in 0..count as usize {
+            let start = 8 + 16 * i;
+            let raw: [u8; 16] = bytes[start..start + 16].try_into().ok()?;
+            verts.push(Point2::from_le_bytes(raw));
+        }
+        ConvexPolygon::from_ccw(verts).map(|poly| (poly, need))
+    }
 }
 
 #[cfg(test)]
@@ -388,5 +422,45 @@ mod tests {
             vec![(p(0.0, 0.0), p(1.0, 0.0)), (p(1.0, 0.0), p(0.0, 0.0))]
         );
         assert_eq!(unit_square().edges().count(), 4);
+    }
+
+    #[test]
+    fn raw_codec_round_trips_all_degeneracies() {
+        let cases = [
+            ConvexPolygon::empty(),
+            ConvexPolygon::from_ccw(vec![p(1.5, -2.25)]).unwrap(),
+            ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(3.0, 1.0)]).unwrap(),
+            unit_square(),
+        ];
+        for poly in &cases {
+            let mut bytes = vec![0xAA]; // leading junk the codec must skip past
+            let before = bytes.len();
+            poly.encode_raw(&mut bytes);
+            let written = bytes.len() - before;
+            bytes.extend_from_slice(b"trailing"); // codec must not over-read
+            let (decoded, used) = ConvexPolygon::decode_raw(&bytes[before..]).expect("round trip");
+            assert_eq!(used, written);
+            assert_eq!(&decoded, poly);
+        }
+    }
+
+    #[test]
+    fn raw_decode_rejects_garbage() {
+        let mut bytes = Vec::new();
+        unit_square().encode_raw(&mut bytes);
+        // Truncations at every length must fail cleanly.
+        for len in 0..bytes.len() {
+            assert!(ConvexPolygon::decode_raw(&bytes[..len]).is_none(), "{len}");
+        }
+        // An absurd vertex count must not allocate or panic.
+        let huge = u64::MAX.to_le_bytes();
+        assert!(ConvexPolygon::decode_raw(&huge).is_none());
+        // A non-convex vertex cycle is rejected by validation.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&4u64.to_le_bytes());
+        for v in [p(0.0, 0.0), p(1.0, 1.0), p(1.0, 0.0), p(0.0, 1.0)] {
+            bad.extend_from_slice(&v.to_le_bytes());
+        }
+        assert!(ConvexPolygon::decode_raw(&bad).is_none());
     }
 }

@@ -1,0 +1,106 @@
+//! Checkpoint, crash, recover: the snapshot codec as a durability story.
+//!
+//! A sharded pipeline summarises a 200k-point stream while writing
+//! periodic per-shard snapshots ("checkpoint files"). We then simulate a
+//! machine dying by throwing the in-process state away, restore the
+//! shards from their last checkpoints in a "different process", and merge
+//! them with `merge_snapshots` — verifying the recovered collector is
+//! bit-identical to the uninterrupted run. Finally a windowed summary
+//! round-trips through the same codec mid-stream.
+//!
+//! Run: `cargo run --release --example checkpoint_restore`
+
+use streamhull::prelude::*;
+
+fn stream(n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|i| {
+            let t = 2.399963229728653 * i as f64;
+            let rad = 1.0 + 0.0002 * i as f64;
+            Point2::new(rad * t.cos() * 3.0, rad * t.sin())
+        })
+        .collect()
+}
+
+fn main() {
+    let pts = stream(200_000);
+    let builder = SummaryBuilder::new(SummaryKind::Adaptive).with_r(32);
+    let engine = ShardedIngest::new(builder, 4).with_chunk(2048);
+
+    // --- Phase 1: the pipeline runs and checkpoints every 25k points ---
+    let checkpointed = engine.run_checkpointed(&pts, 25_000);
+    let elapsed = checkpointed.run.elapsed;
+    println!(
+        "checkpointed run: {} points in {:.1} ms ({:.1}M pts/s), {} checkpoints",
+        checkpointed.run.summary.points_seen(),
+        elapsed.as_secs_f64() * 1e3,
+        pts.len() as f64 / elapsed.as_secs_f64() / 1e6,
+        checkpointed.checkpoints.len(),
+    );
+    println!("\n  shard  checkpoint@points  snapshot bytes");
+    for cp in &checkpointed.checkpoints {
+        println!(
+            "  {:>5}  {:>17}  {:>14}",
+            cp.shard,
+            cp.points_seen,
+            cp.bytes.len()
+        );
+    }
+
+    // --- Phase 2: "the machine dies"; only the snapshot bytes survive ---
+    let shard_files: Vec<Vec<u8>> = checkpointed
+        .final_snapshots()
+        .into_iter()
+        .map(<[u8]>::to_vec)
+        .collect();
+    let reference_hull = checkpointed.run.summary.hull_ref().clone();
+    let reference_bound = checkpointed.run.summary.error_bound();
+    drop(checkpointed); // everything in-process is gone
+
+    // --- Phase 3: another process restores and reduces the shard files ---
+    let recovered = engine
+        .merge_snapshots(&shard_files)
+        .expect("shard files decode");
+    assert_eq!(
+        recovered.summary.hull_ref().vertices(),
+        reference_hull.vertices(),
+        "recovered hull must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(recovered.summary.error_bound(), reference_bound);
+    println!(
+        "\nrecovered from {} shard files: {} points, {}-vertex hull, error bound {:.2e} — bit-identical",
+        shard_files.len(),
+        recovered.summary.points_seen(),
+        recovered.summary.hull_ref().len(),
+        recovered.summary.error_bound().unwrap_or(f64::NAN),
+    );
+
+    // A corrupted file is rejected with a typed error, never a panic.
+    let mut corrupt = shard_files[0].clone();
+    corrupt[20] ^= 0x40;
+    let err = engine
+        .merge_snapshots([corrupt.as_slice()])
+        .expect_err("corruption must be detected");
+    println!("corrupted file rejected: {err}");
+
+    // --- Phase 4: windowed chains snapshot too ---
+    let mut window = builder.windowed(WindowConfig::last_n(10_000).with_granularity(512));
+    let (head, tail) = pts.split_at(150_000);
+    window.insert_batch(head);
+    let bytes = Snapshot::encode(&window);
+    let mut restored = WindowedSummary::decode(&bytes).expect("windowed snapshot decodes");
+    window.insert_batch(tail);
+    restored.insert_batch(tail);
+    let (a, b) = (window.query_window(), restored.query_window());
+    assert_eq!(a.hull().vertices(), b.hull().vertices());
+    assert_eq!(a.merged_points, b.merged_points);
+    assert_eq!(a.error_bound(), b.error_bound());
+    println!(
+        "\nwindowed chain snapshot: {} bytes for {} buckets; restored chain answers \
+         the window query identically ({} merged points, {} stale)",
+        bytes.len(),
+        restored.bucket_count(),
+        b.merged_points,
+        b.stale_points,
+    );
+}

@@ -119,23 +119,24 @@ pub use geom;
 pub use streamgen;
 
 pub use adaptive_hull::window::WindowedRun;
-pub use adaptive_hull::{metrics, queries, viz, window};
+pub use adaptive_hull::{metrics, queries, snapshot, viz, window};
 pub use adaptive_hull::{
-    AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ExactHull,
+    AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig, ExactHull,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder, SummaryKind,
-    UniformHull, WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
+    NaiveUniformHull, RadialHull, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest, Snapshot,
+    SnapshotError, SummaryBuilder, SummaryKind, UniformHull, WindowAnswer, WindowConfig,
+    WindowPolicy, WindowedSummary,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
 /// Everything most applications need.
 pub mod prelude {
     pub use crate::{
-        AdaptiveHull, AdaptiveHullConfig, ClusterHull, ClusterHullConfig, ConvexPolygon, ExactHull,
-        FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt, Mergeable,
-        NaiveUniformHull, Point2, RadialHull, ShardRun, ShardStats, ShardedIngest, SummaryBuilder,
-        SummaryKind, UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy, WindowedRun,
-        WindowedSummary,
+        AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig,
+        ConvexPolygon, ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt,
+        Mergeable, NaiveUniformHull, Point2, RadialHull, ShardCheckpoint, ShardRun, ShardStats,
+        ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, UniformHull, Vec2,
+        WindowAnswer, WindowConfig, WindowPolicy, WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

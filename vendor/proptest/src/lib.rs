@@ -1,6 +1,6 @@
 //! A small, dependency-free, offline stand-in for the parts of `proptest`
 //! this workspace uses: the [`proptest!`] macro, range/tuple/`prop_oneof!`/
-//! `collection::vec` strategies with [`Strategy::prop_map`], and the
+//! `collection::vec` strategies with [`strategy::Strategy::prop_map`], and the
 //! `prop_assert*` family.
 //!
 //! Differences from the real crate: cases are generated from a fixed
