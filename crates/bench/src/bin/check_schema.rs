@@ -88,7 +88,9 @@ fn check_schema(doc: &Json) -> Result<(), String> {
         ],
         "results",
     )?;
+    #[allow(clippy::float_cmp)]
     for row in results {
+        // lint:allow(float-cmp): "threads" is an integer count serialised as a JSON number; small-integer equality is exact in f64
         if get_num(row, "threads")? != 1.0 {
             return Err(format!("serial row with threads != 1: {row:?}"));
         }

@@ -243,6 +243,7 @@ pub fn final_error(summary: &dyn HullSummary, points: &[Point2]) -> f64 {
 
 /// Outcome of streaming one workload through one runtime-chosen summary.
 #[derive(Clone, Debug)]
+#[must_use = "a summary run carries the measured error and timing; dropping it discards the experiment"]
 pub struct SummaryRun {
     /// The summary's reported name.
     pub name: &'static str,

@@ -198,12 +198,12 @@ impl FixedBudgetAdaptiveHull {
                 .enumerate()
                 .filter(|(_, l)| l.a != l.b && l.range.bisectable(&this.grid))
                 .map(|(i, l)| (i, this.leaf_weight(l)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(&b.1))
         };
         let best_merge = |this: &Self| -> Option<(usize, f64)> {
             (0..this.leaves.len())
                 .filter_map(|i| this.merge_weight(i).map(|w| (i, w)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .min_by(|a, b| a.1.total_cmp(&b.1))
         };
 
         // Reach the budget.
@@ -364,12 +364,24 @@ impl FixedBudgetAdaptiveHull {
 
 impl HullSummary for FixedBudgetAdaptiveHull {
     fn insert(&mut self, q: Point2) {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !q.is_finite() {
+            return;
+        }
         if self.insert_inner(q) {
             self.cache.invalidate();
         }
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &q in points {
                 if self.insert_inner(q) {

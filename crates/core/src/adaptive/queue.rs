@@ -57,10 +57,9 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the smallest threshold.
-        other
-            .threshold
-            .partial_cmp(&self.threshold)
-            .expect("non-finite threshold in unrefinement queue")
+        // total_cmp keeps the heap invariant even if a non-finite threshold
+        // ever slips in (it sorts NaN to an extreme instead of panicking).
+        other.threshold.total_cmp(&self.threshold)
     }
 }
 

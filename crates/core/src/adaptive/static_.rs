@@ -70,7 +70,7 @@ pub fn adaptive_sample_static(
         let u = grid.unit(d);
         *points
             .iter()
-            .max_by(|a, b| a.dot(u).partial_cmp(&b.dot(u)).unwrap())
+            .max_by(|a, b| a.dot(u).total_cmp(&b.dot(u)))
             .unwrap()
     };
 

@@ -783,12 +783,24 @@ impl AdaptiveHull {
 
 impl HullSummary for AdaptiveHull {
     fn insert(&mut self, q: Point2) {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !q.is_finite() {
+            return;
+        }
         if self.insert_inner(q) {
             self.cache.invalidate();
         }
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &q in points {
                 if self.insert_inner(q) {

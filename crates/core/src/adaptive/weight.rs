@@ -63,6 +63,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact sentinel value, not approximate agreement
     fn degenerate_perimeter_never_refines() {
         assert_eq!(weight(10.0, 0, 16, 0.0), f64::NEG_INFINITY);
         assert_eq!(weight(10.0, 0, 16, -1.0), f64::NEG_INFINITY);
@@ -86,6 +87,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // exact zero for a degenerate edge, by construction
     fn slant_zero_for_degenerate_edge() {
         let grid = DirGrid::new(8, 3);
         let range = geom::dyadic::DirRange::sector(&grid, 0);

@@ -480,11 +480,23 @@ impl ClusterHull {
 
 impl HullSummary for ClusterHull {
     fn insert(&mut self, p: Point2) {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !p.is_finite() {
+            return;
+        }
         self.insert_impl(p);
         self.cache.invalidate();
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         // Clustering is order- and interior-sensitive (an interior point
         // still joins and grows a cluster), so no pre-hull reduction is
         // sound; the batch win is one union-hull cache invalidation per
@@ -689,7 +701,8 @@ mod tests {
         assert_eq!(ch.cluster_count(), 1);
         assert!(ch.covers(Point2::new(1.0, 1.0)));
         assert!(!ch.covers(Point2::new(1.1, 1.0)));
-        assert_eq!(ch.total_area(), 0.0);
+        // A single coincident cluster has exactly zero area.
+        assert_eq!(ch.total_area().to_bits(), 0.0f64.to_bits());
     }
 
     #[test]

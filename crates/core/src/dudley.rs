@@ -71,12 +71,7 @@ pub fn dudley_kernel(points: &[Point2], m: u32) -> Option<DudleyKernel> {
         let nearest = verts
             .iter()
             .copied()
-            .min_by(|a, b| {
-                anchor
-                    .distance_sq(*a)
-                    .partial_cmp(&anchor.distance_sq(*b))
-                    .unwrap()
-            })
+            .min_by(|a, b| anchor.distance_sq(*a).total_cmp(&anchor.distance_sq(*b)))
             .unwrap();
         selected.push(nearest);
     }

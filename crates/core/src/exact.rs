@@ -17,9 +17,20 @@ use geom::predicates::orient2d_sign;
 use geom::{ConvexPolygon, Point2};
 use std::collections::BTreeMap;
 
-/// Totally ordered `f64` key (finite values only).
+/// Totally ordered `f64` key (finite values only; `-0.0` is normalised to
+/// `+0.0` by [`FiniteF64::new`] so that [`f64::total_cmp`] coincides with
+/// the IEEE partial order on every stored key).
 #[derive(Clone, Copy, Debug, PartialEq)]
 struct FiniteF64(f64);
+
+impl FiniteF64 {
+    #[inline]
+    fn new(x: f64) -> Self {
+        // `+ 0.0` maps -0.0 to +0.0 and is the identity on every other
+        // finite value.
+        FiniteF64(x + 0.0)
+    }
+}
 
 impl Eq for FiniteF64 {}
 impl PartialOrd for FiniteF64 {
@@ -29,9 +40,7 @@ impl PartialOrd for FiniteF64 {
 }
 impl Ord for FiniteF64 {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0
-            .partial_cmp(&other.0)
-            .expect("non-finite coordinate in ExactHull")
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -79,7 +88,7 @@ impl Chain {
 
     fn prev(&self, x: f64) -> Option<Point2> {
         self.pts
-            .range(..FiniteF64(x))
+            .range(..FiniteF64::new(x))
             .next_back()
             .map(|(k, &v)| Point2::new(k.0, v))
     }
@@ -87,7 +96,7 @@ impl Chain {
     fn next(&self, x: f64) -> Option<Point2> {
         use core::ops::Bound::*;
         self.pts
-            .range((Excluded(FiniteF64(x)), Unbounded))
+            .range((Excluded(FiniteF64::new(x)), Unbounded))
             .next()
             .map(|(k, &v)| Point2::new(k.0, v))
     }
@@ -96,11 +105,11 @@ impl Chain {
     /// changed.
     fn insert(&mut self, p: Point2) -> bool {
         // Same-x handling: keep only the better y.
-        if let Some(&y) = self.pts.get(&FiniteF64(p.x)) {
+        if let Some(&y) = self.pts.get(&FiniteF64::new(p.x)) {
             if !self.better(p.y, y) {
                 return false;
             }
-            self.pts.remove(&FiniteF64(p.x));
+            self.pts.remove(&FiniteF64::new(p.x));
         }
         let pred = self.prev(p.x);
         let succ = self.next(p.x);
@@ -110,7 +119,7 @@ impl Chain {
                 return false;
             }
         }
-        self.pts.insert(FiniteF64(p.x), p.y);
+        self.pts.insert(FiniteF64::new(p.x), p.y);
 
         // Fix convexity to the right of p.
         while let Some(n1) = self.next(p.x) {
@@ -118,7 +127,7 @@ impl Chain {
             if self.keeps(p, n1, n2) {
                 break;
             }
-            self.pts.remove(&FiniteF64(n1.x));
+            self.pts.remove(&FiniteF64::new(n1.x));
         }
         // Fix convexity to the left of p.
         while let Some(p1) = self.prev(p.x) {
@@ -126,7 +135,7 @@ impl Chain {
             if self.keeps(p2, p1, p) {
                 break;
             }
-            self.pts.remove(&FiniteF64(p1.x));
+            self.pts.remove(&FiniteF64::new(p1.x));
         }
         true
     }
@@ -178,9 +187,13 @@ impl ExactHull {
         }
     }
 
-    /// Inserts a point; returns `true` iff the hull changed.
+    /// Inserts a point; returns `true` iff the hull changed. Non-finite
+    /// points are silently dropped without being counted (see the
+    /// [`HullSummary`] non-finite-input policy).
     pub fn insert_point(&mut self, p: Point2) -> bool {
-        assert!(p.is_finite(), "ExactHull requires finite coordinates");
+        if !p.is_finite() {
+            return false;
+        }
         self.seen += 1;
         let changed = self.insert_chains(p);
         if changed {
@@ -214,6 +227,10 @@ impl ExactHull {
         u + l - 2
     }
 
+    // Exact identity comparisons of stored coordinates: both sides come
+    // from the same normalised `FiniteF64` keys, so `==` is the precise
+    // "same hull column" test, not an approximate-equality smell.
+    #[allow(clippy::float_cmp)]
     fn build_hull(&self) -> ConvexPolygon {
         // ccw cycle: lower chain left-to-right, then upper chain
         // right-to-left, dropping the shared endpoints from the upper pass.
@@ -288,7 +305,7 @@ impl ExactHull {
                     return Err(SnapshotError::Malformed("chain not strictly x-sorted"));
                 }
                 prev_x = p.x;
-                chain.pts.insert(FiniteF64(p.x), p.y);
+                chain.pts.insert(FiniteF64::new(p.x), p.y);
             }
         }
         let [upper, lower] = chains;
@@ -307,6 +324,14 @@ impl HullSummary for ExactHull {
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them
+            // one by one); the recursion then runs the all-finite fast
+            // path below, preserving batch ≡ loop equivalence.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &p in points {
                 self.insert_point(p);
@@ -320,8 +345,7 @@ impl HullSummary for ExactHull {
         // multiplies instead of two BTree searches. The certificate is
         // rebuilt from the chains only after a hull change; cache
         // invalidations coalesce into one per batch. Non-finite points
-        // never pass the certificate and hit the assert exactly like the
-        // loop.
+        // were filtered out above, so every point here is chain-safe.
         let mut cert = CertCache::new(32);
         let mut changed = false;
         for &p in points {
@@ -329,7 +353,6 @@ impl HullSummary for ExactHull {
                 self.seen += 1;
                 continue;
             }
-            assert!(p.is_finite(), "ExactHull requires finite coordinates");
             self.seen += 1;
             if self.insert_chains(p) {
                 changed = true;

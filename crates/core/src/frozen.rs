@@ -148,6 +148,10 @@ impl FrozenHull {
 
 impl HullSummary for FrozenHull {
     fn insert(&mut self, p: Point2) {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !p.is_finite() {
+            return;
+        }
         self.seen += 1;
         if self.scan(p) {
             self.cache.invalidate();
@@ -155,6 +159,14 @@ impl HullSummary for FrozenHull {
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &p in points {
                 self.insert(p);

@@ -73,6 +73,6 @@ pub use frozen::FrozenHull;
 pub use parallel::{CheckpointedRun, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest};
 pub use radial::RadialHull;
 pub use snapshot::{Snapshot, SnapshotError};
-pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable};
+pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable, NonFiniteInput};
 pub use uniform::{NaiveUniformHull, UniformHull};
 pub use window::{WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary};

@@ -19,6 +19,7 @@ use geom::{ConvexPolygon, Point2, UncertaintyTriangle, Vec2};
 /// Statistics gathered by streaming points through a summary while probing
 /// each point against the hull *before* inserting it.
 #[derive(Clone, Copy, Debug, Default)]
+#[must_use = "probe statistics carry the false-answer counts the guarantee is judged by"]
 pub struct ProbeStats {
     /// Total points streamed.
     pub total: u64,
@@ -88,6 +89,7 @@ pub fn run_with_probe_warmup<S: HullSummary + ?Sized>(
 
 /// Max and mean height over a set of uncertainty triangles.
 #[derive(Clone, Copy, Debug, Default)]
+#[must_use = "triangle statistics carry the uncertainty heights that certify the error bound"]
 pub struct TriangleStats {
     /// Largest triangle height.
     pub max_height: f64,
@@ -203,7 +205,7 @@ pub fn diameter_error(approx: &ConvexPolygon, exact: &ConvexPolygon) -> f64 {
     let da = geom::calipers::diameter(approx)
         .map(|(_, _, d)| d)
         .unwrap_or(0.0);
-    if dt == 0.0 {
+    if geom::predicates::degenerate_norm(dt) {
         0.0
     } else {
         (dt - da).max(0.0) / dt
@@ -298,6 +300,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::float_cmp)] // empty inputs yield exact zeros, not rounded ones
     fn empty_inputs() {
         assert_eq!(triangle_stats(&[]).count, 0);
         let stats = run_with_probe(&mut AdaptiveHull::with_r(8), &[]);

@@ -37,7 +37,7 @@
 
 use crate::builder::SummaryBuilder;
 use crate::snapshot::SnapshotError;
-use crate::summary::Mergeable;
+use crate::summary::{Mergeable, NonFiniteInput};
 use crate::window::{WindowConfig, WindowPolicy, WindowedRun};
 use geom::Point2;
 use std::sync::{mpsc, Mutex};
@@ -172,6 +172,17 @@ impl ShardedIngest {
         self.reduce(workers, start)
     }
 
+    /// Checked variant of [`run`](ShardedIngest::run): validates the whole
+    /// slice up front and rejects the first non-finite point with a typed
+    /// error instead of silently dropping it. No threads are spawned and
+    /// no work is done on rejection.
+    pub fn try_run(&self, points: &[Point2]) -> Result<ShardRun, NonFiniteInput> {
+        if let Some((index, &point)) = points.iter().enumerate().find(|(_, p)| !p.is_finite()) {
+            return Err(NonFiniteInput { index, point });
+        }
+        Ok(self.run(points))
+    }
+
     /// Shared fan-out scaffold of the slice-based entry points: shard `i`
     /// runs `per_chunk(shard, summary, chunk)` over its contiguous slice
     /// on a scoped thread; workers are returned in shard order.
@@ -197,7 +208,7 @@ impl ShardedIngest {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().expect("shard worker panicked")) // lint:allow(no-panic): re-raising a worker panic on the coordinator is the only sound way to surface it
                 .collect()
         })
     }
@@ -319,19 +330,19 @@ impl ShardedIngest {
                     let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
                     senders[next_chunk % self.shards]
                         .send(full)
-                        .expect("shard worker hung up");
+                        .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
                     next_chunk += 1;
                 }
             }
             if !buf.is_empty() {
                 senders[next_chunk % self.shards]
                     .send(buf)
-                    .expect("shard worker hung up");
+                    .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
             }
             drop(senders); // close the channels so workers drain and exit
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().expect("shard worker panicked")) // lint:allow(no-panic): re-raising a worker panic on the coordinator is the only sound way to surface it
                 .collect()
         });
         self.reduce(workers, start)
@@ -408,19 +419,19 @@ impl ShardedIngest {
                     let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
                     senders[next_chunk % self.shards]
                         .send(full)
-                        .expect("shard worker hung up");
+                        .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
                     next_chunk += 1;
                 }
             }
             if !buf.is_empty() {
                 senders[next_chunk % self.shards]
                     .send(buf)
-                    .expect("shard worker hung up");
+                    .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
             }
             drop(senders); // close the channels so workers drain and exit
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| h.join().expect("shard worker panicked")) // lint:allow(no-panic): re-raising a worker panic on the coordinator is the only sound way to surface it
                 .collect()
         });
         WindowedRun::new(self.builder, shards, start.elapsed())

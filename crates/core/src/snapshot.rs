@@ -198,7 +198,7 @@ pub(crate) fn open(bytes: &[u8]) -> Result<(u8, &[u8]), SnapshotError> {
         return Err(SnapshotError::UnsupportedVersion(version));
     }
     let tag = bytes[6];
-    let len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = le_u64(&bytes[8..16]);
     let expected =
         (len as usize)
             .checked_add(MIN_ENVELOPE)
@@ -213,7 +213,7 @@ pub(crate) fn open(bytes: &[u8]) -> Result<(u8, &[u8]), SnapshotError> {
         });
     }
     let body = &bytes[..expected - CHECKSUM_LEN];
-    let stored = u64::from_le_bytes(bytes[expected - CHECKSUM_LEN..].try_into().unwrap());
+    let stored = le_u64(&bytes[expected - CHECKSUM_LEN..]);
     if fnv1a64(body) != stored {
         return Err(SnapshotError::ChecksumMismatch);
     }
@@ -232,13 +232,28 @@ fn tag_name(tag: u8) -> &'static str {
     }
 }
 
+/// Copies the first 8 bytes of `b` into a `u64` (callers guarantee the
+/// slice is at least that long via the envelope length checks).
+fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    u64::from_le_bytes(a)
+}
+
 /// The stable wire tag of a [`SummaryKind`] (its index in
-/// [`SummaryKind::ALL`]).
+/// [`SummaryKind::ALL`]; the exhaustive match is pinned against `ALL` by
+/// the `tags_match_all_order` test so neither can drift).
 pub fn kind_tag(kind: SummaryKind) -> u8 {
-    SummaryKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("every kind is in ALL") as u8
+    match kind {
+        SummaryKind::Exact => 0,
+        SummaryKind::UniformNaive => 1,
+        SummaryKind::Uniform => 2,
+        SummaryKind::Radial => 3,
+        SummaryKind::Frozen => 4,
+        SummaryKind::Adaptive => 5,
+        SummaryKind::AdaptiveFixedBudget => 6,
+        SummaryKind::Cluster => 7,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -316,23 +331,29 @@ impl<'a> Reader<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let mut a = [0u8; 4];
+        a.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(a))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(le_u64(self.take(8)?))
     }
 
     pub(crate) fn f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(f64::from_bits(le_u64(self.take(8)?)))
     }
 
     pub(crate) fn point(&mut self) -> Result<Point2, SnapshotError> {
-        Ok(Point2::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        let mut a = [0u8; 16];
+        a.copy_from_slice(self.take(16)?);
+        Ok(Point2::from_le_bytes(a))
     }
 
     pub(crate) fn vec2(&mut self) -> Result<Vec2, SnapshotError> {
-        Ok(Vec2::from_le_bytes(self.take(16)?.try_into().unwrap()))
+        let mut a = [0u8; 16];
+        a.copy_from_slice(self.take(16)?);
+        Ok(Vec2::from_le_bytes(a))
     }
 
     /// A `u64` count that must be storable as `usize` and plausible for a
@@ -496,6 +517,13 @@ pub fn peek_kind(bytes: &[u8]) -> Result<Option<SummaryKind>, SnapshotError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tags_match_all_order() {
+        for (i, &k) in SummaryKind::ALL.iter().enumerate() {
+            assert_eq!(kind_tag(k) as usize, i);
+        }
+    }
 
     #[test]
     fn envelope_round_trips() {

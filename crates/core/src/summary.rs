@@ -25,6 +25,31 @@ use core::fmt::Debug;
 use geom::{ConvexPolygon, Point2};
 use std::sync::{Mutex, OnceLock};
 
+/// Typed rejection returned by [`HullSummary::try_insert`] and
+/// [`HullSummary::try_insert_batch`] when an input coordinate is NaN or
+/// infinite. The summary is guaranteed untouched: nothing was counted,
+/// stored, or invalidated.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NonFiniteInput {
+    /// Index of the offending point within the rejected input (always 0
+    /// for [`HullSummary::try_insert`]).
+    pub index: usize,
+    /// The offending point, verbatim.
+    pub point: Point2,
+}
+
+impl core::fmt::Display for NonFiniteInput {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "non-finite input point ({}, {}) at index {}",
+            self.point.x, self.point.y, self.index
+        )
+    }
+}
+
+impl std::error::Error for NonFiniteInput {}
+
 /// A single-pass summary of a 2-D point stream that can report (an
 /// approximation of) the convex hull of everything it has seen.
 ///
@@ -32,8 +57,29 @@ use std::sync::{Mutex, OnceLock};
 /// runtime as a `Box<dyn HullSummary>` (see
 /// [`SummaryBuilder`](crate::builder::SummaryBuilder)) and driven through
 /// one code path. Iterator-based conveniences live in [`HullSummaryExt`].
+///
+/// # Non-finite inputs
+///
+/// A point with a NaN or infinite coordinate has no place on a convex
+/// hull: one NaN absorbed into a comparison chain can silently corrupt
+/// every later answer. Every summary therefore enforces a single policy:
+///
+/// * the infallible paths ([`insert`](HullSummary::insert),
+///   [`insert_batch`](HullSummary::insert_batch)) **silently drop**
+///   non-finite points — they are not stored and not counted in
+///   [`points_seen`](HullSummary::points_seen), and the finite points
+///   around them are processed normally;
+/// * the checked paths ([`try_insert`](HullSummary::try_insert),
+///   [`try_insert_batch`](HullSummary::try_insert_batch)) validate the
+///   whole input *up front* and reject it with a typed [`NonFiniteInput`]
+///   error without mutating anything.
+///
+/// Both properties are pinned for every backend — loop, batch, windowed,
+/// and sharded — by `tests/nan_injection.rs`.
 pub trait HullSummary: Debug {
-    /// Feeds one stream point into the summary.
+    /// Feeds one stream point into the summary. Non-finite points are
+    /// silently dropped (see the trait docs); use
+    /// [`try_insert`](HullSummary::try_insert) for a typed rejection.
     fn insert(&mut self, p: Point2);
 
     /// Feeds a batch of stream points.
@@ -74,6 +120,29 @@ pub trait HullSummary: Debug {
         for &p in points {
             self.insert(p);
         }
+    }
+
+    /// Checked insert: rejects a non-finite point with a typed error and
+    /// leaves the summary untouched; otherwise exactly
+    /// [`insert`](HullSummary::insert).
+    fn try_insert(&mut self, p: Point2) -> Result<(), NonFiniteInput> {
+        if !p.is_finite() {
+            return Err(NonFiniteInput { index: 0, point: p });
+        }
+        self.insert(p);
+        Ok(())
+    }
+
+    /// Checked batch insert: validates the whole slice **before** touching
+    /// the summary, so a rejected batch mutates nothing (no partial
+    /// ingestion); otherwise exactly
+    /// [`insert_batch`](HullSummary::insert_batch).
+    fn try_insert_batch(&mut self, points: &[Point2]) -> Result<(), NonFiniteInput> {
+        if let Some((index, &point)) = points.iter().enumerate().find(|(_, p)| !p.is_finite()) {
+            return Err(NonFiniteInput { index, point });
+        }
+        self.insert_batch(points);
+        Ok(())
     }
 
     /// Borrows the current (approximate) convex hull. For approximate
@@ -144,6 +213,12 @@ impl<S: HullSummary + ?Sized> HullSummary for Box<S> {
     }
     fn insert_batch(&mut self, points: &[Point2]) {
         (**self).insert_batch(points)
+    }
+    fn try_insert(&mut self, p: Point2) -> Result<(), NonFiniteInput> {
+        (**self).try_insert(p)
+    }
+    fn try_insert_batch(&mut self, points: &[Point2]) -> Result<(), NonFiniteInput> {
+        (**self).try_insert_batch(points)
     }
     fn hull_ref(&self) -> &ConvexPolygon {
         (**self).hull_ref()

@@ -150,6 +150,9 @@ impl NaiveUniformHull {
 
 impl HullSummary for NaiveUniformHull {
     fn insert(&mut self, p: Point2) {
+        if !p.is_finite() {
+            return;
+        }
         self.seen += 1;
         if self.scan(p) {
             self.cache.invalidate();
@@ -157,6 +160,14 @@ impl HullSummary for NaiveUniformHull {
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &p in points {
                 self.insert(p);
@@ -270,6 +281,7 @@ pub(crate) fn distinct_points(extrema: &[Point2]) -> Vec<Point2> {
 
 /// A maximal run of consecutive directions owned by one extremum point.
 #[derive(Clone, Copy, Debug, PartialEq)]
+#[must_use = "a direction run encodes which extremum owns the queried direction"]
 pub struct DirRun {
     /// Owning extremum (an input point).
     pub point: Point2,
@@ -732,10 +744,22 @@ impl UniformHull {
 
 impl HullSummary for UniformHull {
     fn insert(&mut self, p: Point2) {
+        // Non-finite points are dropped, not counted (see `HullSummary`).
+        if !p.is_finite() {
+            return;
+        }
         let _ = self.insert_detailed(p);
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Drop non-finite points up front (the loop path drops them one
+            // by one); recursing on the all-finite remainder preserves the
+            // batch == loop equivalence contract.
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch(&finite);
+            return;
+        }
         if points.len() <= BATCH_LEAF {
             for &q in points {
                 let _ = self.insert_detailed(q);
@@ -747,9 +771,8 @@ impl HullSummary for UniformHull {
         // discard as interior after an O(log r) point location — discard
         // them here for two multiplies. The certificate is rebuilt only
         // when `A` changes (`generation` advances), amortised across the
-        // chunk. Non-finite points never pass the certificate and fall
-        // through to `insert_detailed`'s own checks, keeping NaN/panic
-        // semantics identical to the loop.
+        // chunk. Non-finite points were filtered out above, so
+        // `insert_detailed`'s finite-input precondition always holds here.
         let mut cert = CertCache::new(8);
         for &q in points {
             if cert.covers(q, || incircle(&self.hull)) {

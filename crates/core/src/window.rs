@@ -355,15 +355,28 @@ impl WindowedSummary {
 
     /// Feeds one point stamped `t`. Timestamps must be non-decreasing;
     /// panics otherwise (a windowed summary cannot travel back in time).
+    ///
+    /// A non-finite point is dropped entirely — it is not counted and
+    /// does not advance the window clock (see [`HullSummary`] on
+    /// non-finite inputs).
     pub fn insert_at(&mut self, p: Point2, t: f64) {
+        if !p.is_finite() {
+            return;
+        }
         self.feed_with(&[p], &|_| t);
         self.expire();
         self.cache.invalidate();
     }
 
     /// Feeds a batch of points that all arrived at time `t` (one sensor
-    /// flush). Observably identical to `for p in pts { insert_at(p, t) }`.
+    /// flush). Observably identical to `for p in pts { insert_at(p, t) }`,
+    /// including dropping non-finite points.
     pub fn insert_batch_at(&mut self, pts: &[Point2], t: f64) {
+        if pts.iter().any(|p| !p.is_finite()) {
+            let finite: Vec<Point2> = pts.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch_at(&finite, t);
+            return;
+        }
         if pts.is_empty() {
             return;
         }
@@ -377,6 +390,14 @@ impl WindowedSummary {
     /// within the slice and against earlier inserts. Observably identical
     /// to `for (p, t) in pts { insert_at(p, t) }`.
     pub fn insert_batch_timestamped(&mut self, pts: &[(Point2, f64)]) {
+        if pts.iter().any(|(p, _)| !p.is_finite()) {
+            // A dropped point's `insert_at` is a full no-op, so its
+            // timestamp never reaches the monotonicity check either.
+            let finite: Vec<(Point2, f64)> =
+                pts.iter().copied().filter(|(p, _)| p.is_finite()).collect();
+            self.insert_batch_timestamped(&finite);
+            return;
+        }
         if pts.is_empty() {
             return;
         }
@@ -772,11 +793,24 @@ impl HullSummary for WindowedSummary {
     /// previous one (so `LastN(n)` and `LastDur(n - 0.5)` agree on pure
     /// auto-tick streams).
     fn insert(&mut self, p: Point2) {
+        // Guard before `next_tick`: a dropped point must not consume a
+        // tick (see `HullSummary` on non-finite inputs).
+        if !p.is_finite() {
+            return;
+        }
         let t = self.next_tick();
         self.insert_at(p, t);
     }
 
     fn insert_batch(&mut self, points: &[Point2]) {
+        if points.iter().any(|p| !p.is_finite()) {
+            // Filter before assigning ticks so the surviving points get
+            // the same consecutive timestamps the per-point loop would
+            // assign (dropped points consume no ticks).
+            let finite: Vec<Point2> = points.iter().copied().filter(|p| p.is_finite()).collect();
+            self.insert_batch_ticked(&finite);
+            return;
+        }
         self.insert_batch_ticked(points);
     }
 

@@ -71,7 +71,7 @@ pub fn width(poly: &ConvexPolygon) -> f64 {
         let b = v[(i + 1) % n];
         let d = b - a;
         let len = d.norm();
-        if len == 0.0 {
+        if crate::predicates::degenerate_norm(len) {
             return 0.0;
         }
         (d.cross(v[k] - a)).abs() / len
@@ -114,7 +114,7 @@ pub fn farthest_vertex(poly: &ConvexPolygon, q: Point2) -> Option<Point2> {
     poly.vertices()
         .iter()
         .copied()
-        .max_by(|a, b| q.distance_sq(*a).partial_cmp(&q.distance_sq(*b)).unwrap())
+        .max_by(|a, b| q.distance_sq(*a).total_cmp(&q.distance_sq(*b)))
 }
 
 /// Smallest enclosing axis-aligned bounding box `(min, max)` of the
@@ -143,6 +143,10 @@ pub fn diameter_direction(poly: &ConvexPolygon) -> Option<Vec2> {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -119,6 +119,10 @@ fn widest_of_three(a: Point2, b: Point2, c: Point2) -> Circle {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -14,7 +14,7 @@ fn line_intersection(a: Point2, b: Point2, c: Point2, d: Point2) -> Point2 {
     let r = b - a;
     let s = d - c;
     let denom = r.cross(s);
-    if denom == 0.0 {
+    if crate::predicates::degenerate_norm(denom) {
         // Degenerate (collinear overlap certified impossible by callers);
         // return the midpoint as a safe fallback.
         return a.midpoint(b);
@@ -153,6 +153,10 @@ pub fn intersects(a: &ConvexPolygon, b: &ConvexPolygon) -> bool {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

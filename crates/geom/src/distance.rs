@@ -138,6 +138,10 @@ pub fn containment_violation(outer: &ConvexPolygon, inner: &ConvexPolygon) -> f6
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

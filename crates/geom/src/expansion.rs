@@ -130,6 +130,10 @@ pub fn expansion_sign(e: &[f64]) -> core::cmp::Ordering {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use core::cmp::Ordering;

@@ -98,13 +98,9 @@ pub fn graham_scan(points: &[Point2]) -> Vec<Point2> {
     let pivot_idx = pts
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            a.y.partial_cmp(&b.y)
-                .unwrap()
-                .then(a.x.partial_cmp(&b.x).unwrap())
-        })
+        .min_by(|(_, a), (_, b)| a.y.total_cmp(&b.y).then(a.x.total_cmp(&b.x)))
         .map(|(i, _)| i)
-        .unwrap();
+        .unwrap_or(0);
     let pivot = pts.swap_remove(pivot_idx);
 
     // Sort by polar angle around the pivot (exact comparisons), breaking
@@ -113,10 +109,7 @@ pub fn graham_scan(points: &[Point2]) -> Vec<Point2> {
     pts.sort_by(|&a, &b| match orient2d_sign(pivot, a, b) {
         Ordering::Greater => Ordering::Less,
         Ordering::Less => Ordering::Greater,
-        Ordering::Equal => pivot
-            .distance_sq(a)
-            .partial_cmp(&pivot.distance_sq(b))
-            .unwrap(),
+        Ordering::Equal => pivot.distance_sq(a).total_cmp(&pivot.distance_sq(b)),
     });
 
     let mut hull = vec![pivot];
@@ -147,7 +140,7 @@ pub fn canonicalize_ccw(hull: &mut [Point2]) {
         .enumerate()
         .min_by(|(_, a), (_, b)| a.lex_cmp(**b))
         .map(|(i, _)| i)
-        .unwrap();
+        .unwrap_or(0);
     hull.rotate_left(start);
 }
 

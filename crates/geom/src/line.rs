@@ -113,7 +113,7 @@ impl Segment {
     pub fn closest_point(&self, p: Point2) -> Point2 {
         let d = self.b - self.a;
         let len2 = d.norm_sq();
-        if len2 == 0.0 {
+        if crate::predicates::degenerate_norm(len2) {
             return self.a;
         }
         let t = ((p - self.a).dot(d) / len2).clamp(0.0, 1.0);
@@ -237,6 +237,10 @@ impl UncertaintyTriangle {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use core::f64::consts::FRAC_PI_4;

@@ -116,7 +116,7 @@ pub fn directional_extent(poly: &ConvexPolygon, dir: Vec2) -> f64 {
         return 0.0;
     }
     let norm = dir.norm();
-    if norm == 0.0 {
+    if crate::predicates::degenerate_norm(norm) {
         return 0.0;
     }
     let hi = poly.vertex(extreme_vertex(poly, dir)).dot(dir);
@@ -125,6 +125,10 @@ pub fn directional_extent(poly: &ConvexPolygon, dir: Vec2) -> f64 {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

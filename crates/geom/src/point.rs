@@ -93,15 +93,13 @@ impl Point2 {
         self.x.is_finite() && self.y.is_finite()
     }
 
-    /// Lexicographic comparison (by `x`, then by `y`). Total when the
-    /// coordinates are non-NaN, which all streamhull structures require.
+    /// Lexicographic comparison (by `x`, then by `y`). Total for every bit
+    /// pattern via [`f64::total_cmp`]; identical to the partial order on the
+    /// finite coordinates all streamhull structures require, and never
+    /// panics on the non-finite ones they reject.
     #[inline]
     pub fn lex_cmp(self, other: Point2) -> core::cmp::Ordering {
-        debug_assert!(self.is_finite() && other.is_finite());
-        self.x
-            .partial_cmp(&other.x)
-            .unwrap()
-            .then(self.y.partial_cmp(&other.y).unwrap())
+        self.x.total_cmp(&other.x).then(self.y.total_cmp(&other.y))
     }
 
     /// Raw little-endian wire encoding (`x` then `y`, IEEE-754 bits).
@@ -118,9 +116,14 @@ impl Point2 {
     /// Inverse of [`Point2::to_le_bytes`].
     #[inline]
     pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
-        let x = f64::from_le_bytes(bytes[..8].try_into().unwrap());
-        let y = f64::from_le_bytes(bytes[8..].try_into().unwrap());
-        Point2 { x, y }
+        let mut x = [0u8; 8];
+        let mut y = [0u8; 8];
+        x.copy_from_slice(&bytes[..8]);
+        y.copy_from_slice(&bytes[8..]);
+        Point2 {
+            x: f64::from_le_bytes(x),
+            y: f64::from_le_bytes(y),
+        }
     }
 }
 
@@ -222,9 +225,14 @@ impl Vec2 {
     /// Inverse of [`Vec2::to_le_bytes`].
     #[inline]
     pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
-        let x = f64::from_le_bytes(bytes[..8].try_into().unwrap());
-        let y = f64::from_le_bytes(bytes[8..].try_into().unwrap());
-        Vec2 { x, y }
+        let mut x = [0u8; 8];
+        let mut y = [0u8; 8];
+        x.copy_from_slice(&bytes[..8]);
+        y.copy_from_slice(&bytes[8..]);
+        Vec2 {
+            x: f64::from_le_bytes(x),
+            y: f64::from_le_bytes(y),
+        }
     }
 }
 
@@ -355,6 +363,10 @@ impl From<Point2> for (f64, f64) {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -181,8 +181,14 @@ impl ConvexPolygon {
         }
     }
 
-    /// Support value `max_v v·dir` over the vertices. `None` when empty.
+    /// Support value `max_v v·dir` over the vertices. `None` when the
+    /// polygon is empty or `dir` is non-finite (a NaN/infinite direction
+    /// has no meaningful support value, and `max` would silently absorb
+    /// the NaN into an arbitrary answer).
     pub fn support(&self, dir: Vec2) -> Option<f64> {
+        if !dir.is_finite() {
+            return None;
+        }
         self.verts
             .iter()
             .map(|v| v.dot(dir))
@@ -198,7 +204,7 @@ impl ConvexPolygon {
         self.verts
             .iter()
             .copied()
-            .max_by(|a, b| a.dot(dir).partial_cmp(&b.dot(dir)).unwrap())
+            .max_by(|a, b| a.dot(dir).total_cmp(&b.dot(dir)))
     }
 
     /// Euclidean distance from `p` to the polygon (0 if inside), `O(n)`.
@@ -290,6 +296,10 @@ impl ConvexPolygon {
 }
 
 #[cfg(test)]
+// Kernel unit tests assert exact values (signs, sentinels, algebraic
+// identities the code guarantees bit-for-bit), so strict float
+// equality is the point, not a bug.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

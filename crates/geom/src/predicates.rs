@@ -172,6 +172,16 @@ pub fn collinear(a: Point2, b: Point2, c: Point2) -> bool {
     orient2d_sign(a, b, c) == Ordering::Equal
 }
 
+/// `true` when `x` is unusable as a norm or denominator: zero, subnormal,
+/// infinite, or NaN. This is the one guard the workspace uses in place of
+/// raw `== 0.0` denominator checks (which the float-cmp lint rejects): it
+/// catches the exact-zero case those checks were after, plus the subnormal
+/// and non-finite inputs that make the subsequent division meaningless.
+#[inline]
+pub fn degenerate_norm(x: f64) -> bool {
+    !x.is_normal()
+}
+
 /// `true` iff point `p` lies on the closed segment `a..b` (exact).
 pub fn on_segment(a: Point2, b: Point2, p: Point2) -> bool {
     if !collinear(a, b, p) {

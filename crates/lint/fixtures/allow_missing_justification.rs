@@ -1,0 +1,16 @@
+// Fixture: malformed lint:allow escape hatches. Expected: 3 allow-hygiene
+// violations (empty justification, unknown rule, missing colon) — and the
+// float comparisons they fail to cover still count (2 float-cmp).
+
+// lint:allow(float-cmp):
+pub fn a(y: f64) -> bool {
+    y == 0.0
+}
+
+// lint:allow(not-a-rule): comparing against a sentinel
+pub fn b(y: f64) -> bool {
+    y == 2.0
+}
+
+// lint:allow(no-panic) forgot the colon entirely
+pub fn c() {}

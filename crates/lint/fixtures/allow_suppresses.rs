@@ -1,0 +1,14 @@
+// Fixture: well-formed escape hatches. Expected: 0 violations, 3 allows in
+// the summary table (two used — line-above and trailing — one UNUSED).
+
+pub fn a(y: f64) -> bool {
+    // lint:allow(float-cmp): exact sentinel comparison, value is assigned 0.0 verbatim
+    y == 0.0
+}
+
+pub fn b(y: f64) -> bool {
+    y == 1.0 // lint:allow(float-cmp): literal round-trips exactly through f64
+}
+
+// lint:allow(float-cmp): covers nothing on this or the next line
+pub fn c() {}

@@ -1,0 +1,10 @@
+// Fixture: raw float-literal equality. Expected: 2 float-cmp violations.
+// This file is also the seeded-failure demo the CI job scans.
+
+pub fn lower_half(y: f64) -> bool {
+    y == 0.0
+}
+
+pub fn not_unit(len: f64) -> bool {
+    len != 1.0
+}

@@ -1,0 +1,12 @@
+// Fixture: float comparisons that appear only inside string literals and
+// comments. Expected: 0 violations — the lexer must not see them as code.
+
+// A comment mentioning x == 0.0 and y != 1.5 must not trip the rule.
+
+pub fn describe() -> &'static str {
+    "checks whether d == 0.0 or t != 2.5 before dividing"
+}
+
+pub fn raw() -> &'static str {
+    r#"a.partial_cmp(&b).unwrap() inside a raw string"#
+}

@@ -1,0 +1,12 @@
+// Fixture: partial_cmp().unwrap()/.expect() chains. Expected: 2 float-cmp
+// violations (NaN input panics both).
+
+use std::cmp::Ordering;
+
+pub fn cmp_unwrap(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+pub fn cmp_expect(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).expect("non-finite coordinate")
+}

@@ -1,0 +1,7 @@
+// Fixture (crate root by filename prefix): missing #![forbid(unsafe_code)].
+// Expected: 1 forbid-unsafe violation. The deny below is not enough — deny
+// can be overridden downstream, forbid cannot.
+
+#![deny(unsafe_code)]
+
+pub fn noop() {}

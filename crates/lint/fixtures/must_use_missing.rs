@@ -1,0 +1,25 @@
+// Fixture: public result types without #[must_use]. Expected: 3 must-use
+// violations (IngestRun, ProbeStats, Snapshot) — ErrorBound is annotated
+// and Internal is not pub, so neither is flagged.
+
+pub struct IngestRun {
+    pub points: u64,
+}
+
+pub enum ProbeStats {
+    Empty,
+    Counted(u64),
+}
+
+pub struct Snapshot {
+    pub bytes: Vec<u8>,
+}
+
+#[must_use]
+pub struct ErrorBound {
+    pub eps: f64,
+}
+
+pub(crate) struct InternalRun {
+    pub seen: u64,
+}

@@ -1,0 +1,24 @@
+// Fixture (no-panic zone): unwrap()/panic! confined to #[cfg(test)]
+// regions. Expected: 0 violations — test code may panic.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+fn helper(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles() {
+        assert_eq!(double(2), 4);
+        if helper(&[1]) != 1 {
+            panic!("helper broke");
+        }
+    }
+}

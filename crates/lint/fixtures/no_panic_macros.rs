@@ -1,0 +1,23 @@
+// Fixture (no-panic zone): the panic-macro family. Expected: 4 no-panic
+// violations (panic!, unreachable!, todo!, unimplemented!).
+
+pub fn a(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn b(x: u8) -> u8 {
+    match x {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn c() {
+    todo!()
+}
+
+pub fn d() {
+    unimplemented!()
+}

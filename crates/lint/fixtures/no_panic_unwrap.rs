@@ -1,0 +1,6 @@
+// Fixture (no-panic zone by filename prefix): a single .unwrap() call.
+// Expected: 1 no-panic violation.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,13 @@
+// Fixture (no-panic zone): "unwrap()" appearing only in comments, strings
+// and doc comments. Expected: 0 violations.
+
+// The old code called .unwrap() here; panic!("...") was possible.
+
+/// Documentation may say `value.unwrap()` without tripping the rule.
+pub fn message() -> &'static str {
+    "do not call .unwrap() or panic!(..) on stream inputs"
+}
+
+pub fn raw_msg() -> &'static str {
+    r##"even r#"nested"# raw strings with .expect("x") stay inert"##
+}

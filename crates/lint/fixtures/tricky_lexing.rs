@@ -1,0 +1,30 @@
+// Fixture: lexer stress. Expected: exactly 1 float-cmp violation — the
+// real comparison at the bottom. Everything above is noise the lexer must
+// classify correctly.
+
+/* nested /* block /* comments */ hide y == 0.0 */ entirely */
+
+pub fn chars_and_lifetimes<'a>(s: &'a str) -> (char, char, &'a str) {
+    let quote = '\'';
+    let brace = '{';
+    (quote, brace, s)
+}
+
+pub fn numbers() -> (f64, usize, u32, f32) {
+    let sci = 1e-9; // float, no dot
+    let hexy = 0x1e5; // int: hex 'e' is a digit, not an exponent
+    let range_sum: usize = (0..10).sum(); // `0..10` is two ints, not 0.1
+    let suffixed = 2.5f32;
+    (sci, range_sum, hexy, suffixed)
+}
+
+pub fn strings() -> String {
+    let s = "y == 0.0 && x != 1.0";
+    let r = r#"raw with "quotes" and y == 3.0"#;
+    let b = b"bytes with == 4.0";
+    format!("{s}{r}{:?}", b)
+}
+
+pub fn the_real_one(y: f64) -> bool {
+    y == 0.5
+}

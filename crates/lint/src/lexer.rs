@@ -1,0 +1,529 @@
+//! A token-level Rust lexer, sufficient for invariant linting.
+//!
+//! This is **not** a full Rust parser: it produces a flat token stream plus
+//! a separate comment list, with exact line numbers. What it must get right
+//! — and what the fixture corpus pins — is *never* emitting code tokens
+//! from non-code regions: string literals (including raw strings with any
+//! number of `#` guards and byte-string prefixes), char literals vs
+//! lifetimes, line comments, and arbitrarily nested block comments. A
+//! `.unwrap()` inside a doc comment or a `"== 0.0"` inside a string must
+//! not trip any rule.
+
+/// The coarse classification a rule needs to reason about a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish).
+    Ident,
+    /// Integer literal (including suffixed forms like `7u32`).
+    IntLit,
+    /// Floating-point literal (`0.0`, `1e-9`, `2.5f64`, `1.`).
+    FloatLit,
+    /// String literal of any flavour (normal, raw, byte, raw-byte).
+    StrLit,
+    /// Character literal (`'x'`, `'\n'`, `'\u{1F600}'`).
+    CharLit,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Punctuation / operator, possibly multi-character (`==`, `->`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Exact source text of the token (string/char literals keep quotes).
+    pub text: String,
+    /// 1-indexed line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line or block) with the line it starts on. Block comment
+/// text keeps interior newlines; `lint:allow` parsing only looks at line
+/// comments, but the rules need block comments too so `#[cfg(test)]`
+/// region tracking sees an uninterrupted token stream.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+    /// `true` when no code token precedes the comment on its start line.
+    pub owns_line: bool,
+}
+
+/// Lexer output: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into tokens and comments. Never panics on malformed
+/// input: unterminated literals and comments are closed at end of file.
+pub fn lex(src: &str) -> LexOut {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: LexOut,
+    src: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            out: LexOut::default(),
+            src,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn last_token_line(&self) -> Option<u32> {
+        self.out.tokens.last().map(|t| t.line)
+    }
+
+    fn run(mut self) -> LexOut {
+        let _ = self.src;
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string_literal(line, String::new()),
+                '\'' => self.char_or_lifetime(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(line),
+                c if c.is_ascii_digit() => self.number(line),
+                _ => self.punct(line),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let owns_line = self.last_token_line() != Some(line);
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            owns_line,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let owns_line = self.last_token_line() != Some(line);
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push('/');
+                text.push('*');
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push('*');
+                text.push('/');
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text,
+            line,
+            owns_line,
+        });
+    }
+
+    /// Normal (escaped) string literal; `prefix` carries any `b` already
+    /// consumed.
+    fn string_literal(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '"' => {
+                    text.push('"');
+                    self.push(TokKind::StrLit, text, line);
+                    return;
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::StrLit, text, line); // unterminated: close at EOF
+    }
+
+    /// Raw string literal `r#*"…"#*`; `prefix` carries `r`/`br` already
+    /// consumed. The caller guarantees the cursor sits on `#` or `"`.
+    fn raw_string_literal(&mut self, line: u32, prefix: String) {
+        let mut text = prefix;
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `r#foo` raw identifier, not a string: emit as ident.
+            let mut ident = text;
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    ident.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, ident, line);
+            return;
+        }
+        text.push('"');
+        self.bump();
+        'outer: while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '"' {
+                // A closing quote counts only when followed by `hashes` #s.
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, text, line);
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // Disambiguate 'a (lifetime) from 'a' (char): a lifetime is a quote
+        // followed by an identifier NOT followed by a closing quote.
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime = matches!(next, Some(c) if c == '_' || c.is_alphabetic())
+            && after != Some('\'')
+            // 'static, 'a — but '\'' etc. are chars; backslash is not alpha.
+            ;
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+            return;
+        }
+        // Char literal with escapes.
+        let mut text = String::from("'");
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    text.push('\\');
+                    if let Some(e) = self.bump() {
+                        text.push(e);
+                    }
+                }
+                '\'' => {
+                    text.push('\'');
+                    break;
+                }
+                _ => text.push(c),
+            }
+        }
+        self.push(TokKind::CharLit, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: the ident swallows `r`, `b`, `br`, `rb`
+        // only when a quote (or raw guard) follows immediately.
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"')) | ("r" | "br" | "rb", Some('#')) => {
+                self.raw_string_literal(line, text)
+            }
+            ("b", Some('"')) => self.string_literal(line, text),
+            ("b", Some('\'')) => {
+                // Byte char literal b'x'.
+                self.bump(); // consume quote; reuse char path minus prefix
+                let mut t = text;
+                t.push('\'');
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            t.push('\\');
+                            if let Some(e) = self.bump() {
+                                t.push(e);
+                            }
+                        }
+                        '\'' => {
+                            t.push('\'');
+                            break;
+                        }
+                        _ => t.push(c),
+                    }
+                }
+                self.push(TokKind::CharLit, t, line);
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut is_float = false;
+        // Integer part (also covers 0x/0b/0o: the radix letter and digits
+        // are all alphanumeric and get swallowed by the digit loop below).
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // `1e9` / `2E-5`: exponent makes it a float; the optional
+                // sign needs an explicit bump. Hex digits also hit 'e'/'E',
+                // so only treat it as an exponent outside hex literals.
+                if (c == 'e' || c == 'E') && !text.starts_with("0x") && !text.starts_with("0X") {
+                    match self.peek(1) {
+                        Some(d) if d.is_ascii_digit() => {
+                            is_float = true;
+                        }
+                        Some('+') | Some('-') if matches!(self.peek(2), Some(d) if d.is_ascii_digit()) =>
+                        {
+                            is_float = true;
+                            text.push(c);
+                            self.bump();
+                            text.push(self.peek(0).unwrap_or('+'));
+                            self.bump();
+                            continue;
+                        }
+                        _ => {
+                            // `7else` can't happen; a lone trailing `e` is a
+                            // suffix-ish ident char: keep consuming as int.
+                        }
+                    }
+                }
+                if c == 'f'
+                    && !text.starts_with("0x")
+                    && !text.starts_with("0X")
+                    && self.src_matches_suffix()
+                {
+                    // f32/f64 suffix makes the literal a float.
+                    is_float = true;
+                }
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `1.5` and `1.` are floats; `1..` is a range and `1.max`
+                // would be a method call on an integer literal.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        is_float = true;
+                        text.push('.');
+                        self.bump();
+                    }
+                    Some('.') => break, // range `1..`
+                    Some(c2) if c2 == '_' || c2.is_alphabetic() => break, // method call
+                    _ => {
+                        is_float = true; // trailing-dot float `1.`
+                        text.push('.');
+                        self.bump();
+                        break;
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            TokKind::FloatLit
+        } else {
+            TokKind::IntLit
+        };
+        self.push(kind, text, line);
+    }
+
+    /// `true` when the cursor sits on an `f32`/`f64` suffix.
+    fn src_matches_suffix(&self) -> bool {
+        (self.peek(1) == Some('3') && self.peek(2) == Some('2'))
+            || (self.peek(1) == Some('6') && self.peek(2) == Some('4'))
+    }
+
+    fn punct(&mut self, line: u32) {
+        // Greedy multi-char operators; everything else is a single char.
+        const THREE: [&str; 5] = ["..=", "...", "<<=", ">>=", "=>>"];
+        const TWO: [&str; 19] = [
+            "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
+            "%=", "^=", "&=", "|=", "<<",
+        ];
+        let take = |n: usize, lexer: &Lexer| -> String {
+            (0..n).filter_map(|k| lexer.peek(k)).collect::<String>()
+        };
+        let three = take(3, self);
+        if THREE.contains(&three.as_str()) {
+            for _ in 0..3 {
+                self.bump();
+            }
+            self.push(TokKind::Punct, three, line);
+            return;
+        }
+        let two = take(2, self);
+        if TWO.contains(&two.as_str()) {
+            for _ in 0..2 {
+                self.bump();
+            }
+            self.push(TokKind::Punct, two, line);
+            return;
+        }
+        let one = take(1, self);
+        self.bump();
+        self.push(TokKind::Punct, one, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn float_vs_int_vs_range() {
+        let toks = kinds("let a = 1.5; let b = 0..10; let c = 1e-9; let d = 2f64; let e = 7;");
+        let floats: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::FloatLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(floats, vec!["1.5", "1e-9", "2f64"]);
+        let ints: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::IntLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0", "10", "7"]);
+    }
+
+    #[test]
+    fn strings_comments_chars_produce_no_code_tokens() {
+        let src = r##"
+// a comment with .unwrap() inside
+/* block /* nested */ with panic!() */
+let s = "text with .unwrap() and == 0.0";
+let r = r#"raw "quoted" with .expect("x")"#;
+let c = '"';
+let l: &'static str = s;
+"##;
+        let out = lex(src);
+        assert!(!out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && (t.text == "unwrap" || t.text == "panic")));
+        assert_eq!(out.comments.len(), 2);
+        let strs: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "'static"));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::CharLit && t.text == "'\"'"));
+    }
+
+    #[test]
+    fn line_numbers_are_exact() {
+        let out = lex("a\nb == c\n\nd");
+        let eq = out.tokens.iter().find(|t| t.text == "==").unwrap();
+        assert_eq!(eq.line, 2);
+        let d = out.tokens.iter().find(|t| t.text == "d").unwrap();
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn hex_literals_are_not_floats() {
+        let toks = kinds("let x = 0x1e5; let y = 0xFF_u8;");
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::FloatLit));
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_hang_or_panic() {
+        for src in ["\"abc", "/* never closed", "'x", "r#\"open", "1."] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! # hull-lint — streamhull's workspace static-analysis pass
+//!
+//! The Hershberger–Suri summaries only deliver their error guarantees if
+//! the geometric predicates under them never lie and never panic. This
+//! crate enforces that **statically**, on every commit, with a
+//! dependency-free token-level lexer ([`lexer`]) and a rule engine
+//! ([`rules`]) that walks every `.rs` file in the workspace:
+//!
+//! 1. **`float-cmp`** — no raw `==`/`!=` against float literals and no
+//!    `.partial_cmp(..).unwrap()/.expect(..)`, outside the
+//!    exact-arithmetic allowlist (`geom::predicates`, `geom::expansion`,
+//!    `geom::dyadic`) and test code;
+//! 2. **`no-panic`** — no `panic!`/`unwrap()`/`expect()`/`unreachable!`/
+//!    `todo!` in declared no-panic zones (the `geom` kernels,
+//!    `core::snapshot`, `core::parallel`);
+//! 3. **`must-use`** — public result types named `*Run`/`*Stats`/
+//!    `*Snapshot`/`*Bound` must carry `#[must_use]`;
+//! 4. **`forbid-unsafe`** — every crate root carries
+//!    `#![forbid(unsafe_code)]`;
+//! 5. **`allow-hygiene`** — the scoped escape hatch
+//!    `// lint:allow(<rule>): <justification>` requires a real
+//!    justification, and every use is reported in a summary table.
+//!
+//! Run it with `cargo run -p hull-lint` (human diagnostics; add `--json`
+//! for machine-readable output). Exit status is non-zero on any violation,
+//! which is what the CI job gates on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::Config;
+pub use rules::{check_source, AllowEntry, FileReport, Violation, ALL_RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Aggregated result of linting a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every unsuppressed violation, ordered by (file, line).
+    pub violations: Vec<Violation>,
+    /// Every well-formed `lint:allow` escape hatch encountered.
+    pub allows: Vec<AllowEntry>,
+}
+
+impl Report {
+    /// `true` when the scan found no violations.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Violation count for one rule.
+    pub fn count(&self, rule: &str) -> usize {
+        self.violations.iter().filter(|v| v.rule == rule).count()
+    }
+}
+
+/// Recursively collects `.rs` files under `root`, honouring
+/// [`Config::is_skipped`], in sorted (deterministic) order. Paths returned
+/// are workspace-relative and `/`-separated.
+pub fn collect_workspace_files(root: &Path, cfg: &Config) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, cfg, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, cfg: &Config, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = relpath(root, &path);
+        if path.is_dir() {
+            if cfg.is_skipped(&rel) || rel.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, cfg, out)?;
+        } else if rel.ends_with(".rs") && !cfg.is_skipped(&rel) {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn relpath(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+/// Lints every workspace `.rs` file under `root`.
+pub fn scan_workspace(root: &Path, cfg: &Config) -> io::Result<Report> {
+    let files = collect_workspace_files(root, cfg)?;
+    scan_relfiles(root, &files, cfg)
+}
+
+/// Lints an explicit set of files/directories (CLI arguments). Explicit
+/// paths bypass the skip list — that is how CI demonstrates the gate
+/// failing on the seeded fixture corpus.
+pub fn scan_paths(root: &Path, paths: &[PathBuf], cfg: &Config) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_dir() {
+            let mut sub = Vec::new();
+            walk_all(root, &abs, &mut sub)?;
+            sub.sort();
+            files.extend(sub);
+        } else {
+            files.push(relpath(root, &abs));
+        }
+    }
+    scan_relfiles(root, &files, cfg)
+}
+
+fn walk_all(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            walk_all(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(relpath(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn scan_relfiles(root: &Path, files: &[String], cfg: &Config) -> io::Result<Report> {
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(rel))?;
+        let file_report = check_source(rel, &src, cfg);
+        report.violations.extend(file_report.violations);
+        report.allows.extend(file_report.allows);
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(report)
+}
+
+/// Renders the human-readable diagnostic listing plus the allow summary
+/// table (the format CI logs show).
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.file, v.line, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "\nhull-lint: {} file(s) scanned, {} violation(s)",
+        report.files_scanned,
+        report.violations.len()
+    ));
+    if !report.violations.is_empty() {
+        let per_rule: Vec<String> = ALL_RULES
+            .iter()
+            .map(|r| format!("{r}: {}", report.count(r)))
+            .collect();
+        out.push_str(&format!(" ({})", per_rule.join(", ")));
+    }
+    out.push('\n');
+    if !report.allows.is_empty() {
+        out.push_str("\nscoped lint:allow escape hatches in effect:\n");
+        out.push_str("  file:line | rule | used | justification\n");
+        for a in &report.allows {
+            out.push_str(&format!(
+                "  {}:{} | {} | {} | {}\n",
+                a.file,
+                a.line,
+                a.rule,
+                if a.used { "yes" } else { "UNUSED" },
+                a.justification
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable JSON report (stable field order, no
+/// dependencies — same spirit as `bench_harness::json`).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"violation_count\": {},\n",
+        report.violations.len()
+    ));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.message),
+            json_str(&v.snippet)
+        ));
+    }
+    out.push_str("\n  ],\n  \"allows\": [");
+    for (i, a) in report.allows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"used\": {}, \"justification\": {}}}",
+            json_str(&a.file),
+            a.line,
+            json_str(&a.rule),
+            a.used,
+            json_str(&a.justification)
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn workspace_config_zones() {
+        let cfg = Config::workspace();
+        assert!(!cfg.float_cmp_applies("crates/geom/src/predicates.rs"));
+        assert!(cfg.float_cmp_applies("crates/geom/src/hull.rs"));
+        assert!(cfg.no_panic_applies("crates/geom/src/point.rs"));
+        assert!(cfg.no_panic_applies("crates/core/src/snapshot.rs"));
+        assert!(!cfg.no_panic_applies("crates/core/src/cluster.rs"));
+        assert!(cfg.is_crate_root("crates/core/src/lib.rs"));
+        assert!(!cfg.is_crate_root("crates/core/src/summary.rs"));
+        assert!(cfg.is_skipped("target"));
+        assert!(cfg.is_skipped("vendor/rand/src/lib.rs"));
+        assert!(cfg.is_skipped("crates/lint/fixtures"));
+        assert!(cfg.is_test_path("tests/window.rs"));
+        assert!(cfg.is_test_path("crates/lint/tests/corpus.rs"));
+        assert!(!cfg.is_test_path("crates/core/src/window.rs"));
+    }
+}

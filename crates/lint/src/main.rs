@@ -1,0 +1,63 @@
+//! CLI entry point: `hull-lint [PATHS...] [--json]`.
+//!
+//! With no paths, lints every workspace `.rs` file (the CI gate). With
+//! explicit paths, lints only those files/directories — explicit paths
+//! bypass the skip list, which is how the seeded-failure demo scans the
+//! fixture corpus. Exits non-zero iff any violation is reported.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use hull_lint::{render_human, render_json, scan_paths, scan_workspace, Config};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: hull-lint [PATHS...] [--json]");
+                println!("  no PATHS: lint the whole workspace (skip list applies)");
+                println!("  --json:   machine-readable report on stdout");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    // The binary lives at <root>/crates/lint, so the workspace root is two
+    // levels up from the manifest dir regardless of the invocation cwd.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."));
+
+    let cfg = Config::workspace();
+    let report = if paths.is_empty() {
+        scan_workspace(&root, &cfg)
+    } else {
+        scan_paths(&root, &paths, &cfg)
+    };
+    let report = match report {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hull-lint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,485 @@
+//! The rule engine: walks one file's token stream and reports violations
+//! of the project invariants. See the crate docs for the rule catalogue.
+
+use crate::config::Config;
+use crate::lexer::{lex, Comment, LexOut, TokKind, Token};
+
+/// Stable rule identifiers (what `lint:allow(<rule>)` names).
+pub const RULE_FLOAT_CMP: &str = "float-cmp";
+/// See [`RULE_FLOAT_CMP`].
+pub const RULE_NO_PANIC: &str = "no-panic";
+/// See [`RULE_FLOAT_CMP`].
+pub const RULE_MUST_USE: &str = "must-use";
+/// See [`RULE_FLOAT_CMP`].
+pub const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+/// See [`RULE_FLOAT_CMP`].
+pub const RULE_ALLOW_HYGIENE: &str = "allow-hygiene";
+
+/// Every enforced rule, in report order. `allow-hygiene` guards the escape
+/// hatch itself and cannot be suppressed.
+pub const ALL_RULES: [&str; 5] = [
+    RULE_FLOAT_CMP,
+    RULE_NO_PANIC,
+    RULE_MUST_USE,
+    RULE_FORBID_UNSAFE,
+    RULE_ALLOW_HYGIENE,
+];
+
+/// Rules a `lint:allow` comment may name (everything except the hygiene
+/// rule policing the comments themselves).
+pub const ALLOWABLE_RULES: [&str; 4] = [
+    RULE_FLOAT_CMP,
+    RULE_NO_PANIC,
+    RULE_MUST_USE,
+    RULE_FORBID_UNSAFE,
+];
+
+/// One rule violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path (`/`-separated).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Rule identifier (one of [`ALL_RULES`]).
+    pub rule: &'static str,
+    /// Human explanation of this specific hit.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// One `// lint:allow(<rule>): <justification>` escape hatch found in a
+/// file — reported in the summary table whether or not it fired.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line of the comment.
+    pub line: u32,
+    /// The rule the comment suppresses.
+    pub rule: String,
+    /// The mandatory justification text.
+    pub justification: String,
+    /// Whether the allow actually suppressed at least one violation.
+    pub used: bool,
+}
+
+/// Everything the engine found in one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Violations, in source order.
+    pub violations: Vec<Violation>,
+    /// All well-formed escape hatches (used or not).
+    pub allows: Vec<AllowEntry>,
+}
+
+/// Lints one file's source text under `cfg`. `relpath` must be the
+/// workspace-relative, `/`-separated path (it drives zone membership).
+pub fn check_source(relpath: &str, src: &str, cfg: &Config) -> FileReport {
+    let lexed = lex(src);
+    let lines: Vec<&str> = src.lines().collect();
+    let snippet = |line: u32| -> String {
+        lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    };
+
+    let test_regions = cfg_test_regions(&lexed.tokens);
+    let in_test = |line: u32| {
+        test_regions
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    };
+    let path_is_test = cfg.is_test_path(relpath);
+
+    let mut report = FileReport::default();
+    let mut allows: Vec<ParsedAllow> = Vec::new();
+    parse_allows(relpath, &lexed.comments, &mut allows, &mut report);
+
+    let mut raw: Vec<Violation> = Vec::new();
+
+    if cfg.float_cmp_applies(relpath) && !path_is_test {
+        float_cmp_rule(relpath, &lexed, &mut raw, &|l| in_test(l));
+    }
+    if cfg.no_panic_applies(relpath) && !path_is_test {
+        no_panic_rule(relpath, &lexed, &mut raw, &|l| in_test(l));
+    }
+    if !path_is_test {
+        must_use_rule(relpath, &lexed, &mut raw, &|l| in_test(l));
+    }
+    if cfg.is_crate_root(relpath) {
+        forbid_unsafe_rule(relpath, &lexed, &mut raw);
+    }
+
+    // Apply the escape hatches: an allow on line L covers violations of its
+    // rule on L (trailing comment) and on L+1 (comment line above the code).
+    for v in raw {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line) {
+                a.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            report.violations.push(v);
+        }
+    }
+    for a in allows {
+        report.allows.push(AllowEntry {
+            file: relpath.to_string(),
+            line: a.line,
+            rule: a.rule,
+            justification: a.justification,
+            used: a.used,
+        });
+    }
+    // Stable order + snippets.
+    report.violations.sort_by_key(|v| v.line);
+    for v in report.violations.iter_mut() {
+        v.snippet = snippet(v.line);
+    }
+    report
+}
+
+struct ParsedAllow {
+    line: u32,
+    rule: String,
+    justification: String,
+    used: bool,
+}
+
+/// Parses `lint:allow(<rule>): <justification>` comments. Malformed ones —
+/// no rule, unknown rule, missing or empty justification — are
+/// `allow-hygiene` violations: the escape hatch *requires* saying why.
+fn parse_allows(
+    relpath: &str,
+    comments: &[Comment],
+    allows: &mut Vec<ParsedAllow>,
+    report: &mut FileReport,
+) {
+    for c in comments {
+        let body = c.text.trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let hygiene = |msg: &str| Violation {
+            file: relpath.to_string(),
+            line: c.line,
+            rule: RULE_ALLOW_HYGIENE,
+            message: msg.to_string(),
+            snippet: String::new(),
+        };
+        let Some(open) = rest.find('(') else {
+            report.violations.push(hygiene(
+                "lint:allow needs a rule: `lint:allow(<rule>): <justification>`",
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            report
+                .violations
+                .push(hygiene("unclosed rule name in lint:allow"));
+            continue;
+        };
+        let rule = rest[open + 1..close].trim();
+        if !ALLOWABLE_RULES.contains(&rule) {
+            report.violations.push(hygiene(&format!(
+                "unknown rule {rule:?} in lint:allow (known: {ALLOWABLE_RULES:?})"
+            )));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = match after.strip_prefix(':') {
+            Some(j) => j.trim(),
+            None => {
+                report
+                    .violations
+                    .push(hygiene("lint:allow requires a `:`-separated justification"));
+                continue;
+            }
+        };
+        if justification.is_empty() {
+            report.violations.push(hygiene(
+                "empty justification in lint:allow — say why the rule is safe to break here",
+            ));
+            continue;
+        }
+        allows.push(ParsedAllow {
+            line: c.line,
+            rule: rule.to_string(),
+            justification: justification.to_string(),
+            used: false,
+        });
+    }
+}
+
+/// Line ranges covered by `#[cfg(test)]` items (test modules, helpers).
+fn cfg_test_regions(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i + 5 < tokens.len() {
+        let is_cfg_test = tokens[i].text == "#"
+            && tokens[i + 1].text == "["
+            && tokens[i + 2].text == "cfg"
+            && tokens[i + 3].text == "("
+            && tokens[i + 4].text == "test"
+            && tokens[i + 5].text == ")";
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = tokens[i].line;
+        // Find the end of the attribute, then brace-match the item that
+        // follows (or run to the `;` of a braceless item).
+        let mut j = i + 6;
+        while j < tokens.len() && tokens[j].text != "]" {
+            j += 1;
+        }
+        j += 1;
+        let mut depth = 0usize;
+        let mut end_line = start_line;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end_line = tokens[j].line;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end_line = tokens[j].line;
+                    break;
+                }
+                _ => {}
+            }
+            end_line = tokens[j].line;
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Rule 1 — float-cmp: no `==`/`!=` against a floating-point literal, and
+/// no `.partial_cmp(..).unwrap()` / `.partial_cmp(..).expect(..)`.
+///
+/// Raw float equality against *variables* is below the token level's
+/// horizon; the workspace `clippy::float_cmp = "deny"` lint backs this rule
+/// up there (see README "Robustness & lint policy").
+fn float_cmp_rule(
+    relpath: &str,
+    lexed: &LexOut,
+    out: &mut Vec<Violation>,
+    in_test: &dyn Fn(u32) -> bool,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct && (t.text == "==" || t.text == "!=") {
+            let float_neighbour = (i > 0 && toks[i - 1].kind == TokKind::FloatLit)
+                || toks.get(i + 1).map(|n| n.kind) == Some(TokKind::FloatLit);
+            if float_neighbour && !in_test(t.line) {
+                out.push(Violation {
+                    file: relpath.to_string(),
+                    line: t.line,
+                    rule: RULE_FLOAT_CMP,
+                    message: format!(
+                        "raw `{}` against a float literal — use an explicit guard \
+                         (geom::predicates) or a tolerance",
+                        t.text
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+        if t.kind == TokKind::Ident
+            && t.text == "partial_cmp"
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+        {
+            // Skip the balanced argument list, then look for .unwrap()/.expect(.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if toks.get(j + 1).map(|n| n.text.as_str()) == Some(".") {
+                if let Some(m) = toks.get(j + 2) {
+                    if (m.text == "unwrap" || m.text == "expect") && !in_test(m.line) {
+                        out.push(Violation {
+                            file: relpath.to_string(),
+                            line: m.line,
+                            rule: RULE_FLOAT_CMP,
+                            message: format!(
+                                ".partial_cmp(..).{}() panics on NaN — use f64::total_cmp",
+                                m.text
+                            ),
+                            snippet: String::new(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rule 2 — no-panic: no `panic!` / `unwrap()` / `expect(..)` /
+/// `unreachable!` / `todo!` / `unimplemented!` in declared no-panic zones.
+fn no_panic_rule(
+    relpath: &str,
+    lexed: &LexOut,
+    out: &mut Vec<Violation>,
+    in_test: &dyn Fn(u32) -> bool,
+) {
+    let toks = &lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || in_test(t.line) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        if (t.text == "unwrap" || t.text == "expect")
+            && i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+        {
+            hit = Some(format!(".{}() can panic", t.text));
+        }
+        if matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+        {
+            hit = Some(format!("{}! in a no-panic zone", t.text));
+        }
+        if let Some(message) = hit {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: t.line,
+                rule: RULE_NO_PANIC,
+                message,
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+/// Rule 3 — must-use: public result types named `*Run` / `*Stats` /
+/// `*Snapshot` / `*Bound` must carry `#[must_use]` (dropping a result
+/// silently is how error-bound accounting bugs are born).
+fn must_use_rule(
+    relpath: &str,
+    lexed: &LexOut,
+    out: &mut Vec<Violation>,
+    in_test: &dyn Fn(u32) -> bool,
+) {
+    const SUFFIXES: [&str; 4] = ["Run", "Stats", "Snapshot", "Bound"];
+    let toks = &lexed.tokens;
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && (t.text == "struct" || t.text == "enum")) {
+            continue;
+        }
+        // Plain `pub` only: `pub(crate)` etc. are not public API.
+        if toks[i - 1].text != "pub" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident
+            || !SUFFIXES.iter().any(|s| name_tok.text.ends_with(s))
+            || in_test(t.line)
+        {
+            continue;
+        }
+        // Walk backwards over the attribute stack above `pub`.
+        let mut k = i - 1; // index of `pub`
+        let mut has_must_use = false;
+        while k >= 1 && toks[k - 1].text == "]" {
+            // Find the matching `[`.
+            let mut depth = 0usize;
+            let mut m = k - 1;
+            loop {
+                match toks[m].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            for a in &toks[m..k] {
+                if a.text == "must_use" {
+                    has_must_use = true;
+                }
+            }
+            // Move past the `#` (and optional `!`) introducing the attr.
+            k = m;
+            while k >= 1 && (toks[k - 1].text == "#" || toks[k - 1].text == "!") {
+                k -= 1;
+            }
+        }
+        if !has_must_use {
+            out.push(Violation {
+                file: relpath.to_string(),
+                line: name_tok.line,
+                rule: RULE_MUST_USE,
+                message: format!(
+                    "public result type `{}` must carry #[must_use]",
+                    name_tok.text
+                ),
+                snippet: String::new(),
+            });
+        }
+    }
+}
+
+/// Rule 4 — forbid-unsafe: every crate root carries
+/// `#![forbid(unsafe_code)]`.
+fn forbid_unsafe_rule(relpath: &str, lexed: &LexOut, out: &mut Vec<Violation>) {
+    let toks = &lexed.tokens;
+    let found = toks.windows(7).any(|w| {
+        w[0].text == "#"
+            && w[1].text == "!"
+            && w[2].text == "["
+            && w[3].text == "forbid"
+            && w[4].text == "("
+            && w[5].text == "unsafe_code"
+            && w[6].text == ")"
+    });
+    if !found {
+        out.push(Violation {
+            file: relpath.to_string(),
+            line: 1,
+            rule: RULE_FORBID_UNSAFE,
+            message: "crate root is missing #![forbid(unsafe_code)]".to_string(),
+            snippet: String::new(),
+        });
+    }
+}

@@ -1,0 +1,139 @@
+//! Self-test corpus: every fixture under `crates/lint/fixtures/` has a
+//! known expected outcome. The workspace walk skips the fixtures dir, so
+//! these files never pollute the real gate; the corpus scans them
+//! explicitly, the same way the CI seeded-failure demo does.
+
+use std::path::{Path, PathBuf};
+
+use hull_lint::rules::{
+    RULE_ALLOW_HYGIENE, RULE_FLOAT_CMP, RULE_FORBID_UNSAFE, RULE_MUST_USE, RULE_NO_PANIC,
+};
+use hull_lint::{check_source, Config, FileReport};
+
+fn check_fixture(name: &str) -> FileReport {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rel = format!("crates/lint/fixtures/{name}");
+    let src = std::fs::read_to_string(root.join(&rel))
+        .unwrap_or_else(|e| panic!("fixture {rel} unreadable: {e}"));
+    check_source(&rel, &src, &Config::workspace())
+}
+
+fn counts(report: &FileReport, rule: &str) -> usize {
+    report.violations.iter().filter(|v| v.rule == rule).count()
+}
+
+#[test]
+fn float_cmp_eq_literal() {
+    let r = check_fixture("float_cmp_eq_literal.rs");
+    assert_eq!(counts(&r, RULE_FLOAT_CMP), 2, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 2);
+}
+
+#[test]
+fn float_cmp_partial_cmp_unwrap() {
+    let r = check_fixture("float_cmp_partial_cmp_unwrap.rs");
+    assert_eq!(counts(&r, RULE_FLOAT_CMP), 2, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 2);
+}
+
+#[test]
+fn float_cmp_in_string_not_flagged() {
+    let r = check_fixture("float_cmp_in_string_not_flagged.rs");
+    assert!(r.violations.is_empty(), "{:#?}", r.violations);
+}
+
+#[test]
+fn no_panic_unwrap() {
+    let r = check_fixture("no_panic_unwrap.rs");
+    assert_eq!(counts(&r, RULE_NO_PANIC), 1, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 1);
+}
+
+#[test]
+fn no_panic_macros() {
+    let r = check_fixture("no_panic_macros.rs");
+    assert_eq!(counts(&r, RULE_NO_PANIC), 4, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 4);
+}
+
+#[test]
+fn no_panic_unwrap_in_comment_and_string() {
+    let r = check_fixture("no_panic_unwrap_in_comment_and_string.rs");
+    assert!(r.violations.is_empty(), "{:#?}", r.violations);
+}
+
+#[test]
+fn no_panic_cfg_test_exempt() {
+    let r = check_fixture("no_panic_cfg_test_exempt.rs");
+    assert!(r.violations.is_empty(), "{:#?}", r.violations);
+}
+
+#[test]
+fn must_use_missing() {
+    let r = check_fixture("must_use_missing.rs");
+    assert_eq!(counts(&r, RULE_MUST_USE), 3, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 3);
+    let names: Vec<&str> = r.violations.iter().map(|v| v.message.as_str()).collect();
+    assert!(names.iter().any(|m| m.contains("`IngestRun`")));
+    assert!(names.iter().any(|m| m.contains("`ProbeStats`")));
+    assert!(names.iter().any(|m| m.contains("`Snapshot`")));
+}
+
+#[test]
+fn forbid_unsafe_missing() {
+    let r = check_fixture("forbid_unsafe_missing.rs");
+    assert_eq!(counts(&r, RULE_FORBID_UNSAFE), 1, "{:#?}", r.violations);
+    assert_eq!(r.violations.len(), 1);
+}
+
+#[test]
+fn allow_missing_justification() {
+    let r = check_fixture("allow_missing_justification.rs");
+    assert_eq!(counts(&r, RULE_ALLOW_HYGIENE), 3, "{:#?}", r.violations);
+    // Malformed allows suppress nothing: the float comparisons still count.
+    assert_eq!(counts(&r, RULE_FLOAT_CMP), 2, "{:#?}", r.violations);
+    assert!(r.allows.is_empty());
+}
+
+#[test]
+fn allow_suppresses() {
+    let r = check_fixture("allow_suppresses.rs");
+    assert!(r.violations.is_empty(), "{:#?}", r.violations);
+    assert_eq!(r.allows.len(), 3);
+    assert_eq!(r.allows.iter().filter(|a| a.used).count(), 2);
+    let unused = r.allows.iter().find(|a| !a.used).unwrap();
+    assert!(unused.justification.contains("covers nothing"));
+}
+
+#[test]
+fn tricky_lexing() {
+    let r = check_fixture("tricky_lexing.rs");
+    assert_eq!(r.violations.len(), 1, "{:#?}", r.violations);
+    assert_eq!(r.violations[0].rule, RULE_FLOAT_CMP);
+    assert!(r.violations[0].snippet.contains("y == 0.5"));
+}
+
+#[test]
+fn scan_paths_on_fixture_dir_finds_all_files() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = hull_lint::scan_paths(
+        &root,
+        &[PathBuf::from("crates/lint/fixtures")],
+        &Config::workspace(),
+    )
+    .unwrap();
+    assert_eq!(report.files_scanned, 12);
+    // 2+2+1+4+3+1+3+2+1 = 19 expected violations across the corpus.
+    assert_eq!(report.violations.len(), 19, "{:#?}", report.violations);
+}
+
+#[test]
+fn workspace_walk_skips_fixtures_and_vendor() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = hull_lint::collect_workspace_files(&root, &Config::workspace()).unwrap();
+    assert!(files.iter().all(|f| !f.contains("fixtures")));
+    assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+    assert!(files.iter().all(|f| !f.starts_with("target/")));
+    assert!(files.iter().any(|f| f == "crates/geom/src/hull.rs"));
+    assert!(files.iter().any(|f| f == "src/lib.rs"));
+}

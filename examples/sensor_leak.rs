@@ -76,13 +76,16 @@ fn main() {
         let area = region.area();
         let east = queries::directional_extent(region, Vec2::new(1.0, 0.0));
         let dist = queries::min_distance(region, &depot);
-        if h % 6 == 0 || (dist == 0.0 && !breach_reported) {
+        // min_distance is non-negative, so `<= 0.0` is exactly the
+        // "separation lost" test without a raw float equality.
+        let breached = dist <= 0.0;
+        if h % 6 == 0 || (breached && !breach_reported) {
             println!(
                 "{h:>4}  {:>10}  {area:>11.2}  {east:>15.2}  {dist:>14.3}",
                 plume.points_seen()
             );
         }
-        if dist == 0.0 && !breach_reported {
+        if breached && !breach_reported {
             breach_reported = true;
             println!(
                 "  !! hour {h}: plume region reached the depot \

@@ -114,6 +114,8 @@
 //!   [`MultiStreamTracker`](queries::MultiStreamTracker)), and error
 //!   metrics ([`metrics`]).
 
+#![forbid(unsafe_code)]
+
 pub use adaptive_hull;
 pub use geom;
 pub use streamgen;
@@ -123,9 +125,9 @@ pub use adaptive_hull::{metrics, queries, snapshot, viz, window};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig, ExactHull,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, RadialHull, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest, Snapshot,
-    SnapshotError, SummaryBuilder, SummaryKind, UniformHull, WindowAnswer, WindowConfig,
-    WindowPolicy, WindowedSummary,
+    NaiveUniformHull, NonFiniteInput, RadialHull, ShardCheckpoint, ShardRun, ShardStats,
+    ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, UniformHull, WindowAnswer,
+    WindowConfig, WindowPolicy, WindowedSummary,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
@@ -134,9 +136,9 @@ pub mod prelude {
     pub use crate::{
         AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig,
         ConvexPolygon, ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt,
-        Mergeable, NaiveUniformHull, Point2, RadialHull, ShardCheckpoint, ShardRun, ShardStats,
-        ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, UniformHull, Vec2,
-        WindowAnswer, WindowConfig, WindowPolicy, WindowedRun, WindowedSummary,
+        Mergeable, NaiveUniformHull, NonFiniteInput, Point2, RadialHull, ShardCheckpoint, ShardRun,
+        ShardStats, ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind,
+        UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy, WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

@@ -219,7 +219,7 @@ proptest! {
             let ans = w.query_window();
             prop_assert_eq!(ans.merged_points, pts.len() as u64, "{}", kind);
             prop_assert_eq!(ans.stale_points, 0, "{}", kind);
-            prop_assert_eq!(ans.stale_duration, 0.0, "{}", kind);
+            prop_assert_eq!(ans.stale_duration.to_bits(), 0.0f64.to_bits(), "{}", kind);
             // One bucket, no expiry: the window summary must agree with a
             // plain whole-stream summary of the same kind on sample size.
             let mut plain = SummaryBuilder::new(kind).with_r(8).build();
