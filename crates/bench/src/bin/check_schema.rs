@@ -7,8 +7,11 @@
 //! check_schema <run.json> [--baseline BENCH_throughput.json]
 //! ```
 //!
-//! Schema: the full PR 2–5 shape (serial `results`, `window`, `parallel`,
-//! and `snapshot` sections with their per-row keys).
+//! Schema: the full PR 2–7 shape (serial `results`, `window`, `parallel`,
+//! `snapshot`, and `recovery` sections with their per-row keys). The
+//! `recovery` section records supervised-ingestion overhead per checkpoint
+//! interval; it is schema-checked but not regression-gated (the gate stays
+//! on the serial and parallel throughput rows).
 //!
 //! Regression gate (`--baseline`): every `(workload, backend)` serial row
 //! must keep `points_per_sec_batch` within the tolerance of the recorded
@@ -212,12 +215,54 @@ fn check_schema(doc: &Json) -> Result<(), String> {
         ));
     }
 
+    let recovery = doc
+        .get("recovery")
+        .and_then(Json::as_arr)
+        .ok_or("recovery must be an array")?;
+    if recovery.is_empty() {
+        return Err("recovery section must not be empty".into());
+    }
+    require_keys(
+        recovery,
+        &[
+            "backend",
+            "shards",
+            "checkpoint_interval",
+            "supervised_ns",
+            "points_per_sec",
+            "overhead_vs_stream",
+            "checkpoints",
+        ],
+        "recovery",
+    )?;
+    let mut rec_backends: Vec<&str> = Vec::new();
+    for row in recovery {
+        if get_num(row, "checkpoint_interval")? < 1.0 || get_num(row, "shards")? < 1.0 {
+            return Err(format!("degenerate recovery row: {row:?}"));
+        }
+        if get_num(row, "supervised_ns")? <= 0.0 || get_num(row, "overhead_vs_stream")? <= 0.0 {
+            return Err(format!("non-positive recovery timing: {row:?}"));
+        }
+        if get_num(row, "checkpoints")? < 0.0 {
+            return Err(format!("negative checkpoint count: {row:?}"));
+        }
+        rec_backends.push(get_str(row, "backend")?);
+    }
+    rec_backends.sort_unstable();
+    rec_backends.dedup();
+    if rec_backends != backends {
+        return Err(format!(
+            "recovery backends {rec_backends:?} != serial backends {backends:?}"
+        ));
+    }
+
     println!(
-        "schema ok: {} serial rows, {} window rows, {} sharded rows, {} snapshot rows",
+        "schema ok: {} serial rows, {} window rows, {} sharded rows, {} snapshot rows, {} recovery rows",
         results.len(),
         window.len(),
         parallel.len(),
-        snapshot.len()
+        snapshot.len(),
+        recovery.len()
     );
     Ok(())
 }
@@ -380,6 +425,12 @@ mod tests {
               "snapshot": [
                 {{"backend": "exact", "snapshot_bytes": 100, "encode_ns": 5,
                   "decode_ns": 7}}
+              ],
+              "recovery": [
+                {{"backend": "exact", "r": 16, "n": 1000, "shards": 2,
+                  "checkpoint_interval": 512, "supervised_ns": 12,
+                  "points_per_sec": 1, "overhead_vs_stream": 1.2,
+                  "checkpoints": 3}}
               ]
             }}"#
         );

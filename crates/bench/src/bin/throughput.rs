@@ -40,7 +40,9 @@
 //! including the `threads` dimension.
 
 use adaptive_hull::window::WindowConfig;
-use adaptive_hull::{HullSummary, Mergeable, ShardedIngest, SummaryBuilder, SummaryKind};
+use adaptive_hull::{
+    HullSummary, Mergeable, ShardedIngest, SummaryBuilder, SummaryKind, SupervisedIngest,
+};
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
 use std::fmt::Write as _;
@@ -100,6 +102,78 @@ struct WinRow {
 impl WinRow {
     fn pps(&self) -> f64 {
         1e9 / self.windowed_ns
+    }
+}
+
+/// Checkpoint intervals (points per shard between checkpoints) measured
+/// by the `recovery` dimension.
+const RECOVERY_INTERVALS: [u64; 3] = [1024, 8192, 65536];
+
+/// Shard count for the `recovery` dimension (fixed so the overhead
+/// column isolates checkpointing, not scaling).
+const RECOVERY_SHARDS: usize = 2;
+
+/// One backend × checkpoint-interval supervised-ingestion measurement
+/// (fault-free run: the column is pure supervision + checkpoint cost).
+struct RecRow {
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    shards: usize,
+    checkpoint_interval: u64,
+    supervised_ns: f64,
+    stream_ns: f64,
+    checkpoints: u64,
+}
+
+impl RecRow {
+    fn pps(&self) -> f64 {
+        1e9 / self.supervised_ns
+    }
+    /// Supervised cost relative to the plain `run_stream` on the same
+    /// input (1.0 = free; the checkpoint interval is the lever).
+    fn overhead_vs_stream(&self) -> f64 {
+        self.supervised_ns / self.stream_ns
+    }
+}
+
+/// Best-of-`reps` supervised ingestion timing for one backend and
+/// checkpoint interval, against a precomputed plain-stream baseline.
+fn time_recovery(
+    builder: &SummaryBuilder,
+    pts: &[Point2],
+    chunk: usize,
+    interval: u64,
+    stream_ns: f64,
+    reps: usize,
+) -> RecRow {
+    let engine = ShardedIngest::new(*builder, RECOVERY_SHARDS).with_chunk(chunk);
+    let supervised = SupervisedIngest::new(engine).with_checkpoint_interval(interval);
+    let mut best = f64::INFINITY;
+    let mut checkpoints = 0;
+    for _ in 0..reps.max(1) {
+        let run = supervised.run_stream(pts.iter().copied());
+        assert!(!run.is_degraded(), "fault-free bench run degraded");
+        assert_eq!(
+            run.run.summary.points_seen(),
+            pts.len() as u64,
+            "supervised run lost points"
+        );
+        checkpoints = run.report.checkpoints_taken;
+        let ns = run.run.elapsed.as_nanos() as f64 / pts.len().max(1) as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    RecRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        n: pts.len(),
+        shards: RECOVERY_SHARDS,
+        checkpoint_interval: interval,
+        supervised_ns: best,
+        stream_ns,
+        checkpoints,
     }
 }
 
@@ -367,6 +441,7 @@ fn render_json(
     win_rows: &[WinRow],
     par_rows: &[ParRow],
     snap_rows: &[SnapRow],
+    rec_rows: &[RecRow],
 ) -> String {
     let RunMeta {
         n,
@@ -465,19 +540,42 @@ fn render_json(
             row.pps(),
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"recovery\": [");
+    for (i, row) in rec_rows.iter().enumerate() {
+        let comma = if i + 1 == rec_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"r\": {}, \"n\": {}, \"shards\": {}, \
+             \"checkpoint_interval\": {}, \"supervised_ns\": {:.2}, \
+             \"points_per_sec\": {:.0}, \"overhead_vs_stream\": {:.3}, \
+             \"checkpoints\": {}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.shards,
+            row.checkpoint_interval,
+            row.supervised_ns,
+            row.pps(),
+            row.overhead_vs_stream(),
+            row.checkpoints,
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
 }
 
-fn run(
-    n: usize,
-    chunk: usize,
-    reps: usize,
-    r: u32,
-    threads: &[usize],
-    window: u64,
-) -> (Vec<Row>, Vec<WinRow>, Vec<ParRow>, Vec<SnapRow>) {
+/// Every dimension one bench invocation measures, in render order.
+type Dimensions = (
+    Vec<Row>,
+    Vec<WinRow>,
+    Vec<ParRow>,
+    Vec<SnapRow>,
+    Vec<RecRow>,
+);
+
+fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u64) -> Dimensions {
     let mut rows = Vec::new();
     let mut par_rows = Vec::new();
     for (wname, pts) in workloads(n, TABLE1_SEED) {
@@ -536,7 +634,33 @@ fn run(
         .iter()
         .map(|&kind| time_snapshot(&SummaryBuilder::new(kind).with_r(r), snap_pts, chunk, reps))
         .collect();
-    (rows, win_rows, par_rows, snap_rows)
+    // Recovery dimension: supervised ingestion overhead vs the plain
+    // sharded stream on the same interior workload, across checkpoint
+    // intervals (the operator's main tuning lever).
+    let mut rec_rows = Vec::new();
+    for &kind in &SummaryKind::ALL {
+        let builder = SummaryBuilder::new(kind).with_r(r);
+        let engine = ShardedIngest::new(builder, RECOVERY_SHARDS).with_chunk(chunk);
+        let mut stream_best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let run = engine.run_stream(snap_pts.iter().copied());
+            let ns = run.elapsed.as_nanos() as f64 / snap_pts.len().max(1) as f64;
+            if ns < stream_best {
+                stream_best = ns;
+            }
+        }
+        for &interval in &RECOVERY_INTERVALS {
+            rec_rows.push(time_recovery(
+                &builder,
+                snap_pts,
+                chunk,
+                interval,
+                stream_best,
+                reps,
+            ));
+        }
+    }
+    (rows, win_rows, par_rows, snap_rows, rec_rows)
 }
 
 fn main() {
@@ -577,7 +701,7 @@ fn main() {
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, win_rows, par_rows, snap_rows) = run(n, chunk, reps, r, &threads, window);
+    let (rows, win_rows, par_rows, snap_rows, rec_rows) = run(n, chunk, reps, r, &threads, window);
 
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
@@ -646,6 +770,26 @@ fn main() {
         );
     }
 
+    println!(
+        "\nsupervised recovery (interior workload, {RECOVERY_SHARDS} shards; \
+         overhead is vs the plain sharded stream)"
+    );
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>9} {:>12}",
+        "backend", "interval", "supervised ns", "pts/s", "overhead", "checkpoints"
+    );
+    for row in &rec_rows {
+        println!(
+            "{:<14} {:>10} {:>14.1} {:>14.0} {:>8.2}x {:>12}",
+            row.backend,
+            row.checkpoint_interval,
+            row.supervised_ns,
+            row.pps(),
+            row.overhead_vs_stream(),
+            row.checkpoints,
+        );
+    }
+
     let json = render_json(
         &RunMeta {
             n,
@@ -659,6 +803,7 @@ fn main() {
         &win_rows,
         &par_rows,
         &snap_rows,
+        &rec_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
     println!("\nwrote {out_path}");
@@ -671,11 +816,15 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, win_rows, par_rows, snap_rows) = run(2000, 256, 1, 16, &threads, 500);
+        let (rows, win_rows, par_rows, snap_rows, rec_rows) = run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
         assert_eq!(win_rows.len(), SummaryKind::ALL.len());
         assert_eq!(par_rows.len(), 2 * SummaryKind::ALL.len() * threads.len());
         assert_eq!(snap_rows.len(), SummaryKind::ALL.len());
+        assert_eq!(
+            rec_rows.len(),
+            RECOVERY_INTERVALS.len() * SummaryKind::ALL.len()
+        );
         let json = render_json(
             &RunMeta {
                 n: 2000,
@@ -689,6 +838,7 @@ mod tests {
             &win_rows,
             &par_rows,
             &snap_rows,
+            &rec_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
         // expected keys, one result object per row, no NaN/inf leakage.
@@ -726,6 +876,9 @@ mod tests {
             "\"snapshot_bytes\"",
             "\"encode_ns\"",
             "\"decode_ns\"",
+            "\"checkpoint_interval\"",
+            "\"overhead_vs_stream\"",
+            "\"checkpoints\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

@@ -25,6 +25,10 @@
 //!   processes, recover after crashes
 //!   ([`SummaryBuilder::restore`](builder::SummaryBuilder::restore),
 //!   [`ShardedIngest::merge_snapshots`](parallel::ShardedIngest::merge_snapshots));
+//! * [`recovery`] — fault-tolerant supervised ingestion
+//!   ([`SupervisedIngest`]): per-shard checkpointing, deterministic fault
+//!   injection ([`FaultPlan`]), checkpoint-replay recovery under a seeded
+//!   [`RetryPolicy`], and degraded completion with a [`RecoveryReport`];
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -59,6 +63,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod queries;
 pub mod radial;
+pub mod recovery;
 pub mod snapshot;
 pub mod summary;
 pub mod uniform;
@@ -72,7 +77,11 @@ pub use exact::ExactHull;
 pub use frozen::FrozenHull;
 pub use parallel::{CheckpointedRun, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest};
 pub use radial::RadialHull;
-pub use snapshot::{Snapshot, SnapshotError};
+pub use recovery::{
+    DetectedFault, Fault, FaultEvent, FaultPlan, RecoveryAction, RecoveryReport, RetryPolicy,
+    ShardHealth, ShardStatus, SupervisedIngest, SupervisedRun, SupervisedWindowedRun,
+};
+pub use snapshot::{CheckpointEnvelope, Snapshot, SnapshotError};
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable, NonFiniteInput};
 pub use uniform::{NaiveUniformHull, UniformHull};
 pub use window::{WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary};

@@ -40,7 +40,7 @@ use crate::snapshot::SnapshotError;
 use crate::summary::{Mergeable, NonFiniteInput};
 use crate::window::{WindowConfig, WindowPolicy, WindowedRun};
 use geom::Point2;
-use std::sync::{mpsc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A boxed shard worker summary.
@@ -302,50 +302,16 @@ impl ShardedIngest {
     /// [`run`](ShardedIngest::run) (the two entry points partition the
     /// stream differently and therefore may produce different — each
     /// individually reproducible — results).
+    ///
+    /// A worker panic is re-raised on the caller (pinned by a
+    /// characterization test); for fault tolerance wrap the engine in
+    /// [`SupervisedIngest`](crate::recovery::SupervisedIngest), which
+    /// shares this dispatch loop but recovers via checkpoint replay.
     pub fn run_stream<I>(&self, points: I) -> ShardRun
     where
         I: IntoIterator<Item = Point2>,
     {
-        let start = Instant::now();
-        let workers: Vec<Box<dyn Mergeable + Send + Sync>> = std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(self.shards);
-            let mut handles = Vec::with_capacity(self.shards);
-            for _ in 0..self.shards {
-                let (tx, rx) = mpsc::sync_channel::<Vec<Point2>>(2);
-                senders.push(tx);
-                let builder = self.builder;
-                handles.push(scope.spawn(move || {
-                    let mut s = builder.build_mergeable();
-                    while let Ok(chunk) = rx.recv() {
-                        s.insert_batch(&chunk);
-                    }
-                    s
-                }));
-            }
-            let mut buf: Vec<Point2> = Vec::with_capacity(self.chunk);
-            let mut next_chunk = 0usize;
-            for p in points {
-                buf.push(p);
-                if buf.len() == self.chunk {
-                    let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
-                    senders[next_chunk % self.shards]
-                        .send(full)
-                        .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
-                    next_chunk += 1;
-                }
-            }
-            if !buf.is_empty() {
-                senders[next_chunk % self.shards]
-                    .send(buf)
-                    .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
-            }
-            drop(senders); // close the channels so workers drain and exit
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked")) // lint:allow(no-panic): re-raising a worker panic on the coordinator is the only sound way to surface it
-                .collect()
-        });
-        self.reduce(workers, start)
+        crate::recovery::run_stream_propagating(self, crate::recovery::FaultPlan::new(), points)
     }
 
     /// Windowed variant of [`run_stream`](ShardedIngest::run_stream):
@@ -366,15 +332,7 @@ impl ShardedIngest {
     where
         I: IntoIterator<Item = Point2>,
     {
-        // A count window over distinct integer ticks is the half-open
-        // tick interval (now - n, now]; -0.5 avoids the boundary tick.
-        let shard_config = match config.policy {
-            WindowPolicy::LastN(n) => WindowConfig {
-                policy: WindowPolicy::LastDur(n as f64 - 0.5),
-                ..config
-            },
-            WindowPolicy::LastDur(_) => config,
-        };
+        let shard_config = crate::window::shard_window_config(config);
         self.run_stream_windowed_at(
             points.into_iter().enumerate().map(|(i, p)| (p, i as f64)),
             shard_config,
@@ -395,51 +353,16 @@ impl ShardedIngest {
             matches!(config.policy, WindowPolicy::LastDur(_)),
             "sharded count windows need the global tick clock: use run_stream_windowed"
         );
-        let start = Instant::now();
-        let shards: Vec<crate::window::WindowedSummary> = std::thread::scope(|scope| {
-            let mut senders = Vec::with_capacity(self.shards);
-            let mut handles = Vec::with_capacity(self.shards);
-            for _ in 0..self.shards {
-                let (tx, rx) = mpsc::sync_channel::<Vec<(Point2, f64)>>(2);
-                senders.push(tx);
-                let builder = self.builder;
-                handles.push(scope.spawn(move || {
-                    let mut w = builder.windowed(config);
-                    while let Ok(chunk) = rx.recv() {
-                        w.insert_batch_timestamped(&chunk);
-                    }
-                    w
-                }));
-            }
-            let mut buf: Vec<(Point2, f64)> = Vec::with_capacity(self.chunk);
-            let mut next_chunk = 0usize;
-            for pair in points {
-                buf.push(pair);
-                if buf.len() == self.chunk {
-                    let full = std::mem::replace(&mut buf, Vec::with_capacity(self.chunk));
-                    senders[next_chunk % self.shards]
-                        .send(full)
-                        .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
-                    next_chunk += 1;
-                }
-            }
-            if !buf.is_empty() {
-                senders[next_chunk % self.shards]
-                    .send(buf)
-                    .expect("shard worker hung up"); // lint:allow(no-panic): a dead receiver means the worker already panicked; propagate, don't deadlock
-            }
-            drop(senders); // close the channels so workers drain and exit
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked")) // lint:allow(no-panic): re-raising a worker panic on the coordinator is the only sound way to surface it
-                .collect()
-        });
-        WindowedRun::new(self.builder, shards, start.elapsed())
+        crate::recovery::run_stream_windowed_at_propagating(self, points, config)
     }
 
     /// Deterministic reduce: snapshot per-shard stats, then merge the
     /// workers into a fresh collector in shard order.
-    fn reduce(&self, workers: Vec<Box<dyn Mergeable + Send + Sync>>, start: Instant) -> ShardRun {
+    pub(crate) fn reduce(
+        &self,
+        workers: Vec<Box<dyn Mergeable + Send + Sync>>,
+        start: Instant,
+    ) -> ShardRun {
         let shards = workers
             .iter()
             .map(|w| ShardStats {

@@ -1,0 +1,2023 @@
+//! Fault-tolerant supervised ingestion: checkpoint-replay recovery over
+//! the sharded engine.
+//!
+//! [`SupervisedIngest`] wraps [`ShardedIngest`]'s streaming entry points
+//! with a supervisor that keeps a run alive through shard faults instead
+//! of letting one bad worker abort the whole ingestion:
+//!
+//! * **Checkpointing** — every shard serialises its summary through the
+//!   snapshot codec each [`checkpoint interval`](SupervisedIngest::with_checkpoint_interval)
+//!   ingested points. Checkpoints are sealed as
+//!   [`CheckpointEnvelope`](crate::snapshot::CheckpointEnvelope)s (shard
+//!   id + tick + inner snapshot) and validated by a **full restore**
+//!   before they are trusted.
+//! * **Detection** — worker panics (a joined `Err`), stalls past a
+//!   configurable deadline, corrupt or undecodable checkpoints (a typed
+//!   [`SnapshotError`]), and non-finite floods (the `try_*` validation
+//!   paths) are all caught by the supervisor.
+//! * **Recovery** — a faulted shard is restarted from its last valid
+//!   checkpoint and the chunks dispatched since that checkpoint are
+//!   replayed **in order with the original batch boundaries** from a
+//!   bounded, accounted replay buffer. Because snapshot restore is
+//!   bit-exact and every backend is sequential and deterministic, the
+//!   recovered shard's final state is bit-identical to an uninterrupted
+//!   run — for every [`SummaryKind`](crate::builder::SummaryKind).
+//! * **Graceful degradation** — when a shard exhausts its
+//!   [`RetryPolicy`] it is quarantined: its last valid checkpoint still
+//!   contributes to the merge, every point that could not be recovered is
+//!   counted (and, when the points were still buffered, folded into a
+//!   *lost hull* so [`SupervisedRun::error_bound`] can widen honestly),
+//!   and the run completes with a [`RecoveryReport`] — never a
+//!   silently-wrong hull.
+//!
+//! Faults are injected deterministically through a [`FaultPlan`]
+//! (script- or seed-driven), and the [`RetryPolicy`] backoff schedule is
+//! seed-driven with **no wall-clock randomness**, so every chaos scenario
+//! replays exactly in CI.
+//!
+//! # Determinism contract
+//!
+//! The supervised entry points inherit the [`ShardedIngest`] contract:
+//! chunk `c` goes to shard `c % N`, workers are sequential, and the
+//! reduce merges in shard order. Fault handling never changes the data a
+//! surviving shard sees — replay re-dispatches the exact buffered chunks
+//! — so a recovered run equals the fault-free run bit-for-bit, and a
+//! degraded run differs only by the quarantined shard's missing suffix,
+//! which the report accounts for point-by-point.
+
+use crate::builder::SummaryBuilder;
+use crate::exact::ExactHull;
+use crate::parallel::{ShardRun, ShardedIngest};
+use crate::snapshot::{open_checkpoint, seal_checkpoint, Snapshot, SnapshotError};
+use crate::summary::{HullSummary, Mergeable};
+use crate::window::{WindowConfig, WindowedRun, WindowedSummary};
+use geom::{ConvexPolygon, Point2};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Commands in flight to one worker (same backpressure depth as the
+/// unsupervised engine).
+const CMD_QUEUE_DEPTH: usize = 2;
+
+/// Default checkpoint interval in ingested points per shard.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 8192;
+
+/// SplitMix64: the workspace-standard seed mixer (no wall-clock
+/// randomness anywhere in the recovery path).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------
+
+/// Deterministic retry schedule for faulted shards: a maximum attempt
+/// count plus a seed-driven exponential backoff. Backoff is measured in
+/// abstract **ticks** recorded in the [`FaultEvent`] log — the supervisor
+/// never sleeps on it, so tests replay exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    seed: u64,
+    base_backoff: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            seed: 0x4853_3034, // "HS04"
+            base_backoff: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` restarts per shard before
+    /// quarantine, with the default seed and base backoff.
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// A policy that never restarts: the first fault quarantines the
+    /// shard (degraded completion, still never a panic).
+    pub fn none() -> Self {
+        RetryPolicy::new(0)
+    }
+
+    /// Replaces the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the base backoff (ticks before jitter; attempt `k` waits
+    /// `base << (k - 1)` plus deterministic jitter).
+    pub fn with_base_backoff(mut self, base: u64) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Maximum restarts per shard before quarantine.
+    #[must_use]
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The backoff for restart `attempt` (1-based) of `shard`, in
+    /// abstract ticks: exponential in the attempt with seed-driven jitter
+    /// that depends only on `(seed, shard, attempt)`.
+    #[must_use]
+    pub fn backoff(&self, shard: usize, attempt: u32) -> u64 {
+        let exp = self
+            .base_backoff
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX);
+        let jitter =
+            splitmix64(self.seed ^ (shard as u64) ^ u64::from(attempt)) % self.base_backoff.max(1);
+        exp.saturating_add(jitter)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------
+
+/// One scripted fault. Chunk indices are global stream chunk sequence
+/// numbers (chunk `c` is dispatched to shard `c % N`); a fault whose
+/// `shard` does not match `at_chunk % N` never fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// The worker panics upon receiving chunk `at_chunk`.
+    CrashShard {
+        /// Shard whose worker crashes.
+        shard: usize,
+        /// Global chunk sequence number that triggers the crash.
+        at_chunk: u64,
+    },
+    /// The worker sleeps for `hold` upon receiving chunk `at_chunk`
+    /// (then proceeds — a stall is only a *fault* if it outlives the
+    /// supervisor's [`stall deadline`](SupervisedIngest::with_stall_timeout)).
+    StallShard {
+        /// Shard whose worker stalls.
+        shard: usize,
+        /// Global chunk sequence number that triggers the stall.
+        at_chunk: u64,
+        /// How long the worker holds before continuing.
+        hold: Duration,
+    },
+    /// The `at_checkpoint`-th checkpoint (1-based, counted per shard
+    /// including re-taken checkpoints after restarts) has one byte
+    /// flipped before validation.
+    CorruptCheckpoint {
+        /// Shard whose checkpoint is corrupted.
+        shard: usize,
+        /// 1-based per-shard checkpoint ordinal to corrupt.
+        at_checkpoint: u32,
+        /// Byte offset to flip (taken modulo the envelope length).
+        byte: usize,
+    },
+    /// `len` non-finite points are spliced into chunk `at_chunk` before
+    /// dispatch, exercising the `try_*` detection + sanitize path.
+    NonFiniteBurst {
+        /// Shard receiving the poisoned chunk.
+        shard: usize,
+        /// Global chunk sequence number to poison.
+        at_chunk: u64,
+        /// Number of non-finite points spliced in.
+        len: usize,
+    },
+}
+
+/// A deterministic, script- or seed-driven set of faults to inject into
+/// one supervised run. Each fault fires at most once; the plan is
+/// evaluated entirely on the supervisor thread, so replayed chunks never
+/// re-trigger a consumed fault.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<(Fault, bool)>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no injected faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a [`Fault::CrashShard`].
+    pub fn crash(mut self, shard: usize, at_chunk: u64) -> Self {
+        self.faults
+            .push((Fault::CrashShard { shard, at_chunk }, false));
+        self
+    }
+
+    /// Adds a [`Fault::StallShard`].
+    pub fn stall(mut self, shard: usize, at_chunk: u64, hold: Duration) -> Self {
+        self.faults.push((
+            Fault::StallShard {
+                shard,
+                at_chunk,
+                hold,
+            },
+            false,
+        ));
+        self
+    }
+
+    /// Adds a [`Fault::CorruptCheckpoint`].
+    pub fn corrupt_checkpoint(mut self, shard: usize, at_checkpoint: u32, byte: usize) -> Self {
+        self.faults.push((
+            Fault::CorruptCheckpoint {
+                shard,
+                at_checkpoint,
+                byte,
+            },
+            false,
+        ));
+        self
+    }
+
+    /// Adds a [`Fault::NonFiniteBurst`].
+    pub fn non_finite_burst(mut self, shard: usize, at_chunk: u64, len: usize) -> Self {
+        self.faults.push((
+            Fault::NonFiniteBurst {
+                shard,
+                at_chunk,
+                len,
+            },
+            false,
+        ));
+        self
+    }
+
+    /// Adds an already-constructed fault.
+    pub fn push(&mut self, fault: Fault) {
+        self.faults.push((fault, false));
+    }
+
+    /// The scripted faults, in insertion order.
+    #[must_use]
+    pub fn scripted(&self) -> Vec<Fault> {
+        self.faults.iter().map(|(f, _)| *f).collect()
+    }
+
+    /// Number of scripted faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when no faults are scripted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// A small deterministic plan derived from `seed`: between one and
+    /// three faults aimed at the first `chunks` chunks of an `N = shards`
+    /// run. The same `(seed, shards, chunks)` always yields the same
+    /// plan, so seeded chaos runs replay exactly.
+    #[must_use]
+    pub fn seeded(seed: u64, shards: usize, chunks: u64) -> Self {
+        let shards = shards.max(1);
+        let chunks = chunks.max(1);
+        let mut plan = FaultPlan::new();
+        let count = 1 + (splitmix64(seed) % 3);
+        for i in 0..count {
+            let h = splitmix64(seed ^ (0xFA17 + i));
+            // Pick a chunk, derive its owning shard so the fault fires.
+            let at_chunk = splitmix64(h) % chunks;
+            let shard = (at_chunk % shards as u64) as usize;
+            let fault = match (h >> 32) % 4 {
+                0 => Fault::CrashShard { shard, at_chunk },
+                1 => Fault::StallShard {
+                    shard,
+                    at_chunk,
+                    hold: Duration::from_millis(1200),
+                },
+                2 => Fault::CorruptCheckpoint {
+                    shard,
+                    at_checkpoint: 1 + (h % 2) as u32,
+                    byte: (h % 97) as usize,
+                },
+                _ => Fault::NonFiniteBurst {
+                    shard,
+                    at_chunk,
+                    len: 1 + (h % 16) as usize,
+                },
+            };
+            plan.push(fault);
+        }
+        plan
+    }
+
+    /// Consumes a crash/stall fault aimed at `(shard, seq)`, if any.
+    fn take_worker_fault(&mut self, shard: usize, seq: u64) -> Option<Inject> {
+        for (fault, fired) in &mut self.faults {
+            if *fired {
+                continue;
+            }
+            match *fault {
+                Fault::CrashShard { shard: s, at_chunk } if s == shard && at_chunk == seq => {
+                    *fired = true;
+                    return Some(Inject::Crash);
+                }
+                Fault::StallShard {
+                    shard: s,
+                    at_chunk,
+                    hold,
+                } if s == shard && at_chunk == seq => {
+                    *fired = true;
+                    return Some(Inject::Stall(hold));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Consumes a corrupt-checkpoint fault aimed at `(shard, ordinal)`.
+    fn take_corrupt(&mut self, shard: usize, ordinal: u32) -> Option<usize> {
+        for (fault, fired) in &mut self.faults {
+            if *fired {
+                continue;
+            }
+            if let Fault::CorruptCheckpoint {
+                shard: s,
+                at_checkpoint,
+                byte,
+            } = *fault
+            {
+                if s == shard && at_checkpoint == ordinal {
+                    *fired = true;
+                    return Some(byte);
+                }
+            }
+        }
+        None
+    }
+
+    /// Consumes a non-finite-burst fault aimed at `(shard, seq)`.
+    fn take_burst(&mut self, shard: usize, seq: u64) -> Option<usize> {
+        for (fault, fired) in &mut self.faults {
+            if *fired {
+                continue;
+            }
+            if let Fault::NonFiniteBurst {
+                shard: s,
+                at_chunk,
+                len,
+            } = *fault
+            {
+                if s == shard && at_chunk == seq {
+                    *fired = true;
+                    return Some(len);
+                }
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report types
+// ---------------------------------------------------------------------
+
+/// What the supervisor detected about a shard.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DetectedFault {
+    /// The worker thread panicked (joined `Err`).
+    WorkerPanic,
+    /// The worker made no progress past the configured stall deadline.
+    Stall,
+    /// A checkpoint failed validation with a typed decode error.
+    CorruptCheckpoint(SnapshotError),
+    /// Non-finite points were detected (and dropped) by the worker's
+    /// validating ingest path.
+    NonFinite {
+        /// How many points were dropped from the offending chunk.
+        dropped: u64,
+    },
+}
+
+/// What the supervisor did about a detected fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecoveryAction {
+    /// The shard was restarted from its last valid checkpoint and the
+    /// buffered chunks replayed.
+    Restarted {
+        /// Tick (points ingested) of the checkpoint restored from; 0
+        /// when the shard restarted fresh.
+        from_tick: u64,
+        /// Chunks re-dispatched from the replay buffer.
+        replayed_chunks: u64,
+        /// Deterministic backoff ticks recorded for this attempt.
+        backoff: u64,
+    },
+    /// Non-finite points were dropped and the run continued (no restart;
+    /// sanitising is the contractual behaviour of the infallible paths).
+    Sanitized {
+        /// Points dropped.
+        dropped: u64,
+    },
+    /// Retries were exhausted; the shard was quarantined and its
+    /// unrecoverable points accounted as lost.
+    Quarantined {
+        /// Finite points lost at the moment of quarantine (buffered +
+        /// overflowed); later chunks routed to the shard add to the
+        /// per-shard total in [`ShardHealth::lost_points`].
+        lost_points: u64,
+    },
+}
+
+/// One entry in the fault log: what happened, where, and how the
+/// supervisor responded.
+#[derive(Clone, Debug)]
+pub struct FaultEvent {
+    /// Shard the fault was attributed to.
+    pub shard: usize,
+    /// Global chunk sequence number at which the fault was *detected*
+    /// (for stalls this can trail the injection point by the command
+    /// queue depth).
+    pub chunk: u64,
+    /// What was detected.
+    pub fault: DetectedFault,
+    /// What the supervisor did.
+    pub action: RecoveryAction,
+}
+
+/// A shard's final health classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// No restarts were needed (sanitised non-finite chunks do not
+    /// demote a shard).
+    Healthy,
+    /// The shard faulted but recovered via checkpoint replay; its final
+    /// state is bit-identical to a fault-free run.
+    Recovered,
+    /// Retries exhausted: the shard contributes only its last valid
+    /// checkpoint and its missing points are accounted in
+    /// [`ShardHealth::lost_points`].
+    Quarantined,
+}
+
+/// Per-shard health in the [`RecoveryReport`].
+#[derive(Clone, Debug)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: usize,
+    /// Final classification.
+    pub status: ShardStatus,
+    /// Finite points the shard's final (merged) state ingested.
+    pub points_seen: u64,
+    /// Finite points routed to this shard that no state ever ingested.
+    pub lost_points: u64,
+    /// Faults detected on this shard (including sanitised non-finite
+    /// chunks).
+    pub faults: u32,
+    /// Restarts performed.
+    pub retries: u32,
+    /// Chunks re-dispatched from the replay buffer across all restarts.
+    pub replayed_chunks: u64,
+    /// Checkpoints that passed validation.
+    pub checkpoints_valid: u32,
+    /// Checkpoints rejected by validation.
+    pub checkpoints_rejected: u32,
+}
+
+/// The supervisor's account of a whole run: per-shard health, the fault
+/// log, and the loss/replay/checkpoint tallies that make a degraded
+/// result auditable.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardHealth>,
+    /// Every detected fault, in detection order.
+    pub events: Vec<FaultEvent>,
+    /// Total finite points lost across all shards (0 on a fully
+    /// recovered run).
+    pub lost_points: u64,
+    /// Non-finite points dropped by worker-side sanitising (stream
+    /// poison, whether injected or genuine).
+    pub dropped_non_finite: u64,
+    /// Non-finite points spliced in by the [`FaultPlan`] (a subset of
+    /// the stream the clean run never contained; they are excluded from
+    /// all seen/lost accounting).
+    pub injected_non_finite: u64,
+    /// Chunks re-dispatched from replay buffers.
+    pub replayed_chunks: u64,
+    /// Points re-dispatched from replay buffers (replayed points are
+    /// re-ingested deterministically, never double-counted in
+    /// `points_seen`).
+    pub replayed_points: u64,
+    /// Checkpoints sealed and offered for validation.
+    pub checkpoints_taken: u64,
+    /// Checkpoints that failed validation.
+    pub checkpoints_rejected: u64,
+    /// When `true`, some lost points left no trace (evicted past the
+    /// replay bound before being lost), so no finite widening of the
+    /// error bound exists.
+    lost_unbounded: bool,
+    /// Exact hull of every lost point the supervisor still held, for
+    /// honest error-bound widening.
+    lost_hull: ExactHull,
+}
+
+impl RecoveryReport {
+    /// `true` when the run lost points or quarantined a shard — the
+    /// merged hull then under-covers the stream and
+    /// [`SupervisedRun::error_bound`] widens (or withdraws) accordingly.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.lost_points > 0
+            || self
+                .shards
+                .iter()
+                .any(|s| s.status == ShardStatus::Quarantined)
+    }
+
+    /// The convex hull of every lost point the supervisor still held
+    /// when the loss occurred (empty on non-degraded runs).
+    #[must_use]
+    pub fn lost_hull(&self) -> &ConvexPolygon {
+        self.lost_hull.hull_ref()
+    }
+
+    /// How far outside `merged` the lost points reach: the maximum
+    /// distance from any lost-hull vertex to `merged` (0 when every lost
+    /// point is covered anyway). `None` when some lost points left no
+    /// geometric trace, so no finite widening exists.
+    #[must_use]
+    pub fn lost_excess(&self, merged: &ConvexPolygon) -> Option<f64> {
+        if self.lost_unbounded {
+            return None;
+        }
+        let mut worst = 0.0_f64;
+        for &v in self.lost_hull.hull_ref().vertices() {
+            let d = merged.distance_to_point(v);
+            if d > worst {
+                worst = d;
+            }
+        }
+        Some(worst)
+    }
+
+    /// Total restarts across all shards.
+    #[must_use]
+    pub fn total_retries(&self) -> u32 {
+        self.shards.iter().map(|s| s.retries).sum()
+    }
+}
+
+/// The result of [`SupervisedIngest::run_stream`]: the ordinary merged
+/// [`ShardRun`] plus the supervisor's [`RecoveryReport`].
+#[derive(Debug)]
+#[must_use = "dropping a supervised run discards both the summary and the recovery accounting"]
+pub struct SupervisedRun {
+    /// The merged result. On a fully recovered run this is bit-identical
+    /// to the fault-free [`ShardedIngest::run_stream`] result.
+    pub run: ShardRun,
+    /// What happened along the way.
+    pub report: RecoveryReport,
+}
+
+impl SupervisedRun {
+    /// `true` when points were lost (see [`RecoveryReport::is_degraded`]).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.report.is_degraded()
+    }
+
+    /// The composed error guarantee of the merged hull against the
+    /// **full** input stream: per-shard bound sum + collector bound,
+    /// widened by [`RecoveryReport::lost_excess`] when points were lost.
+    /// `None` when any component cannot report a bound (including lost
+    /// points with no geometric trace).
+    #[must_use]
+    pub fn error_bound(&self) -> Option<f64> {
+        let composed = self.run.shard_bound_sum()? + self.run.summary.error_bound()?;
+        if self.report.lost_points == 0 {
+            return Some(composed);
+        }
+        let excess = self.report.lost_excess(self.run.summary.hull_ref())?;
+        Some(composed + excess)
+    }
+}
+
+/// The result of [`SupervisedIngest::run_stream_windowed`]: the merged
+/// [`WindowedRun`] plus the supervisor's [`RecoveryReport`]. Windowed
+/// recovery replays pre-stamped `(point, tick)` pairs, so the shared
+/// global tick clock — and therefore `LastN` window semantics — survives
+/// a restart exactly.
+#[derive(Debug)]
+#[must_use = "dropping a supervised windowed run discards both the window state and the recovery accounting"]
+pub struct SupervisedWindowedRun {
+    /// The merged windowed result.
+    pub run: WindowedRun,
+    /// What happened along the way.
+    pub report: RecoveryReport,
+}
+
+impl SupervisedWindowedRun {
+    /// `true` when points were lost (see [`RecoveryReport::is_degraded`]).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.report.is_degraded()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public supervisor configuration
+// ---------------------------------------------------------------------
+
+/// Fault-tolerant wrapper around [`ShardedIngest`]'s streaming entry
+/// points: checkpoint, detect, recover, degrade — never panic.
+///
+/// ```
+/// use adaptive_hull::recovery::{FaultPlan, RetryPolicy, SupervisedIngest};
+/// use adaptive_hull::parallel::ShardedIngest;
+/// use adaptive_hull::{SummaryBuilder, SummaryKind};
+/// use geom::Point2;
+///
+/// let pts: Vec<Point2> = (0..10_000)
+///     .map(|i| {
+///         let t = i as f64 * 0.01;
+///         Point2::new(t.cos() * 3.0, t.sin() * 2.0)
+///     })
+///     .collect();
+/// let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 4);
+/// let supervised = SupervisedIngest::new(engine)
+///     .with_checkpoint_interval(1024)
+///     .with_fault_plan(FaultPlan::new().crash(1, 5))
+///     .with_retry_policy(RetryPolicy::new(2));
+/// let run = supervised.run_stream(pts.iter().copied());
+/// assert!(!run.is_degraded());
+/// // Bit-identical to the fault-free run despite the injected crash:
+/// let clean = engine.run_stream(pts.iter().copied());
+/// assert_eq!(
+///     run.run.summary.hull_ref().vertices(),
+///     clean.summary.hull_ref().vertices()
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct SupervisedIngest {
+    engine: ShardedIngest,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    checkpoint_interval: u64,
+    stall_timeout: Option<Duration>,
+    max_replay_chunks: usize,
+}
+
+impl SupervisedIngest {
+    /// Supervises `engine` with the default retry policy, the default
+    /// checkpoint interval, no fault plan, and no stall deadline.
+    pub fn new(engine: ShardedIngest) -> Self {
+        SupervisedIngest {
+            engine,
+            policy: RetryPolicy::default(),
+            plan: FaultPlan::new(),
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            stall_timeout: None,
+            max_replay_chunks: 0, // 0 = derive from interval and chunk size
+        }
+    }
+
+    /// Replaces the retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a deterministic fault plan (chaos testing).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Sets the per-shard checkpoint interval in ingested points. Must
+    /// be at least 1. Smaller intervals shrink the replay window (faster
+    /// recovery, less loss exposure) at the cost of serialising more
+    /// often; see EXPERIMENTS.md for the measured trade-off.
+    pub fn with_checkpoint_interval(mut self, points: u64) -> Self {
+        assert!(points >= 1, "checkpoint interval must be at least 1");
+        self.checkpoint_interval = points;
+        self
+    }
+
+    /// Enables stall detection: a shard that accepts no work and
+    /// produces no event for `deadline` is treated as faulted. Off by
+    /// default (a slow shard then simply backpressures the reader, as in
+    /// the unsupervised engine).
+    pub fn with_stall_timeout(mut self, deadline: Duration) -> Self {
+        self.stall_timeout = Some(deadline);
+        self
+    }
+
+    /// Bounds the per-shard replay buffer to `chunks` chunks. Chunks the
+    /// worker has acknowledged may be evicted past this bound; evicted
+    /// points cannot be replayed after a later fault and are then
+    /// accounted as lost **with no geometric trace** (the error bound
+    /// becomes unknown). 0 (the default) derives a bound covering four
+    /// checkpoint intervals.
+    pub fn with_replay_bound(mut self, chunks: usize) -> Self {
+        self.max_replay_chunks = chunks;
+        self
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> ShardedIngest {
+        self.engine
+    }
+
+    /// The active retry policy.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The configured checkpoint interval in points.
+    #[must_use]
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_interval
+    }
+
+    /// The effective replay-buffer bound in chunks.
+    #[must_use]
+    pub fn replay_bound(&self) -> usize {
+        if self.max_replay_chunks > 0 {
+            return self.max_replay_chunks;
+        }
+        let chunk = self.engine.chunk() as u64;
+        let per_interval = self.checkpoint_interval.div_ceil(chunk).max(1);
+        (per_interval.saturating_mul(4).saturating_add(4)).min(usize::MAX as u64) as usize
+    }
+
+    /// Supervised counterpart of [`ShardedIngest::run_stream`]: same
+    /// chunking, same round-robin dispatch, same shard-order reduce —
+    /// plus checkpointing, fault detection, checkpoint-replay recovery,
+    /// and degraded completion under the configured [`RetryPolicy`].
+    pub fn run_stream<I>(&self, points: I) -> SupervisedRun
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        let factory = PlainFactory {
+            builder: self.engine.builder(),
+        };
+        let core = SupervisorCore::new(
+            factory,
+            &self.engine,
+            self.policy,
+            self.plan.clone(),
+            Some(self.checkpoint_interval),
+            self.stall_timeout,
+            self.replay_bound(),
+            Mode::Degrade,
+        );
+        let (states, report, start) = core.run(points);
+        SupervisedRun {
+            run: self.engine.reduce(states, start),
+            report,
+        }
+    }
+
+    /// Supervised counterpart of
+    /// [`ShardedIngest::run_stream_windowed`]: every point is stamped
+    /// with its global tick **before** dispatch, and the replay buffer
+    /// stores the stamped pairs — so recovery preserves the shared tick
+    /// clock and `LastN` windows stay exact across restarts.
+    pub fn run_stream_windowed<I>(&self, points: I, config: WindowConfig) -> SupervisedWindowedRun
+    where
+        I: IntoIterator<Item = Point2>,
+    {
+        let shard_config = crate::window::shard_window_config(config);
+        let factory = WindowFactory {
+            builder: self.engine.builder(),
+            config: shard_config,
+        };
+        let core = SupervisorCore::new(
+            factory,
+            &self.engine,
+            self.policy,
+            self.plan.clone(),
+            Some(self.checkpoint_interval),
+            self.stall_timeout,
+            self.replay_bound(),
+            Mode::Degrade,
+        );
+        let pairs = points.into_iter().enumerate().map(|(i, p)| (p, i as f64));
+        let (states, report, start) = core.run(pairs);
+        SupervisedWindowedRun {
+            run: WindowedRun::new(self.engine.builder(), states, start.elapsed()),
+            report,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal: crate entry points for the unsupervised streaming paths
+// ---------------------------------------------------------------------
+
+/// Runs `engine.run_stream` semantics through the supervisor machinery
+/// in abort mode: no checkpoints, no replay buffer, and any worker fault
+/// propagates (a worker panic is re-raised on the caller). This is what
+/// [`ShardedIngest::run_stream`] routes through, so the supervised and
+/// unsupervised paths share one dispatch loop.
+pub(crate) fn run_stream_propagating<I>(
+    engine: &ShardedIngest,
+    plan: FaultPlan,
+    points: I,
+) -> ShardRun
+where
+    I: IntoIterator<Item = Point2>,
+{
+    let factory = PlainFactory {
+        builder: engine.builder(),
+    };
+    let core = SupervisorCore::new(
+        factory,
+        engine,
+        RetryPolicy::none(),
+        plan,
+        None,
+        None,
+        0,
+        Mode::Abort,
+    );
+    let (states, _report, start) = core.run(points);
+    engine.reduce(states, start)
+}
+
+/// Windowed abort-mode twin of [`run_stream_propagating`], backing
+/// [`ShardedIngest::run_stream_windowed_at`].
+pub(crate) fn run_stream_windowed_at_propagating<I>(
+    engine: &ShardedIngest,
+    points: I,
+    config: WindowConfig,
+) -> WindowedRun
+where
+    I: IntoIterator<Item = (Point2, f64)>,
+{
+    let factory = WindowFactory {
+        builder: engine.builder(),
+        config,
+    };
+    let core = SupervisorCore::new(
+        factory,
+        engine,
+        RetryPolicy::none(),
+        FaultPlan::new(),
+        None,
+        None,
+        0,
+        Mode::Abort,
+    );
+    let (states, _report, start) = core.run(points);
+    WindowedRun::new(engine.builder(), states, start.elapsed())
+}
+
+// ---------------------------------------------------------------------
+// Internal: shard state factories
+// ---------------------------------------------------------------------
+
+/// Abstracts "one shard's summary state" so the supervisor drives plain
+/// and windowed runs through one code path. `ingest` must sanitise: it
+/// detects non-finite items via the validating path, drops exactly those
+/// items, ingests the rest, and reports how many were dropped —
+/// contractually identical to what the infallible insert paths do.
+trait ShardFactory: Clone + Send + 'static {
+    /// One shard's summary state.
+    type State: Send + 'static;
+    /// One stream element as dispatched to workers.
+    type Item: Send + Clone + 'static;
+
+    fn fresh(&self) -> Self::State;
+    fn restore(&self, snapshot: &[u8]) -> Result<Self::State, SnapshotError>;
+    fn ingest(state: &mut Self::State, items: &[Self::Item]) -> u64;
+    fn snapshot(state: &Self::State) -> Vec<u8>;
+    fn points_seen(state: &Self::State) -> u64;
+    fn point(item: &Self::Item) -> Point2;
+    fn poison() -> Self::Item;
+}
+
+/// Factory for plain (whole-stream) shards.
+#[derive(Clone)]
+struct PlainFactory {
+    builder: SummaryBuilder,
+}
+
+impl ShardFactory for PlainFactory {
+    type State = Box<dyn Mergeable + Send + Sync>;
+    type Item = Point2;
+
+    fn fresh(&self) -> Self::State {
+        self.builder.build_mergeable()
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Self::State, SnapshotError> {
+        SummaryBuilder::restore(snapshot)
+    }
+
+    fn ingest(state: &mut Self::State, items: &[Self::Item]) -> u64 {
+        match state.try_insert_batch(items) {
+            Ok(()) => 0,
+            Err(_) => {
+                let finite: Vec<Point2> = items.iter().copied().filter(|p| p.is_finite()).collect();
+                let dropped = (items.len() - finite.len()) as u64;
+                state.insert_batch(&finite);
+                dropped
+            }
+        }
+    }
+
+    fn snapshot(state: &Self::State) -> Vec<u8> {
+        state.encode_snapshot()
+    }
+
+    fn points_seen(state: &Self::State) -> u64 {
+        state.points_seen()
+    }
+
+    fn point(item: &Self::Item) -> Point2 {
+        *item
+    }
+
+    fn poison() -> Self::Item {
+        Point2::new(f64::NAN, f64::NAN)
+    }
+}
+
+/// Factory for windowed shards over pre-stamped `(point, tick)` pairs.
+#[derive(Clone)]
+struct WindowFactory {
+    builder: SummaryBuilder,
+    config: WindowConfig,
+}
+
+impl ShardFactory for WindowFactory {
+    type State = WindowedSummary;
+    type Item = (Point2, f64);
+
+    fn fresh(&self) -> Self::State {
+        self.builder.windowed(self.config)
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Self::State, SnapshotError> {
+        WindowedSummary::decode(snapshot)
+    }
+
+    fn ingest(state: &mut Self::State, items: &[Self::Item]) -> u64 {
+        if items.iter().all(|(p, _)| p.is_finite()) {
+            state.insert_batch_timestamped(items);
+            0
+        } else {
+            // Same outcome as the infallible path (which skips
+            // non-finite points without consuming ticks), but counted.
+            let finite: Vec<(Point2, f64)> = items
+                .iter()
+                .copied()
+                .filter(|(p, _)| p.is_finite())
+                .collect();
+            let dropped = (items.len() - finite.len()) as u64;
+            state.insert_batch_timestamped(&finite);
+            dropped
+        }
+    }
+
+    fn snapshot(state: &Self::State) -> Vec<u8> {
+        state.encode()
+    }
+
+    fn points_seen(state: &Self::State) -> u64 {
+        state.points_seen()
+    }
+
+    fn point(item: &Self::Item) -> Point2 {
+        item.0
+    }
+
+    fn poison() -> Self::Item {
+        (Point2::new(f64::NAN, f64::NAN), 0.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Internal: worker protocol
+// ---------------------------------------------------------------------
+
+/// A fault to act out on receipt of a command (scripted via
+/// [`FaultPlan`], consumed supervisor-side so replays never re-fire it).
+enum Inject {
+    Crash,
+    Stall(Duration),
+}
+
+/// One unit of work for a shard worker.
+struct Cmd<T> {
+    seq: u64,
+    items: Vec<T>,
+    checkpoint: bool,
+    inject: Option<Inject>,
+}
+
+/// Worker → supervisor feedback.
+enum Event<S> {
+    /// A command was fully ingested.
+    Ack {
+        seq: u64,
+        points_seen: u64,
+        dropped: u64,
+        /// Raw inner snapshot, when the command requested a checkpoint.
+        snapshot: Option<Vec<u8>>,
+    },
+    /// The command channel closed; here is the final state.
+    Final { state: S },
+}
+
+/// A live worker epoch. Dropping the whole link abandons the worker: its
+/// next send fails and it exits without touching shared state, which is
+/// what makes stalled epochs safely discardable.
+struct Link<F: ShardFactory> {
+    /// `None` once the finish phase closed the channel.
+    tx: Option<mpsc::SyncSender<Cmd<F::Item>>>,
+    rx: mpsc::Receiver<Event<F::State>>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+fn spawn_worker<F: ShardFactory>(state: F::State) -> Link<F> {
+    let (tx, cmd_rx) = mpsc::sync_channel::<Cmd<F::Item>>(CMD_QUEUE_DEPTH);
+    let (event_tx, rx) = mpsc::channel::<Event<F::State>>();
+    let handle = std::thread::spawn(move || worker_loop::<F>(state, cmd_rx, event_tx));
+    Link {
+        tx: Some(tx),
+        rx,
+        handle,
+    }
+}
+
+fn worker_loop<F: ShardFactory>(
+    mut state: F::State,
+    rx: mpsc::Receiver<Cmd<F::Item>>,
+    tx: mpsc::Sender<Event<F::State>>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd.inject {
+            Some(Inject::Crash) => {
+                panic!("injected fault: worker crash") // lint:allow(no-panic): deterministic fault injection — the chaos harness needs a genuine worker panic to exercise detection and recovery
+            }
+            Some(Inject::Stall(hold)) => std::thread::sleep(hold),
+            None => {}
+        }
+        let dropped = F::ingest(&mut state, &cmd.items);
+        let snapshot = cmd.checkpoint.then(|| F::snapshot(&state));
+        let ack = Event::Ack {
+            seq: cmd.seq,
+            points_seen: F::points_seen(&state),
+            dropped,
+            snapshot,
+        };
+        if tx.send(ack).is_err() {
+            return; // the supervisor abandoned this epoch
+        }
+    }
+    let _ = tx.send(Event::Final { state });
+}
+
+// ---------------------------------------------------------------------
+// Internal: the supervisor core
+// ---------------------------------------------------------------------
+
+/// What a fault does to the run.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Unsupervised semantics: no checkpoints, no replay buffer, a
+    /// worker fault propagates (panics are re-raised on the caller).
+    Abort,
+    /// Supervised semantics: restart-from-checkpoint with replay, then
+    /// quarantine + degraded completion when retries exhaust.
+    Degrade,
+}
+
+/// A fault as detected, before it is classified for the public report.
+enum Detected {
+    /// Worker thread dead; payload present when the join surfaced one.
+    Panic(Option<Box<dyn std::any::Any + Send>>),
+    Stall,
+    BadCheckpoint(SnapshotError),
+}
+
+/// A buffered (and possibly already dispatched) chunk awaiting
+/// checkpoint coverage.
+struct Buffered<T> {
+    seq: u64,
+    items: Vec<T>,
+    checkpoint: bool,
+}
+
+/// A validated checkpoint: the sealed envelope plus its tick.
+struct ValidCheckpoint {
+    tick: u64,
+    sealed: Vec<u8>,
+}
+
+/// Per-shard supervisor state.
+struct ShardCtx<F: ShardFactory> {
+    link: Option<Link<F>>,
+    /// Events received but not yet processed (gathered while blocked in
+    /// a send); cleared on fault so stale epochs never leak into the
+    /// accounting.
+    pending: VecDeque<Event<F::State>>,
+    finished: Option<F::State>,
+    quarantined: bool,
+    attempts: u32,
+    buffer: VecDeque<Buffered<F::Item>>,
+    /// `buffer[..sent]` has been dispatched to the current epoch.
+    sent: usize,
+    /// Highest chunk seq acknowledged by the current epoch.
+    acked: Option<u64>,
+    since_checkpoint: u64,
+    checkpoint: Option<ValidCheckpoint>,
+    checkpoint_ordinal: u32,
+    /// Finite points evicted past the replay bound since the last valid
+    /// checkpoint; they become unrecoverable if a fault hits first.
+    overflow_points: u64,
+    faults: u32,
+    lost: u64,
+    replayed: u64,
+    checkpoints_valid: u32,
+    checkpoints_rejected: u32,
+}
+
+impl<F: ShardFactory> ShardCtx<F> {
+    fn new() -> Self {
+        ShardCtx {
+            link: None,
+            pending: VecDeque::new(),
+            finished: None,
+            quarantined: false,
+            attempts: 0,
+            buffer: VecDeque::new(),
+            sent: 0,
+            acked: None,
+            since_checkpoint: 0,
+            checkpoint: None,
+            checkpoint_ordinal: 0,
+            overflow_points: 0,
+            faults: 0,
+            lost: 0,
+            replayed: 0,
+            checkpoints_valid: 0,
+            checkpoints_rejected: 0,
+        }
+    }
+}
+
+/// What one attempt to pull an event yielded (split out so borrow scopes
+/// stay local).
+enum Pulled<S> {
+    Ev(Event<S>),
+    Idle,
+    Dead,
+}
+
+/// The supervisor: owns the per-shard worker epochs, the replay buffers,
+/// the fault plan, and all accounting.
+struct SupervisorCore<'e, F: ShardFactory> {
+    factory: F,
+    engine: &'e ShardedIngest,
+    policy: RetryPolicy,
+    plan: FaultPlan,
+    interval: Option<u64>,
+    stall: Option<Duration>,
+    max_replay: usize,
+    mode: Mode,
+    shards: Vec<ShardCtx<F>>,
+    events: Vec<FaultEvent>,
+    lost_points: u64,
+    lost_hull: ExactHull,
+    lost_unbounded: bool,
+    dropped_non_finite: u64,
+    injected_non_finite: u64,
+    replayed_chunks: u64,
+    replayed_points: u64,
+    checkpoints_taken: u64,
+    checkpoints_rejected: u64,
+}
+
+impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the config struct
+    fn new(
+        factory: F,
+        engine: &'e ShardedIngest,
+        policy: RetryPolicy,
+        plan: FaultPlan,
+        interval: Option<u64>,
+        stall: Option<Duration>,
+        max_replay: usize,
+        mode: Mode,
+    ) -> Self {
+        SupervisorCore {
+            factory,
+            engine,
+            policy,
+            plan,
+            interval,
+            stall,
+            max_replay,
+            mode,
+            shards: (0..engine.shards()).map(|_| ShardCtx::new()).collect(),
+            events: Vec::new(),
+            lost_points: 0,
+            lost_hull: ExactHull::new(),
+            lost_unbounded: false,
+            dropped_non_finite: 0,
+            injected_non_finite: 0,
+            replayed_chunks: 0,
+            replayed_points: 0,
+            checkpoints_taken: 0,
+            checkpoints_rejected: 0,
+        }
+    }
+
+    /// Drives the whole run: chunk, dispatch, recover, finish, report.
+    fn run<I>(mut self, items: I) -> (Vec<F::State>, RecoveryReport, Instant)
+    where
+        I: IntoIterator<Item = F::Item>,
+    {
+        let start = Instant::now();
+        let chunk_size = self.engine.chunk();
+        let shard_count = self.engine.shards();
+        let mut buf: Vec<F::Item> = Vec::with_capacity(chunk_size);
+        let mut seq = 0_u64;
+        for item in items {
+            buf.push(item);
+            if buf.len() == chunk_size {
+                let full = std::mem::replace(&mut buf, Vec::with_capacity(chunk_size));
+                self.submit(seq, full);
+                seq += 1;
+            }
+        }
+        if !buf.is_empty() {
+            self.submit(seq, buf);
+        }
+        let mut states = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            states.push(self.finish_shard(shard));
+        }
+        let report = self.into_report(&states);
+        (states, report, start)
+    }
+
+    /// Routes one chunk: splice scripted poison, account quarantined
+    /// shards, then dispatch (directly in abort mode, via the replay
+    /// buffer in degrade mode).
+    fn submit(&mut self, seq: u64, mut items: Vec<F::Item>) {
+        let shard = (seq % self.engine.shards() as u64) as usize;
+        if let Some(len) = self.plan.take_burst(shard, seq) {
+            for _ in 0..len {
+                items.push(F::poison());
+            }
+            self.injected_non_finite += len as u64;
+        }
+        if self.shards[shard].quarantined {
+            self.account_lost(shard, &items);
+            return;
+        }
+        match self.mode {
+            Mode::Abort => {
+                if let Err((fseq, d)) = self.drain_ready_events(shard) {
+                    self.handle_fault(shard, fseq, d);
+                }
+                self.ensure_live(shard);
+                let inject = self.plan.take_worker_fault(shard, seq);
+                let cmd = Cmd {
+                    seq,
+                    items,
+                    checkpoint: false,
+                    inject,
+                };
+                if let Err(d) = self.send_cmd(shard, cmd) {
+                    self.handle_fault(shard, seq, d);
+                }
+            }
+            Mode::Degrade => {
+                let checkpoint = self.tick_checkpoint(shard, items.len());
+                self.shards[shard].buffer.push_back(Buffered {
+                    seq,
+                    items,
+                    checkpoint,
+                });
+                self.pump(shard);
+                self.enforce_replay_bound(shard);
+            }
+        }
+    }
+
+    /// Advances the checkpoint clock for `len` more items; `true` when
+    /// this chunk's ack must carry a checkpoint. The decision is made
+    /// once at buffering time (and stored), so replays re-take the same
+    /// checkpoints at the same boundaries.
+    fn tick_checkpoint(&mut self, shard: usize, len: usize) -> bool {
+        let Some(interval) = self.interval else {
+            return false;
+        };
+        let ctx = &mut self.shards[shard];
+        ctx.since_checkpoint += len as u64;
+        if ctx.since_checkpoint >= interval {
+            ctx.since_checkpoint = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dispatches every undelivered buffered chunk to the shard's live
+    /// epoch, processing feedback (and faults) as it goes. Returns once
+    /// the buffer is fully in flight or the shard is quarantined.
+    fn pump(&mut self, shard: usize) {
+        loop {
+            if let Err((fseq, d)) = self.drain_ready_events(shard) {
+                self.handle_fault(shard, fseq, d);
+                continue;
+            }
+            {
+                let ctx = &self.shards[shard];
+                if ctx.quarantined || ctx.sent >= ctx.buffer.len() {
+                    return;
+                }
+            }
+            self.ensure_live(shard);
+            let (seq, items, checkpoint) = {
+                let ctx = &self.shards[shard];
+                let b = &ctx.buffer[ctx.sent];
+                (b.seq, b.items.clone(), b.checkpoint)
+            };
+            let inject = self.plan.take_worker_fault(shard, seq);
+            let cmd = Cmd {
+                seq,
+                items,
+                checkpoint,
+                inject,
+            };
+            match self.send_cmd(shard, cmd) {
+                Ok(()) => self.shards[shard].sent += 1,
+                Err(d) => self.handle_fault(shard, seq, d),
+            }
+        }
+    }
+
+    /// Evicts acknowledged chunks past the replay bound (soft bound:
+    /// unacknowledged chunks are never evicted — dropping one would lose
+    /// data even on a fault-free run).
+    fn enforce_replay_bound(&mut self, shard: usize) {
+        if self.max_replay == 0 {
+            return;
+        }
+        loop {
+            let ctx = &mut self.shards[shard];
+            if ctx.buffer.len() <= self.max_replay {
+                return;
+            }
+            let evictable = match (ctx.buffer.front(), ctx.acked) {
+                (Some(front), Some(acked)) => front.seq <= acked,
+                _ => false,
+            };
+            if !evictable {
+                return;
+            }
+            if let Some(b) = ctx.buffer.pop_front() {
+                ctx.sent = ctx.sent.saturating_sub(1);
+                let finite = b.items.iter().filter(|i| F::point(i).is_finite()).count();
+                ctx.overflow_points += finite as u64;
+            }
+        }
+    }
+
+    /// Processes every already-available event for `shard` (never
+    /// blocks). A checkpoint that fails validation surfaces as the
+    /// returned fault.
+    fn drain_ready_events(&mut self, shard: usize) -> Result<(), (u64, Detected)> {
+        loop {
+            let pulled = {
+                let ctx = &mut self.shards[shard];
+                if let Some(ev) = ctx.pending.pop_front() {
+                    Pulled::Ev(ev)
+                } else {
+                    match ctx.link.as_ref() {
+                        None => Pulled::Idle,
+                        Some(link) => match link.rx.try_recv() {
+                            Ok(ev) => Pulled::Ev(ev),
+                            Err(mpsc::TryRecvError::Empty) => Pulled::Idle,
+                            Err(mpsc::TryRecvError::Disconnected) => {
+                                if ctx.finished.is_some() {
+                                    Pulled::Idle
+                                } else {
+                                    Pulled::Dead
+                                }
+                            }
+                        },
+                    }
+                }
+            };
+            match pulled {
+                Pulled::Ev(ev) => self.process_event(shard, ev)?,
+                Pulled::Idle => return Ok(()),
+                Pulled::Dead => {
+                    let seq = self.next_unacked_seq(shard);
+                    let detected = self.take_dead(shard);
+                    return Err((seq, detected));
+                }
+            }
+        }
+    }
+
+    /// Best-effort chunk attribution for faults detected outside a
+    /// specific send: the first chunk the dead epoch never confirmed.
+    fn next_unacked_seq(&self, shard: usize) -> u64 {
+        let ctx = &self.shards[shard];
+        match ctx.acked {
+            Some(a) => a + 1,
+            None => ctx.buffer.front().map_or(0, |b| b.seq),
+        }
+    }
+
+    /// Reaps a dead worker epoch, capturing its panic payload.
+    fn take_dead(&mut self, shard: usize) -> Detected {
+        match self.shards[shard].link.take() {
+            Some(link) => Detected::Panic(link.handle.join().err()),
+            None => Detected::Panic(None),
+        }
+    }
+
+    /// Applies one worker event to the accounting. A rejected checkpoint
+    /// is returned as a fault for the caller to handle.
+    fn process_event(&mut self, shard: usize, ev: Event<F::State>) -> Result<(), (u64, Detected)> {
+        match ev {
+            Event::Final { state } => {
+                self.shards[shard].finished = Some(state);
+                Ok(())
+            }
+            Event::Ack {
+                seq,
+                points_seen,
+                dropped,
+                snapshot,
+            } => {
+                self.shards[shard].acked = Some(seq);
+                if dropped > 0 {
+                    self.dropped_non_finite += dropped;
+                    self.shards[shard].faults += 1;
+                    self.events.push(FaultEvent {
+                        shard,
+                        chunk: seq,
+                        fault: DetectedFault::NonFinite { dropped },
+                        action: RecoveryAction::Sanitized { dropped },
+                    });
+                }
+                match snapshot {
+                    Some(inner) => self.accept_checkpoint(shard, seq, points_seen, &inner),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// Seals, (optionally) corrupts per the plan, and validates one
+    /// checkpoint. Valid: store it and shrink the replay buffer to the
+    /// uncovered suffix. Invalid: surface a fault.
+    fn accept_checkpoint(
+        &mut self,
+        shard: usize,
+        seq: u64,
+        tick: u64,
+        inner: &[u8],
+    ) -> Result<(), (u64, Detected)> {
+        self.checkpoints_taken += 1;
+        let ordinal = {
+            let ctx = &mut self.shards[shard];
+            ctx.checkpoint_ordinal += 1;
+            ctx.checkpoint_ordinal
+        };
+        let mut sealed = seal_checkpoint(shard as u64, tick, inner);
+        if let Some(byte) = self.plan.take_corrupt(shard, ordinal) {
+            let idx = byte % sealed.len().max(1);
+            if let Some(b) = sealed.get_mut(idx) {
+                *b ^= 0xff;
+            }
+        }
+        match self.validate_checkpoint(shard, &sealed) {
+            Ok(()) => {
+                let ctx = &mut self.shards[shard];
+                ctx.checkpoints_valid += 1;
+                ctx.checkpoint = Some(ValidCheckpoint { tick, sealed });
+                while ctx.buffer.front().is_some_and(|b| b.seq <= seq) {
+                    ctx.buffer.pop_front();
+                    ctx.sent = ctx.sent.saturating_sub(1);
+                }
+                ctx.overflow_points = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.checkpoints_rejected += 1;
+                self.shards[shard].checkpoints_rejected += 1;
+                Err((seq, Detected::BadCheckpoint(e)))
+            }
+        }
+    }
+
+    /// Full validation: envelope decode, shard-id match, and a complete
+    /// restore of the inner snapshot. A checkpoint is only trusted once
+    /// it has actually produced a state.
+    fn validate_checkpoint(&self, shard: usize, sealed: &[u8]) -> Result<(), SnapshotError> {
+        let env = open_checkpoint(sealed)?;
+        if env.shard != shard as u64 {
+            return Err(SnapshotError::Malformed("checkpoint shard id mismatch"));
+        }
+        let _restored = self.factory.restore(env.snapshot)?;
+        Ok(())
+    }
+
+    /// Restores a validated checkpoint into a fresh shard state.
+    fn restore_checkpoint(&self, cp: &ValidCheckpoint) -> Result<F::State, SnapshotError> {
+        let env = open_checkpoint(&cp.sealed)?;
+        self.factory.restore(env.snapshot)
+    }
+
+    /// Spawns a worker epoch for `shard` if none is live: from the last
+    /// valid checkpoint when one exists, fresh otherwise.
+    fn ensure_live(&mut self, shard: usize) {
+        if self.shards[shard].link.is_some() || self.shards[shard].quarantined {
+            return;
+        }
+        let state = match self.shards[shard].checkpoint.take() {
+            Some(cp) => match self.restore_checkpoint(&cp) {
+                Ok(state) => {
+                    self.shards[shard].checkpoint = Some(cp);
+                    state
+                }
+                Err(_) => {
+                    // Unreachable in practice (validation restored it
+                    // once already); degrade honestly if it happens: the
+                    // checkpointed prefix is lost with no geometry.
+                    self.lost_points += cp.tick;
+                    self.lost_unbounded = true;
+                    self.shards[shard].lost += cp.tick;
+                    self.factory.fresh()
+                }
+            },
+            None => self.factory.fresh(),
+        };
+        self.shards[shard].link = Some(spawn_worker::<F>(state));
+    }
+
+    /// Sends one command, detecting death (disconnect) and — when a
+    /// stall deadline is configured — stalls (bounded retry on a full
+    /// queue). Events arriving while blocked are queued for processing.
+    fn send_cmd(&mut self, shard: usize, cmd: Cmd<F::Item>) -> Result<(), Detected> {
+        let Some(link) = self.shards[shard].link.take() else {
+            return Err(Detected::Panic(None));
+        };
+        let Some(tx) = link.tx.clone() else {
+            // The finish phase closed this epoch's channel; a live send
+            // afterwards means the epoch must be replaced.
+            drop(link);
+            return Err(Detected::Panic(None));
+        };
+        let mut gathered: Vec<Event<F::State>> = Vec::new();
+        let verdict: Result<(), Detected> = match self.stall {
+            None => tx.send(cmd).map_err(|_| Detected::Panic(None)),
+            Some(deadline) => {
+                let begun = Instant::now();
+                let mut pending_cmd = cmd;
+                loop {
+                    match tx.try_send(pending_cmd) {
+                        Ok(()) => break Ok(()),
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            break Err(Detected::Panic(None))
+                        }
+                        Err(mpsc::TrySendError::Full(c)) => {
+                            pending_cmd = c;
+                            let elapsed = begun.elapsed();
+                            if elapsed >= deadline {
+                                break Err(Detected::Stall);
+                            }
+                            let wait = (deadline - elapsed).min(Duration::from_millis(5));
+                            match link.rx.recv_timeout(wait) {
+                                Ok(ev) => gathered.push(ev),
+                                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                    break Err(Detected::Panic(None))
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        self.shards[shard].pending.extend(gathered);
+        match verdict {
+            Ok(()) => {
+                self.shards[shard].link = Some(link);
+                Ok(())
+            }
+            Err(Detected::Panic(_)) => Err(Detected::Panic(link.handle.join().err())),
+            Err(d) => {
+                drop(link); // abandon the stalled epoch, never join it
+                Err(d)
+            }
+        }
+    }
+
+    /// Central fault response: abandon the epoch, then abort, restart,
+    /// or quarantine according to mode and policy.
+    fn handle_fault(&mut self, shard: usize, seq: u64, detected: Detected) {
+        {
+            let ctx = &mut self.shards[shard];
+            ctx.link = None; // abandon whatever epoch produced the fault
+            ctx.pending.clear(); // stale events must never reach the books
+            ctx.finished = None;
+            ctx.acked = None;
+            ctx.faults += 1;
+        }
+        if self.mode == Mode::Abort {
+            match detected {
+                Detected::Panic(Some(payload)) => std::panic::resume_unwind(payload),
+                Detected::Panic(None) => {
+                    panic!("shard worker panicked") // lint:allow(no-panic): re-raising a worker panic on the coordinator is the unsupervised contract (see the characterization test)
+                }
+                Detected::Stall | Detected::BadCheckpoint(_) => {
+                    panic!("shard worker fault in unsupervised mode") // lint:allow(no-panic): unreachable — unsupervised runs configure no stall deadline and take no checkpoints
+                }
+            }
+        }
+        let fault = match &detected {
+            Detected::Panic(_) => DetectedFault::WorkerPanic,
+            Detected::Stall => DetectedFault::Stall,
+            Detected::BadCheckpoint(e) => DetectedFault::CorruptCheckpoint(e.clone()),
+        };
+        // Points evicted past the replay bound are unrecoverable the
+        // moment a fault needs them: account them as lost, traceless.
+        let overflow = std::mem::take(&mut self.shards[shard].overflow_points);
+        if overflow > 0 {
+            self.lost_points += overflow;
+            self.shards[shard].lost += overflow;
+            self.lost_unbounded = true;
+        }
+        if self.shards[shard].attempts >= self.policy.max_attempts() {
+            self.quarantine(shard, seq, fault);
+        } else {
+            self.restart(shard, seq, fault);
+        }
+    }
+
+    /// Schedules a restart: the next `ensure_live` restores the last
+    /// valid checkpoint and `pump` replays the uncovered buffer.
+    fn restart(&mut self, shard: usize, seq: u64, fault: DetectedFault) {
+        let (from_tick, replay_chunks, replay_points) = {
+            let ctx = &mut self.shards[shard];
+            ctx.attempts += 1;
+            let from_tick = ctx.checkpoint.as_ref().map_or(0, |c| c.tick);
+            let chunks = ctx.sent as u64;
+            let points: u64 = ctx
+                .buffer
+                .iter()
+                .take(ctx.sent)
+                .map(|b| b.items.len() as u64)
+                .sum();
+            ctx.sent = 0;
+            ctx.replayed += chunks;
+            (from_tick, chunks, points)
+        };
+        self.replayed_chunks += replay_chunks;
+        self.replayed_points += replay_points;
+        let backoff = self.policy.backoff(shard, self.shards[shard].attempts);
+        self.events.push(FaultEvent {
+            shard,
+            chunk: seq,
+            fault,
+            action: RecoveryAction::Restarted {
+                from_tick,
+                replayed_chunks: replay_chunks,
+                backoff,
+            },
+        });
+    }
+
+    /// Retries exhausted: the shard keeps only its last valid checkpoint
+    /// and everything since is accounted as lost.
+    fn quarantine(&mut self, shard: usize, seq: u64, fault: DetectedFault) {
+        let buffered: Vec<Vec<F::Item>> = {
+            let ctx = &mut self.shards[shard];
+            ctx.quarantined = true;
+            ctx.sent = 0;
+            ctx.buffer.drain(..).map(|b| b.items).collect()
+        };
+        let before = self.lost_points;
+        for items in &buffered {
+            self.account_lost(shard, items);
+        }
+        let lost_now = self.lost_points - before;
+        self.events.push(FaultEvent {
+            shard,
+            chunk: seq,
+            fault,
+            action: RecoveryAction::Quarantined {
+                lost_points: lost_now,
+            },
+        });
+    }
+
+    /// Counts (and, where possible, geometrically records) finite points
+    /// that no shard state will ever ingest.
+    fn account_lost(&mut self, shard: usize, items: &[F::Item]) {
+        let mut finite = 0_u64;
+        for item in items {
+            let p = F::point(item);
+            if p.is_finite() {
+                finite += 1;
+                self.lost_hull.insert(p);
+            }
+        }
+        self.lost_points += finite;
+        self.shards[shard].lost += finite;
+    }
+
+    /// Waits for the next event during the finish phase (blocking, with
+    /// the stall deadline when configured).
+    fn wait_event(&mut self, shard: usize) -> Result<Option<Event<F::State>>, (u64, Detected)> {
+        if let Some(ev) = self.shards[shard].pending.pop_front() {
+            return Ok(Some(ev));
+        }
+        enum Waited<S> {
+            Ev(Event<S>),
+            NoLink,
+            Dead,
+            Stalled,
+        }
+        let waited = {
+            let ctx = &self.shards[shard];
+            match ctx.link.as_ref() {
+                None => Waited::NoLink,
+                Some(link) => match self.stall {
+                    None => match link.rx.recv() {
+                        Ok(ev) => Waited::Ev(ev),
+                        Err(_) => {
+                            if ctx.finished.is_some() {
+                                Waited::NoLink
+                            } else {
+                                Waited::Dead
+                            }
+                        }
+                    },
+                    Some(deadline) => match link.rx.recv_timeout(deadline) {
+                        Ok(ev) => Waited::Ev(ev),
+                        Err(mpsc::RecvTimeoutError::Timeout) => Waited::Stalled,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            if ctx.finished.is_some() {
+                                Waited::NoLink
+                            } else {
+                                Waited::Dead
+                            }
+                        }
+                    },
+                },
+            }
+        };
+        match waited {
+            Waited::Ev(ev) => Ok(Some(ev)),
+            Waited::NoLink => Ok(None),
+            Waited::Dead => {
+                let seq = self.next_unacked_seq(shard);
+                let detected = self.take_dead(shard);
+                Err((seq, detected))
+            }
+            Waited::Stalled => {
+                let seq = self.next_unacked_seq(shard);
+                self.shards[shard].link = None; // abandon, never join
+                Err((seq, Detected::Stall))
+            }
+        }
+    }
+
+    /// Completes one shard: replay anything outstanding, close its
+    /// channel, wait for the final state — recovering from faults that
+    /// surface on the way out — and return the state that joins the
+    /// merge.
+    fn finish_shard(&mut self, shard: usize) -> F::State {
+        loop {
+            self.pump(shard);
+            if self.shards[shard].quarantined {
+                return self.quarantined_state(shard);
+            }
+            if self.shards[shard].finished.is_some() {
+                if let Some(link) = self.shards[shard].link.take() {
+                    let _ = link.handle.join();
+                }
+                if let Some(state) = self.shards[shard].finished.take() {
+                    return state;
+                }
+            }
+            self.ensure_live(shard);
+            if let Some(link) = self.shards[shard].link.as_mut() {
+                link.tx = None; // close: the worker drains and reports Final
+            }
+            match self.wait_event(shard) {
+                Ok(Some(ev)) => {
+                    if let Err((fseq, d)) = self.process_event(shard, ev) {
+                        self.handle_fault(shard, fseq, d);
+                    }
+                }
+                Ok(None) => {}
+                Err((fseq, d)) => self.handle_fault(shard, fseq, d),
+            }
+        }
+    }
+
+    /// The state a quarantined shard contributes to the merge: its last
+    /// valid checkpoint (already accounted), or an empty summary.
+    fn quarantined_state(&mut self, shard: usize) -> F::State {
+        match self.shards[shard].checkpoint.take() {
+            Some(cp) => match self.restore_checkpoint(&cp) {
+                Ok(state) => state,
+                Err(_) => {
+                    // Unreachable in practice; degrade honestly.
+                    self.lost_points += cp.tick;
+                    self.lost_unbounded = true;
+                    self.shards[shard].lost += cp.tick;
+                    self.factory.fresh()
+                }
+            },
+            None => self.factory.fresh(),
+        }
+    }
+
+    /// Folds the accounting into the public report.
+    fn into_report(self, states: &[F::State]) -> RecoveryReport {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, ctx)| ShardHealth {
+                shard: i,
+                status: if ctx.quarantined {
+                    ShardStatus::Quarantined
+                } else if ctx.attempts > 0 {
+                    ShardStatus::Recovered
+                } else {
+                    ShardStatus::Healthy
+                },
+                points_seen: states.get(i).map_or(0, |s| F::points_seen(s)),
+                lost_points: ctx.lost,
+                faults: ctx.faults,
+                retries: ctx.attempts,
+                replayed_chunks: ctx.replayed,
+                checkpoints_valid: ctx.checkpoints_valid,
+                checkpoints_rejected: ctx.checkpoints_rejected,
+            })
+            .collect();
+        RecoveryReport {
+            shards,
+            events: self.events,
+            lost_points: self.lost_points,
+            dropped_non_finite: self.dropped_non_finite,
+            injected_non_finite: self.injected_non_finite,
+            replayed_chunks: self.replayed_chunks,
+            replayed_points: self.replayed_points,
+            checkpoints_taken: self.checkpoints_taken,
+            checkpoints_rejected: self.checkpoints_rejected,
+            lost_unbounded: self.lost_unbounded,
+            lost_hull: self.lost_hull,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SummaryKind;
+
+    fn spiral(n: usize) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = 2.399963229728653 * i as f64;
+                let rad = 1.0 + 0.01 * i as f64;
+                Point2::new(rad * t.cos(), rad * t.sin())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_exponential() {
+        let policy = RetryPolicy::new(5).with_seed(42).with_base_backoff(8);
+        let a: Vec<u64> = (1..=5).map(|k| policy.backoff(3, k)).collect();
+        let b: Vec<u64> = (1..=5).map(|k| policy.backoff(3, k)).collect();
+        assert_eq!(a, b, "same (seed, shard, attempt) must repeat exactly");
+        // The exponential part dominates: attempt k+1 at least doubles
+        // the floor while jitter stays below one base unit.
+        for (k, w) in a.iter().enumerate() {
+            let floor = 8_u64 << k;
+            assert!(*w >= floor && *w < floor + 8, "attempt {}: {w}", k + 1);
+        }
+        // Different shards jitter differently (with overwhelming
+        // probability for this seed).
+        assert_ne!((1..=5).map(|k| policy.backoff(0, k)).collect::<Vec<_>>(), a);
+    }
+
+    #[test]
+    fn fault_plan_consumes_each_fault_once() {
+        let mut plan = FaultPlan::new()
+            .crash(1, 7)
+            .stall(0, 4, Duration::from_millis(50))
+            .corrupt_checkpoint(1, 2, 13)
+            .non_finite_burst(0, 2, 5);
+        assert_eq!(plan.len(), 4);
+        assert!(matches!(plan.take_worker_fault(1, 7), Some(Inject::Crash)));
+        assert!(plan.take_worker_fault(1, 7).is_none(), "consumed");
+        assert!(matches!(
+            plan.take_worker_fault(0, 4),
+            Some(Inject::Stall(_))
+        ));
+        assert!(plan.take_corrupt(1, 1).is_none(), "wrong ordinal");
+        assert_eq!(plan.take_corrupt(1, 2), Some(13));
+        assert!(plan.take_corrupt(1, 2).is_none(), "consumed");
+        assert_eq!(plan.take_burst(0, 2), Some(5));
+        assert!(plan.take_burst(0, 2).is_none(), "consumed");
+        // Mismatched coordinates never fire.
+        let mut miss = FaultPlan::new().crash(0, 3);
+        assert!(miss.take_worker_fault(1, 3).is_none());
+        assert!(miss.take_worker_fault(0, 2).is_none());
+    }
+
+    #[test]
+    fn seeded_plans_replay_exactly() {
+        for seed in [0_u64, 1, 0xdead_beef, u64::MAX] {
+            let a = FaultPlan::seeded(seed, 4, 100);
+            let b = FaultPlan::seeded(seed, 4, 100);
+            assert_eq!(a.scripted(), b.scripted(), "seed {seed}");
+            assert!(!a.is_empty() && a.len() <= 3, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: worker crash")]
+    fn unsupervised_stream_propagates_worker_panics() {
+        // Characterization: without a supervisor, a worker panic aborts
+        // the whole run (re-raised on the caller). The supervised path
+        // turns exactly this fault into checkpoint-replay recovery.
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 2).with_chunk(64);
+        let _ = run_stream_propagating(&engine, FaultPlan::new().crash(1, 1), spiral(1000));
+    }
+
+    #[test]
+    fn supervised_crash_recovers_bit_identical() {
+        let pts = spiral(4000);
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16), 3)
+            .with_chunk(128);
+        let clean = engine.run_stream(pts.iter().copied());
+        let supervised = SupervisedIngest::new(engine)
+            .with_checkpoint_interval(512)
+            .with_fault_plan(FaultPlan::new().crash(1, 10));
+        let run = supervised.run_stream(pts.iter().copied());
+        assert!(!run.is_degraded());
+        assert_eq!(run.report.total_retries(), 1);
+        assert_eq!(run.report.shards[1].status, ShardStatus::Recovered);
+        assert_eq!(
+            run.run.summary.hull_ref().vertices(),
+            clean.summary.hull_ref().vertices()
+        );
+        assert_eq!(run.run.summary.points_seen(), clean.summary.points_seen());
+        assert_eq!(run.run.summary.error_bound(), clean.summary.error_bound());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_with_exact_accounting() {
+        let pts = spiral(4000);
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 2).with_chunk(100);
+        // Crash shard 0 more times than the policy tolerates: every
+        // replay re-fires the *next* scripted crash.
+        let plan = FaultPlan::new().crash(0, 4).crash(0, 4).crash(0, 4);
+        let supervised = SupervisedIngest::new(engine)
+            .with_checkpoint_interval(200)
+            .with_retry_policy(RetryPolicy::new(2))
+            .with_fault_plan(plan);
+        let run = supervised.run_stream(pts.iter().copied());
+        assert!(run.is_degraded());
+        assert_eq!(run.report.shards[0].status, ShardStatus::Quarantined);
+        let seen: u64 = run.report.shards.iter().map(|s| s.points_seen).sum();
+        assert_eq!(
+            seen + run.report.lost_points,
+            pts.len() as u64,
+            "every stream point is either seen by a shard state or accounted lost"
+        );
+        assert!(run.report.lost_points > 0);
+    }
+}

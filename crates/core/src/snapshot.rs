@@ -70,6 +70,12 @@ pub const FORMAT_VERSION: u16 = 1;
 /// index, 0–7).
 pub const WINDOWED_TAG: u8 = 8;
 
+/// Kind tag for supervised-ingestion checkpoint envelopes: a summary (or
+/// windowed) snapshot wrapped with the shard id and tick it covers, so a
+/// recovering supervisor can verify *whose* state it is restoring and
+/// where on the shared clock to resume (see [`crate::recovery`]).
+pub const CHECKPOINT_TAG: u8 = 9;
+
 /// Why a snapshot failed to decode. Decoding never panics: every failure
 /// mode of untrusted bytes maps to one of these.
 #[derive(Clone, Debug, PartialEq)]
@@ -224,6 +230,8 @@ pub(crate) fn open(bytes: &[u8]) -> Result<(u8, &[u8]), SnapshotError> {
 fn tag_name(tag: u8) -> &'static str {
     if tag == WINDOWED_TAG {
         "windowed"
+    } else if tag == CHECKPOINT_TAG {
+        "checkpoint"
     } else {
         SummaryKind::ALL
             .get(tag as usize)
@@ -254,6 +262,61 @@ pub fn kind_tag(kind: SummaryKind) -> u8 {
         SummaryKind::AdaptiveFixedBudget => 6,
         SummaryKind::Cluster => 7,
     }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint envelopes (shard id + tick metadata around a snapshot)
+// ---------------------------------------------------------------------
+
+/// A validated checkpoint envelope: which shard it belongs to, the tick
+/// (cumulative points the shard had ingested — on windowed runs this is
+/// also the shard's position on the shared tick clock), and the inner
+/// snapshot bytes, themselves a complete sealed envelope readable by
+/// [`SummaryBuilder::restore`](crate::builder::SummaryBuilder::restore)
+/// or [`Snapshot::decode`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointEnvelope<'a> {
+    /// Shard the checkpointed state belongs to.
+    pub shard: u64,
+    /// Points the shard had ingested when the checkpoint was taken; a
+    /// restart resumes the shared clock from here.
+    pub tick: u64,
+    /// The wrapped snapshot (a sealed envelope in its own right).
+    pub snapshot: &'a [u8],
+}
+
+/// Seals `snapshot` (an already-sealed summary or windowed envelope) into
+/// a checkpoint envelope carrying the owning shard and its tick.
+pub fn seal_checkpoint(shard: u64, tick: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + 8 + snapshot.len());
+    put_u64(&mut payload, shard);
+    put_u64(&mut payload, tick);
+    put_bytes(&mut payload, snapshot);
+    seal(CHECKPOINT_TAG, &payload)
+}
+
+/// Validates a checkpoint envelope and returns its metadata plus the
+/// inner snapshot bytes. The inner snapshot is length-checked here but
+/// only fully validated by whoever decodes it — a recovering supervisor
+/// does both before trusting a checkpoint. Never panics.
+pub fn open_checkpoint(bytes: &[u8]) -> Result<CheckpointEnvelope<'_>, SnapshotError> {
+    let (tag, payload) = open(bytes)?;
+    if tag != CHECKPOINT_TAG {
+        return Err(SnapshotError::KindMismatch {
+            expected: "checkpoint",
+            found: tag_name(tag),
+        });
+    }
+    let mut r = Reader::new(payload);
+    let shard = r.u64()?;
+    let tick = r.u64()?;
+    let snapshot = r.bytes()?;
+    r.finish()?;
+    Ok(CheckpointEnvelope {
+        shard,
+        tick,
+        snapshot,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -416,7 +479,10 @@ pub(crate) fn decode_expecting<T>(
 ) -> Result<T, SnapshotError> {
     let (tag, payload) = open(bytes)?;
     if tag != expected_tag {
-        if tag != WINDOWED_TAG && SummaryKind::ALL.get(tag as usize).is_none() {
+        if tag != WINDOWED_TAG
+            && tag != CHECKPOINT_TAG
+            && SummaryKind::ALL.get(tag as usize).is_none()
+        {
             return Err(SnapshotError::UnknownKind(tag));
         }
         return Err(SnapshotError::KindMismatch {
@@ -477,10 +543,10 @@ pub(crate) fn restore_mergeable(
     bytes: &[u8],
 ) -> Result<Box<dyn Mergeable + Send + Sync>, SnapshotError> {
     let (tag, _) = open(bytes)?;
-    if tag == WINDOWED_TAG {
+    if tag == WINDOWED_TAG || tag == CHECKPOINT_TAG {
         return Err(SnapshotError::KindMismatch {
             expected: "a summary backend",
-            found: "windowed",
+            found: tag_name(tag),
         });
     }
     let kind = *SummaryKind::ALL
@@ -501,10 +567,10 @@ pub(crate) fn restore_mergeable(
 }
 
 /// The [`SummaryKind`] a snapshot envelope holds, without decoding the
-/// payload (`None` for a windowed snapshot).
+/// payload (`None` for a windowed or checkpoint envelope).
 pub fn peek_kind(bytes: &[u8]) -> Result<Option<SummaryKind>, SnapshotError> {
     let (tag, _) = open(bytes)?;
-    if tag == WINDOWED_TAG {
+    if tag == WINDOWED_TAG || tag == CHECKPOINT_TAG {
         return Ok(None);
     }
     SummaryKind::ALL
@@ -602,6 +668,42 @@ mod tests {
                 "tag must round-trip"
             );
         }
+    }
+
+    #[test]
+    fn checkpoint_envelope_round_trips_and_rejects_corruption() {
+        let inner = seal(5, b"adaptive-ish payload");
+        let sealed = seal_checkpoint(3, 4096, &inner);
+        let cp = open_checkpoint(&sealed).unwrap();
+        assert_eq!(cp.shard, 3);
+        assert_eq!(cp.tick, 4096);
+        assert_eq!(cp.snapshot, inner.as_slice());
+        // The inner envelope survives the round trip intact.
+        let (tag, payload) = open(cp.snapshot).unwrap();
+        assert_eq!(tag, 5);
+        assert_eq!(payload, b"adaptive-ish payload");
+        // Every single-byte corruption of the outer envelope is caught.
+        for byte in 0..sealed.len() {
+            let mut corrupt = sealed.clone();
+            corrupt[byte] ^= 0xff;
+            assert!(open_checkpoint(&corrupt).is_err(), "byte {byte}");
+        }
+        // A plain summary envelope is not a checkpoint, and vice versa.
+        assert_eq!(
+            open_checkpoint(&inner),
+            Err(SnapshotError::KindMismatch {
+                expected: "checkpoint",
+                found: "adaptive",
+            })
+        );
+        assert!(matches!(
+            restore_mergeable(&sealed),
+            Err(SnapshotError::KindMismatch {
+                found: "checkpoint",
+                ..
+            })
+        ));
+        assert_eq!(peek_kind(&sealed), Ok(None));
     }
 
     #[test]

@@ -116,6 +116,23 @@ impl WindowConfig {
     }
 }
 
+/// The per-shard window configuration of a sharded run on the global
+/// tick clock: a count window over distinct integer ticks is the
+/// half-open tick interval `(now - n, now]`, carried as a duration
+/// window with `-0.5` to exclude the boundary tick. Shared by
+/// [`ShardedIngest::run_stream_windowed`](crate::parallel::ShardedIngest::run_stream_windowed)
+/// and the supervised engine in [`crate::recovery`] so a recovered shard
+/// windows exactly like an uninterrupted one.
+pub(crate) fn shard_window_config(config: WindowConfig) -> WindowConfig {
+    match config.policy {
+        WindowPolicy::LastN(n) => WindowConfig {
+            policy: WindowPolicy::LastDur(n as f64 - 0.5),
+            ..config
+        },
+        WindowPolicy::LastDur(_) => config,
+    }
+}
+
 /// One closed span of the stream: an independent summary of `count`
 /// points whose timestamps lie in `[t_first, t_last]`.
 #[derive(Debug)]
@@ -879,6 +896,16 @@ impl WindowedRun {
             shards,
             elapsed,
         }
+    }
+
+    /// Reassembles a run from per-shard windowed summaries restored
+    /// elsewhere — e.g. [`Snapshot`](crate::snapshot::Snapshot)-decoded
+    /// shard checkpoints shipped across processes. Feed the summaries in
+    /// shard order and [`query_window`](WindowedRun::query_window) answers
+    /// bit-identically to the in-process run they were snapshotted from
+    /// (`elapsed` reports zero: no ingestion happened here).
+    pub fn from_shards(builder: SummaryBuilder, shards: Vec<WindowedSummary>) -> Self {
+        WindowedRun::new(builder, shards, std::time::Duration::ZERO)
     }
 
     /// The per-shard windowed summaries, in shard order.

@@ -46,6 +46,11 @@ impl Config {
                 // The sharded engine owns worker threads; a panic here
                 // poisons every shard of every stream.
                 "crates/core/src/parallel.rs".into(),
+                // The whole point of the supervisor is surviving faults:
+                // it must degrade with a RecoveryReport, never panic
+                // (injected-crash and abort-mode re-raise sites carry
+                // explicit allows).
+                "crates/core/src/recovery.rs".into(),
                 // Fixture corpus: lets CI demonstrate the rule from the
                 // CLI (the workspace walk never descends into fixtures).
                 "crates/lint/fixtures/no_panic".into(),

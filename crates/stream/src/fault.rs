@@ -1,0 +1,195 @@
+//! Fault-injecting stream adapters: deterministic corruption for chaos
+//! testing the ingestion paths. These model *dirty inputs* (a sensor
+//! emitting NaNs, a flaky serialiser mangling coordinates) as opposed to
+//! the engine-side faults a
+//! `FaultPlan` scripts (worker crashes, stalls, corrupt checkpoints) —
+//! compose them with [`PointStream`](crate::PointStream)s to drive the
+//! supervisor's sanitize-and-continue path end to end.
+//!
+//! Everything here is a pure function of `(seed, stream index)`: the same
+//! construction corrupts the same positions every run, so chaos tests
+//! replay exactly.
+
+use geom::Point2;
+
+/// SplitMix64 — the same seed mixer the generators use, applied per
+/// stream index so corruption positions are independent of iteration
+/// order elsewhere.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Splices bursts of non-finite points into the inner stream: before the
+/// inner point at each scripted index, `burst_len` NaN points are
+/// emitted. The inner stream's points all pass through unchanged, so a
+/// consumer that drops non-finite input must recover exactly the clean
+/// stream — which is precisely what the sanitize tests assert.
+#[derive(Debug)]
+pub struct NonFiniteBursts<S> {
+    inner: S,
+    /// Scripted injection points (inner-stream indices), sorted ascending.
+    at: Vec<usize>,
+    burst_len: usize,
+    next_inner: usize,
+    remaining_burst: usize,
+    cursor: usize,
+}
+
+impl<S> NonFiniteBursts<S> {
+    /// Bursts of `burst_len` NaN points immediately before the inner
+    /// points at `positions` (indices into the *clean* stream; out-of-range
+    /// positions never fire).
+    pub fn at(inner: S, mut positions: Vec<usize>, burst_len: usize) -> Self {
+        assert!(burst_len >= 1, "a burst holds at least one point");
+        positions.sort_unstable();
+        positions.dedup();
+        NonFiniteBursts {
+            inner,
+            at: positions,
+            burst_len,
+            next_inner: 0,
+            remaining_burst: 0,
+            cursor: 0,
+        }
+    }
+
+    /// Seeded variant: roughly one burst per `period` points, at
+    /// positions derived purely from `(seed, index)` over the first `n`
+    /// points. Same arguments → same bursts, every run.
+    pub fn seeded(inner: S, seed: u64, n: usize, period: usize, burst_len: usize) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        let positions = (0..n)
+            .filter(|&i| splitmix64(seed ^ i as u64).is_multiple_of(period as u64))
+            .collect();
+        NonFiniteBursts::at(inner, positions, burst_len)
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for NonFiniteBursts<S> {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        if self.remaining_burst > 0 {
+            self.remaining_burst -= 1;
+            return Some(Point2::new(f64::NAN, f64::NAN));
+        }
+        if self
+            .at
+            .get(self.cursor)
+            .is_some_and(|&pos| pos == self.next_inner)
+        {
+            self.cursor += 1;
+            self.remaining_burst = self.burst_len - 1;
+            return Some(Point2::new(f64::NAN, f64::NAN));
+        }
+        let p = self.inner.next()?;
+        self.next_inner += 1;
+        Some(p)
+    }
+}
+
+/// Seeded per-point corruption: roughly one in `period` points has a
+/// coordinate replaced by a non-finite value (NaN, +∞, or −∞, chosen by
+/// the same hash). Unlike [`NonFiniteBursts`] this *destroys* the
+/// affected points — the clean stream is not recoverable — modelling a
+/// flaky serialiser rather than a chatty-but-separable sensor.
+#[derive(Debug)]
+pub struct CoordinateGlitch<S> {
+    inner: S,
+    seed: u64,
+    period: u64,
+    i: u64,
+}
+
+impl<S> CoordinateGlitch<S> {
+    /// Corrupts roughly one in `period` points, deterministically in
+    /// `(seed, index)`.
+    pub fn new(inner: S, seed: u64, period: usize) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        CoordinateGlitch {
+            inner,
+            seed,
+            period: period as u64,
+            i: 0,
+        }
+    }
+}
+
+impl<S: Iterator<Item = Point2>> Iterator for CoordinateGlitch<S> {
+    type Item = Point2;
+    fn next(&mut self) -> Option<Point2> {
+        let p = self.inner.next()?;
+        let h = splitmix64(self.seed ^ self.i);
+        self.i += 1;
+        if !h.is_multiple_of(self.period) {
+            return Some(p);
+        }
+        let bad = match (h >> 32) % 3 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        };
+        Some(if (h >> 34).is_multiple_of(2) {
+            Point2::new(bad, p.y)
+        } else {
+            Point2::new(p.x, bad)
+        })
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::CirclePoints;
+
+    #[test]
+    fn bursts_fire_at_scripted_positions_and_preserve_clean_points() {
+        let dirty: Vec<Point2> =
+            NonFiniteBursts::at(CirclePoints::new(10, 1.0), vec![0, 3, 99], 2).collect();
+        // 10 clean + 2 bursts of 2 (position 99 is out of range).
+        assert_eq!(dirty.len(), 14);
+        assert!(dirty[0].x.is_nan() && dirty[1].x.is_nan());
+        assert!(dirty[2].is_finite());
+        // Burst before clean index 3: dirty positions 2,3,4 carry clean
+        // 0,1,2, then the burst.
+        assert!(dirty[5].x.is_nan() && dirty[6].x.is_nan());
+        let cleaned: Vec<Point2> = dirty.into_iter().filter(|p| p.is_finite()).collect();
+        let clean: Vec<Point2> = CirclePoints::new(10, 1.0).collect();
+        assert_eq!(cleaned, clean, "filtering recovers the clean stream");
+    }
+
+    #[test]
+    fn seeded_bursts_replay_exactly() {
+        let a: Vec<Point2> =
+            NonFiniteBursts::seeded(CirclePoints::new(500, 1.0), 9, 500, 50, 3).collect();
+        let b: Vec<Point2> =
+            NonFiniteBursts::seeded(CirclePoints::new(500, 1.0), 9, 500, 50, 3).collect();
+        assert_eq!(a.len(), b.len());
+        assert!(a.len() > 500, "some bursts fired");
+        assert!(a
+            .iter()
+            .zip(&b)
+            .all(|(x, y)| (x.is_finite() && x == y) || (!x.is_finite() && !y.is_finite())));
+    }
+
+    #[test]
+    fn glitch_is_deterministic_and_sparse() {
+        let a: Vec<Point2> = CoordinateGlitch::new(CirclePoints::new(1000, 1.0), 3, 100).collect();
+        let b: Vec<Point2> = CoordinateGlitch::new(CirclePoints::new(1000, 1.0), 3, 100).collect();
+        assert_eq!(a.len(), 1000, "glitching never changes the length");
+        let bad_a: Vec<usize> = (0..a.len()).filter(|&i| !a[i].is_finite()).collect();
+        let bad_b: Vec<usize> = (0..b.len()).filter(|&i| !b[i].is_finite()).collect();
+        assert_eq!(bad_a, bad_b, "same seed corrupts the same positions");
+        assert!(!bad_a.is_empty() && bad_a.len() < 50, "sparse corruption");
+        // Unaffected points pass through untouched.
+        let clean: Vec<Point2> = CirclePoints::new(1000, 1.0).collect();
+        for i in (0..1000).filter(|i| !bad_a.contains(i)) {
+            assert_eq!(a[i], clean[i]);
+        }
+    }
+}

@@ -15,11 +15,14 @@
 //!
 //! All generators are deterministic given a seed, implement
 //! [`Iterator<Item = Point2>`], and can be composed with the adapters in
-//! [`transform`].
+//! [`transform`] — or corrupted deterministically with the chaos adapters
+//! in [`fault`] to exercise the ingestion layer's sanitize-and-recover
+//! paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod shapes;
 pub mod transform;
 
@@ -27,6 +30,7 @@ use geom::Point2;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub use fault::{CoordinateGlitch, NonFiniteBursts};
 pub use shapes::{
     Annulus, Changing, CirclePoints, Disk, Drift, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
 };

@@ -1,0 +1,199 @@
+//! Chaos drill for the supervised ingestion layer: inject every fault the
+//! [`FaultPlan`] knows — worker crashes, stalls, corrupted checkpoints,
+//! non-finite bursts — and check the recovered run matches the fault-free
+//! run bit for bit, across backends and checkpoint intervals.
+//!
+//! Run: `cargo run --release --example chaos_recovery`
+//!
+//! With `--doomed` the drill instead exhausts the retry budget on one
+//! shard (the plan crashes it more times than the policy allows), prints
+//! the resulting [`RecoveryReport`], and exits non-zero — demonstrating
+//! that an unrecoverable shard degrades loudly instead of panicking or
+//! returning a silently-wrong hull. CI runs both modes and requires the
+//! doomed one to fail.
+
+use std::time::Duration;
+use streamgen::Disk;
+use streamhull::prelude::*;
+use streamhull::ShardStatus;
+
+const N: usize = 20_000;
+const SEED: u64 = 20040614;
+const SHARDS: usize = 3;
+const CHUNK: usize = 128;
+
+fn points() -> Vec<Point2> {
+    Disk::new(SEED, N, 1.0).collect()
+}
+
+/// One named scenario of the fault matrix. Chunk `c` routes to shard
+/// `c % SHARDS`, so each worker fault targets a chunk its shard will
+/// actually receive; checkpoint ordinal 1 exists at every interval the
+/// drill uses (each shard ingests well past the largest interval).
+fn scenarios() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("crash", FaultPlan::new().crash(1, 13)),
+        (
+            "stall",
+            FaultPlan::new().stall(0, 6, Duration::from_millis(800)),
+        ),
+        (
+            "corrupt-checkpoint",
+            FaultPlan::new().corrupt_checkpoint(2, 1, 9),
+        ),
+        (
+            "non-finite-burst",
+            FaultPlan::new().non_finite_burst(1, 7, 7),
+        ),
+        (
+            "combined",
+            FaultPlan::new()
+                .crash(0, 6)
+                .stall(1, 10, Duration::from_millis(800))
+                .corrupt_checkpoint(2, 1, 33)
+                .non_finite_burst(0, 15, 4),
+        ),
+    ]
+}
+
+fn drill() {
+    let pts = points();
+    let kinds = [
+        SummaryKind::Exact,
+        SummaryKind::Adaptive,
+        SummaryKind::Uniform,
+        SummaryKind::Cluster,
+    ];
+    let intervals = [512u64, 4096];
+    let mut runs = 0usize;
+    for &kind in &kinds {
+        let builder = SummaryBuilder::new(kind).with_r(16);
+        let engine = || ShardedIngest::new(builder, SHARDS).with_chunk(CHUNK);
+        for &interval in &intervals {
+            let clean = SupervisedIngest::new(engine())
+                .with_checkpoint_interval(interval)
+                .run_stream(pts.iter().copied());
+            assert!(!clean.is_degraded());
+            for (name, plan) in scenarios() {
+                let planned = plan.len();
+                let faulty = SupervisedIngest::new(engine())
+                    .with_checkpoint_interval(interval)
+                    .with_stall_timeout(Duration::from_millis(100))
+                    .with_fault_plan(plan)
+                    .run_stream(pts.iter().copied());
+                assert_eq!(
+                    faulty.report.events.len(),
+                    planned,
+                    "{kind:?}/{interval}/{name}: a planned fault never fired"
+                );
+                assert!(
+                    !faulty.is_degraded(),
+                    "{kind:?}/{interval}/{name}: recoverable fault degraded the run"
+                );
+                assert_eq!(
+                    clean.run.summary.hull_ref().vertices(),
+                    faulty.run.summary.hull_ref().vertices(),
+                    "{kind:?}/{interval}/{name}: recovered hull diverged"
+                );
+                assert_eq!(
+                    clean.run.summary.points_seen(),
+                    faulty.run.summary.points_seen(),
+                    "{kind:?}/{interval}/{name}: recovered run lost points"
+                );
+                assert_eq!(
+                    clean.error_bound(),
+                    faulty.error_bound(),
+                    "{kind:?}/{interval}/{name}: recovered bound diverged"
+                );
+                runs += 1;
+                println!(
+                    "ok  {:<14} interval {:>5}  {:<18} faults {}  retries {}  replayed {} chunks",
+                    format!("{kind:?}"),
+                    interval,
+                    name,
+                    faulty.report.events.len(),
+                    faulty.report.total_retries(),
+                    faulty.report.replayed_chunks,
+                );
+            }
+        }
+    }
+    println!(
+        "\nchaos drill passed: {runs} faulted runs, every one bit-identical to its fault-free twin"
+    );
+}
+
+fn doomed() {
+    let pts = points();
+    let builder = SummaryBuilder::new(SummaryKind::Exact).with_r(16);
+    let engine = ShardedIngest::new(builder, SHARDS).with_chunk(CHUNK);
+    // Crash shard 1 once per attempt the policy allows, plus once more:
+    // the supervisor must exhaust its budget and quarantine the shard.
+    let policy = RetryPolicy::new(2);
+    let mut plan = FaultPlan::new();
+    for _ in 0..=policy.max_attempts() as u64 {
+        plan = plan.crash(1, 10);
+    }
+    let run = SupervisedIngest::new(engine)
+        .with_checkpoint_interval(512)
+        .with_retry_policy(policy)
+        .with_fault_plan(plan)
+        .run_stream(pts.iter().copied());
+
+    let report = &run.report;
+    println!("doomed run finished (no panic); report:");
+    for h in &report.shards {
+        println!(
+            "  shard {}: {:?}, seen {}, lost {}, faults {}, retries {}",
+            h.shard, h.status, h.points_seen, h.lost_points, h.faults, h.retries
+        );
+    }
+    for ev in &report.events {
+        println!(
+            "  event: shard {} chunk {}: {:?} -> {:?}",
+            ev.shard, ev.chunk, ev.fault, ev.action
+        );
+    }
+    let seen: u64 = report.shards.iter().map(|h| h.points_seen).sum();
+    assert_eq!(
+        seen + report.lost_points,
+        pts.len() as u64,
+        "degraded accounting must still cover the whole stream"
+    );
+    assert!(
+        report
+            .shards
+            .iter()
+            .any(|h| h.status == ShardStatus::Quarantined),
+        "retry budget exhausted yet no shard quarantined"
+    );
+    assert!(run.is_degraded());
+    println!(
+        "  lost {} of {} points; error bound {:?} (fault-free bound would be tighter)",
+        report.lost_points,
+        pts.len(),
+        run.error_bound(),
+    );
+    println!("degraded as designed: exiting non-zero so CI can assert the failure is loud");
+    std::process::exit(2);
+}
+
+fn main() {
+    // Injected worker crashes are the drill working as intended; keep the
+    // default hook (and its backtrace) for any *unexpected* panic only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    if std::env::args().any(|a| a == "--doomed") {
+        doomed();
+    } else {
+        drill();
+    }
+}

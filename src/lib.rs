@@ -101,6 +101,35 @@
 //! shard on a shared clock and merges live buckets in deterministic shard
 //! order at query time.
 //!
+//! ## Fault-tolerant ingestion
+//!
+//! [`SupervisedIngest`] wraps the sharded engine with per-shard
+//! checkpointing (via the snapshot codec), fault detection (worker
+//! panics, stalls, corrupt checkpoints, non-finite floods), and
+//! checkpoint-replay recovery under a deterministic [`RetryPolicy`] —
+//! when retries exhaust, the run completes *degraded* with an exact
+//! [`RecoveryReport`] of what was lost instead of panicking. Faults are
+//! injected deterministically through a [`FaultPlan`] so the whole chaos
+//! matrix replays in CI:
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let pts: Vec<Point2> = (0..20_000)
+//!     .map(|i| {
+//!         let t = i as f64 * 0.01;
+//!         Point2::new(t.cos() * 3.0, t.sin())
+//!     })
+//!     .collect();
+//! let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 4);
+//! let run = SupervisedIngest::new(engine)
+//!     .with_checkpoint_interval(2048)
+//!     .with_fault_plan(FaultPlan::new().crash(2, 6)) // deterministic chaos (chunk 6 -> shard 2)
+//!     .run_stream(pts.iter().copied());
+//! assert!(!run.is_degraded()); // recovered: bit-identical to fault-free
+//! assert_eq!(run.report.total_retries(), 1);
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`geom`] — planar geometry substrate (robust predicates, hulls,
@@ -121,13 +150,15 @@ pub use geom;
 pub use streamgen;
 
 pub use adaptive_hull::window::WindowedRun;
-pub use adaptive_hull::{metrics, queries, snapshot, viz, window};
+pub use adaptive_hull::{metrics, queries, recovery, snapshot, viz, window};
 pub use adaptive_hull::{
-    AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig, ExactHull,
+    AdaptiveHull, AdaptiveHullConfig, CheckpointEnvelope, CheckpointedRun, ClusterHull,
+    ClusterHullConfig, DetectedFault, ExactHull, Fault, FaultEvent, FaultPlan,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, NonFiniteInput, RadialHull, ShardCheckpoint, ShardRun, ShardStats,
-    ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, UniformHull, WindowAnswer,
-    WindowConfig, WindowPolicy, WindowedSummary,
+    NaiveUniformHull, NonFiniteInput, RadialHull, RecoveryAction, RecoveryReport, RetryPolicy,
+    ShardCheckpoint, ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest, Snapshot,
+    SnapshotError, SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun,
+    SupervisedWindowedRun, UniformHull, WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
@@ -135,10 +166,12 @@ pub use geom::{ConvexPolygon, Point2, Vec2};
 pub mod prelude {
     pub use crate::{
         AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig,
-        ConvexPolygon, ExactHull, FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt,
-        Mergeable, NaiveUniformHull, NonFiniteInput, Point2, RadialHull, ShardCheckpoint, ShardRun,
-        ShardStats, ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind,
-        UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy, WindowedRun, WindowedSummary,
+        ConvexPolygon, ExactHull, Fault, FaultPlan, FixedBudgetAdaptiveHull, FrozenHull,
+        HullSummary, HullSummaryExt, Mergeable, NaiveUniformHull, NonFiniteInput, Point2,
+        RadialHull, RecoveryReport, RetryPolicy, ShardCheckpoint, ShardRun, ShardStats,
+        ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, SupervisedIngest,
+        SupervisedRun, SupervisedWindowedRun, UniformHull, Vec2, WindowAnswer, WindowConfig,
+        WindowPolicy, WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

@@ -314,16 +314,11 @@ fn restored_summaries_merge_identically() {
 
 /// `merge_snapshots` over per-shard snapshot files equals the in-process
 /// sharded run on the same input and seed — the acceptance criterion for
-/// multi-process reduction.
+/// multi-process reduction — for **all eight** summary kinds.
 #[test]
 fn merge_snapshots_equals_in_process_sharded_run() {
     let pts = spiral(2000);
-    for &kind in &[
-        SummaryKind::Exact,
-        SummaryKind::Adaptive,
-        SummaryKind::Radial,
-        SummaryKind::Cluster,
-    ] {
+    for &kind in &SummaryKind::ALL {
         let engine = ShardedIngest::new(SummaryBuilder::new(kind).with_r(16), 4).with_chunk(128);
         let in_process = engine.run(&pts);
         let checkpointed = engine.run_checkpointed(&pts, 200);
@@ -352,6 +347,40 @@ fn merge_snapshots_equals_in_process_sharded_run() {
             assert_eq!(a.sample_size, b.sample_size, "{kind}");
             assert_eq!(a.error_bound, b.error_bound, "{kind}");
         }
+    }
+}
+
+/// The same restore-then-reduce equivalence holds for windowed chains:
+/// snapshotting every shard of a sharded windowed run and rebuilding the
+/// run from the decoded shards answers window queries identically.
+#[test]
+fn windowed_chain_snapshots_rebuild_the_sharded_run() {
+    let pts = spiral(3000);
+    for &kind in &[
+        SummaryKind::Exact,
+        SummaryKind::Adaptive,
+        SummaryKind::Uniform,
+    ] {
+        let builder = SummaryBuilder::new(kind).with_r(16);
+        let engine = ShardedIngest::new(builder, 3).with_chunk(128);
+        let live = engine.run_stream_windowed(pts.iter().copied(), WindowConfig::last_n(500));
+        // Snapshot each shard's windowed chain, restore, and rebuild.
+        let restored: Vec<WindowedSummary> = live
+            .shards()
+            .iter()
+            .map(|w| WindowedSummary::decode(&w.encode()).unwrap())
+            .collect();
+        let rebuilt = WindowedRun::from_shards(builder, restored);
+        let (a, b) = (live.query_window(), rebuilt.query_window());
+        assert_eq!(
+            a.hull().vertices(),
+            b.hull().vertices(),
+            "{kind}: window hull survives the snapshot chain"
+        );
+        assert_eq!(a.merged_points, b.merged_points, "{kind}");
+        assert_eq!(a.stale_points, b.stale_points, "{kind}");
+        assert_eq!(a.buckets, b.buckets, "{kind}");
+        assert_eq!(a.bucket_bound_sum, b.bucket_bound_sum, "{kind}");
     }
 }
 
