@@ -7,11 +7,13 @@
 //! check_schema <run.json> [--baseline BENCH_throughput.json]
 //! ```
 //!
-//! Schema: the full PR 2–7 shape (serial `results`, `window`, `parallel`,
-//! `snapshot`, and `recovery` sections with their per-row keys). The
-//! `recovery` section records supervised-ingestion overhead per checkpoint
-//! interval; it is schema-checked but not regression-gated (the gate stays
-//! on the serial and parallel throughput rows).
+//! Schema: the full PR 2–8 shape (serial `results`, `window`, `parallel`,
+//! `snapshot`, `recovery`, and `tenant_scan` sections with their per-row
+//! keys). The `recovery` section records supervised-ingestion overhead
+//! per checkpoint interval, and `tenant_scan` records multi-tenant fleet
+//! capacity (bytes/stream, streams/GB) and the spill/restore round trip;
+//! both are schema-checked but not regression-gated (the gate stays on
+//! the serial and parallel throughput rows).
 //!
 //! Regression gate (`--baseline`): every `(workload, backend)` serial row
 //! must keep `points_per_sec_batch` within the tolerance of the recorded
@@ -256,13 +258,65 @@ fn check_schema(doc: &Json) -> Result<(), String> {
         ));
     }
 
+    let tenant = doc
+        .get("tenant_scan")
+        .and_then(Json::as_arr)
+        .ok_or("tenant_scan must be an array")?;
+    if tenant.is_empty() {
+        return Err("tenant_scan section must not be empty".into());
+    }
+    require_keys(
+        tenant,
+        &[
+            "backend",
+            "streams",
+            "bulk_ns",
+            "points_per_sec",
+            "bytes_per_stream",
+            "streams_per_gb",
+            "spill_ns",
+            "restore_ns",
+        ],
+        "tenant_scan",
+    )?;
+    let mut ten_backends: Vec<&str> = Vec::new();
+    for row in tenant {
+        if get_num(row, "streams")? < 1.0 {
+            return Err(format!("degenerate tenant_scan row: {row:?}"));
+        }
+        if get_num(row, "bulk_ns")? <= 0.0
+            || get_num(row, "spill_ns")? <= 0.0
+            || get_num(row, "restore_ns")? <= 0.0
+        {
+            return Err(format!("non-positive tenant_scan timing: {row:?}"));
+        }
+        // A summary can't be lighter than its snapshot envelope header,
+        // and a claimed capacity must be consistent with the footprint.
+        if get_num(row, "bytes_per_stream")? < 24.0 {
+            return Err(format!("tenant footprint below an envelope: {row:?}"));
+        }
+        if get_num(row, "streams_per_gb")? < 1.0 {
+            return Err(format!("degenerate tenant capacity: {row:?}"));
+        }
+        ten_backends.push(get_str(row, "backend")?);
+    }
+    ten_backends.sort_unstable();
+    ten_backends.dedup();
+    if ten_backends != backends {
+        return Err(format!(
+            "tenant_scan backends {ten_backends:?} != serial backends {backends:?}"
+        ));
+    }
+
     println!(
-        "schema ok: {} serial rows, {} window rows, {} sharded rows, {} snapshot rows, {} recovery rows",
+        "schema ok: {} serial rows, {} window rows, {} sharded rows, {} snapshot rows, \
+         {} recovery rows, {} tenant rows",
         results.len(),
         window.len(),
         parallel.len(),
         snapshot.len(),
-        recovery.len()
+        recovery.len(),
+        tenant.len()
     );
     Ok(())
 }
@@ -431,6 +485,12 @@ mod tests {
                   "checkpoint_interval": 512, "supervised_ns": 12,
                   "points_per_sec": 1, "overhead_vs_stream": 1.2,
                   "checkpoints": 3}}
+              ],
+              "tenant_scan": [
+                {{"backend": "exact", "r": 16, "streams": 500, "n": 1000,
+                  "bulk_ns": 80, "points_per_sec": 12500000,
+                  "bytes_per_stream": 200.5, "streams_per_gb": 4987531,
+                  "spill_ns": 900, "restore_ns": 1100}}
               ]
             }}"#
         );

@@ -25,6 +25,14 @@
 //!   ingestion throughput, per-query cost, live bucket count, and the
 //!   staleness bound.
 //!
+//! * `tenant_scan` — a skewed multi-tenant fleet (`TenantTraffic`, half
+//!   as many streams as points, 10% of ids carrying 90% of the traffic)
+//!   ingested through a budget-free `TenantEngine`: the rows record
+//!   interleaved bulk throughput, the hot per-stream footprint
+//!   (`bytes_per_stream`, hence `streams_per_gb` — the capacity figure),
+//!   and the forced spill/restore round trip a tenant pays when the
+//!   hot/cold tiering moves it.
+//!
 //! The `threads` dimension drives `ShardedIngest` over the `interior` and
 //! `clustered` workloads for every backend: shard the stream, summarise
 //! shards on scoped threads, merge in deterministic shard order.
@@ -41,7 +49,8 @@
 
 use adaptive_hull::window::WindowConfig;
 use adaptive_hull::{
-    HullSummary, Mergeable, ShardedIngest, SummaryBuilder, SummaryKind, SupervisedIngest,
+    HullSummary, Mergeable, ShardedIngest, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest,
+    TenantConfig, TenantEngine,
 };
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
@@ -174,6 +183,107 @@ fn time_recovery(
         supervised_ns: best,
         stream_ns,
         checkpoints,
+    }
+}
+
+/// Spill/restore latency is averaged over at most this many sampled
+/// tenants in the `tenant_scan` dimension.
+const TENANT_SAMPLE: usize = 1024;
+
+/// One backend × multi-tenant scan measurement (`tenant_scan`
+/// dimension): a skewed `TenantTraffic` fleet (~2 points/stream, 10% of
+/// the ids carrying 90% of the traffic) ingested through an ungoverned
+/// [`TenantEngine`], plus the per-tenant spill/restore round trip the
+/// hot/cold tiering pays under memory pressure.
+struct TenantRow {
+    backend: &'static str,
+    r: u32,
+    streams: u64,
+    n: usize,
+    bulk_ns: f64,
+    bytes_per_stream: f64,
+    spill_ns: f64,
+    restore_ns: f64,
+}
+
+impl TenantRow {
+    fn pps(&self) -> f64 {
+        1e9 / self.bulk_ns
+    }
+    /// How many such streams a GB of budget holds hot — the capacity
+    /// figure EXPERIMENTS.md tabulates per backend.
+    fn streams_per_gb(&self) -> f64 {
+        1e9 / self.bytes_per_stream
+    }
+}
+
+/// Best-of-`reps` interleaved bulk ingestion through a [`TenantEngine`]
+/// for one backend, then spill/restore latency over a sampled slice of
+/// the fleet (forced spills, so every sampled tenant pays the full
+/// encode + restore round trip).
+fn time_tenant_scan(
+    builder: &SummaryBuilder,
+    traffic: &[(StreamId, Point2)],
+    streams: u64,
+    reps: usize,
+) -> TenantRow {
+    let mut best = f64::INFINITY;
+    let mut engine = TenantEngine::new(TenantConfig::new(*builder));
+    for _ in 0..reps.max(1) {
+        let mut e = TenantEngine::new(TenantConfig::new(*builder));
+        let start = Instant::now();
+        e.ingest_bulk(traffic)
+            .expect("ungoverned engine admits everything");
+        let ns = start.elapsed().as_nanos() as f64 / traffic.len().max(1) as f64;
+        let report = e.pressure_report();
+        assert_eq!(
+            report.points_seen, report.points_ingested,
+            "budget-free run shed points"
+        );
+        assert_eq!(
+            report.points_seen,
+            traffic.len() as u64,
+            "tenant scan lost points"
+        );
+        if ns < best {
+            best = ns;
+        }
+        engine = e;
+    }
+    let live = engine.len().max(1);
+    let bytes_per_stream = engine.bytes_in_use() as f64 / live as f64;
+
+    // Sample the fleet evenly for the spill/restore round trip; timing
+    // is amortised over the whole sampled batch (each op is µs-scale).
+    let ids: Vec<StreamId> = engine.ids().collect();
+    let step = (ids.len() / TENANT_SAMPLE).max(1);
+    let sample: Vec<StreamId> = ids
+        .iter()
+        .copied()
+        .step_by(step)
+        .take(TENANT_SAMPLE)
+        .collect();
+    let start = Instant::now();
+    for &id in &sample {
+        assert!(engine.spill(id), "forced spill of a hot tenant failed");
+    }
+    let spill_ns = start.elapsed().as_nanos() as f64 / sample.len().max(1) as f64;
+    let start = Instant::now();
+    for &id in &sample {
+        let s = engine.summary(id).expect("clean spill restores");
+        assert!(s.points_seen() > 0, "restored tenant lost its points");
+    }
+    let restore_ns = start.elapsed().as_nanos() as f64 / sample.len().max(1) as f64;
+
+    TenantRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        streams,
+        n: traffic.len(),
+        bulk_ns: best,
+        bytes_per_stream,
+        spill_ns,
+        restore_ns,
     }
 }
 
@@ -442,6 +552,7 @@ fn render_json(
     par_rows: &[ParRow],
     snap_rows: &[SnapRow],
     rec_rows: &[RecRow],
+    tenant_rows: &[TenantRow],
 ) -> String {
     let RunMeta {
         n,
@@ -561,6 +672,28 @@ fn render_json(
             row.checkpoints,
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"tenant_scan\": [");
+    for (i, row) in tenant_rows.iter().enumerate() {
+        let comma = if i + 1 == tenant_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"r\": {}, \"streams\": {}, \"n\": {}, \
+             \"bulk_ns\": {:.2}, \"points_per_sec\": {:.0}, \
+             \"bytes_per_stream\": {:.1}, \"streams_per_gb\": {:.0}, \
+             \"spill_ns\": {:.0}, \"restore_ns\": {:.0}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.streams,
+            row.n,
+            row.bulk_ns,
+            row.pps(),
+            row.bytes_per_stream,
+            row.streams_per_gb(),
+            row.spill_ns,
+            row.restore_ns,
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
@@ -573,6 +706,7 @@ type Dimensions = (
     Vec<ParRow>,
     Vec<SnapRow>,
     Vec<RecRow>,
+    Vec<TenantRow>,
 );
 
 fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u64) -> Dimensions {
@@ -660,7 +794,22 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u
             ));
         }
     }
-    (rows, win_rows, par_rows, snap_rows, rec_rows)
+    // Tenant-scan dimension: interleaved multi-stream ingestion through
+    // the governed registry — fleet capacity (bytes/stream, streams/GB)
+    // and the spill/restore round trip, per backend.
+    let tenant_streams = (n as u64 / 2).max(1);
+    let tenant_traffic: Vec<(StreamId, Point2)> =
+        streamgen::TenantTraffic::new(TABLE1_SEED ^ 0x7e, tenant_streams, n)
+            .map(|(t, p)| (StreamId(t), p))
+            .collect();
+    let tenant_rows: Vec<TenantRow> = SummaryKind::ALL
+        .iter()
+        .map(|&kind| {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            time_tenant_scan(&builder, &tenant_traffic, tenant_streams, reps)
+        })
+        .collect();
+    (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows)
 }
 
 fn main() {
@@ -701,7 +850,8 @@ fn main() {
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, win_rows, par_rows, snap_rows, rec_rows) = run(n, chunk, reps, r, &threads, window);
+    let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows) =
+        run(n, chunk, reps, r, &threads, window);
 
     println!(
         "{:<10} {:<14} {:>12} {:>12} {:>14} {:>14} {:>8}",
@@ -790,6 +940,28 @@ fn main() {
         );
     }
 
+    println!(
+        "\ntenant scan (skewed multi-tenant fleet, ~2 pts/stream; spill/restore \
+         sampled over {TENANT_SAMPLE} tenants)"
+    );
+    println!(
+        "{:<14} {:>9} {:>12} {:>14} {:>12} {:>12} {:>10} {:>10}",
+        "backend", "streams", "bulk ns/pt", "pts/s", "bytes/strm", "strm/GB", "spill ns", "restore"
+    );
+    for row in &tenant_rows {
+        println!(
+            "{:<14} {:>9} {:>12.1} {:>14.0} {:>12.1} {:>12.0} {:>10.0} {:>10.0}",
+            row.backend,
+            row.streams,
+            row.bulk_ns,
+            row.pps(),
+            row.bytes_per_stream,
+            row.streams_per_gb(),
+            row.spill_ns,
+            row.restore_ns,
+        );
+    }
+
     let json = render_json(
         &RunMeta {
             n,
@@ -804,6 +976,7 @@ fn main() {
         &par_rows,
         &snap_rows,
         &rec_rows,
+        &tenant_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
     println!("\nwrote {out_path}");
@@ -816,7 +989,8 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, win_rows, par_rows, snap_rows, rec_rows) = run(2000, 256, 1, 16, &threads, 500);
+        let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows) =
+            run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
         assert_eq!(win_rows.len(), SummaryKind::ALL.len());
         assert_eq!(par_rows.len(), 2 * SummaryKind::ALL.len() * threads.len());
@@ -825,6 +999,16 @@ mod tests {
             rec_rows.len(),
             RECOVERY_INTERVALS.len() * SummaryKind::ALL.len()
         );
+        assert_eq!(tenant_rows.len(), SummaryKind::ALL.len());
+        for row in &tenant_rows {
+            assert!(row.bytes_per_stream > 0.0, "{}", row.backend);
+            assert!(row.streams_per_gb() > 0.0, "{}", row.backend);
+            assert!(
+                row.spill_ns > 0.0 && row.restore_ns > 0.0,
+                "{}",
+                row.backend
+            );
+        }
         let json = render_json(
             &RunMeta {
                 n: 2000,
@@ -839,6 +1023,7 @@ mod tests {
             &par_rows,
             &snap_rows,
             &rec_rows,
+            &tenant_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
         // expected keys, one result object per row, no NaN/inf leakage.
@@ -879,6 +1064,12 @@ mod tests {
             "\"checkpoint_interval\"",
             "\"overhead_vs_stream\"",
             "\"checkpoints\"",
+            "\"tenant_scan\"",
+            "\"bulk_ns\"",
+            "\"bytes_per_stream\"",
+            "\"streams_per_gb\"",
+            "\"spill_ns\"",
+            "\"restore_ns\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

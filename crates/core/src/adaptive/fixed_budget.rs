@@ -434,6 +434,12 @@ impl HullSummary for FixedBudgetAdaptiveHull {
         self.uniform.points_seen()
     }
 
+    fn approx_bytes(&self) -> usize {
+        // Uniform substrate plus the cyclic leaf tiling (up to `2r` edges,
+        // each a direction range and two endpoints).
+        self.uniform.approx_bytes() + 64 + self.leaves.len() * size_of::<Leaf>()
+    }
+
     fn name(&self) -> &'static str {
         "adaptive-2r"
     }

@@ -858,6 +858,20 @@ impl HullSummary for AdaptiveHull {
         self.uniform.points_seen()
     }
 
+    fn approx_bytes(&self) -> usize {
+        // The live structure is the uniform substrate plus the refinement
+        // tree: arena slots (nodes and free-list bookkeeping), the
+        // refinement priority queue, and one root per uniform sector.
+        // Coarser than allocator truth, but unlike the trait default it
+        // stays above the snapshot envelope, so spilling an idle adaptive
+        // tenant genuinely shrinks its accounted footprint.
+        self.uniform.approx_bytes()
+            + 64
+            + self.arena.len() * (size_of::<Node>() + 8)
+            + self.queue.len() * 32
+            + self.roots.len() * size_of::<NodeId>()
+    }
+
     fn name(&self) -> &'static str {
         "adaptive"
     }

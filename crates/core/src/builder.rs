@@ -213,6 +213,18 @@ impl SummaryBuilder {
         self.build_mergeable()
     }
 
+    /// The direction fan a [`SummaryKind::Frozen`] build uses: a uniform
+    /// fan rotated by a seed-derived phase (the frozen scheme needs *some*
+    /// a-priori direction set, and rotating it exercises its sensitivity
+    /// to fan placement). Exposed so the tenant engine can compute the fan
+    /// once per `(r, seed)` and share it across every stream.
+    pub(crate) fn frozen_fan(&self) -> Vec<Vec2> {
+        let phase = (self.seed as f64 / u64::MAX as f64) * TAU / self.r as f64;
+        (0..self.r)
+            .map(|j| Vec2::from_angle(phase + TAU * j as f64 / self.r as f64))
+            .collect()
+    }
+
     /// Builds a sliding-window wrapper around this summary configuration:
     /// the window's buckets (and its query collectors) are each built by
     /// this builder, so any kind windows through one code path (see
@@ -229,16 +241,7 @@ impl SummaryBuilder {
             SummaryKind::UniformNaive => Box::new(NaiveUniformHull::new(self.r)),
             SummaryKind::Uniform => Box::new(UniformHull::new(self.r)),
             SummaryKind::Radial => Box::new(RadialHull::new(self.r)),
-            SummaryKind::Frozen => {
-                // A uniform fan rotated by a seed-derived phase: the frozen
-                // scheme needs *some* a-priori direction set, and rotating
-                // it exercises its sensitivity to fan placement.
-                let phase = (self.seed as f64 / u64::MAX as f64) * TAU / self.r as f64;
-                let dirs = (0..self.r)
-                    .map(|j| Vec2::from_angle(phase + TAU * j as f64 / self.r as f64))
-                    .collect();
-                Box::new(FrozenHull::from_units(dirs))
-            }
+            SummaryKind::Frozen => Box::new(FrozenHull::from_units(self.frozen_fan())),
             SummaryKind::Adaptive => Box::new(AdaptiveHull::new(self.adaptive_config())),
             SummaryKind::AdaptiveFixedBudget => Box::new(FixedBudgetAdaptiveHull::new(self.r)),
             SummaryKind::Cluster => Box::new(ClusterHull::new(

@@ -533,6 +533,20 @@ impl HullSummary for ClusterHull {
         self.seen
     }
 
+    fn approx_bytes(&self) -> usize {
+        // Each cluster carries a full adaptive summary plus cached
+        // geometry (hull, bbox, incircle); the pairwise merge-cost cache
+        // rides on top. Dominates the trait default by design: a cluster
+        // summary's envelope serializes every member hull, and spilling
+        // must shrink the accounted footprint.
+        let clusters: usize = self
+            .clusters
+            .iter()
+            .map(|c| c.summary.approx_bytes() + 128 + c.hull.len() * size_of::<Point2>())
+            .sum();
+        192 + clusters + self.pair_costs.len() * 48
+    }
+
     fn name(&self) -> &'static str {
         "cluster"
     }

@@ -8,11 +8,17 @@
 use crate::batch::{incircle, BatchScratch, CertCache, BATCH_LEAF, PREFILTER_MIN_DIRS};
 use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
 use geom::{ConvexPolygon, Point2, Vec2};
+use std::sync::Arc;
 
 /// A hull summary with an arbitrary *fixed* set of sample directions.
+///
+/// The fan is immutable for the life of the summary, so it is stored
+/// behind an [`Arc`]: a fleet of frozen summaries over the same fan (the
+/// multi-tenant engine, [`crate::tenant`]) shares **one** direction-table
+/// allocation instead of one per stream.
 #[derive(Clone, Debug)]
 pub struct FrozenHull {
-    dirs: Vec<Vec2>,
+    dirs: Arc<[Vec2]>,
     extrema: Vec<Point2>,
     /// Cached support values `extrema[i].dot(dirs[i])` (see
     /// [`NaiveUniformHull`](crate::uniform::NaiveUniformHull): same
@@ -33,7 +39,7 @@ impl FrozenHull {
         let (dirs, extrema): (Vec<Vec2>, Vec<Point2>) = pairs.into_iter().unzip();
         let dots = extrema.iter().zip(&dirs).map(|(e, &u)| e.dot(u)).collect();
         FrozenHull {
-            dirs,
+            dirs: dirs.into(),
             extrema,
             dots,
             seen: 0,
@@ -46,6 +52,13 @@ impl FrozenHull {
     /// Creates a frozen hull with the given directions and no extrema yet
     /// (the first point will own all of them).
     pub fn from_units(dirs: Vec<Vec2>) -> Self {
+        FrozenHull::from_shared_units(dirs.into())
+    }
+
+    /// Like [`FrozenHull::from_units`], but over a direction table owned
+    /// elsewhere: every summary built from the same `Arc` shares the one
+    /// allocation (and [`HullSummary::approx_bytes`] stops charging for it).
+    pub fn from_shared_units(dirs: Arc<[Vec2]>) -> Self {
         FrozenHull {
             dirs,
             extrema: Vec::new(),
@@ -54,6 +67,24 @@ impl FrozenHull {
             cache: HullCache::new(),
             distinct: GenCache::new(),
             scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Re-points `dirs` at `table` when the two fans are bit-identical —
+    /// the restore path of the tenant engine dedupes the per-stream fan a
+    /// snapshot necessarily carries back into the shared table. A no-op
+    /// (and harmless) on any mismatch.
+    pub(crate) fn intern_directions(&mut self, table: &Arc<[Vec2]>) {
+        if Arc::ptr_eq(&self.dirs, table) || self.dirs.len() != table.len() {
+            return;
+        }
+        let same = self
+            .dirs
+            .iter()
+            .zip(table.iter())
+            .all(|(a, b)| a.x.to_bits() == b.x.to_bits() && a.y.to_bits() == b.y.to_bits());
+        if same {
+            self.dirs = table.clone();
         }
     }
 
@@ -87,7 +118,7 @@ impl FrozenHull {
             .extrema
             .iter_mut()
             .zip(self.dots.iter_mut())
-            .zip(&self.dirs)
+            .zip(self.dirs.iter())
         {
             let nd = p.dot(*u);
             if nd > *d {
@@ -108,7 +139,7 @@ impl FrozenHull {
         use crate::snapshot::{put_point, put_u64, put_vec2};
         put_u64(out, self.seen);
         put_u64(out, self.dirs.len() as u64);
-        for &d in &self.dirs {
+        for &d in self.dirs.iter() {
             put_vec2(out, d);
         }
         put_u64(out, self.extrema.len() as u64);
@@ -239,6 +270,19 @@ impl HullSummary for FrozenHull {
 
     // `error_bound` stays `None`: a frozen fan tuned to the wrong
     // distribution carries no live guarantee — the paper's Table 1 point.
+
+    fn approx_bytes(&self) -> usize {
+        // The fan is charged only when this summary is its sole owner —
+        // shared tables cost the fleet one allocation, not one per stream.
+        let fan = if Arc::strong_count(&self.dirs) > 1 {
+            0
+        } else {
+            self.dirs.len() * core::mem::size_of::<Vec2>()
+        };
+        128 + fan
+            + self.extrema.len() * core::mem::size_of::<Point2>()
+            + self.dots.len() * core::mem::size_of::<f64>()
+    }
 }
 
 impl Mergeable for FrozenHull {

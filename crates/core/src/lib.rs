@@ -29,6 +29,11 @@
 //!   ([`SupervisedIngest`]): per-shard checkpointing, deterministic fault
 //!   injection ([`FaultPlan`]), checkpoint-replay recovery under a seeded
 //!   [`RetryPolicy`], and degraded completion with a [`RecoveryReport`];
+//! * [`tenant`] — the resource-governed multi-tenant engine
+//!   ([`TenantEngine`]): millions of per-stream summaries under a byte
+//!   budget, with per-tenant quotas, admission control, load shedding
+//!   ([`OverloadPolicy`]), hot/cold spill with hardened bit-exact restore
+//!   and per-tenant quarantine, and a [`PressureReport`] ledger;
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -66,6 +71,7 @@ pub mod radial;
 pub mod recovery;
 pub mod snapshot;
 pub mod summary;
+pub mod tenant;
 pub mod uniform;
 pub mod viz;
 pub mod window;
@@ -83,5 +89,9 @@ pub use recovery::{
 };
 pub use snapshot::{CheckpointEnvelope, Snapshot, SnapshotError};
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable, NonFiniteInput};
+pub use tenant::{
+    AdmissionError, OverloadPolicy, PressureAction, PressureEvent, PressureReport, ShardedTenants,
+    StreamId, TenantConfig, TenantEngine, TenantStats, Tier,
+};
 pub use uniform::{NaiveUniformHull, UniformHull};
 pub use window::{WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary};

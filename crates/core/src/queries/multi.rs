@@ -102,6 +102,18 @@ impl MultiStreamTracker {
             .or_insert_with(|| self.builder.build());
     }
 
+    /// Registers a stream with an already-populated summary — the bridge
+    /// from governed storage ([`crate::tenant::TenantEngine`]) into the
+    /// pairwise analytics here: export a set of tenants, then `refresh`.
+    /// Replaces any existing summary under `name`; the tracker's total
+    /// absorbs the points the summary has already consumed.
+    pub fn adopt_stream(&mut self, name: &str, summary: Box<dyn HullSummary + Send + Sync>) {
+        self.total += summary.points_seen();
+        if let Some(old) = self.streams.insert(name.to_string(), summary) {
+            self.total = self.total.saturating_sub(old.points_seen());
+        }
+    }
+
     /// Feeds one point into a stream (registering it if new).
     pub fn insert(&mut self, name: &str, p: Point2) {
         self.add_stream(name);

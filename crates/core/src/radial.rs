@@ -9,6 +9,7 @@
 use crate::summary::{HullCache, HullSummary, Mergeable};
 use core::f64::consts::TAU;
 use geom::{ConvexPolygon, Point2, Vec2};
+use std::sync::Arc;
 
 /// `true` iff the angle of `(x, y)` under the `atan2().rem_euclid(TAU)`
 /// convention lies in the lower half-turn `[π, 2π)`. The zero vector never
@@ -27,8 +28,10 @@ pub struct RadialHull {
     buckets: Vec<Option<(f64, Point2)>>,
     /// Sector boundary directions `(cos, sin)(2πj/r)` with a precomputed
     /// half-turn flag, in ascending angular order — the lookup table for
-    /// the trig-free [`sector`](RadialHull::sector_of) search.
-    bounds: Vec<(Vec2, bool)>,
+    /// the trig-free [`sector`](RadialHull::sector_of) search. A pure
+    /// function of `r`, held behind an [`Arc`] so a fleet of same-`r`
+    /// summaries ([`crate::tenant`]) shares one table allocation.
+    bounds: Arc<[(Vec2, bool)]>,
     seen: u64,
     cache: HullCache,
 }
@@ -37,12 +40,32 @@ impl RadialHull {
     /// Creates the summary with `r >= 4` angular sectors.
     pub fn new(r: u32) -> Self {
         assert!(r >= 4, "need at least 4 sectors, got {r}");
-        let bounds = (0..r)
+        RadialHull::with_shared_bounds(r, RadialHull::sector_bounds(r))
+    }
+
+    /// The sector-boundary lookup table for `r` sectors — build it once and
+    /// hand the same `Arc` to [`RadialHull::with_shared_bounds`] for every
+    /// stream of a fleet.
+    pub fn sector_bounds(r: u32) -> Arc<[(Vec2, bool)]> {
+        (0..r)
             .map(|j| {
                 let d = Vec2::from_angle(TAU * j as f64 / r as f64);
                 (d, lower_half(d.x, d.y))
             })
-            .collect();
+            .collect()
+    }
+
+    /// Like [`RadialHull::new`], but sharing a boundary table owned
+    /// elsewhere (must come from [`RadialHull::sector_bounds`]`(r)`; a
+    /// table of the wrong length is discarded and recomputed, so the
+    /// constructor is total apart from the `r >= 4` contract).
+    pub fn with_shared_bounds(r: u32, bounds: Arc<[(Vec2, bool)]>) -> Self {
+        assert!(r >= 4, "need at least 4 sectors, got {r}");
+        let bounds = if bounds.len() == r as usize {
+            bounds
+        } else {
+            RadialHull::sector_bounds(r)
+        };
         RadialHull {
             r,
             origin: None,
@@ -50,6 +73,15 @@ impl RadialHull {
             bounds,
             seen: 0,
             cache: HullCache::new(),
+        }
+    }
+
+    /// Re-points `bounds` at `table` when it matches (same length — the
+    /// table is a pure function of `r`, so same length means bit-identical
+    /// contents). Restore-path dedup for the tenant engine.
+    pub(crate) fn intern_bounds(&mut self, table: &Arc<[(Vec2, bool)]>) {
+        if !Arc::ptr_eq(&self.bounds, table) && table.len() == self.r as usize {
+            self.bounds = table.clone();
         }
     }
 
@@ -260,6 +292,17 @@ impl HullSummary for RadialHull {
             .fold(0.0f64, f64::max)
             .sqrt();
         Some(r_max * (TAU / self.r as f64).sin())
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // The boundary table is charged only when this summary is its sole
+        // owner — a shared table costs the fleet one allocation.
+        let table = if Arc::strong_count(&self.bounds) > 1 {
+            0
+        } else {
+            self.bounds.len() * core::mem::size_of::<(Vec2, bool)>()
+        };
+        96 + table + self.buckets.len() * core::mem::size_of::<Option<(f64, Point2)>>()
     }
 }
 

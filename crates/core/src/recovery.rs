@@ -1144,6 +1144,11 @@ struct ShardCtx<F: ShardFactory> {
     sent: usize,
     /// Highest chunk seq acknowledged by the current epoch.
     acked: Option<u64>,
+    /// Highest chunk seq whose sanitized drops have been tallied. Replay
+    /// after a crash re-acks earlier chunks (re-dropping the same poison);
+    /// gating on this watermark keeps `dropped_non_finite` counting
+    /// logical stream points, not ingestion attempts.
+    drop_tallied: Option<u64>,
     since_checkpoint: u64,
     checkpoint: Option<ValidCheckpoint>,
     checkpoint_ordinal: u32,
@@ -1168,6 +1173,7 @@ impl<F: ShardFactory> ShardCtx<F> {
             buffer: VecDeque::new(),
             sent: 0,
             acked: None,
+            drop_tallied: None,
             since_checkpoint: 0,
             checkpoint: None,
             checkpoint_ordinal: 0,
@@ -1473,7 +1479,9 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 snapshot,
             } => {
                 self.shards[shard].acked = Some(seq);
-                if dropped > 0 {
+                let fresh = self.shards[shard].drop_tallied.is_none_or(|w| seq > w);
+                if dropped > 0 && fresh {
+                    self.shards[shard].drop_tallied = Some(seq);
                     self.dropped_non_finite += dropped;
                     self.shards[shard].faults += 1;
                     self.events.push(FaultEvent {

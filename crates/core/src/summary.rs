@@ -189,6 +189,22 @@ pub trait HullSummary: Debug {
     fn error_bound(&self) -> Option<f64> {
         None
     }
+
+    /// Approximate heap footprint of the summary in bytes — the accounting
+    /// currency of the multi-tenant layer ([`crate::tenant`]): per-tenant
+    /// quotas and the global memory budget are enforced against this
+    /// number, so it must be *conservative and cheap*, not
+    /// allocator-exact.
+    ///
+    /// The default charges a fixed struct overhead plus a per-stored-point
+    /// rate covering the sample itself and the cached-hull / certificate
+    /// slack around it. Backends with structure the sample size does not
+    /// reflect (fixed direction fans, sector tables) override it — and
+    /// backends whose tables are *shared* across streams (see
+    /// [`crate::tenant::TenantEngine`]) stop charging per stream for them.
+    fn approx_bytes(&self) -> usize {
+        96 + self.sample_size() * 48
+    }
 }
 
 /// `Sized`-free conveniences over [`HullSummary`], blanket-implemented for
@@ -240,6 +256,9 @@ impl<S: HullSummary + ?Sized> HullSummary for Box<S> {
     }
     fn error_bound(&self) -> Option<f64> {
         (**self).error_bound()
+    }
+    fn approx_bytes(&self) -> usize {
+        (**self).approx_bytes()
     }
 }
 

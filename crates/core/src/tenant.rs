@@ -1,0 +1,2110 @@
+//! Resource-governed multi-tenant summary engine.
+//!
+//! The paper's premise is that one summary is a tiny, bounded-memory
+//! stand-in for one unbounded stream. A service holds *millions* of them —
+//! one per user, sensor, or shard key — and at that scale the binding
+//! constraint is no longer a single summary's `2r + 1` sample but the
+//! fleet's total footprint. [`TenantEngine`] is the governed registry for
+//! that fleet:
+//!
+//! * **Accounting & quotas** — every summary reports
+//!   [`approx_bytes`](crate::summary::HullSummary::approx_bytes); the
+//!   engine tracks a global budget and per-tenant caps and refuses work
+//!   past quota with a typed [`AdmissionError`], never a panic or abort.
+//! * **Admission control & load shedding** — overload resolves by explicit
+//!   [`OverloadPolicy`]: reject with an error, shed the coldest work, or
+//!   degrade hot streams to a cheaper backend (snapshot round-trip, with
+//!   the error bound honestly widened — or withdrawn when the donor had
+//!   none). Everything shed, degraded, or refused is tallied in a
+//!   [`PressureReport`], the resource-pressure mirror of
+//!   [`crate::recovery::RecoveryReport`].
+//! * **Hot/cold tiering** — idle streams spill to
+//!   [`snapshot`](crate::snapshot) envelopes on an idle-tick policy and
+//!   restore bit-exactly on touch. A corrupt or truncated spill is caught
+//!   by the hardened decode path and quarantines *only that tenant*; every
+//!   other stream keeps serving.
+//! * **Shared immutable tables** — the frozen direction fan and the radial
+//!   sector table are pure functions of `(r, seed)` and `r`; the engine
+//!   builds each once and shares the allocation across every stream of
+//!   that configuration (and re-interns it on restore), so a million
+//!   radial tenants carry one sector table, not a million.
+//! * **Bulk interleaved ingest** — `(stream, point)` traffic is grouped
+//!   per call and, via [`ShardedTenants`], routed across engine shards by
+//!   stream-id hash on scoped threads. Per-stream backfill composes with
+//!   [`ShardedIngest`] and [`crate::recovery::SupervisedIngest`], so PR
+//!   7's crash/stall recovery story holds at tenant scale.
+//!
+//! This module is a declared **no-panic zone** (enforced by `hull-lint`):
+//! every overload, corruption, and quota outcome is a value, not a crash.
+
+use crate::builder::{SummaryBuilder, SummaryKind};
+use crate::frozen::FrozenHull;
+use crate::parallel::ShardedIngest;
+use crate::queries::MultiStreamTracker;
+use crate::radial::RadialHull;
+use crate::recovery::{RecoveryReport, SupervisedIngest};
+use crate::snapshot::{peek_kind, Snapshot, SnapshotError};
+use crate::summary::{HullSummary, Mergeable};
+use geom::{ConvexPolygon, Point2, Vec2};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifies one tenant stream. Plain `u64` newtype: dense ids, hash
+/// keys, and foreign keys from an upstream router all work unchanged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u64);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for StreamId {
+    fn from(v: u64) -> Self {
+        StreamId(v)
+    }
+}
+
+/// What the engine does when the global budget (or a bounded ingest
+/// queue) cannot absorb more work after spilling idle streams.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Refuse the work with a typed [`AdmissionError`]. Nothing already
+    /// admitted is touched; the caller decides what to drop.
+    #[default]
+    Reject,
+    /// Evict the least-recently-touched tenants (and drop the oldest
+    /// points of an over-long bulk batch) until the budget holds. The
+    /// engine never errors; everything dropped is tallied.
+    ShedOldest,
+    /// Swap the coldest streams' backends for the cheaper fallback kind
+    /// via a snapshot round-trip, honestly widening (or withdrawing) each
+    /// victim's error bound; evicts as a last resort if even the degraded
+    /// fleet cannot fit.
+    DegradeToCoarser,
+}
+
+/// Why the engine refused work. Every variant is a recoverable value —
+/// the no-panic zone's contract is that quota pressure and corruption
+/// surface here, never as a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdmissionError {
+    /// The registry already holds `limit` streams and the policy is
+    /// [`OverloadPolicy::Reject`].
+    StreamLimit {
+        /// Configured `max_streams`.
+        limit: usize,
+    },
+    /// The global byte budget is exhausted and spilling idle streams was
+    /// not enough (policy [`OverloadPolicy::Reject`]).
+    OverBudget {
+        /// Bytes in use after spill relief.
+        in_use: usize,
+        /// The configured global budget.
+        budget: usize,
+    },
+    /// This tenant's own byte cap is exhausted.
+    TenantCap {
+        /// The tenant at cap.
+        stream: StreamId,
+        /// Its current footprint.
+        bytes: usize,
+        /// The configured per-tenant cap.
+        cap: usize,
+    },
+    /// The tenant's spilled state failed the hardened decode — it is
+    /// quarantined and no longer serves until dropped.
+    Quarantined {
+        /// The poisoned tenant.
+        stream: StreamId,
+        /// What the decoder rejected.
+        error: SnapshotError,
+    },
+    /// A bulk batch exceeded the bounded ingest queue under
+    /// [`OverloadPolicy::Reject`]. Nothing from the batch was admitted.
+    QueueFull {
+        /// Points offered in the batch.
+        offered: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The stream is not registered (query-path errors only; ingest
+    /// registers on first touch).
+    UnknownStream {
+        /// The unknown id.
+        stream: StreamId,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::StreamLimit { limit } => {
+                write!(f, "stream registry full ({limit} streams)")
+            }
+            AdmissionError::OverBudget { in_use, budget } => {
+                write!(
+                    f,
+                    "global budget exhausted ({in_use} B in use, budget {budget} B)"
+                )
+            }
+            AdmissionError::TenantCap { stream, bytes, cap } => {
+                write!(f, "tenant {stream} at cap ({bytes} B, cap {cap} B)")
+            }
+            AdmissionError::Quarantined { stream, error } => {
+                write!(f, "tenant {stream} quarantined: {error}")
+            }
+            AdmissionError::QueueFull { offered, capacity } => {
+                write!(
+                    f,
+                    "ingest queue full ({offered} points offered, capacity {capacity})"
+                )
+            }
+            AdmissionError::UnknownStream { stream } => {
+                write!(f, "unknown stream {stream}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Where a tenant's state currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tier {
+    /// Live summary in memory.
+    Hot,
+    /// Spilled to a snapshot envelope; restores bit-exactly on touch.
+    Cold,
+    /// Its envelope failed the hardened decode; refuses to serve.
+    Quarantined,
+}
+
+/// One resource event, in the order it happened (log bounded by
+/// [`TenantConfig::with_event_capacity`]; overflow is counted, not kept).
+#[derive(Clone, Debug)]
+pub struct PressureEvent {
+    /// The tenant involved.
+    pub stream: StreamId,
+    /// Engine clock when it happened.
+    pub tick: u64,
+    /// What happened.
+    pub action: PressureAction,
+}
+
+/// What a [`PressureEvent`] records.
+#[derive(Clone, Debug)]
+pub enum PressureAction {
+    /// Hot summary written out to a snapshot envelope.
+    Spilled {
+        /// Envelope size.
+        bytes: usize,
+    },
+    /// Envelope decoded back to a hot summary.
+    Restored {
+        /// Envelope size.
+        bytes: usize,
+    },
+    /// Points dropped by load shedding.
+    ShedPoints {
+        /// How many.
+        points: u64,
+    },
+    /// The whole tenant evicted by [`OverloadPolicy::ShedOldest`] (or as
+    /// the degrade ladder's last resort).
+    Evicted {
+        /// Points the evicted summary had consumed.
+        seen: u64,
+    },
+    /// Backend swapped for the cheaper fallback kind.
+    Degraded {
+        /// Donor backend name.
+        from: &'static str,
+        /// Fallback backend name.
+        to: &'static str,
+    },
+    /// Spilled state failed the hardened decode.
+    Quarantined {
+        /// The decode error.
+        error: SnapshotError,
+    },
+    /// Work refused with a typed error under [`OverloadPolicy::Reject`].
+    Rejected {
+        /// Points refused.
+        points: u64,
+    },
+}
+
+/// Running tallies of everything the governor did — the resource-pressure
+/// mirror of [`crate::recovery::RecoveryReport`]: exact
+/// counts first, a bounded event log for the narrative.
+#[derive(Clone, Debug, Default)]
+pub struct PressureReport {
+    /// Configured global budget (0 = unbounded).
+    pub budget_bytes: usize,
+    /// Accounted bytes at the time the report was taken.
+    pub bytes_in_use: usize,
+    /// High-water mark of accounted bytes.
+    pub bytes_peak: usize,
+    /// Streams ever admitted.
+    pub streams_admitted: u64,
+    /// Stream registrations refused ([`OverloadPolicy::Reject`]).
+    pub streams_rejected: u64,
+    /// Whole tenants evicted by shedding.
+    pub streams_shed: u64,
+    /// Tenants degraded to the fallback backend.
+    pub streams_degraded: u64,
+    /// Tenants quarantined by corrupt spills.
+    pub streams_quarantined: u64,
+    /// Finite points offered to admitted tenants (`== points_ingested +
+    /// points_shed`, the exact-accounting invariant).
+    pub points_seen: u64,
+    /// Points actually fed to summaries.
+    pub points_ingested: u64,
+    /// Points dropped by load shedding.
+    pub points_shed: u64,
+    /// Points refused with a typed error (not counted in `points_seen`).
+    pub points_rejected: u64,
+    /// Hot → cold transitions.
+    pub spills: u64,
+    /// Cold → hot transitions.
+    pub restores: u64,
+    /// Total envelope bytes written by spills.
+    pub spilled_bytes: u64,
+    /// Bounded event log, oldest first.
+    pub events: Vec<PressureEvent>,
+    /// Events that no longer fit the log.
+    pub events_dropped: u64,
+}
+
+impl PressureReport {
+    /// `true` when resource pressure cost anything: points or streams
+    /// shed, backends degraded, tenants quarantined, or work rejected.
+    pub fn is_degraded(&self) -> bool {
+        self.points_shed > 0
+            || self.points_rejected > 0
+            || self.streams_shed > 0
+            || self.streams_rejected > 0
+            || self.streams_degraded > 0
+            || self.streams_quarantined > 0
+    }
+}
+
+/// Per-tenant observability snapshot (cheap: no restore, no decode).
+#[derive(Clone, Copy, Debug)]
+#[must_use]
+pub struct TenantStats {
+    /// The tenant.
+    pub stream: StreamId,
+    /// Where its state lives right now.
+    pub tier: Tier,
+    /// Accounted footprint (hot: `approx_bytes`; cold: envelope length;
+    /// quarantined: 0 — the poisoned envelope is dropped).
+    pub bytes: usize,
+    /// Finite points offered (`== ingested + shed`).
+    pub seen: u64,
+    /// Points fed to the summary.
+    pub ingested: u64,
+    /// Points dropped by shedding.
+    pub shed: u64,
+    /// Whether the backend was degraded to the fallback kind.
+    pub degraded: bool,
+    /// Engine clock at last touch.
+    pub last_touch: u64,
+}
+
+/// Configuration for a [`TenantEngine`].
+#[derive(Clone, Copy, Debug)]
+pub struct TenantConfig {
+    builder: SummaryBuilder,
+    degraded: SummaryBuilder,
+    budget_bytes: usize,
+    tenant_cap_bytes: usize,
+    max_streams: usize,
+    idle_ticks: u64,
+    policy: OverloadPolicy,
+    queue_points: usize,
+    event_capacity: usize,
+}
+
+impl TenantConfig {
+    /// Governed engine over summaries built by `builder`, with everything
+    /// unbounded and [`OverloadPolicy::Reject`] — budget-free by default,
+    /// governed once you set caps. The degrade fallback defaults to a
+    /// radial histogram at a quarter of the builder's `r` (min 4): the
+    /// cheapest backend in this crate that still carries a live `O(D/r)`
+    /// error bound.
+    pub fn new(builder: SummaryBuilder) -> Self {
+        let fallback_r = (builder.r() / 4).max(4);
+        TenantConfig {
+            builder,
+            degraded: SummaryBuilder::new(SummaryKind::Radial).with_r(fallback_r),
+            budget_bytes: 0,
+            tenant_cap_bytes: 0,
+            max_streams: 0,
+            idle_ticks: 2,
+            policy: OverloadPolicy::Reject,
+            queue_points: 0,
+            event_capacity: 256,
+        }
+    }
+
+    /// Global byte budget across all tenants, hot and cold (0 = unbounded).
+    pub fn with_budget_bytes(mut self, bytes: usize) -> Self {
+        self.budget_bytes = bytes;
+        self
+    }
+
+    /// Per-tenant byte cap (0 = unbounded).
+    pub fn with_tenant_cap_bytes(mut self, bytes: usize) -> Self {
+        self.tenant_cap_bytes = bytes;
+        self
+    }
+
+    /// Maximum registered streams (0 = unbounded).
+    pub fn with_max_streams(mut self, n: usize) -> Self {
+        self.max_streams = n;
+        self
+    }
+
+    /// Ticks of idleness before [`TenantEngine::tick`] spills a hot
+    /// stream (minimum 1).
+    pub fn with_idle_ticks(mut self, ticks: u64) -> Self {
+        self.idle_ticks = ticks.max(1);
+        self
+    }
+
+    /// The overload policy.
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The fallback backend [`OverloadPolicy::DegradeToCoarser`] swaps in.
+    pub fn with_degraded(mut self, builder: SummaryBuilder) -> Self {
+        self.degraded = builder;
+        self
+    }
+
+    /// Bounded ingest queue: the most points one
+    /// [`TenantEngine::ingest_bulk`] batch may carry (0 = unbounded).
+    /// Overflow rejects or sheds oldest-first per the policy
+    /// ([`OverloadPolicy::DegradeToCoarser`] treats the queue as advisory
+    /// — it relieves memory, not arrival rate).
+    pub fn with_queue_points(mut self, points: usize) -> Self {
+        self.queue_points = points;
+        self
+    }
+
+    /// Capacity of the [`PressureReport`] event log.
+    pub fn with_event_capacity(mut self, events: usize) -> Self {
+        self.event_capacity = events;
+        self
+    }
+
+    /// The builder for new tenants.
+    pub fn builder(&self) -> &SummaryBuilder {
+        &self.builder
+    }
+
+    /// The degrade fallback builder.
+    pub fn degraded_builder(&self) -> &SummaryBuilder {
+        &self.degraded
+    }
+
+    /// The global budget (0 = unbounded).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// The overload policy.
+    pub fn policy(&self) -> OverloadPolicy {
+        self.policy
+    }
+}
+
+enum Residency {
+    Hot(Box<dyn Mergeable + Send + Sync>),
+    Cold(Vec<u8>),
+    Quarantined(SnapshotError),
+}
+
+impl fmt::Debug for Residency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Residency::Hot(s) => write!(f, "Hot({})", s.name()),
+            Residency::Cold(b) => write!(f, "Cold({} B)", b.len()),
+            Residency::Quarantined(e) => write!(f, "Quarantined({e})"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tenant {
+    id: StreamId,
+    residency: Residency,
+    /// Accounted footprint; kept in lockstep with the engine totals.
+    bytes: usize,
+    last_touch: u64,
+    seen: u64,
+    ingested: u64,
+    shed: u64,
+    degraded: bool,
+    /// Error-bound widening carried across degradations and backfills
+    /// (sums the donors' bounds at hand-off time).
+    carried_bound: f64,
+    /// A donor had no bound, so the composed bound is honestly `None`.
+    bound_withdrawn: bool,
+}
+
+/// The governed multi-tenant engine. See the [module docs](self) for the
+/// full contract; in one sentence: millions of per-stream summaries in a
+/// slab, under a byte budget that degrades gracefully instead of
+/// crashing.
+#[derive(Debug)]
+pub struct TenantEngine {
+    config: TenantConfig,
+    /// Slab storage: stable indices, `free` recycles evicted slots.
+    slots: Vec<Option<Tenant>>,
+    free: Vec<usize>,
+    index: HashMap<StreamId, usize>,
+    /// Shared frozen direction fans, one per `(r, seed)`.
+    fans: HashMap<(u32, u64), Arc<[Vec2]>>,
+    /// Shared radial sector tables, one per `r`.
+    sectors: HashMap<u32, Arc<[(Vec2, bool)]>>,
+    clock: u64,
+    bytes_in_use: usize,
+    hot: usize,
+    cold: usize,
+    quarantined: usize,
+    report: PressureReport,
+}
+
+impl TenantEngine {
+    /// Creates an engine from its configuration.
+    pub fn new(config: TenantConfig) -> Self {
+        let mut report = PressureReport {
+            budget_bytes: config.budget_bytes,
+            ..PressureReport::default()
+        };
+        report.events.reserve(config.event_capacity.min(4096));
+        TenantEngine {
+            config,
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            fans: HashMap::new(),
+            sectors: HashMap::new(),
+            clock: 0,
+            bytes_in_use: 0,
+            hot: 0,
+            cold: 0,
+            quarantined: 0,
+            report,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TenantConfig {
+        &self.config
+    }
+
+    /// Registered streams (hot + cold + quarantined).
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` when no streams are registered.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Hot (live in memory) streams.
+    pub fn hot_count(&self) -> usize {
+        self.hot
+    }
+
+    /// Cold (spilled) streams.
+    pub fn cold_count(&self) -> usize {
+        self.cold
+    }
+
+    /// Quarantined streams.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined
+    }
+
+    /// Accounted bytes across all tenants (hot summaries at
+    /// `approx_bytes`, cold envelopes at their length).
+    pub fn bytes_in_use(&self) -> usize {
+        self.bytes_in_use
+    }
+
+    /// The engine clock (advanced by [`tick`](Self::tick) and once per
+    /// [`ingest_bulk`](Self::ingest_bulk) batch).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Whether `id` is registered.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// All registered ids (arbitrary order; collect and sort for
+    /// deterministic walks).
+    pub fn ids(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Current tier of `id`, if registered.
+    pub fn tier(&self, id: StreamId) -> Option<Tier> {
+        let t = self.tenant(id)?;
+        Some(match t.residency {
+            Residency::Hot(_) => Tier::Hot,
+            Residency::Cold(_) => Tier::Cold,
+            Residency::Quarantined(_) => Tier::Quarantined,
+        })
+    }
+
+    /// Per-tenant counters, if registered.
+    pub fn stats(&self, id: StreamId) -> Option<TenantStats> {
+        let t = self.tenant(id)?;
+        Some(TenantStats {
+            stream: t.id,
+            tier: match t.residency {
+                Residency::Hot(_) => Tier::Hot,
+                Residency::Cold(_) => Tier::Cold,
+                Residency::Quarantined(_) => Tier::Quarantined,
+            },
+            bytes: t.bytes,
+            seen: t.seen,
+            ingested: t.ingested,
+            shed: t.shed,
+            degraded: t.degraded,
+            last_touch: t.last_touch,
+        })
+    }
+
+    /// The report so far, with the live byte gauges filled in.
+    pub fn pressure_report(&self) -> PressureReport {
+        let mut r = self.report.clone();
+        r.bytes_in_use = self.bytes_in_use;
+        r.budget_bytes = self.config.budget_bytes;
+        r
+    }
+
+    /// Feeds one point (registering the stream if new). Non-finite points
+    /// are silently dropped — the summaries' own contract.
+    pub fn insert(&mut self, id: StreamId, p: Point2) -> Result<(), AdmissionError> {
+        self.write(id, &[p])
+    }
+
+    /// Feeds a batch into one stream (registering it if new).
+    pub fn insert_batch(&mut self, id: StreamId, points: &[Point2]) -> Result<(), AdmissionError> {
+        self.write(id, points)
+    }
+
+    /// Bulk interleaved ingest: `(stream, point)` traffic in arrival
+    /// order. Points are grouped per stream (first-appearance order, so
+    /// the outcome is deterministic), the bounded queue policy is applied
+    /// up front, and — under a shedding or degrading policy — per-stream
+    /// failures (a quarantined tenant, the stream limit) shed that
+    /// stream's points instead of failing the batch. Advances the idle
+    /// clock by one.
+    pub fn ingest_bulk(&mut self, traffic: &[(StreamId, Point2)]) -> Result<(), AdmissionError> {
+        let cap = self.config.queue_points;
+        let mut start = 0;
+        if cap != 0 && traffic.len() > cap {
+            match self.config.policy {
+                OverloadPolicy::Reject => {
+                    // The whole batch is refused atomically.
+                    self.report.points_rejected += traffic.len() as u64;
+                    return Err(AdmissionError::QueueFull {
+                        offered: traffic.len(),
+                        capacity: cap,
+                    });
+                }
+                OverloadPolicy::ShedOldest => {
+                    // Shed the oldest points of the batch; tally them on
+                    // their tenants (admitting cheaply where possible).
+                    start = traffic.len() - cap;
+                    let mut shed_by: HashMap<StreamId, u64> = HashMap::new();
+                    for &(id, p) in &traffic[..start] {
+                        if p.is_finite() {
+                            *shed_by.entry(id).or_insert(0) += 1;
+                        }
+                    }
+                    for (id, n) in shed_by {
+                        self.shed_points(id, n);
+                    }
+                }
+                // Degrading relieves memory, not arrival rate: take the
+                // whole batch.
+                OverloadPolicy::DegradeToCoarser => {}
+            }
+        }
+        // Group per stream, preserving first-appearance order.
+        let mut order: Vec<StreamId> = Vec::new();
+        let mut groups: HashMap<StreamId, Vec<Point2>> = HashMap::new();
+        for &(id, p) in &traffic[start..] {
+            match groups.entry(id) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().push(p),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    order.push(id);
+                    e.insert(vec![p]);
+                }
+            }
+        }
+        for id in order {
+            let pts = groups.remove(&id).unwrap_or_default();
+            match self.write(id, &pts) {
+                Ok(()) => {}
+                Err(e) if self.config.policy == OverloadPolicy::Reject => return Err(e),
+                Err(_) => {
+                    // Shedding/degrading engines never fail a bulk batch:
+                    // the failing stream's points are shed and tallied.
+                    let n = pts.iter().filter(|p| p.is_finite()).count() as u64;
+                    self.shed_points(id, n);
+                }
+            }
+        }
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Advances the idle clock and spills every hot stream untouched for
+    /// [`TenantConfig::with_idle_ticks`] ticks. Cost is one pass over the
+    /// slab — call it between batches, not per point.
+    pub fn tick(&mut self) {
+        self.clock += 1;
+        let idle = self.config.idle_ticks;
+        let clock = self.clock;
+        let victims: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                let t = slot.as_ref()?;
+                match t.residency {
+                    Residency::Hot(_) if clock.saturating_sub(t.last_touch) >= idle => Some(i),
+                    _ => None,
+                }
+            })
+            .collect();
+        for idx in victims {
+            self.spill_slot(idx);
+        }
+    }
+
+    /// Spills one stream to its snapshot envelope now (idempotent; `false`
+    /// if unknown or not hot).
+    pub fn spill(&mut self, id: StreamId) -> bool {
+        match self.index.get(&id) {
+            Some(&idx) => self.spill_slot_inner(idx, true),
+            None => false,
+        }
+    }
+
+    /// The spilled envelope of a cold stream (`None` when hot, unknown, or
+    /// quarantined) — the chaos hooks' read side.
+    pub fn spilled_bytes(&self, id: StreamId) -> Option<&[u8]> {
+        match &self.tenant(id)?.residency {
+            Residency::Cold(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Deterministic chaos hook: XORs `mask` into byte `offset` of `id`'s
+    /// spilled envelope. `false` if the stream is not cold, `offset` is
+    /// out of range, or `mask == 0` (a no-op flip would *not* corrupt).
+    /// The next touch must then surface a typed decode error and
+    /// quarantine exactly this tenant.
+    pub fn corrupt_spill(&mut self, id: StreamId, offset: usize, mask: u8) -> bool {
+        if mask == 0 {
+            return false;
+        }
+        let Some(&idx) = self.index.get(&id) else {
+            return false;
+        };
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        match &mut t.residency {
+            Residency::Cold(bytes) => match bytes.get_mut(offset) {
+                Some(b) => {
+                    *b ^= mask;
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Truncates a cold stream's envelope to `len` bytes (chaos hook for
+    /// the torn-write case). `false` if not cold or already shorter.
+    pub fn truncate_spill(&mut self, id: StreamId, len: usize) -> bool {
+        let Some(&idx) = self.index.get(&id) else {
+            return false;
+        };
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        match &mut t.residency {
+            Residency::Cold(bytes) if bytes.len() > len => {
+                self.bytes_in_use -= bytes.len() - len;
+                t.bytes = len;
+                bytes.truncate(len);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Borrows a stream's summary, restoring it from its envelope first if
+    /// cold (bit-exact) and touching its idle clock.
+    pub fn summary(&mut self, id: StreamId) -> Result<&dyn HullSummary, AdmissionError> {
+        let idx = self.lookup(id)?;
+        self.make_hot(idx)?;
+        self.touch(idx);
+        match self.slots.get(idx).and_then(|s| s.as_ref()) {
+            Some(Tenant {
+                residency: Residency::Hot(s),
+                ..
+            }) => Ok(s.as_ref()),
+            _ => Err(AdmissionError::UnknownStream { stream: id }),
+        }
+    }
+
+    /// A stream's current hull (restores it if cold).
+    pub fn hull(&mut self, id: StreamId) -> Result<ConvexPolygon, AdmissionError> {
+        Ok(self.summary(id)?.hull())
+    }
+
+    /// The tenant-facing error bound: the live summary bound plus
+    /// everything carried from degradations and backfills — `None` when
+    /// either side offers no guarantee (degrading *widens* the bound, it
+    /// never invents one).
+    pub fn error_bound(&mut self, id: StreamId) -> Result<Option<f64>, AdmissionError> {
+        let idx = self.lookup(id)?;
+        self.make_hot(idx)?;
+        match self.slots.get(idx).and_then(|s| s.as_ref()) {
+            Some(t) => {
+                if t.bound_withdrawn {
+                    return Ok(None);
+                }
+                let own = match &t.residency {
+                    Residency::Hot(s) => s.error_bound(),
+                    _ => None,
+                };
+                Ok(own.map(|b| b + t.carried_bound))
+            }
+            None => Err(AdmissionError::UnknownStream { stream: id }),
+        }
+    }
+
+    /// Backfills one stream from a point slice through the sharded engine
+    /// ([`ShardedIngest`]): shards summarise in parallel, the reduce is
+    /// merged into the tenant, and the tenant's carried bound widens by
+    /// the run's composed shard + collector bound.
+    pub fn backfill_sharded(
+        &mut self,
+        id: StreamId,
+        points: &[Point2],
+        shards: usize,
+    ) -> Result<(), AdmissionError> {
+        let run = ShardedIngest::new(self.config.builder, shards).run(points);
+        let bound = match (run.shard_bound_sum(), run.summary.error_bound()) {
+            (Some(parts), Some(own)) => Some(parts + own),
+            _ => None,
+        };
+        self.absorb(id, &*run.summary, bound)
+    }
+
+    /// Backfills one stream through [`SupervisedIngest`] — checkpointed,
+    /// fault-detecting, replay-recovering ingestion at tenant scale. The
+    /// run's [`RecoveryReport`] is returned for inspection; its lost
+    /// points (if the run degraded) are tallied as shed on the tenant.
+    pub fn backfill_supervised(
+        &mut self,
+        id: StreamId,
+        points: &[Point2],
+        shards: usize,
+        checkpoint_interval: u64,
+    ) -> Result<RecoveryReport, AdmissionError> {
+        let run = SupervisedIngest::new(ShardedIngest::new(self.config.builder, shards))
+            .with_checkpoint_interval(checkpoint_interval)
+            .run_stream(points.iter().copied());
+        let bound = run.error_bound();
+        let lost = run.report.lost_points;
+        self.absorb(id, &*run.run.summary, bound)?;
+        if lost > 0 {
+            self.shed_points(id, lost);
+        }
+        Ok(run.report)
+    }
+
+    /// Merges a finished summary into `id` (registering it if new): the
+    /// governed path for adopting shard results or migrated tenants. The
+    /// tenant's carried bound widens by `donor_bound` (the donor's own
+    /// composed error against its stream), or is withdrawn if `None`.
+    pub fn absorb(
+        &mut self,
+        id: StreamId,
+        donor: &dyn Mergeable,
+        donor_bound: Option<f64>,
+    ) -> Result<(), AdmissionError> {
+        let idx = self.admit(id)?;
+        self.make_hot(idx)?;
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return Err(AdmissionError::UnknownStream { stream: id });
+        };
+        if let Residency::Hot(s) = &mut t.residency {
+            let before = t.bytes;
+            s.merge_from(donor);
+            let after = s.approx_bytes();
+            t.bytes = after;
+            t.seen += donor.points_seen();
+            t.ingested += donor.points_seen();
+            match donor_bound {
+                Some(b) => t.carried_bound += b,
+                None => t.bound_withdrawn = true,
+            }
+            self.bytes_in_use = self.bytes_in_use + after - before;
+            self.report.points_seen += donor.points_seen();
+            self.report.points_ingested += donor.points_seen();
+            self.note_peak();
+        }
+        self.touch(idx);
+        self.enforce_budget(Some(idx))
+    }
+
+    /// Exports a set of tenants into a [`MultiStreamTracker`] for pairwise
+    /// analytics (separation, containment, overlap). Each summary is
+    /// cloned via a snapshot round-trip, so the tracker is independent of
+    /// the engine; streams are named by their decimal id.
+    pub fn export_tracker(
+        &mut self,
+        ids: &[StreamId],
+    ) -> Result<MultiStreamTracker, AdmissionError> {
+        let mut tracker = MultiStreamTracker::new(self.config.builder);
+        for &id in ids {
+            let idx = self.lookup(id)?;
+            self.make_hot(idx)?;
+            let encoded = match self.slots.get(idx).and_then(|s| s.as_ref()) {
+                Some(Tenant {
+                    residency: Residency::Hot(s),
+                    ..
+                }) => s.encode_snapshot(),
+                _ => return Err(AdmissionError::UnknownStream { stream: id }),
+            };
+            match self.decode_interned(&encoded) {
+                Ok(copy) => tracker.adopt_stream(&id.to_string(), copy),
+                Err(error) => return Err(AdmissionError::Quarantined { stream: id, error }),
+            }
+        }
+        Ok(tracker)
+    }
+
+    /// Drops a stream entirely (any tier — including quarantined, which is
+    /// how an operator clears a poisoned tenant). Returns its final stats.
+    pub fn remove(&mut self, id: StreamId) -> Option<TenantStats> {
+        let stats = self.stats(id)?;
+        let idx = self.index.remove(&id)?;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            if let Some(t) = slot.take() {
+                self.bytes_in_use -= t.bytes;
+                match t.residency {
+                    Residency::Hot(_) => self.hot -= 1,
+                    Residency::Cold(_) => self.cold -= 1,
+                    Residency::Quarantined(_) => self.quarantined -= 1,
+                }
+            }
+            self.free.push(idx);
+        }
+        Some(stats)
+    }
+
+    // ---- internals -----------------------------------------------------
+
+    fn tenant(&self, id: StreamId) -> Option<&Tenant> {
+        let &idx = self.index.get(&id)?;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    fn lookup(&self, id: StreamId) -> Result<usize, AdmissionError> {
+        self.index
+            .get(&id)
+            .copied()
+            .ok_or(AdmissionError::UnknownStream { stream: id })
+    }
+
+    fn note_peak(&mut self) {
+        if self.bytes_in_use > self.report.bytes_peak {
+            self.report.bytes_peak = self.bytes_in_use;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        let clock = self.clock;
+        if let Some(Some(t)) = self.slots.get_mut(idx) {
+            t.last_touch = clock;
+        }
+    }
+
+    fn push_event(&mut self, stream: StreamId, action: PressureAction) {
+        if self.report.events.len() < self.config.event_capacity {
+            let tick = self.clock;
+            self.report.events.push(PressureEvent {
+                stream,
+                tick,
+                action,
+            });
+        } else {
+            self.report.events_dropped += 1;
+        }
+    }
+
+    /// Slot of `id`, registering a fresh tenant if new. Respects
+    /// `max_streams` (under a shedding policy the coldest tenant makes
+    /// room; under `Reject` the registration errors).
+    fn admit(&mut self, id: StreamId) -> Result<usize, AdmissionError> {
+        if let Some(&idx) = self.index.get(&id) {
+            return Ok(idx);
+        }
+        let limit = self.config.max_streams;
+        if limit != 0 && self.index.len() >= limit {
+            match self.config.policy {
+                OverloadPolicy::Reject => {
+                    self.report.streams_rejected += 1;
+                    self.push_event(id, PressureAction::Rejected { points: 0 });
+                    return Err(AdmissionError::StreamLimit { limit });
+                }
+                _ => {
+                    // Make room: evict the least-recently-touched tenant.
+                    if let Some(victim) = self.coldest() {
+                        self.evict_slot(victim);
+                    }
+                }
+            }
+        }
+        let builder = self.config.builder;
+        let summary = self.build_summary(&builder);
+        let bytes = summary.approx_bytes();
+        let tenant = Tenant {
+            id,
+            residency: Residency::Hot(summary),
+            bytes,
+            last_touch: self.clock,
+            seen: 0,
+            ingested: 0,
+            shed: 0,
+            degraded: false,
+            carried_bound: 0.0,
+            bound_withdrawn: false,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                if let Some(slot) = self.slots.get_mut(i) {
+                    *slot = Some(tenant);
+                }
+                i
+            }
+            None => {
+                self.slots.push(Some(tenant));
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(id, idx);
+        self.hot += 1;
+        self.bytes_in_use += bytes;
+        self.report.streams_admitted += 1;
+        self.note_peak();
+        Ok(idx)
+    }
+
+    /// Builds a summary for `builder`, sharing the frozen fan / radial
+    /// sector table (one allocation per configuration, not per stream).
+    fn build_summary(&mut self, builder: &SummaryBuilder) -> Box<dyn Mergeable + Send + Sync> {
+        match builder.kind() {
+            SummaryKind::Frozen => {
+                let key = (builder.r(), builder.seed());
+                let fan = self
+                    .fans
+                    .entry(key)
+                    .or_insert_with(|| builder.frozen_fan().into())
+                    .clone();
+                Box::new(FrozenHull::from_shared_units(fan))
+            }
+            SummaryKind::Radial => {
+                let r = builder.r().max(4);
+                let table = self
+                    .sectors
+                    .entry(r)
+                    .or_insert_with(|| RadialHull::sector_bounds(r))
+                    .clone();
+                Box::new(RadialHull::with_shared_bounds(r, table))
+            }
+            _ => builder.build_mergeable(),
+        }
+    }
+
+    /// Hardened decode with table re-interning: a restored frozen/radial
+    /// summary's private fan or sector table is swapped for the engine's
+    /// shared allocation when bit-identical.
+    fn decode_interned(
+        &mut self,
+        bytes: &[u8],
+    ) -> Result<Box<dyn Mergeable + Send + Sync>, SnapshotError> {
+        match peek_kind(bytes)? {
+            Some(SummaryKind::Frozen) => {
+                let mut f = FrozenHull::decode(bytes)?;
+                for table in self.fans.values() {
+                    f.intern_directions(table);
+                }
+                Ok(Box::new(f))
+            }
+            Some(SummaryKind::Radial) => {
+                let mut h = RadialHull::decode(bytes)?;
+                if let Some(table) = self.sectors.get(&h.r()) {
+                    h.intern_bounds(table);
+                }
+                Ok(Box::new(h))
+            }
+            _ => crate::snapshot::restore_mergeable(bytes),
+        }
+    }
+
+    /// Hot → cold. `true` if a spill happened.
+    fn spill_slot(&mut self, idx: usize) -> bool {
+        self.spill_slot_inner(idx, false)
+    }
+
+    /// `force: false` refuses counterproductive spills: a tiny summary's
+    /// envelope can be *larger* than its live footprint, and an
+    /// engine-initiated spill (idle tick, budget relief) that grows
+    /// `bytes_in_use` would let a tick breach the budget with no write to
+    /// answer for it. The explicit [`TenantEngine::spill`] hook forces the
+    /// spill anyway (the chaos tests need a cold envelope to corrupt).
+    fn spill_slot_inner(&mut self, idx: usize, force: bool) -> bool {
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        let Residency::Hot(s) = &t.residency else {
+            return false;
+        };
+        let envelope = s.encode_snapshot();
+        let env_len = envelope.len();
+        let freed = t.bytes;
+        if !force && env_len >= freed {
+            return false;
+        }
+        t.residency = Residency::Cold(envelope);
+        t.bytes = env_len;
+        let id = t.id;
+        self.hot -= 1;
+        self.cold += 1;
+        self.bytes_in_use = self.bytes_in_use + env_len - freed;
+        self.report.spills += 1;
+        self.report.spilled_bytes += env_len as u64;
+        self.note_peak();
+        self.push_event(id, PressureAction::Spilled { bytes: env_len });
+        true
+    }
+
+    /// Cold → hot (bit-exact), quarantining the tenant on a failed decode.
+    fn make_hot(&mut self, idx: usize) -> Result<(), AdmissionError> {
+        let (id, envelope) = match self.slots.get(idx).and_then(|s| s.as_ref()) {
+            Some(t) => match &t.residency {
+                Residency::Hot(_) => return Ok(()),
+                Residency::Quarantined(e) => {
+                    return Err(AdmissionError::Quarantined {
+                        stream: t.id,
+                        error: e.clone(),
+                    })
+                }
+                Residency::Cold(bytes) => (t.id, bytes.clone()),
+            },
+            None => {
+                return Err(AdmissionError::UnknownStream {
+                    stream: StreamId(u64::MAX),
+                })
+            }
+        };
+        match self.decode_interned(&envelope) {
+            Ok(summary) => {
+                let live = summary.approx_bytes();
+                if let Some(Some(t)) = self.slots.get_mut(idx) {
+                    t.residency = Residency::Hot(summary);
+                    self.bytes_in_use = self.bytes_in_use + live - t.bytes;
+                    t.bytes = live;
+                }
+                self.cold -= 1;
+                self.hot += 1;
+                self.report.restores += 1;
+                self.note_peak();
+                self.push_event(
+                    id,
+                    PressureAction::Restored {
+                        bytes: envelope.len(),
+                    },
+                );
+                Ok(())
+            }
+            Err(error) => {
+                // Quarantine exactly this tenant: drop the poisoned
+                // envelope, keep the error, keep serving everyone else.
+                if let Some(Some(t)) = self.slots.get_mut(idx) {
+                    self.bytes_in_use -= t.bytes;
+                    t.bytes = 0;
+                    t.residency = Residency::Quarantined(error.clone());
+                }
+                self.cold -= 1;
+                self.quarantined += 1;
+                self.report.streams_quarantined += 1;
+                self.push_event(
+                    id,
+                    PressureAction::Quarantined {
+                        error: error.clone(),
+                    },
+                );
+                Err(AdmissionError::Quarantined { stream: id, error })
+            }
+        }
+    }
+
+    /// Records `n` finite points offered to `id` as shed (admitting the
+    /// tenant best-effort so the per-tenant ledger stays exact).
+    fn shed_points(&mut self, id: StreamId, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Ok(idx) = self.admit(id) {
+            if let Some(Some(t)) = self.slots.get_mut(idx) {
+                t.seen += n;
+                t.shed += n;
+            }
+        }
+        self.report.points_seen += n;
+        self.report.points_shed += n;
+        self.push_event(id, PressureAction::ShedPoints { points: n });
+    }
+
+    /// The single write path behind `insert`/`insert_batch`/`ingest_bulk`.
+    fn write(&mut self, id: StreamId, points: &[Point2]) -> Result<(), AdmissionError> {
+        // Non-finite points are silently dropped up front — the same
+        // contract every summary honours — so the engine ledger counts
+        // finite points only and `seen == ingested + shed` stays exact.
+        let finite: Vec<Point2>;
+        let points: &[Point2] = if points.iter().all(|p| p.is_finite()) {
+            points
+        } else {
+            finite = points.iter().copied().filter(|p| p.is_finite()).collect();
+            &finite
+        };
+        let n = points.len() as u64;
+        // Reject-policy engines gate *before* mutating: once at budget (and
+        // spilling cannot relieve), the points are refused, not half-taken.
+        if self.config.policy == OverloadPolicy::Reject && self.over_budget() {
+            self.spill_coldest_until_under();
+            if self.over_budget() {
+                self.report.points_rejected += n;
+                self.push_event(id, PressureAction::Rejected { points: n });
+                return Err(AdmissionError::OverBudget {
+                    in_use: self.bytes_in_use,
+                    budget: self.config.budget_bytes,
+                });
+            }
+        }
+        let was_known = self.index.contains_key(&id);
+        let idx = self.admit(id)?;
+        // Per-tenant cap gate.
+        let cap = self.config.tenant_cap_bytes;
+        if cap != 0 {
+            let at_cap = match self.slots.get(idx).and_then(|s| s.as_ref()) {
+                Some(t) => t.bytes >= cap,
+                None => false,
+            };
+            if at_cap {
+                match self.config.policy {
+                    OverloadPolicy::Reject => {
+                        let bytes = self.slots.get(idx).and_then(|s| s.as_ref());
+                        let bytes = bytes.map(|t| t.bytes).unwrap_or(0);
+                        self.report.points_rejected += n;
+                        self.push_event(id, PressureAction::Rejected { points: n });
+                        return Err(AdmissionError::TenantCap {
+                            stream: id,
+                            bytes,
+                            cap,
+                        });
+                    }
+                    OverloadPolicy::ShedOldest => {
+                        self.shed_points(id, n);
+                        self.touch(idx);
+                        return Ok(());
+                    }
+                    OverloadPolicy::DegradeToCoarser => {
+                        self.degrade_slot(idx);
+                        let still = match self.slots.get(idx).and_then(|s| s.as_ref()) {
+                            Some(t) => t.bytes >= cap,
+                            None => false,
+                        };
+                        if still {
+                            self.shed_points(id, n);
+                            self.touch(idx);
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        let was_cold = matches!(
+            self.slots
+                .get(idx)
+                .and_then(|s| s.as_ref())
+                .map(|t| &t.residency),
+            Some(Residency::Cold(_))
+        );
+        self.make_hot(idx)?;
+        // A Reject-policy engine may only discover the breach *after* the
+        // summary absorbed the batch (growth is not predictable up front),
+        // so it keeps a pre-write envelope and undoes the whole write —
+        // bit-exactly, restores being lossless — when enforcement fails.
+        let undo = if self.config.policy == OverloadPolicy::Reject
+            && self.config.budget_bytes != 0
+            && was_known
+        {
+            match self.slots.get(idx).and_then(|s| s.as_ref()) {
+                Some(t) => match &t.residency {
+                    Residency::Hot(s) => Some(s.encode_snapshot()),
+                    _ => None,
+                },
+                None => None,
+            }
+        } else {
+            None
+        };
+        if let Some(Some(t)) = self.slots.get_mut(idx) {
+            if let Residency::Hot(s) = &mut t.residency {
+                let before = t.bytes;
+                s.insert_batch(points);
+                let after = s.approx_bytes();
+                t.bytes = after;
+                t.seen += n;
+                t.ingested += n;
+                self.bytes_in_use = self.bytes_in_use + after - before;
+            }
+        }
+        self.touch(idx);
+        self.report.points_seen += n;
+        self.report.points_ingested += n;
+        self.note_peak();
+        match self.enforce_budget(Some(idx)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let rolled_back = if was_known {
+                    match &undo {
+                        Some(envelope) => self.unwrite(idx, envelope, was_cold, n),
+                        None => false,
+                    }
+                } else {
+                    self.forget_admission(id, n)
+                };
+                if rolled_back {
+                    Err(AdmissionError::OverBudget {
+                        in_use: self.bytes_in_use,
+                        budget: self.config.budget_bytes,
+                    })
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Undoes one rejected write by restoring the tenant's pre-write
+    /// state (bit-exact: the hot summary decoded from the envelope, or
+    /// the envelope itself if the tenant was cold before the write) and
+    /// withdrawing the write's ledger entries, re-recording the points as
+    /// rejected. `false` (nothing undone) only if the pre-write envelope
+    /// fails to decode — it was encoded from live state moments ago, so
+    /// that path is effectively unreachable, and the engine then keeps
+    /// the ingested state rather than corrupt it.
+    fn unwrite(&mut self, idx: usize, envelope: &[u8], was_cold: bool, n: u64) -> bool {
+        let summary = if was_cold {
+            None
+        } else {
+            match self.decode_interned(envelope) {
+                Ok(s) => Some(s),
+                Err(_) => return false,
+            }
+        };
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        let id = t.id;
+        let before = t.bytes;
+        let currently_cold = matches!(t.residency, Residency::Cold(_));
+        let after = match summary {
+            // Hot before the write: back to the decoded pre-write summary.
+            Some(s) => {
+                if currently_cold {
+                    self.cold -= 1;
+                    self.hot += 1;
+                }
+                let after = s.approx_bytes();
+                t.residency = Residency::Hot(s);
+                after
+            }
+            // Cold before the write: back to the envelope, so the restore
+            // the write forced does not leak footprint past the refusal.
+            None => {
+                if !currently_cold {
+                    self.hot -= 1;
+                    self.cold += 1;
+                }
+                t.residency = Residency::Cold(envelope.to_vec());
+                envelope.len()
+            }
+        };
+        t.bytes = after;
+        t.seen -= n;
+        t.ingested -= n;
+        self.bytes_in_use = self.bytes_in_use + after - before;
+        self.report.points_seen -= n;
+        self.report.points_ingested -= n;
+        self.report.points_rejected += n;
+        self.push_event(id, PressureAction::Rejected { points: n });
+        true
+    }
+
+    /// Undoes a rejected write that also admitted `id`: the slot goes away
+    /// entirely, so a refused first write leaves no half-admitted tenant.
+    fn forget_admission(&mut self, id: StreamId, n: u64) -> bool {
+        if self.config.policy != OverloadPolicy::Reject {
+            return false;
+        }
+        if self.remove(id).is_none() {
+            return false;
+        }
+        self.report.streams_admitted = self.report.streams_admitted.saturating_sub(1);
+        self.report.points_seen -= n;
+        self.report.points_ingested -= n;
+        self.report.points_rejected += n;
+        self.push_event(id, PressureAction::Rejected { points: n });
+        true
+    }
+
+    fn over_budget(&self) -> bool {
+        let budget = self.config.budget_bytes;
+        budget != 0 && self.bytes_in_use > budget
+    }
+
+    /// Spill relief low-water mark: an eighth of hysteresis below the
+    /// budget, so relief is not re-triggered by the very next write.
+    fn low_water(&self) -> usize {
+        let b = self.config.budget_bytes;
+        b.saturating_sub(b / 8)
+    }
+
+    /// Tenants in coldness order (least-recently-touched first; id breaks
+    /// ties, so the order — and everything the governor does — is
+    /// deterministic).
+    fn coldness_order(&self) -> Vec<usize> {
+        let mut order: Vec<(u64, u64, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|t| (t.last_touch, t.id.0, i)))
+            .collect();
+        order.sort_unstable();
+        order.into_iter().map(|(_, _, i)| i).collect()
+    }
+
+    fn coldest(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|t| (t.last_touch, t.id.0, i)))
+            .min()
+            .map(|(_, _, i)| i)
+    }
+
+    fn spill_coldest_until_under(&mut self) {
+        let target = self.low_water();
+        if self.bytes_in_use <= target {
+            return;
+        }
+        for idx in self.coldness_order() {
+            if self.bytes_in_use <= target {
+                break;
+            }
+            self.spill_slot(idx);
+        }
+    }
+
+    fn evict_slot(&mut self, idx: usize) {
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return;
+        };
+        let id = t.id;
+        let seen = t.seen;
+        self.push_event(id, PressureAction::Evicted { seen });
+        self.report.streams_shed += 1;
+        self.remove(id);
+    }
+
+    /// Swaps a tenant's backend for the degrade fallback via an in-memory
+    /// merge (sample round-trip), widening — or withdrawing — the carried
+    /// bound by the donor's composed bound at hand-off. `true` if the
+    /// tenant was degraded by this call.
+    fn degrade_slot(&mut self, idx: usize) -> bool {
+        let already = match self.slots.get(idx).and_then(|s| s.as_ref()) {
+            Some(t) => t.degraded,
+            None => true,
+        };
+        if already || self.make_hot(idx).is_err() {
+            return false;
+        }
+        let fallback = self.config.degraded;
+        let mut coarse = self.build_summary(&fallback);
+        let Some(Some(t)) = self.slots.get_mut(idx) else {
+            return false;
+        };
+        let Residency::Hot(old) = &t.residency else {
+            return false;
+        };
+        let from = old.name();
+        let donor_bound = match (old.error_bound(), t.bound_withdrawn) {
+            (_, true) => None,
+            (Some(b), false) => Some(b + t.carried_bound),
+            (None, false) => None,
+        };
+        coarse.merge_from(&**old);
+        let to = coarse.name();
+        let before = t.bytes;
+        let after = coarse.approx_bytes();
+        t.residency = Residency::Hot(coarse);
+        t.bytes = after;
+        t.degraded = true;
+        match donor_bound {
+            Some(b) => t.carried_bound = b,
+            None => {
+                t.carried_bound = 0.0;
+                t.bound_withdrawn = true;
+            }
+        }
+        let id = t.id;
+        self.bytes_in_use = self.bytes_in_use + after - before;
+        self.report.streams_degraded += 1;
+        self.note_peak();
+        self.push_event(id, PressureAction::Degraded { from, to });
+        true
+    }
+
+    /// The graceful-degradation ladder, run after every write: spill idle
+    /// state first (free — restores are bit-exact), then apply the policy:
+    /// `Reject` errors, `ShedOldest` evicts coldest-first, and
+    /// `DegradeToCoarser` swaps backends coldest-first, evicting only if
+    /// even the fully degraded fleet cannot fit. On success the engine is
+    /// at or under budget.
+    fn enforce_budget(&mut self, keep: Option<usize>) -> Result<(), AdmissionError> {
+        if !self.over_budget() {
+            return Ok(());
+        }
+        self.spill_coldest_until_under();
+        if !self.over_budget() {
+            return Ok(());
+        }
+        let target = self.low_water();
+        match self.config.policy {
+            OverloadPolicy::Reject => Err(AdmissionError::OverBudget {
+                in_use: self.bytes_in_use,
+                budget: self.config.budget_bytes,
+            }),
+            OverloadPolicy::ShedOldest => {
+                for idx in self.coldness_order() {
+                    if self.bytes_in_use <= target {
+                        break;
+                    }
+                    if Some(idx) == keep {
+                        continue;
+                    }
+                    self.evict_slot(idx);
+                }
+                // Last resort: the active tenant alone exceeds the budget.
+                if self.over_budget() {
+                    if let Some(idx) = keep {
+                        self.evict_slot(idx);
+                    }
+                }
+                Ok(())
+            }
+            OverloadPolicy::DegradeToCoarser => {
+                for idx in self.coldness_order() {
+                    if self.bytes_in_use <= target {
+                        break;
+                    }
+                    self.degrade_slot(idx);
+                    self.spill_slot(idx);
+                }
+                if self.over_budget() {
+                    // Even the degraded fleet cannot fit: shed.
+                    for idx in self.coldness_order() {
+                        if self.bytes_in_use <= target {
+                            break;
+                        }
+                        if Some(idx) == keep {
+                            continue;
+                        }
+                        self.evict_slot(idx);
+                    }
+                    if self.over_budget() {
+                        if let Some(idx) = keep {
+                            self.evict_slot(idx);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// SplitMix64 — the workspace's standard seed mixer, here routing stream
+/// ids to engine shards.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `N` independent [`TenantEngine`]s with traffic routed by stream-id
+/// hash: tenants are disjoint across shards, so bulk ingest fans out onto
+/// scoped threads with no cross-shard coordination (the same worker
+/// discipline as [`ShardedIngest`]) and
+/// every per-shard guarantee — budget, quarantine isolation, exact
+/// accounting — holds for the fleet.
+#[derive(Debug)]
+pub struct ShardedTenants {
+    shards: Vec<TenantEngine>,
+}
+
+impl ShardedTenants {
+    /// `shards` engines (at least 1), each governed by `config`. Note the
+    /// budget is **per shard**: a fleet budget `B` over `n` shards is
+    /// `config.with_budget_bytes(B / n)`.
+    pub fn new(config: TenantConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedTenants {
+            shards: (0..shards).map(|_| TenantEngine::new(config)).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns `id`.
+    pub fn shard_of(&self, id: StreamId) -> usize {
+        (splitmix64(id.0) % self.shards.len() as u64) as usize
+    }
+
+    /// Borrows the engine owning `id`.
+    pub fn engine(&self, id: StreamId) -> &TenantEngine {
+        &self.shards[self.shard_of(id)]
+    }
+
+    /// Mutably borrows the engine owning `id`.
+    pub fn engine_mut(&mut self, id: StreamId) -> &mut TenantEngine {
+        let s = self.shard_of(id);
+        &mut self.shards[s]
+    }
+
+    /// All shards, in shard order.
+    pub fn engines(&self) -> &[TenantEngine] {
+        &self.shards
+    }
+
+    /// Total registered streams.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(TenantEngine::len).sum()
+    }
+
+    /// `true` when no shard holds a stream.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(TenantEngine::is_empty)
+    }
+
+    /// Total accounted bytes.
+    pub fn bytes_in_use(&self) -> usize {
+        self.shards.iter().map(TenantEngine::bytes_in_use).sum()
+    }
+
+    /// Routes interleaved traffic to its owning shards and ingests each
+    /// shard's slice on its own scoped thread (deterministic: shards own
+    /// disjoint tenants and each slice preserves arrival order). Returns
+    /// the first shard error in shard order, if any — under shedding /
+    /// degrading policies, shards never error.
+    pub fn ingest_bulk(&mut self, traffic: &[(StreamId, Point2)]) -> Result<(), AdmissionError> {
+        let n = self.shards.len();
+        let mut routed: Vec<Vec<(StreamId, Point2)>> = vec![Vec::new(); n];
+        for &(id, p) in traffic {
+            routed[(splitmix64(id.0) % n as u64) as usize].push((id, p));
+        }
+        let mut results: Vec<Result<(), AdmissionError>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .zip(routed.iter())
+                .map(|(engine, slice)| scope.spawn(move || engine.ingest_bulk(slice)))
+                .collect();
+            for h in handles {
+                results.push(h.join().unwrap_or(Err(AdmissionError::UnknownStream {
+                    stream: StreamId(u64::MAX),
+                })));
+            }
+        });
+        results.into_iter().collect()
+    }
+
+    /// Advances every shard's idle clock (see [`TenantEngine::tick`]).
+    pub fn tick(&mut self) {
+        for s in &mut self.shards {
+            s.tick();
+        }
+    }
+
+    /// Fleet-wide report: shard tallies summed, event logs concatenated in
+    /// shard order (bounded by the sum of the shard caps).
+    pub fn pressure_report(&self) -> PressureReport {
+        let mut total = PressureReport::default();
+        for s in &self.shards {
+            let r = s.pressure_report();
+            total.budget_bytes += r.budget_bytes;
+            total.bytes_in_use += r.bytes_in_use;
+            total.bytes_peak += r.bytes_peak;
+            total.streams_admitted += r.streams_admitted;
+            total.streams_rejected += r.streams_rejected;
+            total.streams_shed += r.streams_shed;
+            total.streams_degraded += r.streams_degraded;
+            total.streams_quarantined += r.streams_quarantined;
+            total.points_seen += r.points_seen;
+            total.points_ingested += r.points_ingested;
+            total.points_shed += r.points_shed;
+            total.points_rejected += r.points_rejected;
+            total.spills += r.spills;
+            total.restores += r.restores;
+            total.spilled_bytes += r.spilled_bytes;
+            total.events_dropped += r.events_dropped;
+            total.events.extend(r.events);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize, cx: f64, cy: f64, r: f64) -> Vec<Point2> {
+        (0..n)
+            .map(|i| {
+                let t = core::f64::consts::TAU * i as f64 / n as f64;
+                Point2::new(cx + r * t.cos(), cy + r * t.sin())
+            })
+            .collect()
+    }
+
+    fn engine(kind: SummaryKind) -> TenantEngine {
+        TenantEngine::new(TenantConfig::new(SummaryBuilder::new(kind).with_r(16)))
+    }
+
+    #[test]
+    fn ingest_and_query_roundtrip() {
+        let mut e = engine(SummaryKind::Adaptive);
+        e.insert_batch(StreamId(7), &ring(100, 0.0, 0.0, 2.0))
+            .unwrap();
+        assert_eq!(e.len(), 1);
+        assert_eq!(e.tier(StreamId(7)), Some(Tier::Hot));
+        let s = e.stats(StreamId(7)).unwrap();
+        assert_eq!(s.seen, 100);
+        assert_eq!(s.ingested, 100);
+        assert_eq!(s.shed, 0);
+        assert!(e.hull(StreamId(7)).unwrap().len() >= 3);
+        assert!(e.error_bound(StreamId(7)).unwrap().is_some());
+    }
+
+    #[test]
+    fn non_finite_points_not_counted() {
+        let mut e = engine(SummaryKind::Exact);
+        e.insert_batch(
+            StreamId(1),
+            &[
+                Point2::new(0.0, 0.0),
+                Point2::new(f64::NAN, 1.0),
+                Point2::new(1.0, f64::INFINITY),
+                Point2::new(2.0, 2.0),
+            ],
+        )
+        .unwrap();
+        let s = e.stats(StreamId(1)).unwrap();
+        assert_eq!(s.seen, 2);
+        assert_eq!(s.ingested, 2);
+    }
+
+    #[test]
+    fn shared_tables_one_allocation_per_config() {
+        // 50 radial tenants: the sector table is charged to none of them
+        // once shared, so per-tenant cost is near the bucket array alone.
+        let mut e = engine(SummaryKind::Radial);
+        for i in 0..50 {
+            e.insert_batch(StreamId(i), &ring(8, i as f64, 0.0, 1.0))
+                .unwrap();
+        }
+        let solo = {
+            let h = RadialHull::new(16);
+            h.approx_bytes()
+        };
+        let shared = e.stats(StreamId(0)).unwrap().bytes;
+        assert!(
+            shared < solo,
+            "shared-table tenant ({shared} B) should be cheaper than solo ({solo} B)"
+        );
+    }
+
+    #[test]
+    fn idle_tick_spills_and_restores_bit_exactly() {
+        let mut e = engine(SummaryKind::Adaptive);
+        let pts = ring(200, 1.0, -2.0, 3.0);
+        e.insert_batch(StreamId(1), &pts).unwrap();
+        let hull_before = e.hull(StreamId(1)).unwrap();
+        let bound_before = e.error_bound(StreamId(1)).unwrap();
+        e.tick();
+        e.tick();
+        assert_eq!(e.tier(StreamId(1)), Some(Tier::Cold));
+        let hull_after = e.hull(StreamId(1)).unwrap(); // touch restores
+        assert_eq!(e.tier(StreamId(1)), Some(Tier::Hot));
+        assert_eq!(hull_before.vertices(), hull_after.vertices());
+        let bound_after = e.error_bound(StreamId(1)).unwrap();
+        assert_eq!(
+            bound_before.map(f64::to_bits),
+            bound_after.map(f64::to_bits),
+            "restore must be bit-exact"
+        );
+        let report = e.pressure_report();
+        assert_eq!(report.spills, 1);
+        assert_eq!(report.restores, 1);
+        assert!(!report.is_degraded(), "spill/restore is not degradation");
+    }
+
+    #[test]
+    fn corrupt_spill_quarantines_only_that_tenant() {
+        let mut e = engine(SummaryKind::Uniform);
+        for i in 0..10 {
+            e.insert_batch(StreamId(i), &ring(50, i as f64, 0.0, 1.0))
+                .unwrap();
+        }
+        assert!(e.spill(StreamId(3)));
+        assert!(e.corrupt_spill(StreamId(3), 9, 0xA5));
+        let err = e.hull(StreamId(3)).unwrap_err();
+        assert!(matches!(err, AdmissionError::Quarantined { stream, .. } if stream == StreamId(3)));
+        assert_eq!(e.tier(StreamId(3)), Some(Tier::Quarantined));
+        assert_eq!(e.quarantined_count(), 1);
+        // Every other tenant keeps serving.
+        for i in (0..10).filter(|&i| i != 3) {
+            assert!(e.hull(StreamId(i)).unwrap().len() >= 3, "tenant {i}");
+        }
+        // Further writes to the poisoned tenant stay typed errors.
+        assert!(matches!(
+            e.insert(StreamId(3), Point2::new(0.0, 0.0)),
+            Err(AdmissionError::Quarantined { .. })
+        ));
+        // An operator can clear it.
+        assert!(e.remove(StreamId(3)).is_some());
+        assert_eq!(e.quarantined_count(), 0);
+        e.insert(StreamId(3), Point2::new(0.0, 0.0)).unwrap();
+    }
+
+    #[test]
+    fn reject_policy_errors_past_budget() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Exact))
+            .with_budget_bytes(4096)
+            .with_policy(OverloadPolicy::Reject);
+        let mut e = TenantEngine::new(config);
+        let mut refused = 0u64;
+        for i in 0..200 {
+            if e.insert_batch(StreamId(i), &ring(40, i as f64 * 10.0, 0.0, 1.0))
+                .is_err()
+            {
+                refused += 1;
+            }
+        }
+        assert!(refused > 0, "a 4 KB budget cannot hold 200 exact tenants");
+        let r = e.pressure_report();
+        assert!(r.is_degraded());
+        assert!(r.points_rejected > 0);
+        // Rejected points are not part of the seen ledger.
+        assert_eq!(r.points_seen, r.points_ingested + r.points_shed);
+    }
+
+    #[test]
+    fn shed_policy_never_errors_and_keeps_budget() {
+        let budget = 64 * 1024;
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Uniform).with_r(16))
+            .with_budget_bytes(budget)
+            .with_policy(OverloadPolicy::ShedOldest);
+        let mut e = TenantEngine::new(config);
+        for i in 0..500 {
+            e.insert_batch(StreamId(i), &ring(30, i as f64, 0.0, 1.0))
+                .expect("shedding engines never error");
+            assert!(
+                e.bytes_in_use() <= budget,
+                "budget must hold at every checkpoint"
+            );
+        }
+        let r = e.pressure_report();
+        assert!(r.streams_shed > 0, "pressure must have shed someone");
+        assert_eq!(r.points_seen, r.points_ingested + r.points_shed);
+        // Live tenants keep exact per-tenant ledgers.
+        for id in e.ids().collect::<Vec<_>>() {
+            let s = e.stats(id).unwrap();
+            assert_eq!(s.seen, s.ingested + s.shed, "tenant {id}");
+        }
+    }
+
+    #[test]
+    fn degrade_policy_swaps_backend_and_widens_bound() {
+        let budget = 48 * 1024;
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(32))
+            .with_budget_bytes(budget)
+            .with_policy(OverloadPolicy::DegradeToCoarser);
+        let mut e = TenantEngine::new(config);
+        for i in 0..300 {
+            e.insert_batch(StreamId(i), &ring(40, 0.0, 0.0, 2.0))
+                .unwrap();
+            assert!(e.bytes_in_use() <= budget);
+        }
+        let r = e.pressure_report();
+        assert!(
+            r.streams_degraded > 0,
+            "pressure must have degraded someone"
+        );
+        // Find a degraded survivor and check its story is honest.
+        let degraded: Vec<StreamId> = e
+            .ids()
+            .filter(|&id| e.stats(id).map(|s| s.degraded).unwrap_or(false))
+            .collect();
+        assert!(!degraded.is_empty());
+        let id = degraded[0];
+        let summary_name = e.summary(id).unwrap().name();
+        assert_eq!(summary_name, "radial", "fallback backend took over");
+        // An adaptive donor has a bound, so the composed bound survives —
+        // wider than a fresh radial bound alone would claim.
+        let composed = e.error_bound(id).unwrap();
+        assert!(composed.is_some());
+    }
+
+    #[test]
+    fn frozen_degrade_withdraws_bound() {
+        // A frozen donor has no bound, so degrading must *withdraw* the
+        // bound, not invent one from the fallback backend.
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Frozen).with_r(16));
+        let mut e = TenantEngine::new(config);
+        e.insert_batch(StreamId(9), &ring(60, 0.0, 0.0, 1.0))
+            .unwrap();
+        let idx = e.lookup(StreamId(9)).unwrap();
+        assert!(e.degrade_slot(idx));
+        assert_eq!(e.summary(StreamId(9)).unwrap().name(), "radial");
+        assert_eq!(e.error_bound(StreamId(9)).unwrap(), None);
+    }
+
+    #[test]
+    fn tenant_cap_gates_single_stream() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Exact))
+            .with_tenant_cap_bytes(2048)
+            .with_policy(OverloadPolicy::Reject);
+        let mut e = TenantEngine::new(config);
+        let mut hit_cap = false;
+        for chunk in 0..200 {
+            let pts = ring(50, 0.0, 0.0, 1.0 + chunk as f64);
+            match e.insert_batch(StreamId(1), &pts) {
+                Ok(()) => {}
+                Err(AdmissionError::TenantCap { stream, .. }) => {
+                    assert_eq!(stream, StreamId(1));
+                    hit_cap = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(
+            hit_cap,
+            "an exact tenant on growing rings must hit a 2 KB cap"
+        );
+    }
+
+    #[test]
+    fn max_streams_limit() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Radial).with_r(8))
+            .with_max_streams(3);
+        let mut e = TenantEngine::new(config);
+        for i in 0..3 {
+            e.insert(StreamId(i), Point2::new(i as f64, 0.0)).unwrap();
+        }
+        assert!(matches!(
+            e.insert(StreamId(99), Point2::new(0.0, 0.0)),
+            Err(AdmissionError::StreamLimit { limit: 3 })
+        ));
+        // Under a shedding policy the registry makes room instead.
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Radial).with_r(8))
+            .with_max_streams(3)
+            .with_policy(OverloadPolicy::ShedOldest);
+        let mut e = TenantEngine::new(config);
+        for i in 0..5 {
+            e.tick();
+            e.insert(StreamId(i), Point2::new(i as f64, 0.0)).unwrap();
+        }
+        assert_eq!(e.len(), 3);
+        assert!(!e.contains(StreamId(0)), "coldest tenant made room");
+    }
+
+    #[test]
+    fn bulk_ingest_groups_and_queues() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Exact))
+            .with_queue_points(6)
+            .with_policy(OverloadPolicy::ShedOldest);
+        let mut e = TenantEngine::new(config);
+        let traffic: Vec<(StreamId, Point2)> = (0..10)
+            .map(|i| (StreamId(i % 2), Point2::new(i as f64, (i * i) as f64)))
+            .collect();
+        e.ingest_bulk(&traffic).unwrap();
+        // 4 oldest points shed, 6 newest ingested; ledger exact.
+        let r = e.pressure_report();
+        assert_eq!(r.points_shed, 4);
+        assert_eq!(r.points_ingested, 6);
+        assert_eq!(r.points_seen, 10);
+        let a = e.stats(StreamId(0)).unwrap();
+        let b = e.stats(StreamId(1)).unwrap();
+        assert_eq!(a.seen + b.seen, 10);
+        assert_eq!(a.seen, a.ingested + a.shed);
+        assert_eq!(b.seen, b.ingested + b.shed);
+
+        // Reject policy refuses the whole over-long batch, atomically.
+        let config =
+            TenantConfig::new(SummaryBuilder::new(SummaryKind::Exact)).with_queue_points(6);
+        let mut e = TenantEngine::new(config);
+        assert!(matches!(
+            e.ingest_bulk(&traffic),
+            Err(AdmissionError::QueueFull {
+                offered: 10,
+                capacity: 6
+            })
+        ));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn bulk_ingest_matches_per_stream_ingest() {
+        // Interleaved bulk traffic must land bit-identically to the same
+        // points fed stream by stream.
+        let mut bulk = engine(SummaryKind::Adaptive);
+        let mut serial = engine(SummaryKind::Adaptive);
+        let mut traffic = Vec::new();
+        for i in 0..300usize {
+            let id = StreamId((i % 7) as u64);
+            let t = i as f64 * 0.1;
+            traffic.push((id, Point2::new(t.cos() * (1.0 + i as f64), t.sin())));
+        }
+        bulk.ingest_bulk(&traffic).unwrap();
+        for &(id, p) in &traffic {
+            serial.insert(id, p).unwrap();
+        }
+        for stream in 0..7u64 {
+            let id = StreamId(stream);
+            let a = bulk.hull(id).unwrap();
+            let b = serial.hull(id).unwrap();
+            assert_eq!(a.vertices(), b.vertices(), "stream {stream}");
+        }
+    }
+
+    #[test]
+    fn sharded_tenants_route_and_report() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Uniform).with_r(8));
+        let mut fleet = ShardedTenants::new(config, 4);
+        let traffic: Vec<(StreamId, Point2)> = (0..1000)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                (StreamId(i % 37), Point2::new(t.cos(), t.sin()))
+            })
+            .collect();
+        fleet.ingest_bulk(&traffic).unwrap();
+        assert_eq!(fleet.len(), 37);
+        let r = fleet.pressure_report();
+        assert_eq!(r.points_seen, 1000);
+        assert_eq!(r.points_seen, r.points_ingested + r.points_shed);
+        // Routing is stable: the owning engine serves the stream.
+        let id = StreamId(11);
+        assert!(fleet.engine(id).contains(id));
+        let hull = fleet.engine_mut(id).hull(id).unwrap();
+        assert!(hull.len() >= 3);
+    }
+
+    #[test]
+    fn absorb_and_backfill_compose_with_sharded_recovery() {
+        let pts = ring(5000, 0.0, 0.0, 4.0);
+        let mut e = engine(SummaryKind::Adaptive);
+        e.backfill_sharded(StreamId(1), &pts, 4).unwrap();
+        let report = e.backfill_supervised(StreamId(2), &pts, 2, 1024).unwrap();
+        assert_eq!(report.lost_points, 0);
+        let s1 = e.stats(StreamId(1)).unwrap();
+        assert_eq!(s1.seen, 5000);
+        assert_eq!(s1.seen, s1.ingested + s1.shed);
+        // Both tenants carry honest (widened) bounds from their backfills.
+        assert!(e.error_bound(StreamId(1)).unwrap().is_some());
+        assert!(e.error_bound(StreamId(2)).unwrap().is_some());
+        let d1 = geom::calipers::diameter(&e.hull(StreamId(1)).unwrap())
+            .unwrap()
+            .2;
+        assert!((d1 - 8.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn export_tracker_bridges_to_pairwise_queries() {
+        let mut e = engine(SummaryKind::Adaptive);
+        e.insert_batch(StreamId(1), &ring(200, 0.0, 0.0, 1.0))
+            .unwrap();
+        e.insert_batch(StreamId(2), &ring(200, 10.0, 0.0, 1.0))
+            .unwrap();
+        let mut tracker = e.export_tracker(&[StreamId(1), StreamId(2)]).unwrap();
+        tracker.refresh();
+        assert!(matches!(
+            tracker.pair_state("1", "2"),
+            crate::queries::PairState::Separated(d) if d > 5.0
+        ));
+        // The export is a snapshot: mutating the engine does not move it.
+        e.insert(StreamId(1), Point2::new(100.0, 0.0)).unwrap();
+        assert_eq!(tracker.summary("1").unwrap().points_seen(), 200);
+    }
+
+    #[test]
+    fn pressure_event_log_is_bounded() {
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Radial).with_r(8))
+            .with_event_capacity(5);
+        let mut e = TenantEngine::new(config);
+        for i in 0..50 {
+            e.insert(StreamId(i), Point2::new(i as f64, 0.0)).unwrap();
+            e.spill(StreamId(i));
+        }
+        let r = e.pressure_report();
+        assert_eq!(r.events.len(), 5);
+        assert!(r.events_dropped > 0);
+        assert_eq!(r.spills, 50);
+    }
+}

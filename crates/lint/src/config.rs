@@ -51,6 +51,10 @@ impl Config {
                 // (injected-crash and abort-mode re-raise sites carry
                 // explicit allows).
                 "crates/core/src/recovery.rs".into(),
+                // The tenant governor's contract is "quota pressure and
+                // corruption are values, never crashes": every admission,
+                // shedding, spill, and quarantine outcome must be typed.
+                "crates/core/src/tenant.rs".into(),
                 // Fixture corpus: lets CI demonstrate the rule from the
                 // CLI (the workspace walk never descends into fixtures).
                 "crates/lint/fixtures/no_panic".into(),

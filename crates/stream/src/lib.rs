@@ -11,7 +11,10 @@
 //! * **evenly spaced circle points** (the `Ω(D/r²)` lower bound of
 //!   Theorem 5.5);
 //! * Gaussian clouds, annuli, segments and outward spirals (adversarial for
-//!   incremental hulls: every point is a new hull vertex).
+//!   incremental hulls: every point is a new hull vertex);
+//! * **interleaved multi-tenant traffic** ([`TenantTraffic`]): `(stream,
+//!   point)` pairs over many streams with hot/cold skew, the workload for
+//!   the governed tenant engine.
 //!
 //! All generators are deterministic given a seed, implement
 //! [`Iterator<Item = Point2>`], and can be composed with the adapters in
@@ -24,6 +27,7 @@
 
 pub mod fault;
 pub mod shapes;
+pub mod tenant;
 pub mod transform;
 
 use geom::Point2;
@@ -34,6 +38,7 @@ pub use fault::{CoordinateGlitch, NonFiniteBursts};
 pub use shapes::{
     Annulus, Changing, CirclePoints, Disk, Drift, Ellipse, Gaussian, SegmentCloud, Spiral, Square,
 };
+pub use tenant::TenantTraffic;
 pub use transform::{Chunks, Rotate, Scale, Timestamped, Translate};
 
 /// A finite, seeded stream of points. Blanket-implemented for every

@@ -1,0 +1,173 @@
+//! Interleaved multi-tenant traffic: `(stream id, point)` pairs with the
+//! hot/cold skew real fleets show — a small fraction of streams carries
+//! most of the traffic while the long tail goes idle between touches.
+//! This is the workload a governed tenant engine is built for: the hot
+//! set must stay resident, the tail must spill, and both arrive
+//! interleaved on the same wire.
+
+use geom::Point2;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::rng;
+
+/// Deterministic interleaved multi-tenant traffic generator.
+///
+/// Yields exactly `n` `(stream, point)` pairs over `streams` stream ids
+/// (`0..streams`). Each draw first picks hot vs cold by the configured
+/// traffic share, then a stream uniformly within the class, then a point
+/// from that stream's own distribution: a unit-radius ring-blob whose
+/// centre is derived by hashing the stream id, so every stream has a
+/// distinct, stationary geometry and a non-trivial hull.
+#[derive(Debug)]
+pub struct TenantTraffic {
+    rng: StdRng,
+    remaining: usize,
+    streams: u64,
+    hot_streams: u64,
+    hot_share: f64,
+    spread: f64,
+}
+
+impl TenantTraffic {
+    /// `n` pairs over `streams` ids with the default 10% / 90% skew: the
+    /// first 10% of ids (at least one) receive 90% of the traffic.
+    pub fn new(seed: u64, streams: u64, n: usize) -> Self {
+        TenantTraffic {
+            rng: rng(seed),
+            remaining: n,
+            streams: streams.max(1),
+            hot_streams: (streams / 10).max(1).min(streams.max(1)),
+            hot_share: 0.9,
+            spread: 100.0,
+        }
+    }
+
+    /// Overrides the skew: `hot_fraction` of the ids (clamped to
+    /// `[1/streams, 1]`) receive `hot_share` (clamped to `[0, 1]`) of the
+    /// traffic. `with_skew(1.0, _)` or `with_skew(_, 0.0)`-style settings
+    /// degenerate gracefully to uniform traffic.
+    pub fn with_skew(mut self, hot_fraction: f64, hot_share: f64) -> Self {
+        let frac = hot_fraction.clamp(0.0, 1.0);
+        self.hot_streams = ((self.streams as f64 * frac) as u64)
+            .max(1)
+            .min(self.streams);
+        self.hot_share = hot_share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Overrides how far apart stream centres are scattered (default 100).
+    pub fn with_spread(mut self, spread: f64) -> Self {
+        self.spread = spread.abs();
+        self
+    }
+
+    /// Total stream ids.
+    pub fn streams(&self) -> u64 {
+        self.streams
+    }
+
+    /// Ids in the hot class (`0..hot_streams`).
+    pub fn hot_streams(&self) -> u64 {
+        self.hot_streams
+    }
+
+    /// The deterministic centre of `stream`'s point cloud.
+    pub fn center(&self, stream: u64) -> Point2 {
+        let h = splitmix64(stream.wrapping_add(0x5EED));
+        // Two independent uniform [0,1) lanes from one mix.
+        let x = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let y = (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64;
+        Point2::new((x - 0.5) * 2.0 * self.spread, (y - 0.5) * 2.0 * self.spread)
+    }
+}
+
+/// SplitMix64 — the workspace's standard deterministic mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Iterator for TenantTraffic {
+    type Item = (u64, Point2);
+    fn next(&mut self) -> Option<(u64, Point2)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let cold_streams = self.streams - self.hot_streams;
+        let hot: f64 = self.rng.gen_range(0.0..1.0);
+        let stream = if cold_streams == 0 || hot < self.hot_share {
+            self.rng.gen_range(0..self.hot_streams)
+        } else {
+            self.hot_streams + self.rng.gen_range(0..cold_streams)
+        };
+        let c = self.center(stream);
+        // A ring-blob: angle uniform, radius in [0.5, 1] — points spread
+        // around the stream's own hull instead of collapsing to a dot.
+        let ang: f64 = self.rng.gen_range(0.0..core::f64::consts::TAU);
+        let rad: f64 = self.rng.gen_range(0.5..=1.0);
+        let p = Point2::new(c.x + rad * ang.cos(), c.y + rad * ang.sin());
+        Some((stream, p))
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for TenantTraffic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_exact_length() {
+        let a: Vec<(u64, Point2)> = TenantTraffic::new(42, 100, 1000).collect();
+        let b: Vec<(u64, Point2)> = TenantTraffic::new(42, 100, 1000).collect();
+        assert_eq!(a.len(), 1000);
+        assert_eq!(a, b);
+        let c: Vec<(u64, Point2)> = TenantTraffic::new(43, 100, 1000).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn skew_concentrates_traffic() {
+        let traffic: Vec<(u64, Point2)> = TenantTraffic::new(7, 1000, 20_000).collect();
+        let hot_streams = TenantTraffic::new(7, 1000, 0).hot_streams();
+        let hot_points = traffic.iter().filter(|(s, _)| *s < hot_streams).count();
+        let share = hot_points as f64 / traffic.len() as f64;
+        assert!(
+            (0.85..0.95).contains(&share),
+            "hot share {share} should be near 0.9"
+        );
+        // Every id stays in range.
+        assert!(traffic.iter().all(|(s, _)| *s < 1000));
+    }
+
+    #[test]
+    fn uniform_when_skew_disabled() {
+        let traffic: Vec<(u64, Point2)> = TenantTraffic::new(7, 50, 5000)
+            .with_skew(1.0, 0.5)
+            .collect();
+        let mut counts = [0usize; 50];
+        for (s, _) in &traffic {
+            counts[*s as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 20), "roughly uniform coverage");
+    }
+
+    #[test]
+    fn points_cluster_near_their_stream_center() {
+        let gen = TenantTraffic::new(11, 20, 0);
+        let traffic: Vec<(u64, Point2)> = TenantTraffic::new(11, 20, 2000).collect();
+        for (s, p) in traffic {
+            let c = gen.center(s);
+            let d = ((p.x - c.x).powi(2) + (p.y - c.y).powi(2)).sqrt();
+            assert!(d <= 1.0 + 1e-9, "stream {s}: point {d} from centre");
+            assert!(d >= 0.5 - 1e-9);
+        }
+    }
+}

@@ -130,6 +130,40 @@
 //! assert_eq!(run.report.total_retries(), 1);
 //! ```
 //!
+//! ## Multi-tenant operation under a memory budget
+//!
+//! A service holds one summary per user or sensor — millions of them.
+//! [`TenantEngine`] governs that fleet: per-tenant quotas and a global
+//! byte budget (every summary reports
+//! [`approx_bytes`](HullSummary::approx_bytes)), typed [`AdmissionError`]s
+//! instead of panics, an explicit [`OverloadPolicy`] (reject / shed
+//! oldest / degrade to a coarser backend with the error bound honestly
+//! widened), idle-stream spill to snapshot envelopes with bit-exact
+//! restore, per-tenant quarantine of corrupt spills, and an exact
+//! [`PressureReport`] ledger — the resource-pressure mirror of
+//! [`RecoveryReport`]:
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16))
+//!     .with_budget_bytes(64 * 1024)
+//!     .with_policy(OverloadPolicy::DegradeToCoarser);
+//! let mut engine = TenantEngine::new(config);
+//! for i in 0..200u64 {
+//!     let pts: Vec<Point2> = (0..50)
+//!         .map(|j| {
+//!             let t = j as f64 * 0.13;
+//!             Point2::new(i as f64 + t.cos(), t.sin())
+//!         })
+//!         .collect();
+//!     engine.insert_batch(StreamId(i), &pts).unwrap(); // shedding/degrading engines never abort
+//! }
+//! let report = engine.pressure_report();
+//! assert!(report.bytes_in_use <= 64 * 1024); // the budget holds at every call boundary
+//! assert_eq!(report.points_seen, report.points_ingested + report.points_shed);
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`geom`] — planar geometry substrate (robust predicates, hulls,
@@ -150,28 +184,32 @@ pub use geom;
 pub use streamgen;
 
 pub use adaptive_hull::window::WindowedRun;
-pub use adaptive_hull::{metrics, queries, recovery, snapshot, viz, window};
+pub use adaptive_hull::{metrics, queries, recovery, snapshot, tenant, viz, window};
 pub use adaptive_hull::{
-    AdaptiveHull, AdaptiveHullConfig, CheckpointEnvelope, CheckpointedRun, ClusterHull,
-    ClusterHullConfig, DetectedFault, ExactHull, Fault, FaultEvent, FaultPlan,
+    AdaptiveHull, AdaptiveHullConfig, AdmissionError, CheckpointEnvelope, CheckpointedRun,
+    ClusterHull, ClusterHullConfig, DetectedFault, ExactHull, Fault, FaultEvent, FaultPlan,
     FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, NonFiniteInput, RadialHull, RecoveryAction, RecoveryReport, RetryPolicy,
-    ShardCheckpoint, ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest, Snapshot,
-    SnapshotError, SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun,
-    SupervisedWindowedRun, UniformHull, WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
+    NaiveUniformHull, NonFiniteInput, OverloadPolicy, PressureAction, PressureEvent,
+    PressureReport, RadialHull, RecoveryAction, RecoveryReport, RetryPolicy, ShardCheckpoint,
+    ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest, ShardedTenants, Snapshot,
+    SnapshotError, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun,
+    SupervisedWindowedRun, TenantConfig, TenantEngine, TenantStats, Tier, UniformHull,
+    WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
 };
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
 /// Everything most applications need.
 pub mod prelude {
     pub use crate::{
-        AdaptiveHull, AdaptiveHullConfig, CheckpointedRun, ClusterHull, ClusterHullConfig,
-        ConvexPolygon, ExactHull, Fault, FaultPlan, FixedBudgetAdaptiveHull, FrozenHull,
-        HullSummary, HullSummaryExt, Mergeable, NaiveUniformHull, NonFiniteInput, Point2,
-        RadialHull, RecoveryReport, RetryPolicy, ShardCheckpoint, ShardRun, ShardStats,
-        ShardedIngest, Snapshot, SnapshotError, SummaryBuilder, SummaryKind, SupervisedIngest,
-        SupervisedRun, SupervisedWindowedRun, UniformHull, Vec2, WindowAnswer, WindowConfig,
-        WindowPolicy, WindowedRun, WindowedSummary,
+        AdaptiveHull, AdaptiveHullConfig, AdmissionError, CheckpointedRun, ClusterHull,
+        ClusterHullConfig, ConvexPolygon, ExactHull, Fault, FaultPlan, FixedBudgetAdaptiveHull,
+        FrozenHull, HullSummary, HullSummaryExt, Mergeable, NaiveUniformHull, NonFiniteInput,
+        OverloadPolicy, Point2, PressureAction, PressureEvent, PressureReport, RadialHull,
+        RecoveryReport, RetryPolicy, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest,
+        ShardedTenants, Snapshot, SnapshotError, StreamId, SummaryBuilder, SummaryKind,
+        SupervisedIngest, SupervisedRun, SupervisedWindowedRun, TenantConfig, TenantEngine,
+        TenantStats, Tier, UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy,
+        WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

@@ -266,6 +266,33 @@ fn replay_bound_overflow_is_accounted_not_silent() {
     assert_eq!(calm.report.lost_points, 0);
 }
 
+/// A poisoned (non-finite-burst) chunk replayed after a crash must not
+/// double-count its sanitized drops: on a fully recovered run the
+/// dropped-non-finite tally equals the injected tally exactly.
+#[test]
+fn replayed_poison_chunk_accounting() {
+    let pts: Vec<Point2> = (0..2000)
+        .map(|i| {
+            let t = i as f64 * 0.1;
+            Point2::new(t.cos(), t.sin())
+        })
+        .collect();
+    let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 2).with_chunk(100);
+    // Poison chunk 0 (shard 0), then crash shard 0 at chunk 2 — before a
+    // checkpoint (interval 10_000 -> none taken) covers chunk 0, so the
+    // replay re-ingests the poisoned chunk.
+    let plan = FaultPlan::new().non_finite_burst(0, 0, 5).crash(0, 2);
+    let run = SupervisedIngest::new(engine)
+        .with_checkpoint_interval(10_000)
+        .with_fault_plan(plan)
+        .run_stream(pts.iter().copied());
+    assert!(!run.is_degraded());
+    assert_eq!(
+        run.report.dropped_non_finite, run.report.injected_non_finite,
+        "dropped_non_finite should equal injected on a recovered run"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
