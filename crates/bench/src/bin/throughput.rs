@@ -47,10 +47,11 @@
 //! PRs). Run with `--n 20000` for a smoke test; CI validates the JSON,
 //! including the `threads` dimension.
 
+use adaptive_hull::telemetry::names;
 use adaptive_hull::window::WindowConfig;
 use adaptive_hull::{
     HullSummary, Mergeable, ShardedIngest, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest,
-    TenantConfig, TenantEngine,
+    Telemetry, TenantConfig, TenantEngine,
 };
 use bench_harness::TABLE1_SEED;
 use geom::Point2;
@@ -284,6 +285,99 @@ fn time_tenant_scan(
         bytes_per_stream,
         spill_ns,
         restore_ns,
+    }
+}
+
+/// One backend × telemetry-overhead measurement: the sharded hot path
+/// run twice on the same interior stream — once with the detached no-op
+/// handle (`Telemetry::disabled()`, the engine default) and once against
+/// a live registry — so the `overhead` column is the price of
+/// instrumentation itself. The claim `core::telemetry` makes is that the
+/// hot path pays one relaxed atomic add per chunk: overhead ≤ 1.03.
+struct TelRow {
+    backend: &'static str,
+    r: u32,
+    n: usize,
+    noop_ns: f64,
+    instrumented_ns: f64,
+}
+
+impl TelRow {
+    /// Instrumented cost relative to the no-op-handle path (1.0 = free).
+    fn overhead(&self) -> f64 {
+        self.instrumented_ns / self.noop_ns
+    }
+}
+
+/// Median of sorted samples (assumes non-empty).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Interleaved timing of the 1-shard engine with and without a live
+/// telemetry registry. This dimension needs more care than the others:
+/// the claimed margin (≤ 3%) is *below* the noise of a single ~2 ms
+/// engine pass (thread spawn and scheduler jitter are worth several
+/// percent at that scale), and below the slow frequency/throttle drift
+/// a shared container sees across a multi-second run. So each timed
+/// sample amortises enough back-to-back passes to take ~30 ms, the two
+/// arms alternate, and the estimator is the **median of per-pair
+/// ratios**: adjacent samples share the machine's throttle state, so
+/// the pairwise ratio cancels drift that per-arm aggregates (mins or
+/// medians alike) cannot. `instrumented_ns` is derived as
+/// `noop_ns × overhead` so the recorded row stays self-consistent.
+fn time_telemetry_overhead(
+    builder: &SummaryBuilder,
+    pts: &[Point2],
+    chunk: usize,
+    reps: usize,
+) -> TelRow {
+    let tel = Telemetry::new();
+    let noop_engine = ShardedIngest::new(*builder, 1).with_chunk(chunk);
+    let inst_engine = ShardedIngest::new(*builder, 1)
+        .with_chunk(chunk)
+        .with_telemetry(tel);
+    // Warm both arms (allocator, caches, lazy registration), and size a
+    // sample from the warm-up pass so one measurement is ~30 ms.
+    let warm = Instant::now();
+    let _ = noop_engine.run(pts);
+    let pass_secs = warm.elapsed().as_secs_f64();
+    let _ = inst_engine.run(pts);
+    let passes = ((0.03 / pass_secs.max(1e-9)) as usize).clamp(1, 24);
+    let samples = (reps * 5).max(15);
+    let mut noop = Vec::with_capacity(samples);
+    let mut ratios = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..passes {
+            let _ = noop_engine.run(pts);
+        }
+        let noop_ns = start.elapsed().as_nanos() as f64 / (passes * pts.len().max(1)) as f64;
+        let start = Instant::now();
+        for _ in 0..passes {
+            let _ = inst_engine.run(pts);
+        }
+        let inst_ns = start.elapsed().as_nanos() as f64 / (passes * pts.len().max(1)) as f64;
+        noop.push(noop_ns);
+        ratios.push(inst_ns / noop_ns);
+    }
+    // The instrumented arm must actually have instrumented something,
+    // or the ratio proves nothing.
+    let scrape = tel.scrape();
+    assert!(
+        scrape.counter_total(names::INGEST_POINTS) > 0,
+        "{}: instrumented run recorded no points",
+        builder.kind()
+    );
+    let noop_ns = median(&mut noop);
+    let overhead = median(&mut ratios);
+    TelRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        n: pts.len(),
+        noop_ns,
+        instrumented_ns: noop_ns * overhead,
     }
 }
 
@@ -545,6 +639,7 @@ struct RunMeta<'a> {
     host_cpus: usize,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     meta: &RunMeta<'_>,
     rows: &[Row],
@@ -553,6 +648,7 @@ fn render_json(
     snap_rows: &[SnapRow],
     rec_rows: &[RecRow],
     tenant_rows: &[TenantRow],
+    tel_rows: &[TelRow],
 ) -> String {
     let RunMeta {
         n,
@@ -694,6 +790,22 @@ fn render_json(
             row.restore_ns,
         );
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"telemetry_overhead\": [");
+    for (i, row) in tel_rows.iter().enumerate() {
+        let comma = if i + 1 == tel_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"backend\": \"{}\", \"r\": {}, \"n\": {}, \
+             \"noop_ns\": {:.2}, \"instrumented_ns\": {:.2}, \"overhead\": {:.3}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.n,
+            row.noop_ns,
+            row.instrumented_ns,
+            row.overhead(),
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
     out
@@ -707,6 +819,7 @@ type Dimensions = (
     Vec<SnapRow>,
     Vec<RecRow>,
     Vec<TenantRow>,
+    Vec<TelRow>,
 );
 
 fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u64) -> Dimensions {
@@ -809,7 +922,24 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u
             time_tenant_scan(&builder, &tenant_traffic, tenant_streams, reps)
         })
         .collect();
-    (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows)
+    // Telemetry-overhead dimension: the instrumented hot path vs the
+    // no-op-handle path on the interior workload, per backend.
+    let tel_rows: Vec<TelRow> = SummaryKind::ALL
+        .iter()
+        .map(|&kind| {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            time_telemetry_overhead(&builder, snap_pts, chunk, reps)
+        })
+        .collect();
+    (
+        rows,
+        win_rows,
+        par_rows,
+        snap_rows,
+        rec_rows,
+        tenant_rows,
+        tel_rows,
+    )
 }
 
 fn main() {
@@ -850,7 +980,7 @@ fn main() {
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows) =
+    let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, tel_rows) =
         run(n, chunk, reps, r, &threads, window);
 
     println!(
@@ -962,6 +1092,24 @@ fn main() {
         );
     }
 
+    println!(
+        "\ntelemetry overhead (interior workload, 1 shard; instrumented vs \
+         no-op handle, interleaved best-of)"
+    );
+    println!(
+        "{:<14} {:>12} {:>16} {:>10}",
+        "backend", "noop ns/pt", "instrumented ns", "overhead"
+    );
+    for row in &tel_rows {
+        println!(
+            "{:<14} {:>12.1} {:>16.1} {:>9.3}x",
+            row.backend,
+            row.noop_ns,
+            row.instrumented_ns,
+            row.overhead(),
+        );
+    }
+
     let json = render_json(
         &RunMeta {
             n,
@@ -977,6 +1125,7 @@ fn main() {
         &snap_rows,
         &rec_rows,
         &tenant_rows,
+        &tel_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
     println!("\nwrote {out_path}");
@@ -989,7 +1138,7 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows) =
+        let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, tel_rows) =
             run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
         assert_eq!(win_rows.len(), SummaryKind::ALL.len());
@@ -1000,6 +1149,15 @@ mod tests {
             RECOVERY_INTERVALS.len() * SummaryKind::ALL.len()
         );
         assert_eq!(tenant_rows.len(), SummaryKind::ALL.len());
+        assert_eq!(tel_rows.len(), SummaryKind::ALL.len());
+        for row in &tel_rows {
+            assert!(
+                row.noop_ns > 0.0 && row.instrumented_ns > 0.0,
+                "{}",
+                row.backend
+            );
+            assert!(row.overhead().is_finite(), "{}", row.backend);
+        }
         for row in &tenant_rows {
             assert!(row.bytes_per_stream > 0.0, "{}", row.backend);
             assert!(row.streams_per_gb() > 0.0, "{}", row.backend);
@@ -1024,6 +1182,7 @@ mod tests {
             &snap_rows,
             &rec_rows,
             &tenant_rows,
+            &tel_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
         // expected keys, one result object per row, no NaN/inf leakage.
@@ -1070,6 +1229,10 @@ mod tests {
             "\"streams_per_gb\"",
             "\"spill_ns\"",
             "\"restore_ns\"",
+            "\"telemetry_overhead\"",
+            "\"noop_ns\"",
+            "\"instrumented_ns\"",
+            "\"overhead\"",
         ] {
             assert!(json.contains(key), "missing {key}");
         }

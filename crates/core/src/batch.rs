@@ -156,6 +156,15 @@ impl CertCache {
     }
 }
 
+impl Drop for CertCache {
+    /// Flush this batch's certificate tallies to the process-wide
+    /// hot-kernel counters (see [`crate::telemetry::hot`]): two relaxed
+    /// adds per *batch*, so the per-point fast path stays untouched.
+    fn drop(&mut self) {
+        crate::telemetry::hot::record_cert(u64::from(self.hits), u64::from(self.refreshes));
+    }
+}
+
 /// Reusable buffers for the chunk reductions. Intentionally `Clone`s to
 /// fresh empty buffers: scratch space is not summary state.
 #[derive(Debug, Default)]

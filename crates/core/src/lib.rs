@@ -34,6 +34,10 @@
 //!   budget, with per-tenant quotas, admission control, load shedding
 //!   ([`OverloadPolicy`]), hot/cold spill with hardened bit-exact restore
 //!   and per-tenant quarantine, and a [`PressureReport`] ledger;
+//! * [`telemetry`] — zero-dependency observability ([`Telemetry`]):
+//!   striped counters, gauges, log-scale histograms and a deterministic
+//!   trace ring threaded through the engines above, with Prometheus-text
+//!   and JSON-lines exporters and a [`telemetry::Scrape`] snapshot API;
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
 //!   (§6) plus a multi-stream tracker;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
@@ -71,6 +75,7 @@ pub mod radial;
 pub mod recovery;
 pub mod snapshot;
 pub mod summary;
+pub mod telemetry;
 pub mod tenant;
 pub mod uniform;
 pub mod viz;
@@ -89,6 +94,7 @@ pub use recovery::{
 };
 pub use snapshot::{CheckpointEnvelope, Snapshot, SnapshotError};
 pub use summary::{GenCache, HullCache, HullSummary, HullSummaryExt, Mergeable, NonFiniteInput};
+pub use telemetry::{Counter, Gauge, Histogram, Scrape, Span, Telemetry, TraceEvent};
 pub use tenant::{
     AdmissionError, OverloadPolicy, PressureAction, PressureEvent, PressureReport, ShardedTenants,
     StreamId, TenantConfig, TenantEngine, TenantStats, Tier,

@@ -38,6 +38,7 @@
 use crate::builder::SummaryBuilder;
 use crate::snapshot::SnapshotError;
 use crate::summary::{Mergeable, NonFiniteInput};
+use crate::telemetry::{names, Telemetry};
 use crate::window::{WindowConfig, WindowPolicy, WindowedRun};
 use geom::Point2;
 use std::sync::Mutex;
@@ -117,6 +118,7 @@ pub struct ShardedIngest {
     builder: SummaryBuilder,
     shards: usize,
     chunk: usize,
+    telemetry: Telemetry,
 }
 
 impl ShardedIngest {
@@ -128,6 +130,7 @@ impl ShardedIngest {
             builder,
             shards,
             chunk: DEFAULT_CHUNK,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -136,6 +139,23 @@ impl ShardedIngest {
         assert!(chunk >= 1, "chunk must be at least 1");
         self.chunk = chunk;
         self
+    }
+
+    /// Attaches an observability handle: every entry point then records
+    /// per-backend point/batch counters and a per-chunk ns/point
+    /// histogram (labelled `backend=<kind>`), at chunk granularity so
+    /// the hot path cost is one timestamp and three relaxed atomic adds
+    /// per *chunk*. The default is [`Telemetry::disabled`], under which
+    /// the instrumentation collapses to a branch per chunk.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The observability handle this engine records through.
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry
     }
 
     /// The configured shard count.
@@ -191,6 +211,18 @@ impl ShardedIngest {
         F: Fn(usize, &mut Worker, &[Point2]) + Sync,
     {
         let per_chunk = &per_chunk;
+        // Instruments are registered once here (registration locks); the
+        // Copy handles then ride into every worker closure for free.
+        let backend = self.builder.kind().label();
+        let points_total = self
+            .telemetry
+            .counter(names::INGEST_POINTS, &[("backend", backend)]);
+        let batches_total = self
+            .telemetry
+            .counter(names::INGEST_BATCHES, &[("backend", backend)]);
+        let ns_per_point = self
+            .telemetry
+            .histogram(names::INGEST_NS_PER_POINT, &[("backend", backend)]);
         std::thread::scope(|scope| {
             let handles: Vec<_> = split_contiguous(points, self.shards)
                 .enumerate()
@@ -200,7 +232,16 @@ impl ShardedIngest {
                     scope.spawn(move || {
                         let mut s = builder.build_mergeable();
                         for piece in slice.chunks(chunk) {
-                            per_chunk(shard, &mut s, piece);
+                            if ns_per_point.enabled() && !piece.is_empty() {
+                                let t0 = Instant::now();
+                                per_chunk(shard, &mut s, piece);
+                                let ns = t0.elapsed().as_nanos() as u64 / piece.len() as u64;
+                                ns_per_point.record(ns);
+                            } else {
+                                per_chunk(shard, &mut s, piece);
+                            }
+                            points_total.add(piece.len() as u64);
+                            batches_total.inc();
                         }
                         s
                     })
@@ -230,6 +271,17 @@ impl ShardedIngest {
         let cps: Mutex<Vec<Vec<ShardCheckpoint>>> =
             Mutex::new((0..self.shards).map(|_| Vec::new()).collect());
         let since_last: Mutex<Vec<u64>> = Mutex::new(vec![0; self.shards]);
+        let encode_ns = self.telemetry.histogram(names::CHECKPOINT_ENCODE_NS, &[]);
+        let timed_encode = |s: &Worker| {
+            if encode_ns.enabled() {
+                let t0 = Instant::now();
+                let bytes = s.encode_snapshot();
+                encode_ns.record(t0.elapsed().as_nanos() as u64);
+                bytes
+            } else {
+                s.encode_snapshot()
+            }
+        };
         let workers = self.fan_out_slices(points, |shard, s, piece| {
             s.insert_batch(piece);
             let mut since = since_last.lock().unwrap_or_else(|e| e.into_inner());
@@ -240,7 +292,7 @@ impl ShardedIngest {
                 cps.lock().unwrap_or_else(|e| e.into_inner())[shard].push(ShardCheckpoint {
                     shard,
                     points_seen: s.points_seen(),
-                    bytes: s.encode_snapshot(),
+                    bytes: timed_encode(s),
                 });
             }
         });
@@ -620,6 +672,27 @@ mod tests {
         let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Exact), 2);
         let _ =
             engine.run_stream_windowed_at([(Point2::new(0.0, 0.0), 0.0)], WindowConfig::last_n(5));
+    }
+
+    #[test]
+    fn telemetry_counts_every_point_and_chunk() {
+        let tel = Telemetry::new();
+        let pts = spiral(1000);
+        let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16), 2)
+            .with_chunk(128)
+            .with_telemetry(tel);
+        let run = engine.run(&pts);
+        assert_eq!(run.summary.points_seen(), 1000);
+        let s = tel.scrape();
+        let backend = SummaryKind::Adaptive.label();
+        assert_eq!(
+            s.counter_with(names::INGEST_POINTS, &[("backend", backend)]),
+            Some(1000)
+        );
+        // 500 points per shard in chunks of 128 → 4 chunks each.
+        assert_eq!(s.counter_total(names::INGEST_BATCHES), 8);
+        assert_eq!(s.histograms.len(), 1);
+        assert_eq!(s.histograms[0].count, 8);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use crate::exact::ExactHull;
 use crate::parallel::{ShardRun, ShardedIngest};
 use crate::snapshot::{open_checkpoint, seal_checkpoint, Snapshot, SnapshotError};
 use crate::summary::{HullSummary, Mergeable};
+use crate::telemetry::{names, Counter, Histogram, Telemetry};
 use crate::window::{WindowConfig, WindowedRun, WindowedSummary};
 use geom::{ConvexPolygon, Point2};
 use std::collections::VecDeque;
@@ -803,6 +804,7 @@ impl SupervisedIngest {
         let factory = WindowFactory {
             builder: self.engine.builder(),
             config: shard_config,
+            telemetry: self.engine.telemetry(),
         };
         let core = SupervisorCore::new(
             factory,
@@ -870,6 +872,7 @@ where
     let factory = WindowFactory {
         builder: engine.builder(),
         config,
+        telemetry: engine.telemetry(),
     };
     let core = SupervisorCore::new(
         factory,
@@ -961,6 +964,7 @@ impl ShardFactory for PlainFactory {
 struct WindowFactory {
     builder: SummaryBuilder,
     config: WindowConfig,
+    telemetry: Telemetry,
 }
 
 impl ShardFactory for WindowFactory {
@@ -968,11 +972,15 @@ impl ShardFactory for WindowFactory {
     type Item = (Point2, f64);
 
     fn fresh(&self) -> Self::State {
-        self.builder.windowed(self.config)
+        self.builder
+            .windowed(self.config)
+            .with_telemetry(self.telemetry)
     }
 
     fn restore(&self, snapshot: &[u8]) -> Result<Self::State, SnapshotError> {
-        WindowedSummary::decode(snapshot)
+        // Re-attach the engine's handle: instruments are registry state,
+        // not summary state, so they never ride in the snapshot.
+        WindowedSummary::decode(snapshot).map(|w| w.with_telemetry(self.telemetry))
     }
 
     fn ingest(state: &mut Self::State, items: &[Self::Item]) -> u64 {
@@ -1053,10 +1061,33 @@ struct Link<F: ShardFactory> {
     handle: std::thread::JoinHandle<()>,
 }
 
-fn spawn_worker<F: ShardFactory>(state: F::State) -> Link<F> {
+/// The `Copy` instrument set each worker epoch records through: the
+/// shared per-backend ingest counters/histogram (same series the
+/// unsupervised slice engine feeds) plus the checkpoint encode latency,
+/// measured where the encode actually runs.
+#[derive(Clone, Copy)]
+struct WorkerInstruments {
+    points: Counter,
+    batches: Counter,
+    ns_per_point: Histogram,
+    encode_ns: Histogram,
+}
+
+impl WorkerInstruments {
+    fn register(telemetry: Telemetry, backend: &'static str) -> Self {
+        WorkerInstruments {
+            points: telemetry.counter(names::INGEST_POINTS, &[("backend", backend)]),
+            batches: telemetry.counter(names::INGEST_BATCHES, &[("backend", backend)]),
+            ns_per_point: telemetry.histogram(names::INGEST_NS_PER_POINT, &[("backend", backend)]),
+            encode_ns: telemetry.histogram(names::CHECKPOINT_ENCODE_NS, &[]),
+        }
+    }
+}
+
+fn spawn_worker<F: ShardFactory>(state: F::State, inst: WorkerInstruments) -> Link<F> {
     let (tx, cmd_rx) = mpsc::sync_channel::<Cmd<F::Item>>(CMD_QUEUE_DEPTH);
     let (event_tx, rx) = mpsc::channel::<Event<F::State>>();
-    let handle = std::thread::spawn(move || worker_loop::<F>(state, cmd_rx, event_tx));
+    let handle = std::thread::spawn(move || worker_loop::<F>(state, cmd_rx, event_tx, inst));
     Link {
         tx: Some(tx),
         rx,
@@ -1068,6 +1099,7 @@ fn worker_loop<F: ShardFactory>(
     mut state: F::State,
     rx: mpsc::Receiver<Cmd<F::Item>>,
     tx: mpsc::Sender<Event<F::State>>,
+    inst: WorkerInstruments,
 ) {
     while let Ok(cmd) = rx.recv() {
         match cmd.inject {
@@ -1077,8 +1109,29 @@ fn worker_loop<F: ShardFactory>(
             Some(Inject::Stall(hold)) => std::thread::sleep(hold),
             None => {}
         }
-        let dropped = F::ingest(&mut state, &cmd.items);
-        let snapshot = cmd.checkpoint.then(|| F::snapshot(&state));
+        let dropped = if inst.ns_per_point.enabled() && !cmd.items.is_empty() {
+            let t0 = Instant::now();
+            let dropped = F::ingest(&mut state, &cmd.items);
+            inst.ns_per_point
+                .record(t0.elapsed().as_nanos() as u64 / cmd.items.len() as u64);
+            dropped
+        } else {
+            F::ingest(&mut state, &cmd.items)
+        };
+        // Replays re-ingest, so these counters measure work actually
+        // performed — a recovered run records more than a fault-free one.
+        inst.points.add(cmd.items.len() as u64);
+        inst.batches.inc();
+        let snapshot = cmd.checkpoint.then(|| {
+            if inst.encode_ns.enabled() {
+                let t0 = Instant::now();
+                let bytes = F::snapshot(&state);
+                inst.encode_ns.record(t0.elapsed().as_nanos() as u64);
+                bytes
+            } else {
+                F::snapshot(&state)
+            }
+        });
         let ack = Event::Ack {
             seq: cmd.seq,
             points_seen: F::points_seen(&state),
@@ -1195,6 +1248,57 @@ enum Pulled<S> {
     Dead,
 }
 
+/// The supervisor's registered instruments. Every counter is bumped at
+/// exactly the code site that bumps the matching [`RecoveryReport`]
+/// tally, so a live scrape and the post-run report can be cross-checked
+/// for equality (pinned by `tests/telemetry.rs`).
+#[derive(Clone, Copy)]
+struct RecoveryInstruments {
+    tel: Telemetry,
+    faults_panic: Counter,
+    faults_stall: Counter,
+    faults_corrupt: Counter,
+    faults_non_finite: Counter,
+    checkpoints_taken: Counter,
+    checkpoints_rejected: Counter,
+    replayed_chunks: Counter,
+    replayed_points: Counter,
+    lost_points: Counter,
+    dropped_non_finite: Counter,
+    injected_non_finite: Counter,
+    decode_ns: Histogram,
+}
+
+impl RecoveryInstruments {
+    fn register(tel: Telemetry) -> Self {
+        RecoveryInstruments {
+            tel,
+            faults_panic: tel.counter(names::RECOVERY_FAULTS, &[("kind", "panic")]),
+            faults_stall: tel.counter(names::RECOVERY_FAULTS, &[("kind", "stall")]),
+            faults_corrupt: tel.counter(names::RECOVERY_FAULTS, &[("kind", "corrupt_checkpoint")]),
+            faults_non_finite: tel.counter(names::RECOVERY_FAULTS, &[("kind", "non_finite")]),
+            checkpoints_taken: tel.counter(names::RECOVERY_CHECKPOINTS, &[("outcome", "taken")]),
+            checkpoints_rejected: tel
+                .counter(names::RECOVERY_CHECKPOINTS, &[("outcome", "rejected")]),
+            replayed_chunks: tel.counter(names::RECOVERY_REPLAYED_CHUNKS, &[]),
+            replayed_points: tel.counter(names::RECOVERY_REPLAYED_POINTS, &[]),
+            lost_points: tel.counter(names::RECOVERY_LOST_POINTS, &[]),
+            dropped_non_finite: tel.counter(names::RECOVERY_DROPPED_NON_FINITE, &[]),
+            injected_non_finite: tel.counter(names::RECOVERY_INJECTED_NON_FINITE, &[]),
+            decode_ns: tel.histogram(names::CHECKPOINT_DECODE_NS, &[]),
+        }
+    }
+
+    /// The fault-class counter a [`Detected`] fault rolls up into.
+    fn fault_counter(&self, detected: &Detected) -> Counter {
+        match detected {
+            Detected::Panic(_) => self.faults_panic,
+            Detected::Stall => self.faults_stall,
+            Detected::BadCheckpoint(_) => self.faults_corrupt,
+        }
+    }
+}
+
 /// The supervisor: owns the per-shard worker epochs, the replay buffers,
 /// the fault plan, and all accounting.
 struct SupervisorCore<'e, F: ShardFactory> {
@@ -1217,6 +1321,8 @@ struct SupervisorCore<'e, F: ShardFactory> {
     replayed_points: u64,
     checkpoints_taken: u64,
     checkpoints_rejected: u64,
+    inst: RecoveryInstruments,
+    worker_inst: WorkerInstruments,
 }
 
 impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
@@ -1251,6 +1357,11 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
             replayed_points: 0,
             checkpoints_taken: 0,
             checkpoints_rejected: 0,
+            inst: RecoveryInstruments::register(engine.telemetry()),
+            worker_inst: WorkerInstruments::register(
+                engine.telemetry(),
+                engine.builder().kind().label(),
+            ),
         }
     }
 
@@ -1293,6 +1404,13 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 items.push(F::poison());
             }
             self.injected_non_finite += len as u64;
+            self.inst.injected_non_finite.add(len as u64);
+            self.inst.tel.event(
+                "recovery",
+                "inject_non_finite",
+                seq,
+                &[("shard", shard as i64), ("count", len as i64)],
+            );
         }
         if self.shards[shard].quarantined {
             self.account_lost(shard, &items);
@@ -1483,6 +1601,8 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 if dropped > 0 && fresh {
                     self.shards[shard].drop_tallied = Some(seq);
                     self.dropped_non_finite += dropped;
+                    self.inst.dropped_non_finite.add(dropped);
+                    self.inst.faults_non_finite.inc();
                     self.shards[shard].faults += 1;
                     self.events.push(FaultEvent {
                         shard,
@@ -1490,6 +1610,12 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                         fault: DetectedFault::NonFinite { dropped },
                         action: RecoveryAction::Sanitized { dropped },
                     });
+                    self.inst.tel.event(
+                        "recovery",
+                        "sanitized",
+                        seq,
+                        &[("shard", shard as i64), ("dropped", dropped as i64)],
+                    );
                 }
                 match snapshot {
                     Some(inner) => self.accept_checkpoint(shard, seq, points_seen, &inner),
@@ -1510,6 +1636,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
         inner: &[u8],
     ) -> Result<(), (u64, Detected)> {
         self.checkpoints_taken += 1;
+        self.inst.checkpoints_taken.inc();
         let ordinal = {
             let ctx = &mut self.shards[shard];
             ctx.checkpoint_ordinal += 1;
@@ -1522,7 +1649,15 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 *b ^= 0xff;
             }
         }
-        match self.validate_checkpoint(shard, &sealed) {
+        let verdict = if self.inst.decode_ns.enabled() {
+            let t0 = Instant::now();
+            let verdict = self.validate_checkpoint(shard, &sealed);
+            self.inst.decode_ns.record(t0.elapsed().as_nanos() as u64);
+            verdict
+        } else {
+            self.validate_checkpoint(shard, &sealed)
+        };
+        match verdict {
             Ok(()) => {
                 let ctx = &mut self.shards[shard];
                 ctx.checkpoints_valid += 1;
@@ -1536,6 +1671,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
             }
             Err(e) => {
                 self.checkpoints_rejected += 1;
+                self.inst.checkpoints_rejected.inc();
                 self.shards[shard].checkpoints_rejected += 1;
                 Err((seq, Detected::BadCheckpoint(e)))
             }
@@ -1577,6 +1713,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                     // once already); degrade honestly if it happens: the
                     // checkpointed prefix is lost with no geometry.
                     self.lost_points += cp.tick;
+                    self.inst.lost_points.add(cp.tick);
                     self.lost_unbounded = true;
                     self.shards[shard].lost += cp.tick;
                     self.factory.fresh()
@@ -1584,7 +1721,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
             },
             None => self.factory.fresh(),
         };
-        self.shards[shard].link = Some(spawn_worker::<F>(state));
+        self.shards[shard].link = Some(spawn_worker::<F>(state, self.worker_inst));
     }
 
     /// Sends one command, detecting death (disconnect) and — when a
@@ -1667,6 +1804,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 }
             }
         }
+        self.inst.fault_counter(&detected).inc();
         let fault = match &detected {
             Detected::Panic(_) => DetectedFault::WorkerPanic,
             Detected::Stall => DetectedFault::Stall,
@@ -1677,6 +1815,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
         let overflow = std::mem::take(&mut self.shards[shard].overflow_points);
         if overflow > 0 {
             self.lost_points += overflow;
+            self.inst.lost_points.add(overflow);
             self.shards[shard].lost += overflow;
             self.lost_unbounded = true;
         }
@@ -1707,6 +1846,8 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
         };
         self.replayed_chunks += replay_chunks;
         self.replayed_points += replay_points;
+        self.inst.replayed_chunks.add(replay_chunks);
+        self.inst.replayed_points.add(replay_points);
         let backoff = self.policy.backoff(shard, self.shards[shard].attempts);
         self.events.push(FaultEvent {
             shard,
@@ -1718,6 +1859,16 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 backoff,
             },
         });
+        self.inst.tel.event(
+            "recovery",
+            "restarted",
+            seq,
+            &[
+                ("shard", shard as i64),
+                ("from_tick", from_tick as i64),
+                ("replayed_chunks", replay_chunks as i64),
+            ],
+        );
     }
 
     /// Retries exhausted: the shard keeps only its last valid checkpoint
@@ -1742,6 +1893,12 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 lost_points: lost_now,
             },
         });
+        self.inst.tel.event(
+            "recovery",
+            "quarantined",
+            seq,
+            &[("shard", shard as i64), ("lost_points", lost_now as i64)],
+        );
     }
 
     /// Counts (and, where possible, geometrically records) finite points
@@ -1756,6 +1913,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
             }
         }
         self.lost_points += finite;
+        self.inst.lost_points.add(finite);
         self.shards[shard].lost += finite;
     }
 
@@ -1859,6 +2017,7 @@ impl<'e, F: ShardFactory> SupervisorCore<'e, F> {
                 Err(_) => {
                     // Unreachable in practice; degrade honestly.
                     self.lost_points += cp.tick;
+                    self.inst.lost_points.add(cp.tick);
                     self.lost_unbounded = true;
                     self.shards[shard].lost += cp.tick;
                     self.factory.fresh()

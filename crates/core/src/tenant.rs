@@ -45,6 +45,7 @@ use crate::radial::RadialHull;
 use crate::recovery::{RecoveryReport, SupervisedIngest};
 use crate::snapshot::{peek_kind, Snapshot, SnapshotError};
 use crate::summary::{HullSummary, Mergeable};
+use crate::telemetry::{names, Counter, Gauge, Telemetry};
 use geom::{ConvexPolygon, Point2, Vec2};
 use std::collections::HashMap;
 use std::fmt;
@@ -273,9 +274,18 @@ pub struct PressureReport {
     pub restores: u64,
     /// Total envelope bytes written by spills.
     pub spilled_bytes: u64,
-    /// Bounded event log, oldest first.
+    /// Bounded event log, oldest first. The bound is
+    /// [`TenantConfig::with_event_capacity`] (default 256) and the log
+    /// keeps the **first** `event_capacity` events — the onset of a
+    /// pressure incident — counting overflow in `events_dropped` instead
+    /// of storing it. (The telemetry trace ring makes the opposite
+    /// choice and keeps the *newest* events; attach a registry via
+    /// [`TenantConfig::with_telemetry`] to capture both ends.)
     pub events: Vec<PressureEvent>,
-    /// Events that no longer fit the log.
+    /// Events that no longer fit the log. Nothing is lost silently: the
+    /// exact counters above are unaffected by the bound, and when a
+    /// telemetry registry is attached every event — kept or dropped —
+    /// is still emitted into the trace ring.
     pub events_dropped: u64,
 }
 
@@ -327,6 +337,7 @@ pub struct TenantConfig {
     policy: OverloadPolicy,
     queue_points: usize,
     event_capacity: usize,
+    telemetry: Telemetry,
 }
 
 impl TenantConfig {
@@ -348,6 +359,7 @@ impl TenantConfig {
             policy: OverloadPolicy::Reject,
             queue_points: 0,
             event_capacity: 256,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -404,6 +416,15 @@ impl TenantConfig {
         self
     }
 
+    /// Attaches a [`Telemetry`] registry: every [`PressureReport`] tally
+    /// is mirrored into `streamhull_tenant_*` counters/gauges (see
+    /// [`crate::telemetry::names`]) and every pressure event is emitted
+    /// into the trace ring with the engine clock as its tick.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// The builder for new tenants.
     pub fn builder(&self) -> &SummaryBuilder {
         &self.builder
@@ -423,6 +444,93 @@ impl TenantConfig {
     pub fn policy(&self) -> OverloadPolicy {
         self.policy
     }
+
+    /// The attached telemetry registry (disabled by default).
+    pub fn telemetry(&self) -> Telemetry {
+        self.telemetry
+    }
+}
+
+/// Registered handles mirroring every [`PressureReport`] tally — one
+/// registration at engine construction, relaxed atomic adds afterwards.
+#[derive(Clone, Copy, Debug)]
+struct TenantInstruments {
+    tel: Telemetry,
+    streams_admitted: Counter,
+    streams_rejected: Counter,
+    points_seen: Counter,
+    points_ingested: Counter,
+    points_shed: Counter,
+    points_rejected: Counter,
+    evictions: Counter,
+    degradations: Counter,
+    quarantines: Counter,
+    spills: Counter,
+    restores: Counter,
+    spilled_bytes: Counter,
+    events_dropped: Counter,
+    bytes_in_use: Gauge,
+    bytes_peak: Gauge,
+    hot_streams: Gauge,
+    cold_streams: Gauge,
+    quarantined_streams: Gauge,
+}
+
+impl TenantInstruments {
+    fn register(tel: Telemetry) -> Self {
+        TenantInstruments {
+            tel,
+            streams_admitted: tel.counter(names::TENANT_STREAMS, &[("outcome", "admitted")]),
+            streams_rejected: tel.counter(names::TENANT_STREAMS, &[("outcome", "rejected")]),
+            points_seen: tel.counter(names::TENANT_POINTS_SEEN, &[]),
+            points_ingested: tel.counter(names::TENANT_POINTS_INGESTED, &[]),
+            points_shed: tel.counter(names::TENANT_POINTS_SHED, &[]),
+            points_rejected: tel.counter(names::TENANT_POINTS_REJECTED, &[]),
+            evictions: tel.counter(names::TENANT_EVICTIONS, &[]),
+            degradations: tel.counter(names::TENANT_DEGRADATIONS, &[]),
+            quarantines: tel.counter(names::TENANT_QUARANTINES, &[]),
+            spills: tel.counter(names::TENANT_TIER_OPS, &[("kind", "spill")]),
+            restores: tel.counter(names::TENANT_TIER_OPS, &[("kind", "restore")]),
+            spilled_bytes: tel.counter(names::TENANT_TIER_BYTES, &[("kind", "spill")]),
+            events_dropped: tel.counter(names::TENANT_EVENTS_DROPPED, &[]),
+            bytes_in_use: tel.gauge(names::TENANT_BYTES_IN_USE, &[]),
+            bytes_peak: tel.gauge(names::TENANT_BYTES_PEAK, &[]),
+            hot_streams: tel.gauge(names::TENANT_HOT_STREAMS, &[]),
+            cold_streams: tel.gauge(names::TENANT_COLD_STREAMS, &[]),
+            quarantined_streams: tel.gauge(names::TENANT_QUARANTINED_STREAMS, &[]),
+        }
+    }
+}
+
+/// Report values already published to the telemetry registry.
+///
+/// Counters are monotone but the Reject-policy rollback paths
+/// (`unwrite` / `forget_admission`) *decrement* report tallies mid-call,
+/// so the engine cannot mirror the ledger site-by-site. Instead it
+/// publishes **deltas against this shadow** at the end of every public
+/// mutating call — a point where each report field is at or above its
+/// last published value again — which keeps every scrape exactly equal
+/// to the [`PressureReport`] a caller would take at the same moment.
+#[derive(Clone, Copy, Debug, Default)]
+struct PublishedTallies {
+    streams_admitted: u64,
+    streams_rejected: u64,
+    streams_shed: u64,
+    streams_degraded: u64,
+    streams_quarantined: u64,
+    points_seen: u64,
+    points_ingested: u64,
+    points_shed: u64,
+    points_rejected: u64,
+    spills: u64,
+    restores: u64,
+    spilled_bytes: u64,
+    events_dropped: u64,
+    bytes_in_use: i64,
+    bytes_peak: i64,
+    hot: i64,
+    cold: i64,
+    quarantined: i64,
 }
 
 enum Residency {
@@ -480,6 +588,8 @@ pub struct TenantEngine {
     cold: usize,
     quarantined: usize,
     report: PressureReport,
+    inst: TenantInstruments,
+    published: PublishedTallies,
 }
 
 impl TenantEngine {
@@ -503,6 +613,8 @@ impl TenantEngine {
             cold: 0,
             quarantined: 0,
             report,
+            inst: TenantInstruments::register(config.telemetry),
+            published: PublishedTallies::default(),
         }
     }
 
@@ -622,6 +734,7 @@ impl TenantEngine {
                 OverloadPolicy::Reject => {
                     // The whole batch is refused atomically.
                     self.report.points_rejected += traffic.len() as u64;
+                    self.sync_telemetry();
                     return Err(AdmissionError::QueueFull {
                         offered: traffic.len(),
                         capacity: cap,
@@ -672,6 +785,7 @@ impl TenantEngine {
             }
         }
         self.clock += 1;
+        self.sync_telemetry();
         Ok(())
     }
 
@@ -697,15 +811,18 @@ impl TenantEngine {
         for idx in victims {
             self.spill_slot(idx);
         }
+        self.sync_telemetry();
     }
 
     /// Spills one stream to its snapshot envelope now (idempotent; `false`
     /// if unknown or not hot).
     pub fn spill(&mut self, id: StreamId) -> bool {
-        match self.index.get(&id) {
+        let spilled = match self.index.get(&id) {
             Some(&idx) => self.spill_slot_inner(idx, true),
             None => false,
-        }
+        };
+        self.sync_telemetry();
+        spilled
     }
 
     /// The spilled envelope of a cold stream (`None` when hot, unknown, or
@@ -758,6 +875,7 @@ impl TenantEngine {
                 self.bytes_in_use -= bytes.len() - len;
                 t.bytes = len;
                 bytes.truncate(len);
+                self.sync_telemetry();
                 true
             }
             _ => false,
@@ -768,7 +886,9 @@ impl TenantEngine {
     /// cold (bit-exact) and touching its idle clock.
     pub fn summary(&mut self, id: StreamId) -> Result<&dyn HullSummary, AdmissionError> {
         let idx = self.lookup(id)?;
-        self.make_hot(idx)?;
+        let hot = self.make_hot(idx);
+        self.sync_telemetry();
+        hot?;
         self.touch(idx);
         match self.slots.get(idx).and_then(|s| s.as_ref()) {
             Some(Tenant {
@@ -790,7 +910,9 @@ impl TenantEngine {
     /// never invents one).
     pub fn error_bound(&mut self, id: StreamId) -> Result<Option<f64>, AdmissionError> {
         let idx = self.lookup(id)?;
-        self.make_hot(idx)?;
+        let hot = self.make_hot(idx);
+        self.sync_telemetry();
+        hot?;
         match self.slots.get(idx).and_then(|s| s.as_ref()) {
             Some(t) => {
                 if t.bound_withdrawn {
@@ -843,6 +965,7 @@ impl TenantEngine {
         self.absorb(id, &*run.run.summary, bound)?;
         if lost > 0 {
             self.shed_points(id, lost);
+            self.sync_telemetry();
         }
         Ok(run.report)
     }
@@ -852,6 +975,17 @@ impl TenantEngine {
     /// tenant's carried bound widens by `donor_bound` (the donor's own
     /// composed error against its stream), or is withdrawn if `None`.
     pub fn absorb(
+        &mut self,
+        id: StreamId,
+        donor: &dyn Mergeable,
+        donor_bound: Option<f64>,
+    ) -> Result<(), AdmissionError> {
+        let result = self.absorb_inner(id, donor, donor_bound);
+        self.sync_telemetry();
+        result
+    }
+
+    fn absorb_inner(
         &mut self,
         id: StreamId,
         donor: &dyn Mergeable,
@@ -890,6 +1024,15 @@ impl TenantEngine {
         &mut self,
         ids: &[StreamId],
     ) -> Result<MultiStreamTracker, AdmissionError> {
+        let result = self.export_tracker_inner(ids);
+        self.sync_telemetry();
+        result
+    }
+
+    fn export_tracker_inner(
+        &mut self,
+        ids: &[StreamId],
+    ) -> Result<MultiStreamTracker, AdmissionError> {
         let mut tracker = MultiStreamTracker::new(self.config.builder);
         for &id in ids {
             let idx = self.lookup(id)?;
@@ -912,6 +1055,12 @@ impl TenantEngine {
     /// Drops a stream entirely (any tier — including quarantined, which is
     /// how an operator clears a poisoned tenant). Returns its final stats.
     pub fn remove(&mut self, id: StreamId) -> Option<TenantStats> {
+        let stats = self.remove_inner(id);
+        self.sync_telemetry();
+        stats
+    }
+
+    fn remove_inner(&mut self, id: StreamId) -> Option<TenantStats> {
         let stats = self.stats(id)?;
         let idx = self.index.remove(&id)?;
         if let Some(slot) = self.slots.get_mut(idx) {
@@ -955,7 +1104,94 @@ impl TenantEngine {
         }
     }
 
+    /// Publishes the report tallies to the telemetry registry as deltas
+    /// against [`PublishedTallies`] (see its docs for why deltas, not
+    /// per-site bumps). Called at the end of every public mutating call;
+    /// `saturating_sub` keeps an out-of-order call harmless (it publishes
+    /// nothing rather than underflowing).
+    fn sync_telemetry(&mut self) {
+        if !self.inst.tel.is_enabled() {
+            return;
+        }
+        let inst = self.inst;
+        let r = &self.report;
+        let p = &mut self.published;
+        inst.streams_admitted
+            .add(r.streams_admitted.saturating_sub(p.streams_admitted));
+        inst.streams_rejected
+            .add(r.streams_rejected.saturating_sub(p.streams_rejected));
+        inst.evictions
+            .add(r.streams_shed.saturating_sub(p.streams_shed));
+        inst.degradations
+            .add(r.streams_degraded.saturating_sub(p.streams_degraded));
+        inst.quarantines
+            .add(r.streams_quarantined.saturating_sub(p.streams_quarantined));
+        inst.points_seen
+            .add(r.points_seen.saturating_sub(p.points_seen));
+        inst.points_ingested
+            .add(r.points_ingested.saturating_sub(p.points_ingested));
+        inst.points_shed
+            .add(r.points_shed.saturating_sub(p.points_shed));
+        inst.points_rejected
+            .add(r.points_rejected.saturating_sub(p.points_rejected));
+        inst.spills.add(r.spills.saturating_sub(p.spills));
+        inst.restores.add(r.restores.saturating_sub(p.restores));
+        inst.spilled_bytes
+            .add(r.spilled_bytes.saturating_sub(p.spilled_bytes));
+        inst.events_dropped
+            .add(r.events_dropped.saturating_sub(p.events_dropped));
+        p.streams_admitted = r.streams_admitted;
+        p.streams_rejected = r.streams_rejected;
+        p.streams_shed = r.streams_shed;
+        p.streams_degraded = r.streams_degraded;
+        p.streams_quarantined = r.streams_quarantined;
+        p.points_seen = r.points_seen;
+        p.points_ingested = r.points_ingested;
+        p.points_shed = r.points_shed;
+        p.points_rejected = r.points_rejected;
+        p.spills = r.spills;
+        p.restores = r.restores;
+        p.spilled_bytes = r.spilled_bytes;
+        p.events_dropped = r.events_dropped;
+        // Gauges publish as deltas too, so a fleet of engines sharing one
+        // registry (`ShardedTenants`) sums to the fleet total.
+        let bytes = self.bytes_in_use as i64;
+        let peak = self.report.bytes_peak as i64;
+        let (hot, cold, quarantined) = (self.hot as i64, self.cold as i64, self.quarantined as i64);
+        inst.bytes_in_use.add(bytes - p.bytes_in_use);
+        inst.bytes_peak.add(peak - p.bytes_peak);
+        inst.hot_streams.add(hot - p.hot);
+        inst.cold_streams.add(cold - p.cold);
+        inst.quarantined_streams.add(quarantined - p.quarantined);
+        p.bytes_in_use = bytes;
+        p.bytes_peak = peak;
+        p.hot = hot;
+        p.cold = cold;
+        p.quarantined = quarantined;
+    }
+
     fn push_event(&mut self, stream: StreamId, action: PressureAction) {
+        // Every event reaches the trace ring (which bounds itself by
+        // keeping the newest) even when the report ledger below is full.
+        if self.inst.tel.is_enabled() {
+            let (name, extra) = match &action {
+                PressureAction::Spilled { bytes } => ("spill", ("bytes", *bytes as i64)),
+                PressureAction::Restored { bytes } => ("restore", ("bytes", *bytes as i64)),
+                PressureAction::ShedPoints { points } => {
+                    ("shed_points", ("points", *points as i64))
+                }
+                PressureAction::Evicted { seen } => ("evict", ("seen", *seen as i64)),
+                PressureAction::Degraded { .. } => ("degrade", ("points", 0)),
+                PressureAction::Quarantined { .. } => ("quarantine", ("points", 0)),
+                PressureAction::Rejected { points } => ("reject", ("points", *points as i64)),
+            };
+            self.inst.tel.event(
+                "tenant",
+                name,
+                self.clock,
+                &[("stream", stream.0 as i64), extra],
+            );
+        }
         if self.report.events.len() < self.config.event_capacity {
             let tick = self.clock;
             self.report.events.push(PressureEvent {
@@ -1193,8 +1429,17 @@ impl TenantEngine {
         self.push_event(id, PressureAction::ShedPoints { points: n });
     }
 
-    /// The single write path behind `insert`/`insert_batch`/`ingest_bulk`.
+    /// The single write path behind `insert`/`insert_batch`/`ingest_bulk`:
+    /// runs the real write, then publishes the (now settled) ledger to
+    /// telemetry — after any Reject-policy rollback, so counters never
+    /// see a state the report would later retract.
     fn write(&mut self, id: StreamId, points: &[Point2]) -> Result<(), AdmissionError> {
+        let result = self.write_inner(id, points);
+        self.sync_telemetry();
+        result
+    }
+
+    fn write_inner(&mut self, id: StreamId, points: &[Point2]) -> Result<(), AdmissionError> {
         // Non-finite points are silently dropped up front — the same
         // contract every summary honours — so the engine ledger counts
         // finite points only and `seen == ingested + shed` stays exact.
@@ -1387,7 +1632,10 @@ impl TenantEngine {
         if self.config.policy != OverloadPolicy::Reject {
             return false;
         }
-        if self.remove(id).is_none() {
+        // `remove_inner`, not the syncing wrapper: the ledger still holds
+        // the tentative write this rollback is about to retract, and a
+        // publish here would freeze that overcount into the counters.
+        if self.remove_inner(id).is_none() {
             return false;
         }
         self.report.streams_admitted = self.report.streams_admitted.saturating_sub(1);
@@ -1454,7 +1702,7 @@ impl TenantEngine {
         let seen = t.seen;
         self.push_event(id, PressureAction::Evicted { seen });
         self.report.streams_shed += 1;
-        self.remove(id);
+        self.remove_inner(id);
     }
 
     /// Swaps a tenant's backend for the degrade fallback via an in-memory
@@ -2106,5 +2354,107 @@ mod tests {
         assert_eq!(r.events.len(), 5);
         assert!(r.events_dropped > 0);
         assert_eq!(r.spills, 50);
+    }
+
+    /// Every `PressureReport` tally must be readable, exactly, from a
+    /// telemetry scrape taken at the same moment — including after the
+    /// Reject-policy rollback paths and a quarantine.
+    #[test]
+    fn scrape_mirrors_pressure_report_exactly() {
+        let tel = Telemetry::new();
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16))
+            .with_policy(OverloadPolicy::ShedOldest)
+            .with_budget_bytes(6 * 1024)
+            .with_idle_ticks(1)
+            .with_event_capacity(4)
+            .with_telemetry(tel);
+        let mut e = TenantEngine::new(config);
+        for i in 0..12u64 {
+            e.insert_batch(StreamId(i), &ring(80, i as f64 * 4.0, 0.0, 1.5))
+                .unwrap();
+            e.tick();
+        }
+        // Corrupt one cold envelope so the next touch quarantines it.
+        let cold = e
+            .ids()
+            .find(|&id| e.tier(id) == Some(Tier::Cold))
+            .expect("idle ticks must have spilled someone");
+        assert!(e.corrupt_spill(cold, 12, 0xA5));
+        assert!(e.summary(cold).is_err());
+
+        let report = e.pressure_report();
+        let scrape = tel.scrape();
+        let c = |name: &str| scrape.counter_total(name);
+        let g = |name: &str| scrape.gauge_value(name).unwrap_or(0);
+        assert_eq!(
+            scrape.counter_with(names::TENANT_STREAMS, &[("outcome", "admitted")]),
+            Some(report.streams_admitted)
+        );
+        assert_eq!(c(names::TENANT_POINTS_SEEN), report.points_seen);
+        assert_eq!(c(names::TENANT_POINTS_INGESTED), report.points_ingested);
+        assert_eq!(c(names::TENANT_POINTS_SHED), report.points_shed);
+        assert_eq!(c(names::TENANT_POINTS_REJECTED), report.points_rejected);
+        assert_eq!(c(names::TENANT_EVICTIONS), report.streams_shed);
+        assert_eq!(c(names::TENANT_DEGRADATIONS), report.streams_degraded);
+        assert_eq!(c(names::TENANT_QUARANTINES), report.streams_quarantined);
+        assert_eq!(
+            scrape.counter_with(names::TENANT_TIER_OPS, &[("kind", "spill")]),
+            Some(report.spills)
+        );
+        assert_eq!(
+            scrape.counter_with(names::TENANT_TIER_OPS, &[("kind", "restore")]),
+            Some(report.restores)
+        );
+        assert_eq!(
+            scrape.counter_with(names::TENANT_TIER_BYTES, &[("kind", "spill")]),
+            Some(report.spilled_bytes)
+        );
+        assert_eq!(c(names::TENANT_EVENTS_DROPPED), report.events_dropped);
+        assert!(report.events_dropped > 0, "capacity 4 must overflow");
+        assert_eq!(g(names::TENANT_BYTES_IN_USE), report.bytes_in_use as i64);
+        assert_eq!(g(names::TENANT_BYTES_PEAK), report.bytes_peak as i64);
+        assert_eq!(g(names::TENANT_HOT_STREAMS), e.hot_count() as i64);
+        assert_eq!(g(names::TENANT_COLD_STREAMS), e.cold_count() as i64);
+        assert_eq!(
+            g(names::TENANT_QUARANTINED_STREAMS),
+            e.quarantined_count() as i64
+        );
+        assert_eq!(report.streams_quarantined, 1);
+        // The trace ring carried the pressure narrative (ticks = engine
+        // clock, deterministic) even though the ledger overflowed.
+        assert!(scrape.events.iter().any(|ev| ev.target == "tenant"));
+    }
+
+    /// A fleet of engines sharing one registry sums to the fleet ledger.
+    #[test]
+    fn sharded_tenants_share_one_registry() {
+        let tel = Telemetry::new();
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Radial).with_r(8))
+            .with_telemetry(tel);
+        let mut fleet = ShardedTenants::new(config, 4);
+        let traffic: Vec<(StreamId, Point2)> = (0..400u64)
+            .map(|i| {
+                (
+                    StreamId(i % 23),
+                    Point2::new((i % 17) as f64, (i % 13) as f64),
+                )
+            })
+            .collect();
+        fleet.ingest_bulk(&traffic).unwrap();
+        fleet.tick();
+        let report = fleet.pressure_report();
+        let scrape = tel.scrape();
+        assert_eq!(
+            scrape.counter_total(names::TENANT_POINTS_INGESTED),
+            report.points_ingested
+        );
+        assert_eq!(
+            scrape.counter_with(names::TENANT_STREAMS, &[("outcome", "admitted")]),
+            Some(report.streams_admitted)
+        );
+        assert_eq!(
+            scrape.gauge_value(names::TENANT_BYTES_IN_USE),
+            Some(report.bytes_in_use as i64)
+        );
     }
 }

@@ -42,8 +42,40 @@
 
 use crate::builder::SummaryBuilder;
 use crate::summary::{GenCache, HullCache, HullSummary, Mergeable};
+use crate::telemetry::{names, Counter, Gauge, Telemetry};
 use geom::{ConvexPolygon, Point2};
 use std::collections::VecDeque;
+
+/// The chain's registered instruments (all `Copy` no-ops until a
+/// [`Telemetry`] handle is attached via
+/// [`WindowedSummary::with_telemetry`]).
+#[derive(Clone, Copy, Debug)]
+struct WindowInstruments {
+    seals: Counter,
+    merges: Counter,
+    expiries: Counter,
+    staleness: Gauge,
+}
+
+impl WindowInstruments {
+    const fn noop() -> Self {
+        WindowInstruments {
+            seals: Counter::noop(),
+            merges: Counter::noop(),
+            expiries: Counter::noop(),
+            staleness: Gauge::noop(),
+        }
+    }
+
+    fn register(telemetry: Telemetry) -> Self {
+        WindowInstruments {
+            seals: telemetry.counter(names::WINDOW_SEALS, &[]),
+            merges: telemetry.counter(names::WINDOW_MERGES, &[]),
+            expiries: telemetry.counter(names::WINDOW_EXPIRIES, &[]),
+            staleness: telemetry.gauge(names::WINDOW_STALENESS, &[]),
+        }
+    }
+}
 
 /// Which trailing part of the stream a window covers.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -319,6 +351,8 @@ pub struct WindowedSummary {
     /// Reusable buffer for stripping timestamps off `(Point2, f64)`
     /// batches ([`insert_batch_timestamped`](WindowedSummary::insert_batch_timestamped)).
     scratch: Vec<Point2>,
+    /// Chain lifecycle instruments (no-ops unless attached).
+    instruments: WindowInstruments,
 }
 
 impl WindowedSummary {
@@ -343,7 +377,17 @@ impl WindowedSummary {
             cache: HullCache::new(),
             bound_cache: GenCache::new(),
             scratch: Vec::new(),
+            instruments: WindowInstruments::noop(),
         }
+    }
+
+    /// Attaches an observability handle: the chain then counts head
+    /// seals, carry merges, and expiries, and publishes the staleness of
+    /// the oldest retained bucket (in ticks) as a gauge after every
+    /// expiry sweep.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.instruments = WindowInstruments::register(telemetry);
+        self
     }
 
     /// The window configuration.
@@ -506,6 +550,7 @@ impl WindowedSummary {
                 // already have dropped (the expiry-races-batch-boundary
                 // case).
                 self.head_open = false;
+                self.instruments.seals.inc();
                 self.expire();
                 self.carry();
             }
@@ -540,6 +585,7 @@ impl WindowedSummary {
             // older bucket absorbs the newer one's stored sample and
             // inherits its bound debt.
             let absorbed = self.buckets.remove(first + 1).expect("run has >= 2");
+            self.instruments.merges.inc();
             let survivor = &mut self.buckets[first];
             let absorbed_bound = absorbed.composed_bound();
             survivor.summary.merge_from(absorbed.summary.as_ref());
@@ -565,6 +611,7 @@ impl WindowedSummary {
                     if !is_head && total - front.count >= n {
                         total -= front.count;
                         self.buckets.pop_front();
+                        self.instruments.expiries.inc();
                     } else {
                         break;
                     }
@@ -576,11 +623,21 @@ impl WindowedSummary {
                     let is_head = self.head_open && self.buckets.len() == 1;
                     if !is_head && front.t_last < start {
                         self.buckets.pop_front();
+                        self.instruments.expiries.inc();
                     } else {
                         break;
                     }
                 }
             }
+        }
+        if let Some(front) = self.buckets.front() {
+            // How far the chain reaches behind `now`: the retained tail
+            // the straddling bucket drags along (the staleness bound's
+            // raw material). Saturating f64→i64 cast, so an absurd clock
+            // clamps instead of wrapping.
+            self.instruments
+                .staleness
+                .set((self.clock - front.t_first) as i64);
         }
     }
 
@@ -801,6 +858,7 @@ impl WindowedSummary {
             cache: HullCache::new(),
             bound_cache: GenCache::new(),
             scratch: Vec::new(),
+            instruments: WindowInstruments::noop(),
         })
     }
 }
@@ -961,6 +1019,26 @@ impl WindowedRun {
 mod tests {
     use super::*;
     use crate::builder::SummaryKind;
+
+    #[test]
+    fn telemetry_tracks_chain_lifecycle() {
+        let tel = Telemetry::new();
+        let config = WindowConfig::last_n(64).with_granularity(16);
+        let mut w = WindowedSummary::new(SummaryBuilder::new(SummaryKind::Exact), config)
+            .with_telemetry(tel);
+        for i in 0..256 {
+            w.insert(Point2::new(i as f64, (i % 7) as f64));
+        }
+        let s = tel.scrape();
+        // The head seals exactly every `granularity` points.
+        assert_eq!(s.counter_total(names::WINDOW_SEALS), 256 / 16);
+        assert!(
+            s.counter_total(names::WINDOW_EXPIRIES) > 0,
+            "old buckets expired"
+        );
+        let staleness = s.gauge_value(names::WINDOW_STALENESS).unwrap();
+        assert!(staleness >= 0, "staleness gauge published");
+    }
 
     fn drifting(n: usize) -> Vec<Point2> {
         (0..n)

@@ -55,6 +55,10 @@ impl Config {
                 // corruption are values, never crashes": every admission,
                 // shedding, spill, and quarantine outcome must be typed.
                 "crates/core/src/tenant.rs".into(),
+                // Telemetry rides inside every hot path above; an
+                // instrument that can panic turns observability into the
+                // outage it was meant to explain.
+                "crates/core/src/telemetry.rs".into(),
                 // Fixture corpus: lets CI demonstrate the rule from the
                 // CLI (the workspace walk never descends into fixtures).
                 "crates/lint/fixtures/no_panic".into(),

@@ -164,6 +164,31 @@
 //! assert_eq!(report.points_seen, report.points_ingested + report.points_shed);
 //! ```
 //!
+//! ## Observability
+//!
+//! [`Telemetry`] is a zero-dependency metrics registry — striped relaxed
+//! counters, gauges, log-scale histograms, and a deterministic trace ring
+//! — threaded through every engine above. Attach one handle and scrape a
+//! consistent snapshot mid-run, as Prometheus text or JSON lines; a
+//! detached handle ([`Telemetry::disabled`]) makes every instrument a
+//! single-branch no-op, so uninstrumented hot paths pay nothing:
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let tel = Telemetry::new();
+//! let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16))
+//!     .with_telemetry(tel);
+//! let mut engine = TenantEngine::new(config);
+//! engine.insert(StreamId(1), Point2::new(1.0, 2.0)).unwrap();
+//! let scrape = tel.scrape(); // exactly equals engine.pressure_report()
+//! assert_eq!(
+//!     scrape.counter_total("streamhull_tenant_points_ingested_total"),
+//!     engine.pressure_report().points_ingested,
+//! );
+//! assert!(scrape.to_prometheus_text().contains("streamhull_tenant_points_ingested_total 1"));
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`geom`] — planar geometry substrate (robust predicates, hulls,
@@ -184,7 +209,7 @@ pub use geom;
 pub use streamgen;
 
 pub use adaptive_hull::window::WindowedRun;
-pub use adaptive_hull::{metrics, queries, recovery, snapshot, tenant, viz, window};
+pub use adaptive_hull::{metrics, queries, recovery, snapshot, telemetry, tenant, viz, window};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, AdmissionError, CheckpointEnvelope, CheckpointedRun,
     ClusterHull, ClusterHullConfig, DetectedFault, ExactHull, Fault, FaultEvent, FaultPlan,
@@ -193,9 +218,10 @@ pub use adaptive_hull::{
     PressureReport, RadialHull, RecoveryAction, RecoveryReport, RetryPolicy, ShardCheckpoint,
     ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest, ShardedTenants, Snapshot,
     SnapshotError, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun,
-    SupervisedWindowedRun, TenantConfig, TenantEngine, TenantStats, Tier, UniformHull,
+    SupervisedWindowedRun, Telemetry, TenantConfig, TenantEngine, TenantStats, Tier, UniformHull,
     WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
 };
+pub use adaptive_hull::{Counter, Gauge, Histogram, Scrape, Span, TraceEvent};
 pub use geom::{ConvexPolygon, Point2, Vec2};
 
 /// Everything most applications need.
@@ -205,11 +231,11 @@ pub mod prelude {
         ClusterHullConfig, ConvexPolygon, ExactHull, Fault, FaultPlan, FixedBudgetAdaptiveHull,
         FrozenHull, HullSummary, HullSummaryExt, Mergeable, NaiveUniformHull, NonFiniteInput,
         OverloadPolicy, Point2, PressureAction, PressureEvent, PressureReport, RadialHull,
-        RecoveryReport, RetryPolicy, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest,
+        RecoveryReport, RetryPolicy, Scrape, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest,
         ShardedTenants, Snapshot, SnapshotError, StreamId, SummaryBuilder, SummaryKind,
-        SupervisedIngest, SupervisedRun, SupervisedWindowedRun, TenantConfig, TenantEngine,
-        TenantStats, Tier, UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy,
-        WindowedRun, WindowedSummary,
+        SupervisedIngest, SupervisedRun, SupervisedWindowedRun, Telemetry, TenantConfig,
+        TenantEngine, TenantStats, Tier, TraceEvent, UniformHull, Vec2, WindowAnswer, WindowConfig,
+        WindowPolicy, WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

@@ -1,0 +1,497 @@
+//! Telemetry conformance and ledger-equality tests: the Prometheus text
+//! exposition obeys escaping and histogram rules, the JSON-lines export
+//! is one valid object per line, striped-counter merging is exact and
+//! deterministic under scoped-thread contention, and a scrape always
+//! agrees field-for-field with the engines' own ledgers
+//! ([`PressureReport`], [`RecoveryReport`]) — including over randomized
+//! seeded tenant-pressure runs.
+
+use proptest::prelude::*;
+use streamgen::TenantTraffic;
+use streamhull::prelude::*;
+use streamhull::telemetry::names;
+
+// ---------------------------------------------------------------------
+// A minimal JSON validator (no dependencies): accepts exactly one
+// object per input string, rejecting trailing garbage.
+// ---------------------------------------------------------------------
+
+struct Json<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Json<'a> {
+    fn validate_object_line(line: &'a str) -> Result<(), String> {
+        let mut p = Json {
+            bytes: line.as_bytes(),
+            pos: 0,
+        };
+        p.object()?;
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of input")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.bump()?;
+        if got != want {
+            return Err(format!(
+                "expected {:?} at byte {}, got {:?}",
+                want as char,
+                self.pos - 1,
+                got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.string()?;
+            self.expect(b':')?;
+            self.value()?;
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(()),
+                other => return Err(format!("bad object separator {:?}", other as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.value()?;
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(()),
+                other => return Err(format!("bad array separator {:?}", other as char)),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek().ok_or("value expected")? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            _ => self.number(),
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(()),
+                b'\\' => match self.bump()? {
+                    b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                    b'u' => {
+                        for _ in 0..4 {
+                            let h = self.bump()?;
+                            if !h.is_ascii_hexdigit() {
+                                return Err("bad \\u escape".into());
+                            }
+                        }
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                },
+                b if b < 0x20 => return Err("raw control char in string".into()),
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exporter conformance
+// ---------------------------------------------------------------------
+
+/// Prometheus text rules: one `# TYPE` line per family, sample names
+/// legal, label values escaped (backslash, quote, newline), histogram
+/// `_bucket` series cumulative with a closing `+Inf`, `_count` equal to
+/// the last cumulative bucket.
+#[test]
+fn prometheus_text_conforms() {
+    let tel = Telemetry::new();
+    let nasty = "we\"ird\\label\nvalue";
+    tel.counter("streamhull_test_total", &[("backend", nasty)])
+        .add(7);
+    tel.gauge("streamhull_test_level", &[]).set(-3);
+    let h = tel.histogram("streamhull_test_ns", &[("backend", "exact")]);
+    for v in [0u64, 1, 1, 7, 100, 1_000_000, u64::MAX] {
+        h.record(v);
+    }
+    let text = tel.scrape().to_prometheus_text();
+
+    // Escaping: the nasty value must round-trip with all three escapes.
+    assert!(
+        text.contains(r#"backend="we\"ird\\label\nvalue""#),
+        "label escaping broken:\n{text}"
+    );
+    // No raw newline may survive inside a sample line.
+    for line in text.lines() {
+        assert!(
+            !line.is_empty(),
+            "blank line in exposition (raw newline leaked from a label)"
+        );
+    }
+
+    // One TYPE line per family, and every sample name is legal.
+    let mut seen_types = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let fam = rest.split(' ').next().unwrap();
+            assert!(
+                seen_types.insert(fam.to_string()),
+                "duplicate TYPE for {fam}"
+            );
+            continue;
+        }
+        let name = line.split(['{', ' ']).next().unwrap();
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "illegal metric name {name:?}"
+        );
+        assert!(!name.starts_with(|c: char| c.is_ascii_digit()));
+    }
+
+    // Histogram: cumulative buckets, increasing le, +Inf last, _count
+    // equals the final cumulative value, _sum present.
+    let buckets: Vec<&str> = text
+        .lines()
+        .filter(|l| l.starts_with("streamhull_test_ns_bucket"))
+        .collect();
+    assert!(!buckets.is_empty());
+    let mut prev_cum = 0u64;
+    let mut prev_le = f64::NEG_INFINITY;
+    for line in &buckets {
+        let le_raw = line
+            .split("le=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
+        let le = if le_raw == "+Inf" {
+            f64::INFINITY
+        } else {
+            le_raw.parse::<f64>().unwrap()
+        };
+        assert!(le > prev_le, "le not increasing: {line}");
+        prev_le = le;
+        let cum: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(cum >= prev_cum, "bucket not cumulative: {line}");
+        prev_cum = cum;
+    }
+    assert!(prev_le.is_infinite(), "last bucket must be +Inf");
+    assert_eq!(prev_cum, 7, "+Inf bucket must count every observation");
+    let count_line = text
+        .lines()
+        .find(|l| l.starts_with("streamhull_test_ns_count"))
+        .unwrap();
+    assert_eq!(count_line.rsplit(' ').next().unwrap(), "7");
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("streamhull_test_ns_sum")));
+}
+
+/// JSON-lines: every line of the export parses as one complete JSON
+/// object — even with hostile label values and event fields.
+#[test]
+fn json_lines_conform() {
+    let tel = Telemetry::new();
+    tel.counter(
+        "streamhull_test_total",
+        &[("k", "quote\" slash\\ tab\t newline\n ctrl\u{1}")],
+    )
+    .inc();
+    tel.gauge("streamhull_test_level", &[]).add(-12);
+    tel.histogram("streamhull_test_ns", &[]).record(42);
+    tel.event("test", "hostile", 3, &[("delta", -9), ("zero", 0)]);
+    let out = tel.scrape().to_json_lines();
+    let mut lines = 0;
+    for line in out.lines() {
+        Json::validate_object_line(line)
+            .unwrap_or_else(|e| panic!("invalid JSON line ({e}): {line}"));
+        lines += 1;
+    }
+    assert!(lines >= 4, "expected all four kinds exported, got {lines}");
+}
+
+// ---------------------------------------------------------------------
+// Registry merge determinism under contention
+// ---------------------------------------------------------------------
+
+/// Striped counters must merge exactly under scoped-thread contention —
+/// no lost updates, no double counting — and a quiesced registry must
+/// scrape identically (same values, same deterministic sample order)
+/// no matter how the threads interleaved registration and updates.
+#[test]
+fn merge_is_exact_and_deterministic_under_contention() {
+    let tel = Telemetry::new();
+    let threads = 8u64;
+    let per_thread = 10_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                // Every thread races registration of the same families
+                // plus its own label set, and hammers the shared one.
+                let shared = tel.counter("streamhull_contended_total", &[]);
+                let own = tel.counter("streamhull_contended_total", &[("thread", &t.to_string())]);
+                let hist = tel.histogram("streamhull_contended_ns", &[]);
+                let gauge = tel.gauge("streamhull_contended_level", &[]);
+                for i in 0..per_thread {
+                    shared.inc();
+                    own.add(2);
+                    hist.record(i % 1024);
+                    gauge.add(1);
+                }
+            });
+        }
+    });
+    let a = tel.scrape();
+    let b = tel.scrape();
+    assert_eq!(a, b, "quiesced scrapes must be identical");
+    assert_eq!(
+        a.counter_with("streamhull_contended_total", &[]),
+        Some(threads * per_thread)
+    );
+    for t in 0..threads {
+        assert_eq!(
+            a.counter_with("streamhull_contended_total", &[("thread", &t.to_string())]),
+            Some(2 * per_thread),
+            "thread {t} lost updates"
+        );
+    }
+    let hist = a
+        .histograms
+        .iter()
+        .find(|h| h.name == "streamhull_contended_ns")
+        .unwrap();
+    assert_eq!(hist.count, threads * per_thread);
+    assert_eq!(hist.buckets.iter().sum::<u64>(), hist.count);
+    assert_eq!(
+        a.gauge_value("streamhull_contended_level"),
+        Some((threads * per_thread) as i64)
+    );
+    // Deterministic order: sorted by name, then label set.
+    let mut sorted = a.counters.clone();
+    sorted.sort_by(|x, y| x.name.cmp(y.name).then_with(|| x.labels.cmp(&y.labels)));
+    assert_eq!(a.counters, sorted, "counter sample order not canonical");
+}
+
+// ---------------------------------------------------------------------
+// Ledger equality
+// ---------------------------------------------------------------------
+
+fn assert_scrape_matches_report(scrape: &Scrape, report: &PressureReport) {
+    let pairs: [(&str, u64); 8] = [
+        (names::TENANT_POINTS_SEEN, report.points_seen),
+        (names::TENANT_POINTS_INGESTED, report.points_ingested),
+        (names::TENANT_POINTS_SHED, report.points_shed),
+        (names::TENANT_POINTS_REJECTED, report.points_rejected),
+        (names::TENANT_EVICTIONS, report.streams_shed),
+        (names::TENANT_DEGRADATIONS, report.streams_degraded),
+        (names::TENANT_QUARANTINES, report.streams_quarantined),
+        (names::TENANT_EVENTS_DROPPED, report.events_dropped),
+    ];
+    for (name, want) in pairs {
+        assert_eq!(
+            scrape.counter_total(name),
+            want,
+            "scrape disagrees with ledger on {name}"
+        );
+    }
+    assert_eq!(
+        scrape.counter_with(names::TENANT_STREAMS, &[("outcome", "admitted")]),
+        Some(report.streams_admitted)
+    );
+    assert_eq!(
+        scrape.counter_with(names::TENANT_STREAMS, &[("outcome", "rejected")]),
+        Some(report.streams_rejected)
+    );
+    assert_eq!(
+        scrape.counter_with(names::TENANT_TIER_OPS, &[("kind", "spill")]),
+        Some(report.spills)
+    );
+    assert_eq!(
+        scrape.counter_with(names::TENANT_TIER_OPS, &[("kind", "restore")]),
+        Some(report.restores)
+    );
+    assert_eq!(
+        scrape.counter_with(names::TENANT_TIER_BYTES, &[("kind", "spill")]),
+        Some(report.spilled_bytes)
+    );
+    assert_eq!(
+        scrape.gauge_value(names::TENANT_BYTES_IN_USE),
+        Some(report.bytes_in_use as i64)
+    );
+    assert_eq!(
+        scrape.gauge_value(names::TENANT_BYTES_PEAK),
+        Some(report.bytes_peak as i64)
+    );
+}
+
+/// A seeded supervised chaos run: the recovery counters in the scrape
+/// equal the [`RecoveryReport`] tallies exactly.
+#[test]
+fn recovery_scrape_equals_report() {
+    let pts: Vec<Point2> = (0..20_000)
+        .map(|i| {
+            let t = i as f64 * 0.004;
+            Point2::new(t.cos() * 2.0, t.sin())
+        })
+        .collect();
+    let tel = Telemetry::new();
+    let engine = ShardedIngest::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16), 4)
+        .with_chunk(256)
+        .with_telemetry(tel);
+    let run = SupervisedIngest::new(engine)
+        .with_checkpoint_interval(1_024)
+        .with_fault_plan(FaultPlan::new().crash(1, 5).crash(3, 11))
+        .run_stream(pts.iter().copied());
+    assert!(!run.is_degraded());
+    let scrape = tel.scrape();
+    assert_eq!(
+        scrape.counter_with(names::RECOVERY_CHECKPOINTS, &[("outcome", "taken")]),
+        Some(run.report.checkpoints_taken)
+    );
+    assert_eq!(
+        scrape.counter_with(names::RECOVERY_CHECKPOINTS, &[("outcome", "rejected")]),
+        Some(run.report.checkpoints_rejected)
+    );
+    assert_eq!(
+        scrape.counter_total(names::RECOVERY_REPLAYED_CHUNKS),
+        run.report.replayed_chunks
+    );
+    assert_eq!(
+        scrape.counter_total(names::RECOVERY_REPLAYED_POINTS),
+        run.report.replayed_points
+    );
+    assert_eq!(
+        scrape.counter_total(names::RECOVERY_LOST_POINTS),
+        run.report.lost_points
+    );
+    assert_eq!(
+        scrape.counter_total(names::RECOVERY_DROPPED_NON_FINITE),
+        run.report.dropped_non_finite
+    );
+    assert_eq!(
+        scrape.counter_total(names::RECOVERY_INJECTED_NON_FINITE),
+        run.report.injected_non_finite
+    );
+    assert_eq!(
+        scrape.counter_with(names::RECOVERY_FAULTS, &[("kind", "panic")]),
+        Some(2),
+        "both seeded crashes must be counted"
+    );
+}
+
+/// One randomized tenant-pressure scenario (single proptest parameter:
+/// the vendored proptest macro's recursion cost grows steeply with the
+/// argument count, so the dimensions are packed by `prop_map`).
+#[derive(Clone, Debug)]
+struct StormCfg {
+    seed: u64,
+    streams: u64,
+    points: usize,
+    budget_kb: usize,
+    policy: OverloadPolicy,
+    event_cap: usize,
+}
+
+fn storm_cfg() -> impl Strategy<Value = StormCfg> {
+    // Two nested triples: the vendored proptest implements `Strategy`
+    // for tuples up to arity 4 only.
+    (
+        (0u64..1_000_000, 1u64..120, 100usize..1_500),
+        (2usize..48, 0usize..3, 1usize..32),
+    )
+        .prop_map(
+            |((seed, streams, points), (budget_kb, policy_ix, event_cap))| StormCfg {
+                seed,
+                streams,
+                points,
+                budget_kb,
+                policy: [
+                    OverloadPolicy::Reject,
+                    OverloadPolicy::ShedOldest,
+                    OverloadPolicy::DegradeToCoarser,
+                ][policy_ix],
+                event_cap,
+            },
+        )
+}
+
+// Over randomized seeded tenant-pressure runs — any policy, tight or
+// loose budgets, overflowing event ledgers — a scrape taken at the end
+// agrees exactly with the `PressureReport`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn tenant_scrape_equals_report(cfg in storm_cfg()) {
+        let StormCfg { seed, streams, points, budget_kb, policy, event_cap } = cfg;
+        let tel = Telemetry::new();
+        let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(16))
+            .with_budget_bytes(budget_kb * 1024)
+            .with_policy(policy)
+            .with_idle_ticks(1)
+            .with_event_capacity(event_cap)
+            .with_telemetry(tel);
+        let mut engine = TenantEngine::new(config);
+        let traffic: Vec<(StreamId, Point2)> = TenantTraffic::new(seed, streams, points)
+            .map(|(t, p)| (StreamId(t), p))
+            .collect();
+        for chunk in traffic.chunks(200) {
+            // Reject-policy engines may refuse work; the ledger and the
+            // scrape must agree either way.
+            let _ = engine.ingest_bulk(chunk);
+            engine.tick();
+        }
+        // Touch a survivor (restore path), then remove one (gauge path).
+        let first = engine.ids().next();
+        if let Some(id) = first {
+            let _ = engine.summary(id);
+            engine.remove(id);
+        }
+        assert_scrape_matches_report(&tel.scrape(), &engine.pressure_report());
+    }
+}
