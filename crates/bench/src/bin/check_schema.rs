@@ -7,14 +7,19 @@
 //! check_schema <run.json> [--baseline BENCH_throughput.json]
 //! ```
 //!
-//! Schema: the full PR 2–9 shape (serial `results`, `window`, `parallel`,
-//! `snapshot`, `recovery`, `tenant_scan`, and `telemetry_overhead`
-//! sections with their per-row keys). The `recovery` section records
-//! supervised-ingestion overhead per checkpoint interval, and
-//! `tenant_scan` records multi-tenant fleet capacity (bytes/stream,
-//! streams/GB) and the spill/restore round trip; both are schema-checked
-//! but not regression-gated (the gate stays on the serial and parallel
-//! throughput rows). The `telemetry_overhead` section carries its own
+//! Schema: the full PR 2–10 shape (serial `results`, `window`,
+//! `parallel`, `snapshot`, `recovery`, `tenant_scan`, `query_scan`, and
+//! `telemetry_overhead` sections with their per-row keys). The
+//! `recovery` section records supervised-ingestion overhead per
+//! checkpoint interval, `tenant_scan` records multi-tenant fleet
+//! capacity (bytes/stream, streams/GB) and the spill/restore round
+//! trip, and `query_scan` records serving-layer point queries cold vs
+//! cached plus top-k pruning counters; all three are schema-checked but
+//! not regression-gated (the gate stays on the serial and parallel
+//! throughput rows). A `query_scan` row whose `cache_speedup` falls
+//! below the documented 10× warns without failing — query timings on
+//! shared runners jitter, and the bit-identity assertions live in the
+//! bench itself. The `telemetry_overhead` section carries its own
 //! absolute gate: the instrumented hot path must stay within
 //! [`TELEMETRY_OVERHEAD_FAIL`] of the no-op-handle path on every backend
 //! (overridable via `TELEMETRY_OVERHEAD_LIMIT`); rows past the 1.03
@@ -48,6 +53,12 @@ const TELEMETRY_OVERHEAD_FAIL: f64 = 1.25;
 /// Instrumented-vs-no-op ratio past which a row warns — the bound the
 /// recorded baseline and the README claim.
 const TELEMETRY_OVERHEAD_WARN: f64 = 1.03;
+
+/// Cached-vs-cold speedup below which a `query_scan` row warns — the
+/// bound the README's serving-layer section documents. Warn-only:
+/// shared runners jitter, and the cache-correctness (bit-identity)
+/// assertions run inside the bench itself.
+const QUERY_CACHE_SPEEDUP_WARN: f64 = 10.0;
 
 fn get_num(row: &Json, key: &str) -> Result<f64, String> {
     row.get(key)
@@ -324,6 +335,74 @@ fn check_schema(doc: &Json) -> Result<(), String> {
         ));
     }
 
+    let query = doc
+        .get("query_scan")
+        .and_then(Json::as_arr)
+        .ok_or("query_scan must be an array")?;
+    if query.is_empty() {
+        return Err("query_scan section must not be empty".into());
+    }
+    require_keys(
+        query,
+        &[
+            "backend",
+            "streams",
+            "queries",
+            "cold_ns",
+            "queries_per_sec_cold",
+            "cached_ns",
+            "queries_per_sec_cached",
+            "cache_speedup",
+            "topk_ns",
+            "topk_scanned",
+            "topk_pruned",
+        ],
+        "query_scan",
+    )?;
+    let mut query_backends: Vec<&str> = Vec::new();
+    for row in query {
+        if get_str(row, "workload")? != "query_scan" {
+            return Err(format!("query_scan row with wrong workload: {row:?}"));
+        }
+        let streams = get_num(row, "streams")?;
+        if streams < 1.0 || get_num(row, "queries")? < 1.0 {
+            return Err(format!("degenerate query_scan row: {row:?}"));
+        }
+        if get_num(row, "cold_ns")? <= 0.0 || get_num(row, "cached_ns")? <= 0.0 {
+            return Err(format!("non-positive query latency: {row:?}"));
+        }
+        let speedup = get_num(row, "cache_speedup")?;
+        if speedup <= 0.0 {
+            return Err(format!("degenerate cache speedup: {row:?}"));
+        }
+        if speedup < QUERY_CACHE_SPEEDUP_WARN {
+            println!(
+                "warning: query cache speedup {speedup:.2} below the documented \
+                 {QUERY_CACHE_SPEEDUP_WARN:.0}x bound (backend {:?}) — noise, or a \
+                 serving-layer cache regression",
+                get_str(row, "backend")?
+            );
+        }
+        // The bbox pass visits the whole fleet; pruning can at most
+        // discharge everything that pass admitted.
+        let scanned = get_num(row, "topk_scanned")?;
+        let pruned = get_num(row, "topk_pruned")?;
+        if scanned < 1.0 || scanned > streams {
+            return Err(format!("top-k scan out of range: {row:?}"));
+        }
+        if pruned < 0.0 || pruned > scanned {
+            return Err(format!("top-k pruned more than it scanned: {row:?}"));
+        }
+        query_backends.push(get_str(row, "backend")?);
+    }
+    query_backends.sort_unstable();
+    query_backends.dedup();
+    if query_backends != backends {
+        return Err(format!(
+            "query_scan backends {query_backends:?} != serial backends {backends:?}"
+        ));
+    }
+
     let overhead_limit =
         match std::env::var("TELEMETRY_OVERHEAD_LIMIT") {
             Ok(v) => v.parse::<f64>().ok().filter(|t| *t >= 1.0).ok_or_else(|| {
@@ -377,13 +456,14 @@ fn check_schema(doc: &Json) -> Result<(), String> {
 
     println!(
         "schema ok: {} serial rows, {} window rows, {} sharded rows, {} snapshot rows, \
-         {} recovery rows, {} tenant rows, {} telemetry rows",
+         {} recovery rows, {} tenant rows, {} query rows, {} telemetry rows",
         results.len(),
         window.len(),
         parallel.len(),
         snapshot.len(),
         recovery.len(),
         tenant.len(),
+        query.len(),
         tel.len()
     );
     Ok(())
@@ -560,6 +640,14 @@ mod tests {
                   "bytes_per_stream": 200.5, "streams_per_gb": 4987531,
                   "spill_ns": 900, "restore_ns": 1100}}
               ],
+              "query_scan": [
+                {{"workload": "query_scan", "backend": "exact", "r": 16,
+                  "streams": 62, "n": 1000, "threads": 1, "queries": 186,
+                  "cold_ns": 2000, "queries_per_sec_cold": 500000,
+                  "cached_ns": 100, "queries_per_sec_cached": 10000000,
+                  "cache_speedup": 20.0, "topk_ns": 40000,
+                  "topk_scanned": 62, "topk_pruned": 48}}
+              ],
               "telemetry_overhead": [
                 {{"backend": "exact", "r": 16, "n": 1000,
                   "noop_ns": 50.0, "instrumented_ns": 50.5, "overhead": 1.010}}
@@ -592,6 +680,22 @@ mod tests {
         }
         let err = check_schema(&doc).unwrap_err();
         assert!(err.contains("telemetry overhead"), "{err}");
+    }
+
+    #[test]
+    fn query_scan_schema_rejects_impossible_pruning() {
+        let mut doc = sample_doc(2000.0, 100.0);
+        if let Json::Obj(map) = &mut doc {
+            if let Some(Json::Arr(rows)) = map.get_mut("query_scan") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    // More pruned than scanned: the bound pass can't
+                    // discharge candidates it never admitted.
+                    row.insert("topk_pruned".into(), Json::Num(63.0));
+                }
+            }
+        }
+        let err = check_schema(&doc).unwrap_err();
+        assert!(err.contains("pruned more than it scanned"), "{err}");
     }
 
     #[test]

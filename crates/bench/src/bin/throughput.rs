@@ -33,6 +33,17 @@
 //!   and the forced spill/restore round trip a tenant pays when the
 //!   hot/cold tiering moves it.
 //!
+//! * `query_scan` — the serving-layer dimension: an interior-heavy fleet
+//!   (`n/16` streams, each a uniform disk sample, so ≥ 10k streams at the
+//!   default `--n`) queried through a `QueryEngine` for width, diameter
+//!   and a directional extent per stream. The `cold` column is the first
+//!   pass after ingestion (hull build + calipers + interval), `cached`
+//!   is the identical second pass served from the generation-keyed cache
+//!   — the two passes are asserted bit-identical — and the `topk`
+//!   columns record a warm `top_k_extent` scan with its bbox-pruning
+//!   effectiveness (`topk_scanned` is the whole fleet's bbox pass;
+//!   `topk_pruned` of those candidates never reached an exact extent).
+//!
 //! The `threads` dimension drives `ShardedIngest` over the `interior` and
 //! `clustered` workloads for every backend: shard the stream, summarise
 //! shards on scoped threads, merge in deterministic shard order.
@@ -50,11 +61,11 @@
 use adaptive_hull::telemetry::names;
 use adaptive_hull::window::WindowConfig;
 use adaptive_hull::{
-    HullSummary, Mergeable, ShardedIngest, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest,
-    Telemetry, TenantConfig, TenantEngine,
+    Estimate, HullSummary, Mergeable, PairAnswer, QueryEngine, ShardedIngest, StreamId,
+    SummaryBuilder, SummaryKind, SupervisedIngest, Telemetry, TenantConfig, TenantEngine,
 };
 use bench_harness::TABLE1_SEED;
-use geom::Point2;
+use geom::{Point2, Vec2};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -285,6 +296,144 @@ fn time_tenant_scan(
         bytes_per_stream,
         spill_ns,
         restore_ns,
+    }
+}
+
+/// Points per stream in the `query_scan` fleet: small enough that the
+/// default `--n` yields well past 10k streams, large enough that every
+/// hull has real vertices for the calipers to walk.
+const QUERY_POINTS_PER_STREAM: usize = 16;
+
+/// Result size for the `top_k_extent` scan timed by `query_scan`.
+const QUERY_TOP_K: usize = 10;
+
+/// One backend × serving-layer measurement (`query_scan` dimension):
+/// width + diameter + directional extent per stream over an
+/// interior-heavy fleet, cold (first pass after ingestion) vs cached
+/// (generation-keyed cache hit), plus a warm `top_k_extent` scan with
+/// its bbox-pruning counters.
+struct QueryRow {
+    backend: &'static str,
+    r: u32,
+    streams: u64,
+    n: usize,
+    /// Point queries timed per pass (3 kinds × live streams).
+    queries: u64,
+    cold_ns: f64,
+    cached_ns: f64,
+    topk_ns: f64,
+    topk_scanned: u64,
+    topk_pruned: u64,
+}
+
+impl QueryRow {
+    fn qps_cold(&self) -> f64 {
+        1e9 / self.cold_ns
+    }
+    fn qps_cached(&self) -> f64 {
+        1e9 / self.cached_ns
+    }
+    /// How much the generation-keyed cache buys on a repeated point
+    /// query (cold includes the hull build the first touch pays).
+    fn cache_speedup(&self) -> f64 {
+        self.cold_ns / self.cached_ns
+    }
+}
+
+/// The `query_scan` fleet: `streams` interleaved uniform-disk streams
+/// (interior-heavy — almost every point lands inside the hull of the
+/// early extrema), with per-stream radii spread over [0.5, 1.0] so
+/// extents genuinely differ and the top-k bound ordering has work to do.
+fn query_traffic(n: usize, streams: u64, seed: u64) -> Vec<(StreamId, Point2)> {
+    use streamgen::Disk;
+    Disk::new(seed ^ 0x9e, n, 1.0)
+        .enumerate()
+        .map(|(i, p)| {
+            let id = i as u64 % streams.max(1);
+            let scale = 0.5 + 0.5 * (id % 997) as f64 / 997.0;
+            (StreamId(id), Point2::ORIGIN + (p - Point2::ORIGIN) * scale)
+        })
+        .collect()
+}
+
+/// Best-of-`reps` cold and cached query passes over a freshly ingested
+/// fleet, asserting the cached pass reproduces the cold pass bit for
+/// bit, then a warm `top_k_extent` scan on the final engine.
+fn time_query_scan(
+    builder: &SummaryBuilder,
+    traffic: &[(StreamId, Point2)],
+    streams: u64,
+    reps: usize,
+) -> QueryRow {
+    let dir = Vec2::new(1.0, 0.0);
+    let mut best_cold = f64::INFINITY;
+    let mut best_cached = f64::INFINITY;
+    let mut queries = 0u64;
+    let mut engine = QueryEngine::new(TenantEngine::new(TenantConfig::new(*builder)));
+    for _ in 0..reps.max(1) {
+        let mut tenants = TenantEngine::new(TenantConfig::new(*builder));
+        tenants
+            .ingest_bulk(traffic)
+            .expect("ungoverned engine admits everything");
+        let mut q = QueryEngine::new(tenants);
+        let mut ids: Vec<StreamId> = q.tenants().ids().collect();
+        ids.sort_unstable();
+        queries = 3 * ids.len() as u64;
+
+        let pass = |q: &mut QueryEngine| -> (f64, Vec<Estimate>, Vec<Option<PairAnswer>>) {
+            let mut widths = Vec::with_capacity(ids.len());
+            let mut diams = Vec::with_capacity(ids.len());
+            let mut exts = Vec::with_capacity(ids.len());
+            let start = Instant::now();
+            for &id in &ids {
+                widths.push(q.width(id).expect("live stream answers width"));
+                diams.push(q.diameter(id).expect("live stream answers diameter"));
+                exts.push(q.extent(id, dir).expect("live stream answers extent"));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / queries.max(1) as f64;
+            widths.extend(exts);
+            (ns, widths, diams)
+        };
+        let (cold_ns, cold_est, cold_pairs) = pass(&mut q);
+        let stats = q.cache_stats();
+        assert!(
+            stats.misses >= queries,
+            "cold pass must miss: {stats:?} vs {queries} queries"
+        );
+        let (cached_ns, warm_est, warm_pairs) = pass(&mut q);
+        let stats = q.cache_stats();
+        assert!(
+            stats.hits >= queries,
+            "cached pass must hit: {stats:?} vs {queries} queries"
+        );
+        // The cache contract the serving layer documents: a hit is the
+        // stored answer, bit for bit.
+        assert_eq!(cold_est, warm_est, "cached estimates diverged");
+        assert_eq!(cold_pairs, warm_pairs, "cached diameter pairs diverged");
+        best_cold = best_cold.min(cold_ns);
+        best_cached = best_cached.min(cached_ns);
+        engine = q;
+    }
+    // Warm top-k: the bbox certificates are cached by the first call, so
+    // the timed second call is the steady-state scan CI tracks; the
+    // pruning counters are bound-driven and identical either way.
+    let k = QUERY_TOP_K.min(streams.max(1) as usize);
+    let _ = engine.top_k_extent(dir, k).expect("top-k over live fleet");
+    let start = Instant::now();
+    let topk = engine.top_k_extent(dir, k).expect("top-k over live fleet");
+    let topk_ns = start.elapsed().as_nanos() as f64;
+    assert_eq!(topk.entries.len(), k, "top-k under-filled");
+    QueryRow {
+        backend: builder.kind().label(),
+        r: builder.r(),
+        streams,
+        n: traffic.len(),
+        queries,
+        cold_ns: best_cold,
+        cached_ns: best_cached,
+        topk_ns,
+        topk_scanned: topk.scanned,
+        topk_pruned: topk.pruned,
     }
 }
 
@@ -648,6 +797,7 @@ fn render_json(
     snap_rows: &[SnapRow],
     rec_rows: &[RecRow],
     tenant_rows: &[TenantRow],
+    query_rows: &[QueryRow],
     tel_rows: &[TelRow],
 ) -> String {
     let RunMeta {
@@ -791,6 +941,33 @@ fn render_json(
         );
     }
     let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"query_scan\": [");
+    for (i, row) in query_rows.iter().enumerate() {
+        let comma = if i + 1 == query_rows.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"query_scan\", \"backend\": \"{}\", \"r\": {}, \
+             \"streams\": {}, \"n\": {}, \"threads\": 1, \"queries\": {}, \
+             \"cold_ns\": {:.2}, \"queries_per_sec_cold\": {:.0}, \
+             \"cached_ns\": {:.2}, \"queries_per_sec_cached\": {:.0}, \
+             \"cache_speedup\": {:.2}, \"topk_ns\": {:.0}, \
+             \"topk_scanned\": {}, \"topk_pruned\": {}}}{comma}",
+            json_escape_free(row.backend),
+            row.r,
+            row.streams,
+            row.n,
+            row.queries,
+            row.cold_ns,
+            row.qps_cold(),
+            row.cached_ns,
+            row.qps_cached(),
+            row.cache_speedup(),
+            row.topk_ns,
+            row.topk_scanned,
+            row.topk_pruned,
+        );
+    }
+    let _ = writeln!(out, "  ],");
     let _ = writeln!(out, "  \"telemetry_overhead\": [");
     for (i, row) in tel_rows.iter().enumerate() {
         let comma = if i + 1 == tel_rows.len() { "" } else { "," };
@@ -819,6 +996,7 @@ type Dimensions = (
     Vec<SnapRow>,
     Vec<RecRow>,
     Vec<TenantRow>,
+    Vec<QueryRow>,
     Vec<TelRow>,
 );
 
@@ -922,6 +1100,17 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u
             time_tenant_scan(&builder, &tenant_traffic, tenant_streams, reps)
         })
         .collect();
+    // Query-scan dimension: the serving layer over an interior-heavy
+    // fleet — cold vs cached point queries and the pruned top-k scan.
+    let query_streams = (n as u64 / QUERY_POINTS_PER_STREAM as u64).max(1);
+    let query_pts = query_traffic(n, query_streams, TABLE1_SEED);
+    let query_rows: Vec<QueryRow> = SummaryKind::ALL
+        .iter()
+        .map(|&kind| {
+            let builder = SummaryBuilder::new(kind).with_r(r);
+            time_query_scan(&builder, &query_pts, query_streams, reps)
+        })
+        .collect();
     // Telemetry-overhead dimension: the instrumented hot path vs the
     // no-op-handle path on the interior workload, per backend.
     let tel_rows: Vec<TelRow> = SummaryKind::ALL
@@ -938,6 +1127,7 @@ fn run(n: usize, chunk: usize, reps: usize, r: u32, threads: &[usize], window: u
         snap_rows,
         rec_rows,
         tenant_rows,
+        query_rows,
         tel_rows,
     )
 }
@@ -980,7 +1170,7 @@ fn main() {
     }
 
     let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, tel_rows) =
+    let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, query_rows, tel_rows) =
         run(n, chunk, reps, r, &threads, window);
 
     println!(
@@ -1093,6 +1283,39 @@ fn main() {
     }
 
     println!(
+        "\nquery scan (serving layer, {QUERY_POINTS_PER_STREAM} pts/stream interior fleet; \
+         3 point queries per stream, cold vs cached; top-{QUERY_TOP_K} extent scan)"
+    );
+    println!(
+        "{:<14} {:>9} {:>10} {:>12} {:>11} {:>12} {:>8} {:>10} {:>8} {:>8}",
+        "backend",
+        "streams",
+        "cold ns",
+        "cold qps",
+        "cached ns",
+        "cached qps",
+        "speedup",
+        "topk ns",
+        "scanned",
+        "pruned"
+    );
+    for row in &query_rows {
+        println!(
+            "{:<14} {:>9} {:>10.1} {:>12.0} {:>11.1} {:>12.0} {:>7.1}x {:>10.0} {:>8} {:>8}",
+            row.backend,
+            row.streams,
+            row.cold_ns,
+            row.qps_cold(),
+            row.cached_ns,
+            row.qps_cached(),
+            row.cache_speedup(),
+            row.topk_ns,
+            row.topk_scanned,
+            row.topk_pruned,
+        );
+    }
+
+    println!(
         "\ntelemetry overhead (interior workload, 1 shard; instrumented vs \
          no-op handle, interleaved best-of)"
     );
@@ -1125,6 +1348,7 @@ fn main() {
         &snap_rows,
         &rec_rows,
         &tenant_rows,
+        &query_rows,
         &tel_rows,
     );
     std::fs::write(&out_path, &json).expect("write throughput JSON");
@@ -1138,7 +1362,7 @@ mod tests {
     #[test]
     fn smoke_run_produces_wellformed_json() {
         let threads = [1usize, 2];
-        let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, tel_rows) =
+        let (rows, win_rows, par_rows, snap_rows, rec_rows, tenant_rows, query_rows, tel_rows) =
             run(2000, 256, 1, 16, &threads, 500);
         assert_eq!(rows.len(), 4 * SummaryKind::ALL.len());
         assert_eq!(win_rows.len(), SummaryKind::ALL.len());
@@ -1149,7 +1373,23 @@ mod tests {
             RECOVERY_INTERVALS.len() * SummaryKind::ALL.len()
         );
         assert_eq!(tenant_rows.len(), SummaryKind::ALL.len());
+        assert_eq!(query_rows.len(), SummaryKind::ALL.len());
         assert_eq!(tel_rows.len(), SummaryKind::ALL.len());
+        for row in &query_rows {
+            assert!(row.cold_ns > 0.0 && row.cached_ns > 0.0, "{}", row.backend);
+            assert!(row.cache_speedup().is_finite(), "{}", row.backend);
+            assert!(row.queries > 0 && row.topk_scanned >= 1, "{}", row.backend);
+            assert_eq!(
+                row.topk_scanned, row.streams,
+                "{}: top-k bbox pass must visit the whole fleet",
+                row.backend
+            );
+            assert!(
+                row.topk_pruned <= row.streams,
+                "{}: top-k pruned more candidates than streams",
+                row.backend
+            );
+        }
         for row in &tel_rows {
             assert!(
                 row.noop_ns > 0.0 && row.instrumented_ns > 0.0,
@@ -1182,6 +1422,7 @@ mod tests {
             &snap_rows,
             &rec_rows,
             &tenant_rows,
+            &query_rows,
             &tel_rows,
         );
         // Minimal structural validation: balanced braces/brackets, the
@@ -1194,16 +1435,21 @@ mod tests {
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert_eq!(
             json.matches("\"workload\"").count(),
-            rows.len() + win_rows.len() + par_rows.len()
+            rows.len() + win_rows.len() + par_rows.len() + query_rows.len()
         );
         assert_eq!(
             json.matches("\"threads\"").count(),
-            rows.len() + win_rows.len() + par_rows.len() + 1
+            rows.len() + win_rows.len() + par_rows.len() + query_rows.len() + 1
         );
         assert_eq!(
             json.matches("\"window_scan\"").count(),
             win_rows.len(),
             "one window row per backend"
+        );
+        assert_eq!(
+            json.matches("\"query_scan\"").count(),
+            query_rows.len() + 1,
+            "one query row per backend plus the section key"
         );
         for key in [
             "\"bench\"",
@@ -1229,6 +1475,15 @@ mod tests {
             "\"streams_per_gb\"",
             "\"spill_ns\"",
             "\"restore_ns\"",
+            "\"query_scan\"",
+            "\"cold_ns\"",
+            "\"queries_per_sec_cold\"",
+            "\"cached_ns\"",
+            "\"queries_per_sec_cached\"",
+            "\"cache_speedup\"",
+            "\"topk_ns\"",
+            "\"topk_scanned\"",
+            "\"topk_pruned\"",
             "\"telemetry_overhead\"",
             "\"noop_ns\"",
             "\"instrumented_ns\"",
@@ -1265,6 +1520,19 @@ mod tests {
             assert_eq!(pts.len(), 500, "{name}");
             assert!(pts.iter().all(|p| p.is_finite()), "{name}");
         }
+    }
+
+    #[test]
+    fn query_traffic_covers_every_stream_evenly() {
+        let streams = 50u64;
+        let t = query_traffic(800, streams, TABLE1_SEED);
+        assert_eq!(t.len(), 800);
+        let mut counts = vec![0usize; streams as usize];
+        for (id, p) in &t {
+            counts[id.0 as usize] += 1;
+            assert!(p.is_finite());
+        }
+        assert!(counts.iter().all(|&c| c == 16), "uneven fleet: {counts:?}");
     }
 
     #[test]

@@ -39,7 +39,10 @@
 //!   trace ring threaded through the engines above, with Prometheus-text
 //!   and JSON-lines exporters and a [`telemetry::Scrape`] snapshot API;
 //! * [`queries`] — diameter/width/extent/separation/containment/overlap
-//!   (§6) plus a multi-stream tracker;
+//!   (§6) plus a multi-stream tracker, and the serving layer
+//!   ([`queries::serving::QueryEngine`]): cached, error-bounded analytics
+//!   over a whole [`TenantEngine`] fleet with bbox/incircle-pruned
+//!   top-k scans and separation joins;
 //! * [`metrics`] — the error measures of §2/§7 (uncertainty triangles,
 //!   points-outside, Hausdorff error vs the exact hull);
 //! * [`viz`] — SVG rendering of hulls, sample directions and uncertainty
@@ -68,6 +71,7 @@ pub mod cluster;
 pub mod dudley;
 pub mod exact;
 pub mod frozen;
+pub(crate) mod fxhash;
 pub mod metrics;
 pub mod parallel;
 pub mod queries;
@@ -87,6 +91,10 @@ pub use cluster::{ClusterHull, ClusterHullConfig};
 pub use exact::ExactHull;
 pub use frozen::FrozenHull;
 pub use parallel::{CheckpointedRun, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest};
+pub use queries::serving::{
+    Estimate, JoinAnswer, JoinCertificate, JoinPair, PairAnswer, QDir, QueryCacheStats,
+    QueryEngine, QueryError, TopKAnswer, TopKEntry,
+};
 pub use radial::RadialHull;
 pub use recovery::{
     DetectedFault, Fault, FaultEvent, FaultPlan, RecoveryAction, RecoveryReport, RetryPolicy,

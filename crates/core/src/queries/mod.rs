@@ -12,10 +12,15 @@
 //! below `D` — is preserved and demonstrated in the integration tests.
 
 pub mod multi;
+pub mod serving;
 
 use geom::{calipers, clip, distance, locate, ConvexPolygon, Line, Point2, Vec2};
 
 pub use multi::{MultiStreamTracker, PairEvent, PairState};
+pub use serving::{
+    Estimate, JoinAnswer, JoinCertificate, JoinPair, PairAnswer, QDir, QueryCacheStats,
+    QueryEngine, QueryError, TopKAnswer, TopKEntry,
+};
 
 /// Diameter of the summarised point set: the two attaining sample points
 /// and their distance. `None` for fewer than 2 samples. `O(r)`.

@@ -985,6 +985,23 @@ pub mod names {
     pub const TENANT_COLD_STREAMS: &str = "streamhull_tenant_cold_streams";
     /// Streams currently quarantined (gauge).
     pub const TENANT_QUARANTINED_STREAMS: &str = "streamhull_tenant_quarantined_streams";
+
+    /// Analytic answers served by the query layer (`kind` label: `width` /
+    /// `diameter` / `extent` / `bbox` / `incircle`).
+    pub const QUERY_ANSWERS: &str = "streamhull_query_answers_total";
+    /// Answers served straight from the generation-keyed query cache.
+    pub const QUERY_CACHE_HITS: &str = "streamhull_query_cache_hits_total";
+    /// Answers recomputed on the summary hull (then cached).
+    pub const QUERY_CACHE_MISSES: &str = "streamhull_query_cache_misses_total";
+    /// Per-answer serving latency in ns (histogram).
+    pub const QUERY_LATENCY_NS: &str = "streamhull_query_latency_ns";
+    /// Streams examined by top-k fleet scans.
+    pub const QUERY_TOPK_SCANNED: &str = "streamhull_query_topk_scanned_total";
+    /// Streams discharged by the bbox upper bound in top-k scans.
+    pub const QUERY_TOPK_PRUNED: &str = "streamhull_query_topk_pruned_total";
+    /// Separation-join pair outcomes (`outcome` label: `bbox_reject` /
+    /// `incircle_accept` / `exact`).
+    pub const QUERY_JOIN_PAIRS: &str = "streamhull_query_join_pairs_total";
 }
 
 /// Process-wide hot-kernel tallies.

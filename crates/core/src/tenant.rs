@@ -39,6 +39,7 @@
 
 use crate::builder::{SummaryBuilder, SummaryKind};
 use crate::frozen::FrozenHull;
+use crate::fxhash::FxBuild;
 use crate::parallel::ShardedIngest;
 use crate::queries::MultiStreamTracker;
 use crate::radial::RadialHull;
@@ -553,6 +554,13 @@ impl fmt::Debug for Residency {
 struct Tenant {
     id: StreamId,
     residency: Residency,
+    /// Identity of the live summary *object*: stamped from the engine-wide
+    /// monotone counter whenever the slot's summary is created or replaced
+    /// (admission, cold→hot restore, write rollback, degradation). The
+    /// serving layer keys caches on `(epoch, hull_generation)` — the
+    /// generation counter alone may restart when a snapshot round trip or
+    /// a rebuild replaces the object, but never within one epoch.
+    epoch: u64,
     /// Accounted footprint; kept in lockstep with the engine totals.
     bytes: usize,
     last_touch: u64,
@@ -577,12 +585,17 @@ pub struct TenantEngine {
     /// Slab storage: stable indices, `free` recycles evicted slots.
     slots: Vec<Option<Tenant>>,
     free: Vec<usize>,
-    index: HashMap<StreamId, usize>,
+    /// Id → slot lookup on every write and every query: keyed FxHash
+    /// (see [`crate::fxhash`]) — ~4x cheaper than SipHash on the u64 key,
+    /// still per-engine seeded.
+    index: HashMap<StreamId, usize, FxBuild>,
     /// Shared frozen direction fans, one per `(r, seed)`.
     fans: HashMap<(u32, u64), Arc<[Vec2]>>,
     /// Shared radial sector tables, one per `r`.
     sectors: HashMap<u32, Arc<[(Vec2, bool)]>>,
     clock: u64,
+    /// Source of [`Tenant::epoch`] stamps; see that field for the contract.
+    next_epoch: u64,
     bytes_in_use: usize,
     hot: usize,
     cold: usize,
@@ -604,10 +617,11 @@ impl TenantEngine {
             config,
             slots: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: HashMap::default(),
             fans: HashMap::new(),
             sectors: HashMap::new(),
             clock: 0,
+            next_epoch: 0,
             bytes_in_use: 0,
             hot: 0,
             cold: 0,
@@ -904,6 +918,42 @@ impl TenantEngine {
         Ok(self.summary(id)?.hull())
     }
 
+    /// The stream's cache-validation token: `(epoch, hull_generation)`.
+    ///
+    /// Two equal tokens guarantee the stream's hull is unchanged; any
+    /// hull-affecting mutation advances the generation, and any
+    /// replacement of the summary *object* (cold→hot restore, write
+    /// rollback, degradation, re-admission after eviction) advances the
+    /// epoch — so a restarted generation counter can never alias a stale
+    /// token. The hot path is a plain index lookup (no restore, no
+    /// telemetry flush); a cold stream is restored first, which itself
+    /// bumps the epoch.
+    pub fn query_token(&mut self, id: StreamId) -> Result<(u64, u64), AdmissionError> {
+        let idx = self.lookup(id)?;
+        if let Some(Some(Tenant {
+            residency: Residency::Hot(s),
+            epoch,
+            ..
+        })) = self.slots.get(idx)
+        {
+            let token = (*epoch, s.hull_generation());
+            self.touch(idx);
+            return Ok(token);
+        }
+        let hot = self.make_hot(idx);
+        self.sync_telemetry();
+        hot?;
+        self.touch(idx);
+        match self.slots.get(idx).and_then(|s| s.as_ref()) {
+            Some(Tenant {
+                residency: Residency::Hot(s),
+                epoch,
+                ..
+            }) => Ok((*epoch, s.hull_generation())),
+            _ => Err(AdmissionError::UnknownStream { stream: id }),
+        }
+    }
+
     /// The tenant-facing error bound: the live summary bound plus
     /// everything carried from degradations and backfills — `None` when
     /// either side offers no guarantee (degrading *widens* the bound, it
@@ -1104,6 +1154,14 @@ impl TenantEngine {
         }
     }
 
+    /// The next summary-object epoch (engine-wide monotone, never reused
+    /// — a re-admitted stream id can't alias an evicted tenant's epoch).
+    fn fresh_epoch(&mut self) -> u64 {
+        let e = self.next_epoch;
+        self.next_epoch += 1;
+        e
+    }
+
     /// Publishes the report tallies to the telemetry registry as deltas
     /// against [`PublishedTallies`] (see its docs for why deltas, not
     /// per-site bumps). Called at the end of every public mutating call;
@@ -1230,9 +1288,11 @@ impl TenantEngine {
         let builder = self.config.builder;
         let summary = self.build_summary(&builder);
         let bytes = summary.approx_bytes();
+        let epoch = self.fresh_epoch();
         let tenant = Tenant {
             id,
             residency: Residency::Hot(summary),
+            epoch,
             bytes,
             last_touch: self.clock,
             seen: 0,
@@ -1373,8 +1433,10 @@ impl TenantEngine {
         match self.decode_interned(&envelope) {
             Ok(summary) => {
                 let live = summary.approx_bytes();
+                let epoch = self.fresh_epoch();
                 if let Some(Some(t)) = self.slots.get_mut(idx) {
                     t.residency = Residency::Hot(summary);
+                    t.epoch = epoch;
                     self.bytes_in_use = self.bytes_in_use + live - t.bytes;
                     t.bytes = live;
                 }
@@ -1587,6 +1649,7 @@ impl TenantEngine {
                 Err(_) => return false,
             }
         };
+        let epoch = self.fresh_epoch();
         let Some(Some(t)) = self.slots.get_mut(idx) else {
             return false;
         };
@@ -1602,6 +1665,7 @@ impl TenantEngine {
                 }
                 let after = s.approx_bytes();
                 t.residency = Residency::Hot(s);
+                t.epoch = epoch;
                 after
             }
             // Cold before the write: back to the envelope, so the restore
@@ -1719,6 +1783,7 @@ impl TenantEngine {
         }
         let fallback = self.config.degraded;
         let mut coarse = self.build_summary(&fallback);
+        let epoch = self.fresh_epoch();
         let Some(Some(t)) = self.slots.get_mut(idx) else {
             return false;
         };
@@ -1736,6 +1801,7 @@ impl TenantEngine {
         let before = t.bytes;
         let after = coarse.approx_bytes();
         t.residency = Residency::Hot(coarse);
+        t.epoch = epoch;
         t.bytes = after;
         t.degraded = true;
         match donor_bound {

@@ -3,18 +3,66 @@
 
 use crate::point::{Point2, Vec2};
 use crate::polygon::ConvexPolygon;
+use core::cmp::Ordering;
+
+/// If every vertex of `v` lies on one line (including duplicate-vertex
+/// chains), returns the two extreme points of that line segment together
+/// with their distance. `None` when the vertices genuinely span two
+/// dimensions.
+///
+/// Collinear cycles cannot come out of [`ConvexPolygon::from_ccw`], but
+/// [`ConvexPolygon::from_ccw_unchecked`] admits them in release builds, so
+/// the calipers entry points guard with this `O(n)` pre-pass instead of
+/// relying on an invariant they cannot see.
+fn collinear_extremes(v: &[Point2]) -> Option<(Point2, Point2, f64)> {
+    let anchor = v[0];
+    let far = v
+        .iter()
+        .copied()
+        .max_by(|a, b| anchor.distance_sq(*a).total_cmp(&anchor.distance_sq(*b)))?;
+    if v.iter()
+        .any(|&p| crate::predicates::orient2d_sign(anchor, far, p) != Ordering::Equal)
+    {
+        return None;
+    }
+    // All points lie on the line through `anchor` and `far`; along a line,
+    // lexicographic (x, then y) order is the order of the points, so the
+    // lexicographic extremes are the segment endpoints.
+    let key = |p: &Point2| (p.x, p.y);
+    let lo = v
+        .iter()
+        .copied()
+        .min_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(Ordering::Equal))?;
+    let hi = v
+        .iter()
+        .copied()
+        .max_by(|a, b| key(a).partial_cmp(&key(b)).unwrap_or(Ordering::Equal))?;
+    Some((lo, hi, lo.distance(hi)))
+}
 
 /// Diameter of a convex polygon: the farthest pair of vertices and their
 /// distance, by rotating calipers in `O(n)`.
 ///
-/// Returns `None` for polygons with fewer than 2 vertices.
+/// Every degenerate hull has a defined answer:
+///
+/// * empty polygon → `None` (there is no vertex pair);
+/// * single point `p` → `Some((p, p, 0.0))`;
+/// * segment → the segment endpoints and their distance;
+/// * collinear chain (only reachable via
+///   [`ConvexPolygon::from_ccw_unchecked`]) → the two extreme points of
+///   the chain, found by an `O(n)` scan rather than the calipers advance,
+///   which assumes strict convexity.
 pub fn diameter(poly: &ConvexPolygon) -> Option<(Point2, Point2, f64)> {
     let v = poly.vertices();
     let n = v.len();
     match n {
-        0 | 1 => None,
+        0 => None,
+        1 => Some((v[0], v[0], 0.0)),
         2 => Some((v[0], v[1], v[0].distance(v[1]))),
         _ => {
+            if let Some(deg) = collinear_extremes(v) {
+                return Some(deg);
+            }
             let mut best = (v[0], v[1], 0.0f64);
             let mut j = 1usize;
             let area2 = |a: Point2, b: Point2, c: Point2| ((b - a).cross(c - a)).abs();
@@ -37,10 +85,11 @@ pub fn diameter(poly: &ConvexPolygon) -> Option<(Point2, Point2, f64)> {
 }
 
 /// Diameter by brute force over all vertex pairs, `O(n²)`. Reference
-/// implementation for tests.
+/// implementation for tests. Degenerate conventions match [`diameter`]:
+/// `None` when empty, `Some(0.0)` for a single point.
 pub fn diameter_brute(poly: &ConvexPolygon) -> Option<f64> {
     let v = poly.vertices();
-    if v.len() < 2 {
+    if v.is_empty() {
         return None;
     }
     let mut best = 0.0f64;
@@ -55,11 +104,16 @@ pub fn diameter_brute(poly: &ConvexPolygon) -> Option<f64> {
 /// Width of a convex polygon: the minimum distance between two parallel
 /// supporting lines, by rotating calipers in `O(n)`.
 ///
-/// Returns 0 for degenerate polygons (fewer than 3 vertices).
+/// Degenerate hulls have zero width by definition, and each case returns
+/// exactly `0.0`: the empty polygon, a single point, a segment, and a
+/// collinear chain smuggled past validation via
+/// [`ConvexPolygon::from_ccw_unchecked`] (detected by an `O(n)` pre-pass;
+/// the per-edge distance scan below would otherwise report a spurious
+/// near-zero value derived from rounding noise).
 pub fn width(poly: &ConvexPolygon) -> f64 {
     let v = poly.vertices();
     let n = v.len();
-    if n < 3 {
+    if n < 3 || collinear_extremes(v).is_some() {
         return 0.0;
     }
     // The width is attained with one supporting line flush with an edge.
@@ -222,14 +276,40 @@ mod tests {
 
     #[test]
     fn degenerate_cases() {
+        // Empty: no vertex pair exists.
         assert!(diameter(&ConvexPolygon::empty()).is_none());
+        assert!(diameter_brute(&ConvexPolygon::empty()).is_none());
+        assert_eq!(width(&ConvexPolygon::empty()), 0.0);
+        // Point: the farthest "pair" is the point itself, at distance 0.
         let one = ConvexPolygon::from_ccw(vec![p(1.0, 1.0)]).unwrap();
-        assert!(diameter(&one).is_none());
+        assert_eq!(diameter(&one), Some((p(1.0, 1.0), p(1.0, 1.0), 0.0)));
+        assert_eq!(diameter_brute(&one), Some(0.0));
         assert_eq!(width(&one), 0.0);
+        // Segment: its endpoints, and exactly zero width.
         let seg = ConvexPolygon::from_ccw(vec![p(0.0, 0.0), p(3.0, 4.0)]).unwrap();
         let (_, _, d) = diameter(&seg).unwrap();
         assert_eq!(d, 5.0);
         assert_eq!(width(&seg), 0.0);
+    }
+
+    #[test]
+    fn collinear_chain_gets_exact_extremes() {
+        // A collinear ≥3-vertex cycle is rejected by from_ccw but reachable
+        // through from_ccw_unchecked in release builds; the calipers must
+        // still return the true farthest pair instead of a pair stuck at
+        // the monotone-advance start.
+        for verts in [
+            vec![p(0.0, 0.0), p(1.0, 1.0), p(3.0, 3.0), p(2.0, 2.0)],
+            vec![p(5.0, -1.0), p(5.0, 4.0), p(5.0, 2.0)], // vertical line
+            vec![p(-2.0, 0.5), p(4.0, 0.5), p(1.0, 0.5), p(4.0, 0.5)], // duplicate vertex
+        ] {
+            let chain = ConvexPolygon::from_ccw_unvalidated(verts.clone());
+            let (a, b, d) = diameter(&chain).unwrap();
+            let brute = diameter_brute(&chain).unwrap();
+            assert_eq!(d, brute, "chain {verts:?}");
+            assert_eq!(d, a.distance(b));
+            assert_eq!(width(&chain), 0.0, "collinear chains have zero width");
+        }
     }
 
     #[test]

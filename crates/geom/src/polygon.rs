@@ -65,6 +65,15 @@ impl ConvexPolygon {
         ConvexPolygon { verts: Vec::new() }
     }
 
+    /// Test-only escape hatch: wraps a vertex list with *no* validation and
+    /// no debug assertion, so kernel tests can exercise the degenerate-input
+    /// hardening paths (collinear chains, duplicate vertices) that
+    /// [`ConvexPolygon::from_ccw_unchecked`] only admits in release builds.
+    #[cfg(test)]
+    pub(crate) fn from_ccw_unvalidated(verts: Vec<Point2>) -> Self {
+        ConvexPolygon { verts }
+    }
+
     fn is_valid(&self) -> bool {
         let n = self.verts.len();
         if !self.verts.iter().all(|v| v.is_finite()) {

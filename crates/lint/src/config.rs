@@ -59,6 +59,10 @@ impl Config {
                 // instrument that can panic turns observability into the
                 // outage it was meant to explain.
                 "crates/core/src/telemetry.rs".into(),
+                // The serving layer answers dashboard queries against the
+                // governed fleet: a refused stream is a typed QueryError
+                // or a counted skip in fleet scans, never a panic.
+                "crates/core/src/queries/serving.rs".into(),
                 // Fixture corpus: lets CI demonstrate the rule from the
                 // CLI (the workspace walk never descends into fixtures).
                 "crates/lint/fixtures/no_panic".into(),

@@ -189,6 +189,52 @@
 //! assert!(scrape.to_prometheus_text().contains("streamhull_tenant_points_ingested_total 1"));
 //! ```
 //!
+//! ## Querying: the serving layer
+//!
+//! [`QueryEngine`] wraps a [`TenantEngine`] and answers dashboard-grade
+//! analytics — width, diameter, farthest pair, directional extent — by
+//! rotating calipers on each stream's cached hull. Every answer is an
+//! [`Estimate`] whose interval `[lo, hi]` contains the exact-stream truth
+//! (`lo` is the computed value — the sample hull sits *inside* the true
+//! hull — and `hi` adds twice the summary's live error bound). Answers are
+//! memoised under `(stream, hull generation, kind, quantized direction)`,
+//! so ingestion invalidates the cache for free and a repeated query is one
+//! hash lookup:
+//!
+//! ```
+//! use streamhull::prelude::*;
+//!
+//! let config = TenantConfig::new(SummaryBuilder::new(SummaryKind::Adaptive).with_r(32));
+//! let mut q = QueryEngine::new(TenantEngine::new(config));
+//! for i in 0..1000u64 {
+//!     let t = i as f64 * 0.013;
+//!     q.tenants_mut()
+//!         .insert(StreamId(i % 4), Point2::new(8.0 * t.cos(), t.sin()))
+//!         .unwrap();
+//! }
+//!
+//! // Per-stream analytics with error bars:
+//! let d = q.diameter(StreamId(0)).unwrap().unwrap();
+//! assert!(d.estimate.lo <= d.estimate.value && d.estimate.value <= d.estimate.hi);
+//! let w = q.width(StreamId(0)).unwrap();
+//! assert!(w.value <= d.estimate.value, "width never exceeds diameter");
+//! let pair = q.farthest_pair(StreamId(0)).unwrap().unwrap();
+//! assert_eq!(pair.estimate.value, d.estimate.value);
+//!
+//! // The generation-keyed cache: a repeated query is a hit, and the
+//! // answer is bit-identical to the fresh computation.
+//! let again = q.diameter(StreamId(0)).unwrap().unwrap();
+//! assert_eq!(again, d);
+//! assert!(q.cache_stats().hits >= 1);
+//!
+//! // Fleet analytics: top-k by extent (bbox-pruned) and separation joins
+//! // (bbox/incircle certificates before any exact polygon distance).
+//! let top = q.top_k_extent(Vec2::new(1.0, 0.0), 2).unwrap();
+//! assert_eq!(top.entries.len(), 2);
+//! let join = q.separation_join(1.0).unwrap();
+//! assert_eq!(join.pairs.len(), 6, "all four interleaved streams overlap");
+//! ```
+//!
 //! ## Crate map
 //!
 //! * [`geom`] — planar geometry substrate (robust predicates, hulls,
@@ -203,6 +249,7 @@
 //!   metrics ([`metrics`]).
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use adaptive_hull;
 pub use geom;
@@ -212,14 +259,16 @@ pub use adaptive_hull::window::WindowedRun;
 pub use adaptive_hull::{metrics, queries, recovery, snapshot, telemetry, tenant, viz, window};
 pub use adaptive_hull::{
     AdaptiveHull, AdaptiveHullConfig, AdmissionError, CheckpointEnvelope, CheckpointedRun,
-    ClusterHull, ClusterHullConfig, DetectedFault, ExactHull, Fault, FaultEvent, FaultPlan,
-    FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt, Mergeable,
-    NaiveUniformHull, NonFiniteInput, OverloadPolicy, PressureAction, PressureEvent,
-    PressureReport, RadialHull, RecoveryAction, RecoveryReport, RetryPolicy, ShardCheckpoint,
-    ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest, ShardedTenants, Snapshot,
-    SnapshotError, StreamId, SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun,
-    SupervisedWindowedRun, Telemetry, TenantConfig, TenantEngine, TenantStats, Tier, UniformHull,
-    WindowAnswer, WindowConfig, WindowPolicy, WindowedSummary,
+    ClusterHull, ClusterHullConfig, DetectedFault, Estimate, ExactHull, Fault, FaultEvent,
+    FaultPlan, FixedBudgetAdaptiveHull, FrozenHull, HullCache, HullSummary, HullSummaryExt,
+    JoinAnswer, JoinCertificate, JoinPair, Mergeable, NaiveUniformHull, NonFiniteInput,
+    OverloadPolicy, PairAnswer, PressureAction, PressureEvent, PressureReport, QDir,
+    QueryCacheStats, QueryEngine, QueryError, RadialHull, RecoveryAction, RecoveryReport,
+    RetryPolicy, ShardCheckpoint, ShardHealth, ShardRun, ShardStats, ShardStatus, ShardedIngest,
+    ShardedTenants, Snapshot, SnapshotError, StreamId, SummaryBuilder, SummaryKind,
+    SupervisedIngest, SupervisedRun, SupervisedWindowedRun, Telemetry, TenantConfig, TenantEngine,
+    TenantStats, Tier, TopKAnswer, TopKEntry, UniformHull, WindowAnswer, WindowConfig,
+    WindowPolicy, WindowedSummary,
 };
 pub use adaptive_hull::{Counter, Gauge, Histogram, Scrape, Span, TraceEvent};
 pub use geom::{ConvexPolygon, Point2, Vec2};
@@ -228,14 +277,15 @@ pub use geom::{ConvexPolygon, Point2, Vec2};
 pub mod prelude {
     pub use crate::{
         AdaptiveHull, AdaptiveHullConfig, AdmissionError, CheckpointedRun, ClusterHull,
-        ClusterHullConfig, ConvexPolygon, ExactHull, Fault, FaultPlan, FixedBudgetAdaptiveHull,
-        FrozenHull, HullSummary, HullSummaryExt, Mergeable, NaiveUniformHull, NonFiniteInput,
-        OverloadPolicy, Point2, PressureAction, PressureEvent, PressureReport, RadialHull,
-        RecoveryReport, RetryPolicy, Scrape, ShardCheckpoint, ShardRun, ShardStats, ShardedIngest,
-        ShardedTenants, Snapshot, SnapshotError, StreamId, SummaryBuilder, SummaryKind,
-        SupervisedIngest, SupervisedRun, SupervisedWindowedRun, Telemetry, TenantConfig,
-        TenantEngine, TenantStats, Tier, TraceEvent, UniformHull, Vec2, WindowAnswer, WindowConfig,
-        WindowPolicy, WindowedRun, WindowedSummary,
+        ClusterHullConfig, ConvexPolygon, Estimate, ExactHull, Fault, FaultPlan,
+        FixedBudgetAdaptiveHull, FrozenHull, HullSummary, HullSummaryExt, JoinAnswer,
+        JoinCertificate, JoinPair, Mergeable, NaiveUniformHull, NonFiniteInput, OverloadPolicy,
+        PairAnswer, Point2, PressureAction, PressureEvent, PressureReport, QDir, QueryCacheStats,
+        QueryEngine, QueryError, RadialHull, RecoveryReport, RetryPolicy, Scrape, ShardCheckpoint,
+        ShardRun, ShardStats, ShardedIngest, ShardedTenants, Snapshot, SnapshotError, StreamId,
+        SummaryBuilder, SummaryKind, SupervisedIngest, SupervisedRun, SupervisedWindowedRun,
+        Telemetry, TenantConfig, TenantEngine, TenantStats, Tier, TopKAnswer, TopKEntry,
+        UniformHull, Vec2, WindowAnswer, WindowConfig, WindowPolicy, WindowedRun, WindowedSummary,
     };
     pub use adaptive_hull::queries::{MultiStreamTracker, PairEvent, PairState};
 }

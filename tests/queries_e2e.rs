@@ -1,3 +1,4 @@
+#![recursion_limit = "256"]
 //! End-to-end tests of the §6 query layer on *approximate* summaries:
 //! the answers computed from 2r+1-point adaptive samples must agree with
 //! the answers computed from the exact hulls up to the paper's error
@@ -138,6 +139,209 @@ fn overlap_area_matches_exact_within_percent() {
     let oe = queries::overlap_area(&e1.hull(), &e2.hull());
     assert!(oe > 0.0);
     assert!((oa - oe).abs() / oe < 0.02, "overlap {oa} vs exact {oe}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests for the serving layer: the cache is invisible to query
+// results across interleaved ingestion, every analytic interval contains
+// the exact-stream truth, and the separation join's certificates never
+// drop a qualifying pair — for every summary backend.
+// ---------------------------------------------------------------------------
+
+mod serving_props {
+    use super::*;
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+
+    fn pt_strategy() -> impl Strategy<Value = Point2> {
+        prop_oneof![
+            (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point2::new(x, y)),
+            (-4i32..4, -4i32..4).prop_map(|(x, y)| Point2::new(x as f64, y as f64)),
+            // Skinny band: stresses adaptive refinement and the calipers.
+            (-50.0f64..50.0, -0.5f64..0.5).prop_map(|(x, y)| Point2::new(x, y)),
+        ]
+    }
+
+    fn stream_strategy(max: usize) -> impl Strategy<Value = Vec<Point2>> {
+        prop::collection::vec(pt_strategy(), 1..max)
+    }
+
+    fn engine(kind: SummaryKind) -> QueryEngine {
+        QueryEngine::new(TenantEngine::new(TenantConfig::new(
+            SummaryBuilder::new(kind).with_r(16),
+        )))
+    }
+
+    /// A cached answer is bit-identical to a freshly computed one, at
+    /// every ingestion generation, for all eight backends. The fresh
+    /// reference is a new engine fed the same prefix in one batch — the
+    /// batch ≡ loop invariant makes its state identical, so any
+    /// divergence is the cache's fault.
+    fn check_cached_equals_fresh(pts: &[Point2]) -> Result<(), TestCaseError> {
+        let id = StreamId(7);
+        let dir = Vec2::new(0.6, 0.8);
+        let step = (pts.len() / 3).max(1);
+        for kind in SummaryKind::ALL {
+            let mut live = engine(kind);
+            let mut fed = 0usize;
+            for chunk in pts.chunks(step) {
+                live.tenants_mut().insert_batch(id, chunk).unwrap();
+                fed += chunk.len();
+                let w1 = live.width(id).unwrap();
+                let d1 = live.farthest_pair(id).unwrap();
+                let x1 = live.extent(id, dir).unwrap();
+                let before = live.cache_stats();
+                prop_assert_eq!(live.width(id).unwrap(), w1);
+                prop_assert_eq!(live.farthest_pair(id).unwrap(), d1);
+                prop_assert_eq!(live.extent(id, dir).unwrap(), x1);
+                let after = live.cache_stats();
+                prop_assert_eq!(
+                    after.hits,
+                    before.hits + 3,
+                    "{:?}: repeat reads with no ingest in between must hit",
+                    kind
+                );
+                prop_assert_eq!(after.misses, before.misses);
+                let mut fresh = engine(kind);
+                fresh.tenants_mut().insert_batch(id, &pts[..fed]).unwrap();
+                prop_assert_eq!(fresh.width(id).unwrap(), w1);
+                prop_assert_eq!(fresh.farthest_pair(id).unwrap(), d1);
+                prop_assert_eq!(fresh.extent(id, dir).unwrap(), x1);
+            }
+        }
+        Ok(())
+    }
+
+    /// `[lo, hi]` brackets the value the query would return on the exact
+    /// hull of every point the stream has seen, for all eight backends (a
+    /// withdrawn bound gives `hi == ∞`, which brackets trivially; `lo`
+    /// still holds because every summary hull sits inside the exact hull).
+    fn check_intervals_contain_truth(pts: &[Point2]) -> Result<(), TestCaseError> {
+        let id = StreamId(3);
+        let exact = ConvexPolygon::hull_of(pts);
+        let w_truth = queries::width(&exact);
+        let d_truth = queries::diameter(&exact).map(|(_, _, d)| d);
+        for kind in SummaryKind::ALL {
+            let mut q = engine(kind);
+            q.tenants_mut().insert_batch(id, pts).unwrap();
+            let w = q.width(id).unwrap();
+            let tol = 1e-9 * w_truth.abs().max(1.0);
+            prop_assert!(
+                w.lo - tol <= w_truth && w_truth <= w.hi + tol,
+                "{:?} width [{}, {}] misses truth {}",
+                kind,
+                w.lo,
+                w.hi,
+                w_truth
+            );
+            if let (Some(p), Some(t)) = (q.farthest_pair(id).unwrap(), d_truth) {
+                let tol = 1e-9 * t.abs().max(1.0);
+                prop_assert!(
+                    p.estimate.lo - tol <= t && t <= p.estimate.hi + tol,
+                    "{:?} diameter [{}, {}] misses truth {}",
+                    kind,
+                    p.estimate.lo,
+                    p.estimate.hi,
+                    t
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The join's bbox and incircle certificates are conservative: every
+    /// pair within the threshold (by brute-force polygon distance over
+    /// the same summary hulls) is reported, every reported pair
+    /// qualifies, and the certificate matches the brute-force distance
+    /// bit for bit.
+    fn check_join_completeness(
+        streams: &[(Vec<Point2>, f64, f64)],
+        thr: f64,
+    ) -> Result<(), TestCaseError> {
+        for kind in SummaryKind::ALL {
+            let mut q = engine(kind);
+            let mut ids = Vec::new();
+            for (i, (pts, cx, cy)) in streams.iter().enumerate() {
+                let id = StreamId(i as u64);
+                let shifted: Vec<Point2> = pts.iter().map(|p| *p + Vec2::new(*cx, *cy)).collect();
+                q.tenants_mut().insert_batch(id, &shifted).unwrap();
+                ids.push(id);
+            }
+            let join = q.separation_join(thr).unwrap();
+            let mut hulls = Vec::new();
+            for &id in &ids {
+                hulls.push(q.tenants_mut().hull(id).unwrap());
+            }
+            let mut reported = std::collections::HashMap::new();
+            for p in &join.pairs {
+                reported.insert((p.a, p.b), *p);
+            }
+            for i in 0..ids.len() {
+                for j in (i + 1)..ids.len() {
+                    let d = queries::min_distance(&hulls[i], &hulls[j]);
+                    let pair = reported.get(&(ids[i], ids[j]));
+                    if d <= thr {
+                        let Some(p) = pair else {
+                            return Err(TestCaseError::fail(format!(
+                                "{:?}: dropped qualifying pair ({:?}, {:?}) at d={} ≤ {}",
+                                kind, ids[i], ids[j], d, thr
+                            )));
+                        };
+                        match p.certificate {
+                            JoinCertificate::Exact => {
+                                prop_assert_eq!(p.distance.to_bits(), d.to_bits());
+                            }
+                            JoinCertificate::IncircleOverlap => {
+                                prop_assert_eq!(p.distance.to_bits(), 0.0f64.to_bits());
+                                prop_assert_eq!(
+                                    d.to_bits(),
+                                    0.0f64.to_bits(),
+                                    "{:?}: incircle certificate on disjoint hulls",
+                                    kind
+                                );
+                            }
+                        }
+                    } else {
+                        prop_assert!(
+                            pair.is_none(),
+                            "{:?}: reported non-qualifying pair at d={} > {}",
+                            kind,
+                            d,
+                            thr
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn cached_equals_fresh_across_generations_for_every_backend(
+            pts in stream_strategy(90),
+        ) {
+            check_cached_equals_fresh(&pts)?;
+        }
+
+        #[test]
+        fn intervals_contain_exact_stream_truth(pts in stream_strategy(120)) {
+            check_intervals_contain_truth(&pts)?;
+        }
+
+        #[test]
+        fn separation_join_never_drops_a_qualifying_pair(
+            streams in prop::collection::vec(
+                (prop::collection::vec(pt_strategy(), 3..40),
+                 -30.0f64..30.0, -30.0f64..30.0),
+                2..5),
+            thr in 0.0f64..40.0,
+        ) {
+            check_join_completeness(&streams, thr)?;
+        }
+    }
 }
 
 #[test]
